@@ -1,0 +1,187 @@
+// Package sacs_bench holds the benchmark harness: one testing.B benchmark
+// per experiment (the "tables and figures" of the reproduction — run
+// `go test -bench=E -benchmem` to regenerate every result at reduced scale,
+// or cmd/sawbench for the full-scale tables), plus micro-benchmarks of the
+// framework's hot paths.
+package sacs_bench
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sacs/internal/camnet"
+	"sacs/internal/core"
+	"sacs/internal/cpn"
+	"sacs/internal/experiments"
+	"sacs/internal/knowledge"
+	"sacs/internal/learning"
+)
+
+// benchCfg runs each experiment at a fraction of the paper-scale length so
+// a full -bench pass stays in seconds while exercising exactly the same
+// code paths as the full tables.
+var benchCfg = experiments.Config{Seeds: 1, Scale: 0.1}
+
+func benchExperiment(b *testing.B, id string) {
+	runner := experiments.Registry()[id]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := runner(benchCfg)
+		if r.Table.NumRows() == 0 {
+			b.Fatalf("%s produced an empty table", id)
+		}
+	}
+}
+
+// One benchmark per experiment (table/figure) in the evaluation suite.
+
+func BenchmarkE1CameraNetwork(b *testing.B)  { benchExperiment(b, "E1") }
+func BenchmarkE2GoalSwitch(b *testing.B)     { benchExperiment(b, "E2") }
+func BenchmarkE3VolunteerCloud(b *testing.B) { benchExperiment(b, "E3") }
+func BenchmarkE4CPNResilience(b *testing.B)  { benchExperiment(b, "E4") }
+func BenchmarkE5LevelsAblation(b *testing.B) { benchExperiment(b, "E5") }
+func BenchmarkE6MetaUnderDrift(b *testing.B) { benchExperiment(b, "E6") }
+func BenchmarkE7Collective(b *testing.B)     { benchExperiment(b, "E7") }
+func BenchmarkE8Attention(b *testing.B)      { benchExperiment(b, "E8") }
+func BenchmarkE9Explanation(b *testing.B)    { benchExperiment(b, "E9") }
+func BenchmarkE10NoAPriori(b *testing.B)     { benchExperiment(b, "E10") }
+
+// Design-choice ablation sweeps (X-series figures).
+
+func BenchmarkX1CamnetLambda(b *testing.B)   { benchExperiment(b, "X1") }
+func BenchmarkX2PortfolioEpoch(b *testing.B) { benchExperiment(b, "X2") }
+func BenchmarkX3CPNExploration(b *testing.B) { benchExperiment(b, "X3") }
+func BenchmarkX4CloudGate(b *testing.B)      { benchExperiment(b, "X4") }
+func BenchmarkX5Hierarchy(b *testing.B)      { benchExperiment(b, "X5") }
+
+// Framework micro-benchmarks: the per-decision costs of self-awareness.
+
+func BenchmarkAgentStepFullStack(b *testing.B) {
+	val := 0.0
+	agent := core.New(core.Config{
+		Name: "bench",
+		Caps: core.FullStack,
+		Sensors: []core.Sensor{
+			core.ScalarSensor("a", core.Private, func(float64) float64 { return val }),
+			core.ScalarSensor("b", core.Private, func(float64) float64 { return val * 2 }),
+		},
+		Reasoner: core.ReasonerFunc{ReasonerName: "r", Fn: func(d *core.Decision) {
+			d.Consult("stim/a", 0)
+			d.Choose(core.Action{Name: "noop"}, "bench")
+		}},
+		Effectors: []core.Effector{core.EffectorFunc{
+			EffectorName: "noop", Fn: func(core.Action) error { return nil }}},
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		val = float64(i % 100)
+		agent.Step(float64(i), nil)
+	}
+}
+
+func BenchmarkAgentStepStimulusOnly(b *testing.B) {
+	val := 0.0
+	agent := core.New(core.Config{
+		Name: "bench",
+		Caps: core.Caps(core.LevelStimulus),
+		Sensors: []core.Sensor{
+			core.ScalarSensor("a", core.Private, func(float64) float64 { return val }),
+		},
+		ExplainDepth: -1,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		val = float64(i % 100)
+		agent.Step(float64(i), nil)
+	}
+}
+
+func BenchmarkKnowledgeStoreObserve(b *testing.B) {
+	s := knowledge.NewStore(0.3, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Observe("metric", knowledge.Private, float64(i%100), float64(i))
+	}
+}
+
+func BenchmarkBanditSelectUpdate(b *testing.B) {
+	for _, mk := range []struct {
+		name string
+		new  func() learning.Bandit
+	}{
+		{"ucb1", func() learning.Bandit { return learning.NewUCB1(16) }},
+		{"eps-greedy", func() learning.Bandit {
+			return learning.NewEpsilonGreedy(16, 0.1, rand.New(rand.NewSource(1)))
+		}},
+		{"sliding-ucb", func() learning.Bandit { return learning.NewSlidingUCB(16, 200) }},
+	} {
+		b.Run(mk.name, func(b *testing.B) {
+			bd := mk.new()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				arm := bd.Select()
+				bd.Update(arm, float64(i%2))
+			}
+		})
+	}
+}
+
+func BenchmarkGossipRound(b *testing.B) {
+	for _, n := range []int{64, 512} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			values := make([]float64, n)
+			for i := range values {
+				values[i] = rng.Float64()
+			}
+			c := core.NewCollective(values, core.RingTopology(n, 2, rng), rng)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Round()
+			}
+		})
+	}
+}
+
+func BenchmarkCameraNetworkTick(b *testing.B) {
+	n := camnet.NewNetwork(camnet.Config{
+		Seed: 1, Cameras: 25, Objects: 30, Ticks: 1, SelfAware: true,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step()
+	}
+}
+
+func BenchmarkCPNTick(b *testing.B) {
+	n := cpn.NewNetwork(cpn.Config{
+		Seed: 1, Ticks: 1,
+		Flows: []cpn.Flow{{Src: 0, Dst: 23, Rate: 1.2}, {Src: 5, Dst: 18, Rate: 1.2}},
+	}, cpn.NewQRouter(rand.New(rand.NewSource(2))))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step()
+	}
+}
+
+func BenchmarkExplainDecision(b *testing.B) {
+	d := &core.Decision{Now: 1}
+	for i := 0; i < 4; i++ {
+		d.Score(fmt.Sprintf("cand%d", i), float64(i))
+	}
+	d.Choose(core.Action{Name: "act", Value: 1}, "benchmark rationale %d", 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d.Explain() == "" {
+			b.Fatal("empty explanation")
+		}
+	}
+}

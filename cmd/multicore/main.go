@@ -1,0 +1,86 @@
+// Command multicore runs the heterogeneous-multicore simulator standalone:
+// choose a scheduler and watch it track (or fail to track) a run-time goal
+// switch from performance to powersave mode. With the self-aware scheduler,
+// -explain prints the agent's self-explanations for its last DVFS decisions.
+//
+// Usage:
+//
+//	multicore -sched self-aware -explain
+//	multicore -sched governor
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sacs/internal/core"
+	"sacs/internal/goals"
+	"sacs/internal/multicore"
+)
+
+func main() {
+	var (
+		sched    = flag.String("sched", "self-aware", "static-max | round-robin | governor | self-aware")
+		ticks    = flag.Int("ticks", 10000, "simulation length")
+		seed     = flag.Int64("seed", 11, "random seed")
+		switchAt = flag.Float64("switch-at", 5000, "tick of the perf→powersave goal switch (0 = never)")
+		explain  = flag.Bool("explain", false, "print the agent's recent self-explanations (self-aware only)")
+		progress = flag.Int("progress", 1000, "progress print interval")
+	)
+	flag.Parse()
+
+	perf := goals.NewSet("performance",
+		goals.Objective{Name: "mean-latency", Direction: goals.Minimize, Weight: 1.0, Scale: 30},
+		goals.Objective{Name: "power", Direction: goals.Minimize, Weight: 0.15, Scale: 10},
+	)
+	save := goals.NewSet("powersave",
+		goals.Objective{Name: "mean-latency", Direction: goals.Minimize, Weight: 0.15, Scale: 30},
+		goals.Objective{Name: "power", Direction: goals.Minimize, Weight: 1.0, Scale: 10},
+	)
+	gsw := goals.NewSwitcher(perf)
+	if *switchAt > 0 {
+		gsw.ScheduleSwitch(*switchAt, save)
+	}
+
+	var s multicore.Scheduler
+	var sa *multicore.SelfAware
+	switch *sched {
+	case "static-max":
+		s = multicore.StaticMax{}
+	case "round-robin":
+		s = &multicore.RoundRobin{}
+	case "governor":
+		s = &multicore.Governor{}
+	case "self-aware":
+		sa = multicore.NewSelfAware(core.FullStack, gsw)
+		s = sa
+	default:
+		fmt.Fprintf(os.Stderr, "multicore: unknown scheduler %q\n", *sched)
+		os.Exit(2)
+	}
+
+	p := multicore.New(multicore.Config{Seed: *seed, Ticks: *ticks}, s)
+	if sa != nil {
+		sa.Bind(p)
+	}
+
+	fmt.Printf("scheduler: %s\n", s.Name())
+	lastE := 0.0
+	for i := 0; i < *ticks; i++ {
+		p.Step()
+		if *progress > 0 && (i+1)%*progress == 0 {
+			e := p.EnergyTotal()
+			fmt.Printf("t=%6d  goal=%-11s  power=%6.2f  %v\n",
+				i+1, gsw.Active().Name, (e-lastE)/float64(*progress), p.Result())
+			lastE = e
+		}
+	}
+	fmt.Printf("\nfinal: %v\n", p.Result())
+
+	if *explain && sa != nil {
+		fmt.Println("\nself-explanation (most recent DVFS decisions):")
+		fmt.Print(sa.Agent().Explainer().Transcript(3))
+		fmt.Println("\nself-description:", sa.Agent().Describe(float64(*ticks)))
+	}
+}

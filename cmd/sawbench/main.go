@@ -1,0 +1,127 @@
+// Command sawbench runs the SACS experiment suite (E1–E10) and prints each
+// experiment's table and figures: the evaluation a paper would report.
+//
+// Usage:
+//
+//	sawbench                 # run everything at full scale
+//	sawbench -exp E4,E6      # selected experiments
+//	sawbench -seeds 5        # more seeds
+//	sawbench -scale 0.2      # quick pass at reduced run lengths
+//	sawbench -list           # list experiments and claims
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"sacs/internal/experiments"
+	"sacs/internal/trace"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		seeds   = flag.Int("seeds", 3, "seeds to average over")
+		scale   = flag.Float64("scale", 1.0, "run-length scale factor (0..1]")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		abl     = flag.Bool("ablations", false, "run the design ablations X1..X5 instead of E1..E10")
+		csvDir  = flag.String("csv", "", "directory to write per-experiment CSV files into")
+	)
+	flag.Parse()
+
+	reg := experiments.Registry()
+	if *list {
+		for _, id := range append(experiments.IDs(), experiments.AblationIDs()...) {
+			r := reg[id](experiments.Config{Seeds: 1, Scale: 0.05})
+			fmt.Printf("%-4s %s\n", id, r.Title)
+		}
+		return
+	}
+
+	ids := experiments.IDs()
+	if *abl {
+		ids = experiments.AblationIDs()
+	}
+	if *expFlag != "" {
+		ids = nil
+		for _, id := range strings.Split(*expFlag, ",") {
+			id = strings.TrimSpace(strings.ToUpper(id))
+			if _, ok := reg[id]; !ok {
+				fmt.Fprintf(os.Stderr, "sawbench: unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	cfg := experiments.Config{Seeds: *seeds, Scale: *scale}
+	start := time.Now()
+	for _, id := range ids {
+		t0 := time.Now()
+		r := reg[id](cfg)
+		fmt.Println(r)
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(t0).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, r); err != nil {
+				fmt.Fprintf(os.Stderr, "sawbench: csv: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+	fmt.Printf("suite completed in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// writeCSV dumps an experiment's table (one row per system) and every
+// figure series (long format via the trace recorder) into dir.
+func writeCSV(dir string, r *experiments.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tf, err := os.Create(filepath.Join(dir, r.ID+"_table.csv"))
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	w := csv.NewWriter(tf)
+	header := append([]string{"system"}, r.Table.Columns...)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for i := 0; i < r.Table.NumRows(); i++ {
+		row := []string{r.Table.RowLabel(i)}
+		for j := range r.Table.Columns {
+			row = append(row, strconv.FormatFloat(r.Table.Cell(i, j), 'g', -1, 64))
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+
+	if len(r.Figures) == 0 {
+		return nil
+	}
+	rec := trace.NewRecorder()
+	for _, f := range r.Figures {
+		for _, sr := range f.Series {
+			for i := range sr.X {
+				rec.Record(f.Title+"/"+sr.Name, sr.X[i], sr.Y[i])
+			}
+		}
+	}
+	ff, err := os.Create(filepath.Join(dir, r.ID+"_series.csv"))
+	if err != nil {
+		return err
+	}
+	defer ff.Close()
+	return rec.WriteCSV(ff)
+}

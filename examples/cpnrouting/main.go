@@ -1,0 +1,67 @@
+// CPN routing: the paper's cognitive-packet-network case (§III, [38,39]).
+//
+// A 6×4 packet network carries four flows. One third of the way in, six
+// links fail; later a DoS flood targets a random node. The static
+// shortest-path router (design-time knowledge) collapses; the self-aware
+// Q-router — every node learning from the delays its own forwarding
+// decisions produce — recovers with no global knowledge anywhere.
+//
+// Run with: go run ./examples/cpnrouting
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sacs/internal/cpn"
+)
+
+func main() {
+	flows := []cpn.Flow{
+		{Src: 0, Dst: 23, Rate: 1.2},
+		{Src: 5, Dst: 18, Rate: 1.2},
+		{Src: 12, Dst: 3, Rate: 0.8},
+		{Src: 20, Dst: 9, Rate: 0.8},
+	}
+	mkCfg := func() cpn.Config {
+		return cpn.Config{
+			Seed: 5, Ticks: 6000, Flows: flows,
+			FailAt: 2000, FailLinks: 6,
+			DosAt: 4000, DosUntil: 5000, DosRate: 6,
+		}
+	}
+
+	fmt.Println("events: 6 links fail at t=2000; DoS flood t=4000..5000")
+	fmt.Println()
+
+	for _, mk := range []func() cpn.Router{
+		func() cpn.Router { return cpn.NewStatic(rand.New(rand.NewSource(99))) },
+		func() cpn.Router { return cpn.NewQRouter(rand.New(rand.NewSource(99))) },
+	} {
+		r := mk()
+		n := cpn.NewNetwork(mkCfg(), r)
+		fmt.Printf("--- %s ---\n", r.Name())
+		for i := 0; i < 6000; i++ {
+			n.Step()
+			if (i+1)%1000 == 0 {
+				d, lost, delivered := n.WindowStats()
+				marker := ""
+				switch i + 1 {
+				case 3000:
+					marker = "   <- after link failures"
+				case 5000:
+					marker = "   <- during/after DoS"
+				}
+				fmt.Printf("  t=%4d  delay=%6.1f  lost=%5d  delivered=%5d%s\n",
+					i+1, d, lost, delivered, marker)
+			}
+		}
+		fmt.Printf("  total: %v\n", n.Result())
+		if q, ok := r.(*cpn.QRouter); ok {
+			fmt.Printf("  adaptive smart-packet fraction ended at %.3f\n", q.Eps())
+		}
+		fmt.Println()
+	}
+	fmt.Println("the self-aware network keeps delivering after both disturbances;")
+	fmt.Println("the static design loses roughly half of all traffic.")
+}

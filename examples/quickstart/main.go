@@ -1,0 +1,118 @@
+// Quickstart: a minimal self-aware agent built on the public selfaware API.
+//
+// A room heater must keep temperature near a set-point while minimising
+// energy. The environment drifts (outside temperature changes), and halfway
+// through the run the stakeholders switch the goal from "comfort" (tight
+// tracking) to "economy" (save energy, tolerate deviation) — at run time,
+// without touching the controller. The agent senses, models, reasons
+// against the active goal, acts, and can explain itself afterwards.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"sacs/selfaware"
+)
+
+func main() {
+	const (
+		setPoint = 21.0
+		ticks    = 2000
+	)
+
+	// The hidden world: room temperature responds to the heater and to a
+	// slowly oscillating outside temperature.
+	outside := func(t float64) float64 { return 8 + 6*math.Sin(2*math.Pi*t/700) }
+	room := 15.0
+	heater := 0.0 // heater output 0..1
+
+	// Goals: comfort weights tracking error heavily; economy weights
+	// energy heavily. The switch happens mid-run.
+	comfort := selfaware.NewGoalSet("comfort",
+		selfaware.Objective{Name: "temp-error", Direction: selfaware.Minimize, Weight: 1.0, Scale: 2},
+		selfaware.Objective{Name: "energy", Direction: selfaware.Minimize, Weight: 0.1, Scale: 1},
+	)
+	economy := selfaware.NewGoalSet("economy",
+		selfaware.Objective{Name: "temp-error", Direction: selfaware.Minimize, Weight: 0.3, Scale: 2},
+		selfaware.Objective{Name: "energy", Direction: selfaware.Minimize, Weight: 0.6, Scale: 1},
+	)
+	goals := selfaware.NewSwitcher(comfort)
+	goals.ScheduleSwitch(ticks/2, economy)
+
+	// The reasoner reads its own models (current temperature, its forecast
+	// from the time-awareness process) and the active goal's weights, and
+	// chooses the heater level.
+	decide := func(d *selfaware.Decision) {
+		temp := d.Consult("stim/room-temp", room)
+		pred := d.Consult("pred/room-temp", temp)
+		wErr, wEn := 1.0, 0.1
+		if d.Goal != nil {
+			if o, ok := d.Goal.Objective("temp-error"); ok {
+				wErr = o.Weight
+			}
+			if o, ok := d.Goal.Objective("energy"); ok {
+				wEn = o.Weight
+			}
+		}
+		// Score candidate heater levels one step ahead: quadratic comfort
+		// loss against linear energy cost, weighted by the active goal.
+		out := d.Consult("stim/outside-temp", 8)
+		best, bestScore := 0.0, math.Inf(-1)
+		for _, h := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1} {
+			next := pred + 1.2*h - 0.08*(pred-out) // crude self-model of the room
+			err := (next - setPoint) / 2
+			score := -wErr*err*err - wEn*h
+			d.Score(fmt.Sprintf("heat=%.2f", h), score)
+			if score > bestScore {
+				best, bestScore = h, score
+			}
+		}
+		d.Choose(selfaware.Action{Name: "set-heater", Value: best},
+			"predicted %.1f°C, goal %s", pred, d.Goal.Name)
+	}
+
+	agent := selfaware.New(selfaware.Config{
+		Name:  "heater-agent",
+		Goals: goals,
+		Sensors: []selfaware.Sensor{
+			selfaware.ScalarSensor("room-temp", selfaware.Private,
+				func(float64) float64 { return room }),
+			selfaware.ScalarSensor("outside-temp", selfaware.Public,
+				func(t float64) float64 { return outside(t) }),
+		},
+		Reasoner: selfaware.ReasonerFunc{ReasonerName: "heater-planner", Fn: decide},
+		Effectors: []selfaware.Effector{selfaware.EffectorFunc{
+			EffectorName: "set-heater",
+			Fn: func(a selfaware.Action) error {
+				heater = a.Value
+				return nil
+			},
+		}},
+	})
+
+	var energy, absErr float64
+	for t := 0.0; t < ticks; t++ {
+		agent.Step(t, map[string]float64{
+			"temp-error": math.Abs(room - setPoint),
+			"energy":     heater,
+		})
+		// World update: heating, and loss toward the outside temperature.
+		room += 1.2*heater - 0.08*(room-outside(t))
+		energy += heater
+		absErr += math.Abs(room - setPoint)
+
+		if int(t)%400 == 399 {
+			fmt.Printf("t=%4.0f  goal=%-7s  room=%5.2f°C  heater=%.2f\n",
+				t+1, goals.Active().Name, room, heater)
+		}
+	}
+
+	fmt.Printf("\nmean |error| = %.2f°C, total energy = %.0f\n", absErr/ticks, energy)
+	fmt.Println("\nwhy did you just do that?")
+	fmt.Println(" ", agent.Explainer().WhyLast())
+	fmt.Println("\nwho are you?")
+	fmt.Println(" ", agent.Describe(ticks))
+}

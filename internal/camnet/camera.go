@@ -1,0 +1,162 @@
+package camnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sacs/internal/knowledge"
+	"sacs/internal/learning"
+)
+
+// Strategy identifies a marketing strategy: how eagerly a camera auctions
+// the objects it owns, and whom it invites. These are the essential axes of
+// the strategies studied by Esterle et al. [13].
+type Strategy int
+
+// The four marketing strategies.
+const (
+	// ActiveBroadcast auctions every owned object every tick, inviting
+	// every camera: maximal utility, maximal communication.
+	ActiveBroadcast Strategy = iota
+	// PassiveBroadcast auctions only when tracking confidence degrades,
+	// inviting every camera.
+	PassiveBroadcast
+	// ActiveNeighbors auctions every tick but invites only vision-graph
+	// neighbours (cameras that handovers have succeeded with before).
+	ActiveNeighbors
+	// PassiveNeighbors auctions only on degraded confidence and invites
+	// only vision-graph neighbours: minimal communication.
+	PassiveNeighbors
+
+	// NumStrategies is the strategy count.
+	NumStrategies = 4
+)
+
+var strategyNames = [...]string{
+	"active-broadcast", "passive-broadcast", "active-neighbors", "passive-neighbors",
+}
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	if s < 0 || int(s) >= NumStrategies {
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+	return strategyNames[s]
+}
+
+func (s Strategy) active() bool    { return s == ActiveBroadcast || s == ActiveNeighbors }
+func (s Strategy) broadcast() bool { return s == ActiveBroadcast || s == PassiveBroadcast }
+
+// Camera is one smart camera: a fixed position, a circular field of view,
+// a marketing strategy (fixed or learned) and, when self-aware, a bandit
+// plus a small knowledge store realising stimulus/interaction awareness.
+type Camera struct {
+	ID    int
+	Pos   Vec
+	Range float64
+
+	Strategy Strategy
+
+	// SelfAware cameras adapt Strategy online.
+	SelfAware bool
+	bandit    learning.Bandit
+	store     *knowledge.Store
+
+	// visionGraph holds pheromone-style link strengths to cameras that
+	// handovers have succeeded with (interaction-awareness).
+	visionGraph map[int]float64
+
+	// Per-window accounting feeding the bandit's reward.
+	windowUtil float64
+	windowMsgs float64
+
+	// Totals.
+	Utility  float64
+	Messages float64
+	Owned    int
+}
+
+// newCamera builds a camera with the given fixed strategy.
+func newCamera(id int, pos Vec, rng float64, strat Strategy) *Camera {
+	return &Camera{
+		ID: id, Pos: pos, Range: rng, Strategy: strat,
+		visionGraph: make(map[int]float64),
+	}
+}
+
+// makeSelfAware equips the camera with a strategy bandit and knowledge
+// store.
+func (c *Camera) makeSelfAware(rng *rand.Rand) {
+	c.SelfAware = true
+	c.bandit = learning.NewEpsilonGreedy(NumStrategies, 0.2, rng)
+	if eg, ok := c.bandit.(*learning.EpsilonGreedy); ok {
+		eg.Decay = 0.999 // settle once the world is understood
+	}
+	c.store = knowledge.NewStore(0.3, 32)
+	c.Strategy = Strategy(rng.Intn(NumStrategies))
+}
+
+// Confidence returns the camera's tracking confidence for an object:
+// 1 at the centre of the field of view falling quadratically to 0 at the
+// edge, 0 outside.
+func (c *Camera) Confidence(o *Object) float64 {
+	d2 := c.Pos.sub(o.Pos).norm2()
+	r2 := c.Range * c.Range
+	if d2 >= r2 {
+		return 0
+	}
+	return 1 - d2/r2
+}
+
+// neighbors returns the vision-graph neighbour IDs (cameras with positive
+// link strength).
+func (c *Camera) neighbors() []int {
+	var out []int
+	for id, s := range c.visionGraph {
+		if s > 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// strengthen reinforces the vision-graph link to peer.
+func (c *Camera) strengthen(peer int) { c.visionGraph[peer]++ }
+
+// endWindow closes a reward window for self-aware cameras: the bandit is
+// paid the window's utility minus weighted communication, then chooses the
+// strategy for the next window.
+func (c *Camera) endWindow(now, lambda float64, window int) {
+	if !c.SelfAware {
+		c.windowUtil, c.windowMsgs = 0, 0
+		return
+	}
+	reward := (c.windowUtil - lambda*c.windowMsgs) / float64(window)
+	c.bandit.Update(int(c.Strategy), reward)
+	c.store.Observe("stim/window-utility", knowledge.Private, c.windowUtil, now)
+	c.store.Observe("stim/window-messages", knowledge.Public, c.windowMsgs, now)
+	c.store.Observe("stim/reward", knowledge.Private, reward, now)
+	c.Strategy = Strategy(c.bandit.Select())
+	c.windowUtil, c.windowMsgs = 0, 0
+}
+
+// Entropy returns the normalised Shannon entropy of the strategy
+// distribution across cams: 0 when homogeneous, 1 when uniform over all
+// strategies — the heterogeneity measure for E1.
+func Entropy(cams []*Camera) float64 {
+	counts := make([]int, NumStrategies)
+	for _, c := range cams {
+		counts[c.Strategy]++
+	}
+	h := 0.0
+	n := float64(len(cams))
+	for _, k := range counts {
+		if k == 0 {
+			continue
+		}
+		p := float64(k) / n
+		h -= p * math.Log(p)
+	}
+	return h / math.Log(NumStrategies)
+}

@@ -1,0 +1,183 @@
+package camnet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfidenceGeometry(t *testing.T) {
+	c := newCamera(0, Vec{50, 50}, 10, ActiveBroadcast)
+	atCentre := c.Confidence(&Object{Pos: Vec{50, 50}})
+	if math.Abs(atCentre-1) > 1e-12 {
+		t.Fatalf("confidence at centre = %v", atCentre)
+	}
+	outside := c.Confidence(&Object{Pos: Vec{70, 50}})
+	if outside != 0 {
+		t.Fatalf("confidence outside range = %v", outside)
+	}
+	edge := c.Confidence(&Object{Pos: Vec{59.99, 50}})
+	if edge <= 0 || edge >= 0.01 {
+		t.Fatalf("confidence near edge = %v", edge)
+	}
+	// Monotone decreasing with distance.
+	prev := 1.0
+	for d := 1.0; d < 10; d++ {
+		conf := c.Confidence(&Object{Pos: Vec{50 + d, 50}})
+		if conf >= prev {
+			t.Fatalf("confidence not decreasing at distance %v", d)
+		}
+		prev = conf
+	}
+}
+
+func TestStrategyProperties(t *testing.T) {
+	if !ActiveBroadcast.active() || !ActiveBroadcast.broadcast() {
+		t.Fatal("active-broadcast flags")
+	}
+	if PassiveNeighbors.active() || PassiveNeighbors.broadcast() {
+		t.Fatal("passive-neighbors flags")
+	}
+	if ActiveNeighbors.String() != "active-neighbors" {
+		t.Fatal("strategy string")
+	}
+	if Strategy(99).String() == "active-broadcast" {
+		t.Fatal("out-of-range strategy string")
+	}
+}
+
+func TestEntropyBounds(t *testing.T) {
+	homog := make([]*Camera, 10)
+	for i := range homog {
+		homog[i] = newCamera(i, Vec{}, 1, PassiveBroadcast)
+	}
+	if Entropy(homog) != 0 {
+		t.Fatalf("homogeneous entropy = %v", Entropy(homog))
+	}
+	uniform := make([]*Camera, 8)
+	for i := range uniform {
+		uniform[i] = newCamera(i, Vec{}, 1, Strategy(i%NumStrategies))
+	}
+	if math.Abs(Entropy(uniform)-1) > 1e-12 {
+		t.Fatalf("uniform entropy = %v", Entropy(uniform))
+	}
+}
+
+func TestEntropyBoundsProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		cams := make([]*Camera, len(raw))
+		for i, r := range raw {
+			cams[i] = newCamera(i, Vec{}, 1, Strategy(int(r)%NumStrategies))
+		}
+		h := Entropy(cams)
+		return h >= 0 && h <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObjectWaypointMovement(t *testing.T) {
+	n := NewNetwork(Config{Seed: 1, Cameras: 4, Objects: 5, Ticks: 10})
+	o := n.Objs[0]
+	for i := 0; i < 200; i++ {
+		prev := o.Pos
+		o.step(100, 100, n.rng)
+		d := o.Pos.sub(prev)
+		if dist := math.Sqrt(d.norm2()); dist > o.Speed+1e-9 {
+			t.Fatalf("object moved %v > speed %v", dist, o.Speed)
+		}
+		if o.Pos.X < 0 || o.Pos.X > 100 || o.Pos.Y < 0 || o.Pos.Y > 100 {
+			t.Fatalf("object escaped world: %+v", o.Pos)
+		}
+	}
+}
+
+func TestNetworkInvariants(t *testing.T) {
+	n := NewNetwork(Config{Seed: 2, Cameras: 9, Objects: 12, Ticks: 500})
+	for i := 0; i < 500; i++ {
+		n.Step()
+		for _, o := range n.Objs {
+			if o.Owner >= len(n.Cams) {
+				t.Fatalf("invalid owner %d", o.Owner)
+			}
+		}
+	}
+	r := n.Result()
+	if r.Coverage < 0 || r.Coverage > 1 {
+		t.Fatalf("coverage out of range: %v", r.Coverage)
+	}
+	if r.Utility < 0 || r.Messages < 0 {
+		t.Fatal("negative totals")
+	}
+	if n.ObjectTicks != 12*500 {
+		t.Fatalf("object ticks = %d", n.ObjectTicks)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	run := func() Result {
+		return NewNetwork(Config{Seed: 7, Cameras: 9, Objects: 10, Ticks: 400, SelfAware: true}).Run()
+	}
+	a, b := run(), run()
+	if a.Utility != b.Utility || a.Messages != b.Messages || a.Entropy != b.Entropy {
+		t.Fatalf("same seed, different results: %v vs %v", a, b)
+	}
+}
+
+func TestHandoversBuildVisionGraph(t *testing.T) {
+	n := NewNetwork(Config{Seed: 3, Cameras: 9, Objects: 12, Ticks: 1500, Fixed: PassiveBroadcast})
+	n.Run()
+	if n.Handovers == 0 {
+		t.Fatal("no handovers in 1500 ticks")
+	}
+	links := 0
+	for _, c := range n.Cams {
+		links += len(c.neighbors())
+	}
+	if links == 0 {
+		t.Fatal("handovers did not build the vision graph")
+	}
+}
+
+func TestBroadcastCostsMoreThanNeighbors(t *testing.T) {
+	broadcast := NewNetwork(Config{Seed: 4, Cameras: 16, Objects: 15, Ticks: 2000, Fixed: ActiveBroadcast}).Run()
+	neighbors := NewNetwork(Config{Seed: 4, Cameras: 16, Objects: 15, Ticks: 2000, Fixed: ActiveNeighbors}).Run()
+	if broadcast.Messages <= neighbors.Messages {
+		t.Fatalf("broadcast (%v msgs) should cost more than neighbors (%v msgs)",
+			broadcast.Messages, neighbors.Messages)
+	}
+	if broadcast.Utility < neighbors.Utility {
+		t.Fatalf("broadcast utility (%v) should be at least neighbour utility (%v)",
+			broadcast.Utility, neighbors.Utility)
+	}
+}
+
+func TestSelfAwareLearnsHeterogeneity(t *testing.T) {
+	r := NewNetwork(Config{Seed: 5, Cameras: 16, Objects: 20, Ticks: 3000, SelfAware: true}).Run()
+	if r.Entropy == 0 {
+		t.Fatal("self-aware network stayed homogeneous")
+	}
+	if r.Coverage < 0.5 {
+		t.Fatalf("self-aware coverage too low: %v", r.Coverage)
+	}
+}
+
+func TestSelfAwareBeatsWorstStaticEfficiency(t *testing.T) {
+	sa := NewNetwork(Config{Seed: 6, Cameras: 16, Objects: 20, Ticks: 3000, SelfAware: true}).Run()
+	worst := NewNetwork(Config{Seed: 6, Cameras: 16, Objects: 20, Ticks: 3000, Fixed: ActiveBroadcast}).Run()
+	if sa.UtilPerMsg <= worst.UtilPerMsg {
+		t.Fatalf("self-aware util/msg (%v) should beat active-broadcast (%v)",
+			sa.UtilPerMsg, worst.UtilPerMsg)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Utility: 1, Messages: 2, UtilPerMsg: 0.5, Coverage: 0.9, Entropy: 0.1}
+	if r.String() == "" {
+		t.Fatal("empty result string")
+	}
+}

@@ -1,0 +1,257 @@
+package camnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config parameterises a camera-network run.
+type Config struct {
+	Seed       int64
+	Cameras    int // placed on a near-square grid
+	Objects    int
+	Width      float64 // world width (default 100)
+	Height     float64 // world height (default 100)
+	CamRange   float64 // field-of-view radius (default 18)
+	ObjSpeed   float64 // distance per tick (default 1.2)
+	Ticks      int
+	Window     int     // reward window for self-aware cameras (default 50)
+	Lambda     float64 // communication weight in the reward (default 0.05)
+	HandoverAt float64 // confidence below which passive cameras auction (default 0.35)
+	ClaimAt    float64 // confidence above which unowned objects are claimed (default 0.1)
+	Margin     float64 // bid must beat own confidence by this to transfer (default 0.05)
+
+	// SelfAware makes every camera learn its strategy; otherwise Fixed is
+	// used by all cameras.
+	SelfAware bool
+	Fixed     Strategy
+}
+
+func (c *Config) defaults() {
+	if c.Width == 0 {
+		c.Width = 100
+	}
+	if c.Height == 0 {
+		c.Height = 100
+	}
+	if c.CamRange == 0 {
+		c.CamRange = 18
+	}
+	if c.ObjSpeed == 0 {
+		c.ObjSpeed = 1.2
+	}
+	if c.Window == 0 {
+		c.Window = 50
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 0.05
+	}
+	if c.HandoverAt == 0 {
+		c.HandoverAt = 0.35
+	}
+	if c.ClaimAt == 0 {
+		c.ClaimAt = 0.1
+	}
+	if c.Margin == 0 {
+		c.Margin = 0.05
+	}
+}
+
+// Network is a running camera-network simulation.
+type Network struct {
+	Cfg  Config
+	Cams []*Camera
+	Objs []*Object
+	rng  *rand.Rand
+	tick int
+
+	// TotalUtility accumulates confidence-weighted tracked object-ticks.
+	TotalUtility float64
+	// TotalMessages accumulates all auction traffic.
+	TotalMessages float64
+	// TrackedTicks counts object-ticks with an owner seeing the object.
+	TrackedTicks int
+	// ObjectTicks counts total object-ticks simulated.
+	ObjectTicks int
+	// Handovers counts successful ownership transfers.
+	Handovers int
+}
+
+// NewNetwork builds the world: cameras on a jittered grid, objects at random
+// positions, everything unowned.
+func NewNetwork(cfg Config) *Network {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := &Network{Cfg: cfg, rng: rng}
+
+	side := int(math.Ceil(math.Sqrt(float64(cfg.Cameras))))
+	dx := cfg.Width / float64(side)
+	dy := cfg.Height / float64(side)
+	for i := 0; i < cfg.Cameras; i++ {
+		gx := float64(i%side)*dx + dx/2
+		gy := float64(i/side)*dy + dy/2
+		pos := Vec{gx + (rng.Float64()-0.5)*dx*0.3, gy + (rng.Float64()-0.5)*dy*0.3}
+		cam := newCamera(i, pos, cfg.CamRange, cfg.Fixed)
+		if cfg.SelfAware {
+			cam.makeSelfAware(rng)
+		}
+		n.Cams = append(n.Cams, cam)
+	}
+	for i := 0; i < cfg.Objects; i++ {
+		o := &Object{
+			ID:    i,
+			Pos:   Vec{rng.Float64() * cfg.Width, rng.Float64() * cfg.Height},
+			Speed: cfg.ObjSpeed,
+			Owner: -1,
+		}
+		o.step(cfg.Width, cfg.Height, rng) // initialises a waypoint
+		n.Objs = append(n.Objs, o)
+	}
+	return n
+}
+
+// Step advances the simulation one tick.
+func (n *Network) Step() {
+	cfg := &n.Cfg
+	n.tick++
+
+	for _, o := range n.Objs {
+		o.step(cfg.Width, cfg.Height, n.rng)
+		n.ObjectTicks++
+
+		// Accrue utility for the current owner; drop lost objects.
+		if o.Owner >= 0 {
+			owner := n.Cams[o.Owner]
+			conf := owner.Confidence(o)
+			if conf <= 0 {
+				o.Owner = -1
+			} else {
+				owner.Utility += conf
+				owner.windowUtil += conf
+				n.TotalUtility += conf
+				n.TrackedTicks++
+			}
+		}
+
+		// Unowned objects are claimed by the best-placed camera (local
+		// detection: every camera scans its own field of view).
+		if o.Owner < 0 {
+			best, bestConf := -1, cfg.ClaimAt
+			for _, c := range n.Cams {
+				if conf := c.Confidence(o); conf > bestConf {
+					best, bestConf = c.ID, conf
+				}
+			}
+			if best >= 0 {
+				o.Owner = best
+				n.Cams[best].Owned++
+			}
+			continue
+		}
+
+		// The owner's marketing strategy decides whether to auction.
+		owner := n.Cams[o.Owner]
+		conf := owner.Confidence(o)
+		if owner.Strategy.active() || conf < cfg.HandoverAt {
+			n.auction(owner, o, conf)
+		}
+	}
+
+	// Close reward windows.
+	if n.tick%cfg.Window == 0 {
+		for _, c := range n.Cams {
+			c.endWindow(float64(n.tick), cfg.Lambda, cfg.Window)
+		}
+	}
+}
+
+// auction runs one handover auction for object o owned by owner.
+func (n *Network) auction(owner *Camera, o *Object, ownConf float64) {
+	var invitees []int
+	if owner.Strategy.broadcast() {
+		for _, c := range n.Cams {
+			if c.ID != owner.ID {
+				invitees = append(invitees, c.ID)
+			}
+		}
+	} else {
+		invitees = owner.neighbors()
+		if len(invitees) == 0 {
+			// No vision graph yet: probe a few random peers so the graph
+			// can bootstrap.
+			for k := 0; k < 3; k++ {
+				id := n.rng.Intn(len(n.Cams))
+				if id != owner.ID {
+					invitees = append(invitees, id)
+				}
+			}
+		}
+	}
+
+	cost := float64(len(invitees)) // invitations
+	best, bestBid := -1, ownConf+n.Cfg.Margin
+	for _, id := range invitees {
+		bid := n.Cams[id].Confidence(o)
+		if bid > 0 {
+			cost++ // bid reply
+			if bid > bestBid {
+				best, bestBid = id, bid
+			}
+		}
+	}
+	if best >= 0 {
+		cost++ // transfer message
+		o.Owner = best
+		n.Cams[best].Owned++
+		owner.strengthen(best)
+		n.Cams[best].strengthen(owner.ID)
+		n.Handovers++
+	}
+	owner.Messages += cost
+	owner.windowMsgs += cost
+	n.TotalMessages += cost
+}
+
+// Run executes cfg.Ticks steps and returns the result summary.
+func (n *Network) Run() Result {
+	for i := 0; i < n.Cfg.Ticks; i++ {
+		n.Step()
+	}
+	return n.Result()
+}
+
+// Result summarises a run.
+type Result struct {
+	Utility    float64 // confidence-weighted tracked object-ticks
+	Messages   float64
+	UtilPerMsg float64
+	Coverage   float64 // fraction of object-ticks tracked
+	Entropy    float64 // strategy heterogeneity across cameras
+	Handovers  int
+}
+
+// Result computes the current summary.
+func (n *Network) Result() Result {
+	r := Result{
+		Utility:   n.TotalUtility,
+		Messages:  n.TotalMessages,
+		Entropy:   Entropy(n.Cams),
+		Handovers: n.Handovers,
+	}
+	if n.TotalMessages > 0 {
+		r.UtilPerMsg = n.TotalUtility / n.TotalMessages
+	} else {
+		r.UtilPerMsg = math.Inf(1)
+	}
+	if n.ObjectTicks > 0 {
+		r.Coverage = float64(n.TrackedTicks) / float64(n.ObjectTicks)
+	}
+	return r
+}
+
+// String renders the result compactly.
+func (r Result) String() string {
+	return fmt.Sprintf("utility=%.0f msgs=%.0f util/msg=%.3f coverage=%.3f entropy=%.2f",
+		r.Utility, r.Messages, r.UtilPerMsg, r.Coverage, r.Entropy)
+}

@@ -1,0 +1,50 @@
+// Package camnet simulates a distributed smart-camera network with
+// market-based tracking handover, the case study behind the paper's
+// heterogeneity discussion (§II; Lewis/Esterle et al. [11,13,17,48]).
+//
+// Cameras with limited fields of view track moving objects. Responsibility
+// for an object is exchanged through auctions; a camera's *marketing
+// strategy* controls whom it invites and how eagerly it advertises, trading
+// tracking utility against communication cost. Self-aware cameras learn
+// their own strategy online from local experience — and, as in the paper's
+// "learning to be different" study, a network of identical learners becomes
+// heterogeneous, matching the best fixed strategy's utility at a fraction of
+// its communication cost.
+package camnet
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Vec is a 2-D point.
+type Vec struct{ X, Y float64 }
+
+func (v Vec) sub(o Vec) Vec { return Vec{v.X - o.X, v.Y - o.Y} }
+
+func (v Vec) norm2() float64 { return v.X*v.X + v.Y*v.Y }
+
+// Object is a tracked target moving by random waypoint.
+type Object struct {
+	ID    int
+	Pos   Vec
+	Speed float64
+	Owner int // camera ID currently responsible, or -1
+
+	target Vec
+}
+
+// step advances the object toward its waypoint, picking a new one on
+// arrival.
+func (o *Object) step(w, h float64, rng *rand.Rand) {
+	d := o.target.sub(o.Pos)
+	dist2 := d.norm2()
+	if dist2 < o.Speed*o.Speed {
+		o.Pos = o.target
+		o.target = Vec{rng.Float64() * w, rng.Float64() * h}
+		return
+	}
+	scale := o.Speed / math.Sqrt(dist2)
+	o.Pos.X += d.X * scale
+	o.Pos.Y += d.Y * scale
+}

@@ -1,0 +1,88 @@
+package cloudsim
+
+import (
+	"math"
+
+	"sacs/internal/learning"
+)
+
+// Reactive is the classic threshold autoscaler: scale up when the backlog
+// per node exceeds Hi, down when it falls below Lo. The thresholds are
+// design-time constants — tuned for the workload the designers expected.
+type Reactive struct {
+	Hi, Lo float64 // backlog per active node
+	Step   int     // nodes added/removed per decision (default 2)
+}
+
+// Name implements Autoscaler.
+func (r *Reactive) Name() string { return "reactive" }
+
+// Desired implements Autoscaler.
+func (r *Reactive) Desired(_ float64, _ float64, queued, active int) int {
+	step := r.Step
+	if step == 0 {
+		step = 2
+	}
+	if active == 0 {
+		return 1
+	}
+	perNode := float64(queued) / float64(active)
+	switch {
+	case perNode > r.Hi:
+		return active + step
+	case perNode < r.Lo:
+		return active - step
+	default:
+		return active
+	}
+}
+
+// Predictive is the self-aware autoscaler: it builds a time-awareness model
+// of the arrival process (Holt forecast) and provisions capacity for the
+// *predicted* load plus headroom, so ramps are met before the backlog
+// grows. This is "self-prediction" in Kounev's terms [31].
+type Predictive struct {
+	// MeanWork and MeanSpeed describe expected request size and node
+	// throughput; the scaler refines MeanWork online from observations.
+	MeanWork  float64
+	MeanSpeed float64
+	// Headroom is extra capacity fraction (default 0.3).
+	Headroom float64
+	// Ahead is how many ticks ahead to provision for (default 10).
+	Ahead int
+
+	forecast *learning.Holt
+}
+
+// NewPredictive returns a predictive autoscaler.
+func NewPredictive(meanWork, meanSpeed float64) *Predictive {
+	return &Predictive{
+		MeanWork:  meanWork,
+		MeanSpeed: meanSpeed,
+		Headroom:  0.3,
+		Ahead:     10,
+		forecast:  learning.NewHolt(0.3, 0.1),
+	}
+}
+
+// Name implements Autoscaler.
+func (p *Predictive) Name() string { return "predictive" }
+
+// Desired implements Autoscaler.
+func (p *Predictive) Desired(_ float64, arrivals float64, queued, active int) int {
+	p.forecast.Observe(arrivals)
+	pred := p.forecast.PredictAhead(p.Ahead)
+	if pred < 0 {
+		pred = 0
+	}
+	// Capacity to absorb predicted arrivals plus drain a share of the
+	// backlog within the look-ahead horizon.
+	workRate := pred * p.MeanWork
+	drain := float64(queued) * p.MeanWork / float64(p.Ahead)
+	needed := (workRate + drain) * (1 + p.Headroom) / p.MeanSpeed
+	n := int(math.Ceil(needed))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

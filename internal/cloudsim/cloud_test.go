@@ -1,0 +1,254 @@
+package cloudsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sacs/internal/env"
+)
+
+func smallCfg(seed int64, ticks int) Config {
+	return Config{
+		Seed: seed, Nodes: 12, MaxNodes: 16, Ticks: ticks,
+		ArrivalRate: env.Constant(1.2), ChurnIn: 0.01,
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sum := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += poisson(rng, 3)
+	}
+	mean := float64(sum) / n
+	if mean < 2.9 || mean > 3.1 {
+		t.Fatalf("poisson(3) mean = %v", mean)
+	}
+	if poisson(rng, 0) != 0 || poisson(rng, -1) != 0 {
+		t.Fatal("non-positive rate should give 0")
+	}
+	// Large-rate path (normal approximation) stays sane.
+	big := 0
+	for i := 0; i < 1000; i++ {
+		big += poisson(rng, 100)
+	}
+	if m := float64(big) / 1000; m < 90 || m > 110 {
+		t.Fatalf("poisson(100) mean = %v", m)
+	}
+}
+
+func TestNodeCreationRanges(t *testing.T) {
+	c := New(smallCfg(1, 10), &RoundRobin{}, nil)
+	for _, n := range c.Nodes() {
+		if n.Speed < 0.5 || n.Speed > 3 {
+			t.Fatalf("node speed out of range: %v", n.Speed)
+		}
+		if n.Reliability < 0.3 || n.Reliability > 1 {
+			t.Fatalf("node reliability out of range: %v", n.Reliability)
+		}
+		if !n.Alive || !n.Active {
+			t.Fatal("new nodes should be alive and active")
+		}
+	}
+}
+
+func TestRequestConservation(t *testing.T) {
+	c := New(smallCfg(2, 800), &RoundRobin{}, nil)
+	c.Run()
+	inFlight := len(c.pending)
+	for _, n := range c.Nodes() {
+		inFlight += len(n.queue)
+	}
+	total := c.Succeeded + c.Failed + inFlight
+	if total != c.reqID {
+		t.Fatalf("conservation: %d outcomes+queued vs %d injected", total, c.reqID)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	run := func() Result { return New(smallCfg(3, 500), NewSelfAware(), nil).Run() }
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different results:\n%v\n%v", a, b)
+	}
+}
+
+func TestDispatchersChooseFromCandidates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := make([]*Node, 5)
+		for i := range nodes {
+			nodes[i] = &Node{ID: i, Speed: 1, Reliability: 1, Alive: true, Active: true}
+		}
+		ds := []Dispatcher{
+			&RoundRobin{}, LeastQueue{},
+			&Weighted{DefaultWeight: 1}, NewSelfAware(),
+		}
+		for _, d := range ds {
+			for k := 0; k < 20; k++ {
+				n := d.Choose(float64(k), nodes)
+				ok := false
+				for _, c := range nodes {
+					if c == n {
+						ok = true
+					}
+				}
+				if !ok {
+					return false
+				}
+				d.Feedback(float64(k), n, rng.Float64() < 0.9, rng.Float64()*20)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfAwareExploresNewNodesFirst(t *testing.T) {
+	s := NewSelfAware()
+	nodes := []*Node{
+		{ID: 0, Alive: true, Active: true},
+		{ID: 1, Alive: true, Active: true},
+		{ID: 2, Alive: true, Active: true},
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		n := s.Choose(float64(i), nodes)
+		seen[n.ID] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("self-aware did not explore all new nodes first: %v", seen)
+	}
+}
+
+func TestSelfAwareAvoidsUnreliableNode(t *testing.T) {
+	s := NewSelfAware()
+	good := &Node{ID: 0, Alive: true, Active: true}
+	bad := &Node{ID: 1, Alive: true, Active: true}
+	nodes := []*Node{good, bad}
+	rng := rand.New(rand.NewSource(4))
+	counts := map[int]int{}
+	for i := 0; i < 600; i++ {
+		n := s.Choose(float64(i), nodes)
+		counts[n.ID]++
+		success := true
+		if n == bad {
+			success = rng.Float64() < 0.2
+		}
+		s.Feedback(float64(i), n, success, 5)
+	}
+	if counts[0] < 3*counts[1] {
+		t.Fatalf("unreliable node not avoided: good=%d bad=%d", counts[0], counts[1])
+	}
+}
+
+func TestWeightedProportions(t *testing.T) {
+	w := &Weighted{Weights: map[int]float64{0: 3, 1: 1}}
+	nodes := []*Node{
+		{ID: 0, Alive: true, Active: true},
+		{ID: 1, Alive: true, Active: true},
+	}
+	counts := map[int]int{}
+	for i := 0; i < 400; i++ {
+		counts[w.Choose(float64(i), nodes).ID]++
+	}
+	if counts[0] != 300 || counts[1] != 100 {
+		t.Fatalf("weighted split = %v, want 300/100", counts)
+	}
+}
+
+func TestReactiveScaler(t *testing.T) {
+	r := &Reactive{Hi: 3, Lo: 0.5}
+	if got := r.Desired(0, 0, 100, 10); got <= 10 {
+		t.Fatalf("overloaded reactive should scale up, got %d", got)
+	}
+	if got := r.Desired(0, 0, 1, 10); got >= 10 {
+		t.Fatalf("idle reactive should scale down, got %d", got)
+	}
+	if got := r.Desired(0, 0, 15, 10); got != 10 {
+		t.Fatalf("in-band reactive should hold, got %d", got)
+	}
+	if got := r.Desired(0, 0, 5, 0); got != 1 {
+		t.Fatalf("zero active should bootstrap to 1, got %d", got)
+	}
+}
+
+func TestPredictiveScalerTracksRamp(t *testing.T) {
+	p := NewPredictive(8, 1.75)
+	var last int
+	for i := 0; i < 50; i++ {
+		rate := 1 + float64(i)*0.2 // steady ramp
+		last = p.Desired(float64(i), rate, 0, 5)
+	}
+	// Demand at end ≈ 11 req/tick · 8 work / 1.75 speed ≈ 50 nodes.
+	if last < 30 {
+		t.Fatalf("predictive did not provision for the ramp: %d", last)
+	}
+	if p.Name() != "predictive" {
+		t.Fatal("name")
+	}
+}
+
+func TestAutoscalerBoundsRespected(t *testing.T) {
+	cfg := smallCfg(5, 600)
+	c := New(cfg, NewSelfAware(), &Reactive{Hi: 2, Lo: 0.5})
+	for i := 0; i < 600; i++ {
+		c.Step()
+		active := len(c.activeNodes())
+		if active > cfg.MaxNodes {
+			t.Fatalf("active %d exceeds MaxNodes %d", active, cfg.MaxNodes)
+		}
+	}
+}
+
+func TestChurnReplacesNodes(t *testing.T) {
+	cfg := smallCfg(6, 3000)
+	cfg.ChurnOut = 0.002
+	cfg.ChurnIn = 0.05
+	c := New(cfg, &RoundRobin{}, nil)
+	c.Run()
+	if len(c.Nodes()) == cfg.Nodes {
+		t.Fatal("no churn-in happened")
+	}
+	dead := 0
+	for _, n := range c.Nodes() {
+		if !n.Alive {
+			dead++
+		}
+	}
+	if dead == 0 {
+		t.Fatal("no churn-out happened")
+	}
+	if c.AliveCount() == 0 {
+		t.Fatal("fleet died out")
+	}
+}
+
+func TestSelfAwareRunOutperformsRoundRobinOnSuccess(t *testing.T) {
+	mk := func(d Dispatcher) Result {
+		cfg := Config{Seed: 9, Nodes: 20, MaxNodes: 28, Ticks: 3000,
+			ArrivalRate: env.Constant(2.0), ChurnIn: 0.02}
+		return New(cfg, d, nil).Run()
+	}
+	sa := mk(NewSelfAware())
+	rr := mk(&RoundRobin{})
+	if sa.SuccessRate < rr.SuccessRate {
+		t.Fatalf("self-aware success %v < round-robin %v", sa.SuccessRate, rr.SuccessRate)
+	}
+	if sa.MeanLatency > rr.MeanLatency {
+		t.Fatalf("self-aware latency %v > round-robin %v", sa.MeanLatency, rr.MeanLatency)
+	}
+}
+
+func TestItoa(t *testing.T) {
+	cases := map[int]string{0: "0", 7: "7", 42: "42", 1234567: "1234567"}
+	for v, want := range cases {
+		if got := itoa(v); got != want {
+			t.Fatalf("itoa(%d) = %q", v, got)
+		}
+	}
+}

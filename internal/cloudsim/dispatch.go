@@ -1,0 +1,211 @@
+package cloudsim
+
+import (
+	"math"
+
+	"sacs/internal/knowledge"
+)
+
+// RoundRobin cycles through candidates: the oblivious baseline.
+type RoundRobin struct {
+	next int
+}
+
+// Name implements Dispatcher.
+func (r *RoundRobin) Name() string { return "round-robin" }
+
+// Choose implements Dispatcher.
+func (r *RoundRobin) Choose(_ float64, candidates []*Node) *Node {
+	n := candidates[r.next%len(candidates)]
+	r.next++
+	return n
+}
+
+// Feedback implements Dispatcher (round-robin learns nothing).
+func (r *RoundRobin) Feedback(float64, *Node, bool, float64) {}
+
+// LeastQueue picks the candidate with the smallest backlog: it observes
+// system state but models nothing, so hidden speed and reliability stay
+// invisible to it.
+type LeastQueue struct{}
+
+// Name implements Dispatcher.
+func (LeastQueue) Name() string { return "least-queue" }
+
+// Choose implements Dispatcher.
+func (LeastQueue) Choose(_ float64, candidates []*Node) *Node {
+	best := candidates[0]
+	for _, n := range candidates[1:] {
+		if len(n.queue) < len(best.queue) {
+			best = n
+		}
+	}
+	return best
+}
+
+// Feedback implements Dispatcher.
+func (LeastQueue) Feedback(float64, *Node, bool, float64) {}
+
+// Weighted dispatches proportionally to fixed per-node weights decided at
+// design time — the a-priori-modelling baseline for E10. Nodes without a
+// weight get DefaultWeight.
+type Weighted struct {
+	Weights       map[int]float64
+	DefaultWeight float64
+
+	credit map[int]float64
+}
+
+// Name implements Dispatcher.
+func (w *Weighted) Name() string { return "design-weighted" }
+
+// Choose implements Dispatcher: smooth weighted round-robin, so the
+// long-run assignment fractions match the weights.
+func (w *Weighted) Choose(_ float64, candidates []*Node) *Node {
+	if w.credit == nil {
+		w.credit = make(map[int]float64)
+	}
+	var best *Node
+	bestCredit := math.Inf(-1)
+	total := 0.0
+	for _, n := range candidates {
+		wt := w.weight(n.ID)
+		total += wt
+		w.credit[n.ID] += wt
+		if w.credit[n.ID] > bestCredit {
+			best, bestCredit = n, w.credit[n.ID]
+		}
+	}
+	w.credit[best.ID] -= total
+	return best
+}
+
+func (w *Weighted) weight(id int) float64 {
+	if v, ok := w.Weights[id]; ok {
+		return v
+	}
+	if w.DefaultWeight > 0 {
+		return w.DefaultWeight
+	}
+	return 1
+}
+
+// Feedback implements Dispatcher (the design was fixed; nothing is learned).
+func (w *Weighted) Feedback(float64, *Node, bool, float64) {}
+
+// SelfAware learns two models per node in a knowledge store — reliability
+// (observed success rate) and per-item service time (observed latency per
+// queue position) — and dispatches to the node with the best optimistic
+// expected outcome: reliability (plus a UCB exploration bonus) discounted by
+// the *predicted* waiting time given the node's current backlog and learned
+// speed. New nodes (churn-in) have no model and are explored first, so the
+// dispatcher tracks a changing fleet with no design-time assumptions.
+type SelfAware struct {
+	// TargetLatency normalises predicted wait into reward (default 20).
+	TargetLatency float64
+	// Explore is the UCB exploration constant (default 0.3).
+	Explore float64
+	// ReliableAt is the optimistic-reliability gate (default 0.85).
+	ReliableAt float64
+
+	store *knowledge.Store
+	pulls map[int]int
+	total int
+	// qAtDispatch remembers, per node, the FIFO of queue lengths seen at
+	// dispatch time, matched to completions in order (nodes serve FIFO),
+	// which turns end-to-end latency into a per-item service estimate.
+	qAtDispatch map[int][]int
+}
+
+// NewSelfAware returns a self-aware dispatcher.
+func NewSelfAware() *SelfAware {
+	return &SelfAware{
+		TargetLatency: 20,
+		Explore:       0.3,
+		ReliableAt:    0.85,
+		store:         knowledge.NewStore(0.1, 0),
+		pulls:         make(map[int]int),
+		qAtDispatch:   make(map[int][]int),
+	}
+}
+
+// Name implements Dispatcher.
+func (s *SelfAware) Name() string { return "self-aware" }
+
+// Store exposes the learned models (for explanation and tests).
+func (s *SelfAware) Store() *knowledge.Store { return s.store }
+
+func relModel(id int) string     { return "node/" + itoa(id) + "/reliability" }
+func perItemModel(id int) string { return "node/" + itoa(id) + "/per-item-time" }
+
+// Choose implements Dispatcher: the learned reliability model *gates* the
+// candidate set (optimistic estimates above ReliableAt qualify), and among
+// qualified nodes the one with the smallest predicted wait — current backlog
+// times learned per-item service time — wins. Unexplored nodes are tried
+// immediately so models exist for the whole fleet.
+func (s *SelfAware) Choose(now float64, candidates []*Node) *Node {
+	var best *Node
+	bestWait := math.Inf(1)
+	var fallback *Node // most reliable, if nothing qualifies
+	fallbackRel := math.Inf(-1)
+	for _, n := range candidates {
+		pulls := s.pulls[n.ID]
+		if pulls == 0 {
+			best, bestWait = n, -1 // unexplored: try it now
+			break
+		}
+		rel := s.store.Value(relModel(n.ID), 0.8)
+		bonus := s.Explore * math.Sqrt(math.Log(float64(s.total+1))/float64(pulls))
+		if rel+bonus > fallbackRel {
+			fallback, fallbackRel = n, rel+bonus
+		}
+		if rel+bonus < s.ReliableAt {
+			continue
+		}
+		perItem := s.store.Value(perItemModel(n.ID), s.TargetLatency/4)
+		wait := float64(n.QueueLen()+1) * perItem
+		if wait < bestWait {
+			best, bestWait = n, wait
+		}
+	}
+	if best == nil {
+		best = fallback
+	}
+	s.qAtDispatch[best.ID] = append(s.qAtDispatch[best.ID], best.QueueLen())
+	// Count the pull at dispatch time, not completion: otherwise every
+	// arrival during a node's first service time would also see it as
+	// "unexplored" and pile onto it.
+	s.pulls[best.ID]++
+	s.total++
+	return best
+}
+
+// Feedback implements Dispatcher.
+func (s *SelfAware) Feedback(now float64, node *Node, success bool, latency float64) {
+	rel := 0.0
+	if success {
+		rel = 1
+	}
+	s.store.Observe(relModel(node.ID), knowledge.Private, rel, now)
+	if q := s.qAtDispatch[node.ID]; len(q) > 0 {
+		ahead := q[0]
+		s.qAtDispatch[node.ID] = q[1:]
+		s.store.Observe(perItemModel(node.ID), knowledge.Private,
+			latency/float64(ahead+1), now)
+	}
+}
+
+func itoa(v int) string {
+	// Small non-negative ints only; avoids strconv import in the hot path.
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

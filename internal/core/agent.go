@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sacs/internal/goals"
+	"sacs/internal/knowledge"
+)
+
+// Reasoner turns self-knowledge into actions: the "reason" stage of the
+// LRA-M loop. Implementations receive a Decision context through which all
+// model consultations and candidate scorings flow, so that every decision is
+// explainable after the fact.
+type Reasoner interface {
+	// Name identifies the reasoner.
+	Name() string
+	// Decide inspects the decision context and calls ctx.Choose for each
+	// action to take (possibly none).
+	Decide(ctx *Decision)
+}
+
+// ReasonerFunc adapts a function to the Reasoner interface.
+type ReasonerFunc struct {
+	ReasonerName string
+	Fn           func(ctx *Decision)
+}
+
+// Name implements Reasoner.
+func (r ReasonerFunc) Name() string { return r.ReasonerName }
+
+// Decide implements Reasoner.
+func (r ReasonerFunc) Decide(ctx *Decision) { r.Fn(ctx) }
+
+// Config assembles an Agent. Zero-value fields get sensible defaults; only
+// Name is mandatory.
+type Config struct {
+	Name string
+	// Caps selects the self-awareness levels; default FullStack.
+	Caps Capabilities
+	// Store is the knowledge base; a fresh one is created when nil.
+	Store *knowledge.Store
+	// Goals is the (switchable) goal set; may be nil for goal-free agents.
+	Goals *goals.Switcher
+	// Sensors feed the awareness processes.
+	Sensors []Sensor
+	// Attention optionally limits sensing per step; nil senses everything.
+	Attention *Attention
+	// Reasoner decides actions; nil gives an inert (observe-only) agent.
+	Reasoner Reasoner
+	// Effectors execute actions, routed by Action.Name. Unrouted actions
+	// are reported as errors in Step's return.
+	Effectors []Effector
+	// ExplainDepth sets how many recent decisions the Explainer keeps
+	// (default 32; 0 uses the default, negative disables explanation).
+	ExplainDepth int
+	// ExtraProcesses are appended after the built-in per-level processes.
+	ExtraProcesses []Process
+}
+
+// Agent is a self-aware entity: the executable form of the paper's
+// framework. Create one with New, then call Step once per simulation tick.
+type Agent struct {
+	name      string
+	caps      Capabilities
+	store     *knowledge.Store
+	goals     *goals.Switcher
+	sensors   []Sensor
+	attention *Attention
+	reasoner  Reasoner
+	effectors map[string]Effector
+	explainer *Explainer
+	meta      *MetaMonitor
+
+	processes   []Process
+	stimProc    *StimulusProcess
+	interProc   *InteractionProcess
+	timeProc    *TimeProcess
+	goalProc    *GoalProcess
+	stepCount   int
+	lastMetrics map[string]float64
+}
+
+// New builds an agent from cfg.
+func New(cfg Config) *Agent {
+	if cfg.Name == "" {
+		panic("core: agent requires a name")
+	}
+	caps := cfg.Caps
+	if caps == 0 {
+		caps = FullStack
+	}
+	store := cfg.Store
+	if store == nil {
+		store = knowledge.NewStore(0.3, 64)
+	}
+	a := &Agent{
+		name:      cfg.Name,
+		caps:      caps,
+		store:     store,
+		goals:     cfg.Goals,
+		sensors:   cfg.Sensors,
+		attention: cfg.Attention,
+		reasoner:  cfg.Reasoner,
+		effectors: make(map[string]Effector, len(cfg.Effectors)),
+	}
+	for _, e := range cfg.Effectors {
+		a.effectors[e.Name()] = e
+	}
+	if cfg.ExplainDepth >= 0 {
+		depth := cfg.ExplainDepth
+		if depth == 0 {
+			depth = 32
+		}
+		a.explainer = NewExplainer(depth)
+	}
+
+	// Built-in processes, gated by capability level.
+	a.stimProc = &StimulusProcess{Store: store}
+	a.processes = append(a.processes, a.stimProc)
+	if caps.Has(LevelInteraction) {
+		a.interProc = &InteractionProcess{Self: cfg.Name, Store: store}
+		a.processes = append(a.processes, a.interProc)
+	}
+	if caps.Has(LevelTime) {
+		a.timeProc = &TimeProcess{Store: store}
+		a.processes = append(a.processes, a.timeProc)
+	}
+	if caps.Has(LevelGoal) && cfg.Goals != nil {
+		a.goalProc = &GoalProcess{Store: store, Switcher: cfg.Goals}
+		a.processes = append(a.processes, a.goalProc)
+	}
+	if caps.Has(LevelMeta) {
+		a.meta = NewMetaMonitor(a)
+	}
+	a.processes = append(a.processes, cfg.ExtraProcesses...)
+	return a
+}
+
+// Name returns the agent's name.
+func (a *Agent) Name() string { return a.name }
+
+// Caps returns the agent's self-awareness capabilities.
+func (a *Agent) Caps() Capabilities { return a.caps }
+
+// Store returns the agent's knowledge base.
+func (a *Agent) Store() *knowledge.Store { return a.store }
+
+// Goals returns the agent's goal switcher (may be nil).
+func (a *Agent) Goals() *goals.Switcher { return a.goals }
+
+// Explainer returns the agent's explainer (nil when disabled).
+func (a *Agent) Explainer() *Explainer { return a.explainer }
+
+// Meta returns the agent's meta-monitor (nil below LevelMeta).
+func (a *Agent) Meta() *MetaMonitor { return a.meta }
+
+// TimeProcess exposes the built-in time-awareness process (nil below
+// LevelTime); the meta level manipulates it.
+func (a *Agent) TimeProcess() *TimeProcess { return a.timeProc }
+
+// Steps returns how many Step calls have run.
+func (a *Agent) Steps() int { return a.stepCount }
+
+// AddSensor attaches a sensor at run time (systems are "continuously formed
+// and reformed on the fly", §II).
+func (a *Agent) AddSensor(s Sensor) { a.sensors = append(a.sensors, s) }
+
+// Inject delivers externally produced stimuli (e.g. messages from peers in
+// a collective) into the agent's awareness processes immediately.
+func (a *Agent) Inject(now float64, batch []Stimulus) {
+	for _, p := range a.processes {
+		if a.caps.Has(p.Level()) {
+			p.Observe(now, batch)
+		}
+	}
+}
+
+// Step runs one LRA-M cycle at virtual time now: sense (through attention),
+// learn (processes update models), reason (goal-aware decision) and act
+// (effectors). metrics is the substrate's current metric snapshot used for
+// goal evaluation; it may be nil. The chosen actions are returned after
+// being executed.
+func (a *Agent) Step(now float64, metrics map[string]float64) []Action {
+	a.stepCount++
+	a.lastMetrics = metrics
+
+	// Sense, optionally limited by attention.
+	sensors := a.sensors
+	if a.attention != nil {
+		sensors = a.attention.Pick(now, a.sensors, a.store)
+	}
+	var batch []Stimulus
+	for _, s := range sensors {
+		batch = append(batch, s.Sense(now)...)
+	}
+
+	// Learn: feed every capability-enabled process.
+	if a.goalProc != nil {
+		a.goalProc.SetMetrics(metrics)
+	}
+	for _, p := range a.processes {
+		if a.caps.Has(p.Level()) {
+			p.Observe(now, batch)
+		}
+	}
+
+	// Meta: observe own awareness quality, maybe adapt it.
+	if a.meta != nil {
+		a.meta.Observe(now)
+	}
+
+	// Reason.
+	if a.reasoner == nil {
+		return nil
+	}
+	d := &Decision{Now: now, agent: a, Goal: a.activeGoal(), Metrics: metrics}
+	a.reasoner.Decide(d)
+	if a.explainer != nil {
+		a.explainer.Record(d)
+	}
+
+	// Act (self-expression).
+	for _, act := range d.chosen {
+		if eff, ok := a.effectors[act.Name]; ok {
+			if err := eff.Act(act); err != nil {
+				d.failures = append(d.failures, fmt.Sprintf("%s: %v", act, err))
+			}
+		} else if len(a.effectors) > 0 {
+			d.failures = append(d.failures, fmt.Sprintf("%s: no effector", act))
+		}
+	}
+	return d.chosen
+}
+
+func (a *Agent) activeGoal() *goals.Set {
+	if a.goals == nil || !a.caps.Has(LevelGoal) {
+		return nil
+	}
+	return a.goals.Active()
+}
+
+// Describe renders a one-paragraph self-description: name, capabilities,
+// goal, model inventory size. A minimal form of self-reporting.
+func (a *Agent) Describe(now float64) string {
+	goal := "none"
+	if g := a.activeGoal(); g != nil {
+		goal = g.String()
+	}
+	return fmt.Sprintf("agent %s: levels=%s goal=%s models=%d steps=%d",
+		a.name, a.caps, goal, a.store.Len(), a.stepCount)
+}
+
+// ModelNames lists the agent's current self-model names, sorted.
+func (a *Agent) ModelNames() []string {
+	names := a.store.Names(Private, false)
+	sort.Strings(names)
+	return names
+}

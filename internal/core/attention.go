@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math/rand"
+
+	"sacs/internal/knowledge"
+)
+
+// AttentionPolicy decides which sensors to sample when the sensing budget is
+// smaller than the sensor count — the paper's §V link between self-awareness
+// and attention (Preden et al. [55]): "resource-constrained systems must
+// determine, for themselves, how to direct their limited resources".
+type AttentionPolicy interface {
+	// Name identifies the policy.
+	Name() string
+	// Pick returns the indices of the sensors to sample this step.
+	Pick(now float64, sensors []Sensor, budget int, store *knowledge.Store) []int
+}
+
+// Attention couples a policy with a budget.
+type Attention struct {
+	Policy AttentionPolicy
+	Budget int
+
+	// Sampled counts total sensor samples taken, for cost accounting.
+	Sampled int
+}
+
+// Pick applies the policy; with a zero/negative budget or nil policy every
+// sensor is sampled.
+func (a *Attention) Pick(now float64, sensors []Sensor, store *knowledge.Store) []Sensor {
+	if a.Budget <= 0 || a.Policy == nil || a.Budget >= len(sensors) {
+		a.Sampled += len(sensors)
+		return sensors
+	}
+	idx := a.Policy.Pick(now, sensors, a.Budget, store)
+	picked := make([]Sensor, 0, len(idx))
+	for _, i := range idx {
+		if i >= 0 && i < len(sensors) {
+			picked = append(picked, sensors[i])
+		}
+	}
+	a.Sampled += len(picked)
+	return picked
+}
+
+// RoundRobinAttention cycles through sensors in order: the oblivious
+// baseline.
+type RoundRobinAttention struct {
+	next int
+}
+
+// Name implements AttentionPolicy.
+func (r *RoundRobinAttention) Name() string { return "round-robin" }
+
+// Pick implements AttentionPolicy.
+func (r *RoundRobinAttention) Pick(_ float64, sensors []Sensor, budget int, _ *knowledge.Store) []int {
+	idx := make([]int, 0, budget)
+	for i := 0; i < budget; i++ {
+		idx = append(idx, (r.next+i)%len(sensors))
+	}
+	r.next = (r.next + budget) % len(sensors)
+	return idx
+}
+
+// RandomAttention samples sensors uniformly without replacement.
+type RandomAttention struct {
+	Rng *rand.Rand
+}
+
+// Name implements AttentionPolicy.
+func (r *RandomAttention) Name() string { return "random" }
+
+// Pick implements AttentionPolicy.
+func (r *RandomAttention) Pick(_ float64, sensors []Sensor, budget int, _ *knowledge.Store) []int {
+	perm := r.Rng.Perm(len(sensors))
+	return perm[:budget]
+}
+
+// VOIAttention is the self-aware policy: it directs attention by expected
+// value of information, preferring sensors whose models are volatile
+// (high tracked variance) and stale (long since sampled). A small ε of
+// random exploration guarantees every sensor is eventually revisited.
+type VOIAttention struct {
+	Eps float64 // exploration fraction of the budget (default 0.25)
+	Rng *rand.Rand
+}
+
+// Name implements AttentionPolicy.
+func (v *VOIAttention) Name() string { return "voi" }
+
+// Pick implements AttentionPolicy.
+func (v *VOIAttention) Pick(now float64, sensors []Sensor, budget int, store *knowledge.Store) []int {
+	eps := v.Eps
+	if eps == 0 {
+		eps = 0.25
+	}
+	explore := int(float64(budget) * eps)
+	if explore < 1 {
+		explore = 1
+	}
+	if explore > budget {
+		explore = budget
+	}
+	exploit := budget - explore
+
+	type scored struct {
+		idx   int
+		score float64
+	}
+	scores := make([]scored, len(sensors))
+	for i, s := range sensors {
+		e := store.Get("stim/" + s.Name())
+		switch {
+		case e == nil || e.Updates() == 0:
+			// Never sampled: maximal value of information.
+			scores[i] = scored{i, 1e18}
+		default:
+			staleness := now - e.LastUpdate() + 1
+			scores[i] = scored{i, (e.Variance() + 1e-6) * staleness}
+		}
+	}
+	// Partial selection sort for the top `exploit` scores.
+	picked := make([]int, 0, budget)
+	taken := make([]bool, len(sensors))
+	for k := 0; k < exploit; k++ {
+		best, bestV := -1, -1.0
+		for i, sc := range scores {
+			if !taken[i] && sc.score > bestV {
+				best, bestV = i, sc.score
+			}
+		}
+		if best < 0 {
+			break
+		}
+		taken[best] = true
+		picked = append(picked, best)
+	}
+	// Fill the exploration share uniformly from the rest.
+	for len(picked) < budget {
+		i := v.Rng.Intn(len(sensors))
+		if !taken[i] {
+			taken[i] = true
+			picked = append(picked, i)
+		}
+	}
+	return picked
+}

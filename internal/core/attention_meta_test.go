@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sacs/internal/knowledge"
+	"sacs/internal/learning"
+)
+
+func mkSensors(n int) []Sensor {
+	out := make([]Sensor, n)
+	for i := 0; i < n; i++ {
+		i := i
+		out[i] = ScalarSensor(fmt.Sprintf("s%d", i), Private,
+			func(float64) float64 { return float64(i) })
+	}
+	return out
+}
+
+func TestAttentionBudgetRespected(t *testing.T) {
+	sensors := mkSensors(10)
+	store := knowledge.NewStore(0.3, 0)
+	policies := []AttentionPolicy{
+		&RoundRobinAttention{},
+		&RandomAttention{Rng: rand.New(rand.NewSource(1))},
+		&VOIAttention{Rng: rand.New(rand.NewSource(2))},
+	}
+	for _, p := range policies {
+		att := &Attention{Policy: p, Budget: 3}
+		for step := 0; step < 20; step++ {
+			picked := att.Pick(float64(step), sensors, store)
+			if len(picked) > 3 {
+				t.Fatalf("%s exceeded budget: %d", p.Name(), len(picked))
+			}
+			for _, s := range picked {
+				store.Observe("stim/"+s.Name(), Private, 1, float64(step))
+			}
+		}
+	}
+}
+
+func TestAttentionNoBudgetSamplesAll(t *testing.T) {
+	sensors := mkSensors(5)
+	att := &Attention{Policy: &RoundRobinAttention{}, Budget: 0}
+	picked := att.Pick(0, sensors, knowledge.NewStore(0.3, 0))
+	if len(picked) != 5 {
+		t.Fatalf("budget 0 should sample all, got %d", len(picked))
+	}
+	if att.Sampled != 5 {
+		t.Fatalf("Sampled = %d", att.Sampled)
+	}
+}
+
+func TestRoundRobinAttentionCoversAll(t *testing.T) {
+	sensors := mkSensors(6)
+	rr := &RoundRobinAttention{}
+	store := knowledge.NewStore(0.3, 0)
+	seen := map[int]bool{}
+	for step := 0; step < 3; step++ {
+		for _, i := range rr.Pick(float64(step), sensors, 2, store) {
+			seen[i] = true
+		}
+	}
+	if len(seen) != 6 {
+		t.Fatalf("round-robin did not cover all sensors in 3 steps: %v", seen)
+	}
+}
+
+func TestVOIAttentionPrefersStaleVolatile(t *testing.T) {
+	sensors := mkSensors(4)
+	store := knowledge.NewStore(0.3, 0)
+	// All sensors have models; sensor 1 is stale AND volatile, the rest
+	// are fresh and calm.
+	for i := 0; i < 20; i++ {
+		store.Observe("stim/s0", Private, 1, 100)
+		store.Observe("stim/s1", Private, float64(i%2*10), 1) // high variance, old
+		store.Observe("stim/s2", Private, 1, 100)
+		store.Observe("stim/s3", Private, 1, 100)
+	}
+	v := &VOIAttention{Rng: rand.New(rand.NewSource(3)), Eps: 0.01}
+	picked := v.Pick(101, sensors, 2, store)
+	has := func(want int) bool {
+		for _, i := range picked {
+			if i == want {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(1) {
+		t.Fatalf("stale volatile sensor not prioritised: %v", picked)
+	}
+
+	// Never-sampled sensors outrank everything.
+	store2 := knowledge.NewStore(0.3, 0)
+	store2.Observe("stim/s0", Private, 1, 0)
+	picked = (&VOIAttention{Rng: rand.New(rand.NewSource(4)), Eps: 0.01}).
+		Pick(1, sensors, 3, store2)
+	unseen := 0
+	for _, i := range picked {
+		if i != 0 {
+			unseen++
+		}
+	}
+	if unseen < 2 {
+		t.Fatalf("unsampled sensors not prioritised: %v", picked)
+	}
+}
+
+func TestMetaMonitorSwitchesStrategyOnDrift(t *testing.T) {
+	// Feed the agent a signal whose dynamics change abruptly; the meta
+	// monitor watches the time process's forecast error and must adapt.
+	val := 0.0
+	a := New(Config{
+		Name: "m",
+		Caps: FullStack,
+		Sensors: []Sensor{
+			ScalarSensor("sig", Private, func(float64) float64 { return val }),
+		},
+	})
+	for i := 0; i < 2000; i++ {
+		if i < 1000 {
+			val = 5 // trivially predictable
+		} else {
+			// Large, erratic swings: forecast error jumps.
+			val = float64((i * 7919) % 100)
+		}
+		a.Step(float64(i), nil)
+	}
+	if a.Meta().Adaptations == 0 {
+		t.Fatal("meta monitor never adapted despite forecast-error drift")
+	}
+	if a.Store().Get("meta/forecast-rmse") == nil {
+		t.Fatal("meta models not written to store")
+	}
+	if a.Meta().Report() == "" {
+		t.Fatal("empty meta report")
+	}
+}
+
+func TestPortfolioDelegatesAndSwitches(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := NewPortfolio(10,
+		learning.NewEpsilonGreedy(3, 0.1, rng),
+		learning.NewUCB1(3),
+	)
+	p.EpochLen = 5
+	if p.Arms() != 3 || p.Name() != "meta-portfolio" {
+		t.Fatal("portfolio identity")
+	}
+	env := rand.New(rand.NewSource(6))
+	for i := 0; i < 500; i++ {
+		arm := p.Select()
+		if arm < 0 || arm >= 3 {
+			t.Fatalf("arm out of range: %d", arm)
+		}
+		r := 0.0
+		if env.Float64() < []float64{0.1, 0.8, 0.3}[arm] {
+			r = 1
+		}
+		p.Update(arm, r)
+	}
+	idx, name := p.Active()
+	if idx < 0 || idx > 1 || name == "" {
+		t.Fatal("active strategy bookkeeping")
+	}
+}
+
+func TestPortfolioMismatchedArmsPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched arms did not panic")
+		}
+	}()
+	NewPortfolio(10,
+		learning.NewEpsilonGreedy(3, 0.1, rng),
+		learning.NewUCB1(4),
+	)
+}
+
+func TestPortfolioEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty portfolio did not panic")
+		}
+	}()
+	NewPortfolio(10)
+}
+
+func TestPortfolioTracksBetterStrategyUnderDrift(t *testing.T) {
+	// One strategy is a sliding-window learner, the other exploit-heavy;
+	// after the reward flips, the portfolio should spend most of its time
+	// on the adaptive one.
+	rng := rand.New(rand.NewSource(7))
+	sliding := learning.NewSlidingUCB(2, 60)
+	greedy := learning.NewEpsilonGreedy(2, 0.01, rng)
+	p := NewPortfolio(20, greedy, sliding)
+	p.EpochLen = 25
+
+	env := rand.New(rand.NewSource(8))
+	means := []float64{0.9, 0.1}
+	onSliding := 0
+	for i := 0; i < 6000; i++ {
+		if i > 0 && i%1500 == 0 {
+			means[0], means[1] = means[1], means[0]
+		}
+		arm := p.Select()
+		r := 0.0
+		if env.Float64() < means[arm] {
+			r = 1
+		}
+		p.Update(arm, r)
+		if idx, _ := p.Active(); idx == 1 && i > 3000 {
+			onSliding++
+		}
+	}
+	if frac := float64(onSliding) / 3000; frac < 0.5 {
+		t.Fatalf("portfolio spent only %.2f of late steps on the adaptive strategy", frac)
+	}
+}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+)
+
+// This file realises the paper's third framework concept: "self-awareness
+// can be a property of collective systems, even when there is no single
+// component with a global awareness of the whole system" (§IV, Mitchell
+// [45]). The Collective computes system-level knowledge (here: the mean of
+// a per-node quantity, from which sums and counts follow) purely by
+// neighbour gossip using the push-sum protocol: every node ends up with an
+// accurate estimate of the global value while no node ever holds global
+// state, and the collective keeps functioning when nodes fail.
+
+// Collective is a set of nodes connected by an undirected neighbour graph
+// running push-sum gossip.
+type Collective struct {
+	values    []float64 // current local quantity per node
+	x, w      []float64 // push-sum state
+	neighbors [][]int
+	alive     []bool
+	rng       *rand.Rand
+
+	// Messages counts gossip messages sent, for cost accounting.
+	Messages int
+	// Rounds counts gossip rounds executed.
+	Rounds int
+}
+
+// NewCollective builds a collective over the given initial values and
+// neighbour lists (neighbors[i] holds the indices adjacent to node i).
+func NewCollective(values []float64, neighbors [][]int, rng *rand.Rand) *Collective {
+	if len(values) != len(neighbors) {
+		panic("core: values and neighbors length mismatch")
+	}
+	c := &Collective{
+		values:    append([]float64(nil), values...),
+		x:         append([]float64(nil), values...),
+		w:         make([]float64, len(values)),
+		neighbors: neighbors,
+		alive:     make([]bool, len(values)),
+		rng:       rng,
+	}
+	for i := range c.w {
+		c.w[i] = 1
+		c.alive[i] = true
+	}
+	return c
+}
+
+// RingTopology returns a ring neighbour graph of n nodes with k extra random
+// chords per node (k ≥ 0), a standard small-world gossip topology.
+func RingTopology(n, k int, rng *rand.Rand) [][]int {
+	nb := make([][]int, n)
+	add := func(a, b int) {
+		for _, x := range nb[a] {
+			if x == b {
+				return
+			}
+		}
+		nb[a] = append(nb[a], b)
+	}
+	for i := 0; i < n; i++ {
+		add(i, (i+1)%n)
+		add((i+1)%n, i)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			t := rng.Intn(n)
+			if t != i {
+				add(i, t)
+				add(t, i)
+			}
+		}
+	}
+	return nb
+}
+
+// SetValue updates node i's local quantity. The gossip state absorbs the
+// change by adding the raw delta to the node's x-mass, which preserves the
+// push-sum invariant Σx = Σvalues, so estimates converge to the new global
+// mean.
+func (c *Collective) SetValue(i int, v float64) {
+	delta := v - c.values[i]
+	c.values[i] = v
+	c.x[i] += delta
+}
+
+// Kill removes node i from the collective: it stops gossiping and its
+// neighbours stop selecting it. Its mass is lost, as in a real crash.
+func (c *Collective) Kill(i int) { c.alive[i] = false }
+
+// AliveCount returns the number of live nodes.
+func (c *Collective) AliveCount() int {
+	n := 0
+	for _, a := range c.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// Reseed restarts the push-sum epoch: every live node resets its gossip
+// mass to its current local value. This is a purely local operation (each
+// node resets only its own state) and is the standard way periodic push-sum
+// deployments stay correct through churn: after failures, a reseeded
+// collective re-converges to the survivors' true mean, while a dead central
+// collector stays frozen.
+func (c *Collective) Reseed() {
+	for i := range c.values {
+		if !c.alive[i] {
+			continue
+		}
+		c.x[i] = c.values[i]
+		c.w[i] = 1
+	}
+}
+
+// Round executes one synchronous push-sum round: every live node keeps half
+// its (x, w) mass and pushes the other half to one random live neighbour
+// (falling back to keeping everything when isolated).
+func (c *Collective) Round() {
+	n := len(c.values)
+	dx := make([]float64, n)
+	dw := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if !c.alive[i] {
+			continue
+		}
+		// Choose a live neighbour uniformly.
+		var live []int
+		for _, j := range c.neighbors[i] {
+			if c.alive[j] {
+				live = append(live, j)
+			}
+		}
+		c.x[i] /= 2
+		c.w[i] /= 2
+		if len(live) == 0 {
+			// Isolated: keep both halves.
+			c.x[i] *= 2
+			c.w[i] *= 2
+			continue
+		}
+		j := live[c.rng.Intn(len(live))]
+		dx[j] += c.x[i]
+		dw[j] += c.w[i]
+		c.Messages++
+	}
+	for i := 0; i < n; i++ {
+		if !c.alive[i] {
+			continue
+		}
+		c.x[i] += dx[i]
+		c.w[i] += dw[i]
+	}
+	c.Rounds++
+}
+
+// Estimate returns node i's current estimate of the global mean.
+func (c *Collective) Estimate(i int) float64 {
+	if c.w[i] == 0 {
+		return 0
+	}
+	return c.x[i] / c.w[i]
+}
+
+// TrueMean returns the exact mean over live nodes (for evaluation only — no
+// node computes this).
+func (c *Collective) TrueMean() float64 {
+	sum, n := 0.0, 0
+	for i, a := range c.alive {
+		if a {
+			sum += c.values[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MaxRelError returns the worst relative estimation error over live nodes
+// against the initial global mean carried by the gossip mass. truth is the
+// reference value to compare against.
+func (c *Collective) MaxRelError(truth float64) float64 {
+	worst := 0.0
+	for i, a := range c.alive {
+		if !a {
+			continue
+		}
+		e := math.Abs(c.Estimate(i) - truth)
+		if truth != 0 {
+			e /= math.Abs(truth)
+		}
+		if e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// RunUntil gossips until every live node is within relErr of truth or
+// maxRounds passes; it returns the rounds used and whether it converged.
+func (c *Collective) RunUntil(truth, relErr float64, maxRounds int) (rounds int, ok bool) {
+	for r := 0; r < maxRounds; r++ {
+		if c.MaxRelError(truth) <= relErr {
+			return r, true
+		}
+		c.Round()
+	}
+	return maxRounds, c.MaxRelError(truth) <= relErr
+}
+
+// CentralCollector models the classic alternative: a central node polls
+// every other node each round (2 messages per node: request + reply) and
+// redistributes the aggregate. It is exact while the centre lives and
+// totally blind after the centre fails — the comparison point for E7.
+type CentralCollector struct {
+	values []float64
+	alive  []bool
+	centre int
+	dead   bool
+	last   float64
+
+	Messages int
+	Rounds   int
+}
+
+// NewCentralCollector builds a collector with node 0 as the centre.
+func NewCentralCollector(values []float64) *CentralCollector {
+	c := &CentralCollector{
+		values: append([]float64(nil), values...),
+		alive:  make([]bool, len(values)),
+	}
+	for i := range c.alive {
+		c.alive[i] = true
+	}
+	return c
+}
+
+// SetValue updates node i's local quantity.
+func (c *CentralCollector) SetValue(i int, v float64) { c.values[i] = v }
+
+// Kill removes node i; killing the centre blinds the whole system.
+func (c *CentralCollector) Kill(i int) {
+	c.alive[i] = false
+	if i == c.centre {
+		c.dead = true
+	}
+}
+
+// Round polls all live nodes (2 messages each) and stores the mean.
+func (c *CentralCollector) Round() {
+	c.Rounds++
+	if c.dead {
+		return
+	}
+	sum, n := 0.0, 0
+	for i, a := range c.alive {
+		if !a {
+			continue
+		}
+		if i != c.centre {
+			c.Messages += 2
+		}
+		sum += c.values[i]
+		n++
+	}
+	if n > 0 {
+		c.last = sum / float64(n)
+	}
+}
+
+// Estimate returns the centre's last aggregate; after centre failure it is
+// frozen at the stale value.
+func (c *CentralCollector) Estimate() float64 { return c.last }
+
+// Dead reports whether the centre has failed.
+func (c *CentralCollector) Dead() bool { return c.dead }

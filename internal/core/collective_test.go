@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushSumMassConservation(t *testing.T) {
+	f := func(raw []uint8, seed int64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		rng := rand.New(rand.NewSource(seed))
+		values := make([]float64, len(raw))
+		var sumX float64
+		for i, v := range raw {
+			values[i] = float64(v)
+			sumX += values[i]
+		}
+		c := NewCollective(values, RingTopology(len(values), 1, rng), rng)
+		for r := 0; r < 30; r++ {
+			c.Round()
+		}
+		// Push-sum invariant: total x-mass and w-mass are conserved while
+		// no node dies.
+		var gotX, gotW float64
+		for i := range values {
+			gotX += c.x[i]
+			gotW += c.w[i]
+		}
+		return math.Abs(gotX-sumX) < 1e-6*(1+math.Abs(sumX)) &&
+			math.Abs(gotW-float64(len(values))) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPushSumConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	values := make([]float64, 50)
+	truth := 0.0
+	for i := range values {
+		values[i] = rng.Float64() * 100
+		truth += values[i]
+	}
+	truth /= 50
+	c := NewCollective(values, RingTopology(50, 2, rng), rng)
+	rounds, ok := c.RunUntil(truth, 0.01, 200)
+	if !ok {
+		t.Fatalf("did not converge in 200 rounds (err %v)", c.MaxRelError(truth))
+	}
+	if rounds > 60 {
+		t.Fatalf("convergence too slow: %d rounds", rounds)
+	}
+	for i := range values {
+		if math.Abs(c.Estimate(i)-truth)/truth > 0.01 {
+			t.Fatalf("node %d estimate %v, truth %v", i, c.Estimate(i), truth)
+		}
+	}
+}
+
+func TestSetValueShiftsEstimates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	values := []float64{10, 10, 10, 10}
+	c := NewCollective(values, RingTopology(4, 1, rng), rng)
+	for i := 0; i < 30; i++ {
+		c.Round()
+	}
+	c.SetValue(0, 50) // mean becomes 20
+	for i := 0; i < 60; i++ {
+		c.Round()
+	}
+	if err := c.MaxRelError(20); err > 0.05 {
+		t.Fatalf("estimates did not absorb SetValue: err %v", err)
+	}
+}
+
+func TestKillAndReseed(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	values := []float64{1, 2, 3, 4, 100} // node 4 is an outlier
+	c := NewCollective(values, RingTopology(5, 2, rng), rng)
+	for i := 0; i < 30; i++ {
+		c.Round()
+	}
+	c.Kill(4)
+	if c.AliveCount() != 4 {
+		t.Fatal("AliveCount after kill")
+	}
+	c.Reseed()
+	for i := 0; i < 60; i++ {
+		c.Round()
+	}
+	want := (1.0 + 2 + 3 + 4) / 4
+	if got := c.TrueMean(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("TrueMean = %v, want %v", got, want)
+	}
+	if err := c.MaxRelError(want); err > 0.02 {
+		t.Fatalf("post-reseed convergence error %v", err)
+	}
+}
+
+func TestCentralCollectorFreezesOnCentreDeath(t *testing.T) {
+	values := []float64{10, 20, 30}
+	c := NewCentralCollector(values)
+	c.Round()
+	if c.Estimate() != 20 {
+		t.Fatalf("central estimate = %v", c.Estimate())
+	}
+	if c.Messages != 4 { // 2 nodes polled × 2 messages
+		t.Fatalf("central messages = %d", c.Messages)
+	}
+	c.Kill(0)
+	if !c.Dead() {
+		t.Fatal("centre death not registered")
+	}
+	c.SetValue(1, 1000)
+	c.Round()
+	if c.Estimate() != 20 {
+		t.Fatalf("dead centre should be frozen at 20, got %v", c.Estimate())
+	}
+}
+
+func TestCentralCollectorExcludesDeadNodes(t *testing.T) {
+	c := NewCentralCollector([]float64{10, 20, 30})
+	c.Kill(2)
+	c.Round()
+	if c.Estimate() != 15 {
+		t.Fatalf("estimate over live nodes = %v, want 15", c.Estimate())
+	}
+}
+
+func TestRingTopologySymmetricNoSelf(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	nb := RingTopology(20, 3, rng)
+	for i, ns := range nb {
+		seen := map[int]bool{}
+		for _, j := range ns {
+			if j == i {
+				t.Fatalf("self-loop at %d", i)
+			}
+			if seen[j] {
+				t.Fatalf("duplicate edge %d-%d", i, j)
+			}
+			seen[j] = true
+			// symmetry
+			found := false
+			for _, back := range nb[j] {
+				if back == i {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d→%d not symmetric", i, j)
+			}
+		}
+	}
+}
+
+func TestCollectiveMismatchedInputPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched lengths did not panic")
+		}
+	}()
+	NewCollective([]float64{1, 2}, [][]int{{1}}, rand.New(rand.NewSource(1)))
+}

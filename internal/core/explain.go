@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"sacs/internal/goals"
+)
+
+// Decision is the context handed to a Reasoner and, afterwards, the durable
+// record of what was decided and why. All model consultations and candidate
+// scorings flow through it, which is what makes self-explanation possible:
+// the explanation is generated from the same knowledge the decision used
+// (Cox [27]: self-awareness is using information about oneself, not merely
+// possessing it).
+type Decision struct {
+	Now     float64
+	Goal    *goals.Set
+	Metrics map[string]float64
+
+	agent      *Agent
+	consulted  []consultation
+	candidates []candidate
+	chosen     []Action
+	rationale  []string
+	failures   []string
+}
+
+type consultation struct {
+	name  string
+	value float64
+}
+
+type candidate struct {
+	label string
+	score float64
+}
+
+// Consult reads model name from the agent's knowledge base (def when
+// absent) and records the consultation for explanation.
+func (d *Decision) Consult(name string, def float64) float64 {
+	v := def
+	if d.agent != nil {
+		v = d.agent.Store().Value(name, def)
+	}
+	d.consulted = append(d.consulted, consultation{name: name, value: v})
+	return v
+}
+
+// Score records a scored alternative considered by the reasoner.
+func (d *Decision) Score(label string, score float64) {
+	d.candidates = append(d.candidates, candidate{label: label, score: score})
+}
+
+// BestCandidate returns the highest-scoring recorded candidate, if any.
+func (d *Decision) BestCandidate() (label string, score float64, ok bool) {
+	if len(d.candidates) == 0 {
+		return "", 0, false
+	}
+	best := d.candidates[0]
+	for _, c := range d.candidates[1:] {
+		if c.score > best.score {
+			best = c
+		}
+	}
+	return best.label, best.score, true
+}
+
+// Choose commits an action with a human-readable reason.
+func (d *Decision) Choose(a Action, because string, args ...interface{}) {
+	d.chosen = append(d.chosen, a)
+	d.rationale = append(d.rationale, fmt.Sprintf(because, args...))
+}
+
+// Chosen returns the committed actions.
+func (d *Decision) Chosen() []Action { return d.chosen }
+
+// Consulted returns the names of the models the decision read.
+func (d *Decision) Consulted() []string {
+	out := make([]string, len(d.consulted))
+	for i, c := range d.consulted {
+		out[i] = c.name
+	}
+	return out
+}
+
+// Explain renders the decision as text: the paper's self-explanation — "a
+// form of reporting in which the reasons behind action (or inaction) are
+// made clear" (§VI).
+func (d *Decision) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "at t=%.1f", d.Now)
+	if d.Goal != nil {
+		fmt.Fprintf(&b, ", pursuing %s", d.Goal)
+	}
+	if len(d.consulted) > 0 {
+		b.WriteString(", I consulted ")
+		for i, c := range d.consulted {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s=%.4g", c.name, c.value)
+		}
+	}
+	if len(d.candidates) > 0 {
+		b.WriteString("; I compared ")
+		for i, c := range d.candidates {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s(score %.4g)", c.label, c.score)
+		}
+	}
+	if len(d.chosen) == 0 {
+		b.WriteString("; I took no action")
+		if len(d.rationale) > 0 {
+			fmt.Fprintf(&b, " because %s", strings.Join(d.rationale, "; "))
+		}
+	} else {
+		for i, a := range d.chosen {
+			reason := ""
+			if i < len(d.rationale) {
+				reason = d.rationale[i]
+			}
+			fmt.Fprintf(&b, "; I chose %s because %s", a, reason)
+		}
+	}
+	if len(d.failures) > 0 {
+		fmt.Fprintf(&b, " [failed: %s]", strings.Join(d.failures, "; "))
+	}
+	b.WriteString(".")
+	return b.String()
+}
+
+// WhyNot renders a contrastive explanation: why the named candidate was not
+// chosen, by comparing its recorded score against the best candidate's
+// (Cox's metareasoning notion of justifying inaction as well as action).
+// It reports honestly when the candidate was never considered.
+func (d *Decision) WhyNot(label string) string {
+	var target *candidate
+	for i := range d.candidates {
+		if d.candidates[i].label == label {
+			target = &d.candidates[i]
+			break
+		}
+	}
+	if target == nil {
+		return fmt.Sprintf("I never considered %q at t=%.1f.", label, d.Now)
+	}
+	best, bestScore, _ := d.BestCandidate()
+	if best == label {
+		if len(d.chosen) == 0 {
+			return fmt.Sprintf("%q scored best (%.4g) but no action was taken.", label, bestScore)
+		}
+		return fmt.Sprintf("%q scored best (%.4g) and was in fact the basis of my action.", label, bestScore)
+	}
+	return fmt.Sprintf("I considered %q (score %.4g) but %q scored higher (%.4g), so I preferred it.",
+		label, target.score, best, bestScore)
+}
+
+// Explainer keeps a bounded window of recent decisions and answers
+// "why"-questions from them.
+type Explainer struct {
+	depth    int
+	ring     []*Decision
+	head     int
+	size     int
+	Recorded int
+}
+
+// NewExplainer returns an explainer remembering the last depth decisions.
+func NewExplainer(depth int) *Explainer {
+	if depth <= 0 {
+		depth = 32
+	}
+	return &Explainer{depth: depth, ring: make([]*Decision, depth)}
+}
+
+// Record stores a decision.
+func (e *Explainer) Record(d *Decision) {
+	e.ring[e.head] = d
+	e.head = (e.head + 1) % e.depth
+	if e.size < e.depth {
+		e.size++
+	}
+	e.Recorded++
+}
+
+// Len reports how many decisions are retained.
+func (e *Explainer) Len() int { return e.size }
+
+// Last returns the most recent decision, or nil.
+func (e *Explainer) Last() *Decision {
+	if e.size == 0 {
+		return nil
+	}
+	i := e.head - 1
+	if i < 0 {
+		i += e.depth
+	}
+	return e.ring[i]
+}
+
+// Recent returns up to n most recent decisions, newest first.
+func (e *Explainer) Recent(n int) []*Decision {
+	if n > e.size {
+		n = e.size
+	}
+	out := make([]*Decision, 0, n)
+	i := e.head - 1
+	for len(out) < n {
+		if i < 0 {
+			i += e.depth
+		}
+		out = append(out, e.ring[i])
+		i--
+	}
+	return out
+}
+
+// WhyLast explains the most recent decision, or reports that none exists.
+func (e *Explainer) WhyLast() string {
+	d := e.Last()
+	if d == nil {
+		return "no decisions have been made yet."
+	}
+	return d.Explain()
+}
+
+// Transcript renders the last n decisions, oldest first.
+func (e *Explainer) Transcript(n int) string {
+	ds := e.Recent(n)
+	var b strings.Builder
+	for i := len(ds) - 1; i >= 0; i-- {
+		b.WriteString(ds[i].Explain())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Hierarchy is two-level collective self-awareness (Amoretti & Cagnoni [62],
+// Guang et al. [63]): nodes are grouped into clusters; each cluster runs
+// local push-sum over its members' values, cluster representatives run a
+// top-level push-sum over cluster means, and the global estimate is
+// disseminated back through the local groups. No component ever holds
+// global state — representatives know only aggregates of aggregates — but
+// the message cost to reach a given accuracy is lower than flat gossip
+// because both levels mix over much smaller graphs.
+//
+// Clusters must be equal-sized for the mean of cluster means to equal the
+// global mean; NewHierarchy enforces that by construction.
+type Hierarchy struct {
+	clusters []*Collective
+	top      *Collective
+	topVals  []float64
+	n        int
+	perClust int
+	rng      *rand.Rand
+
+	// disseminated holds each node's final estimate after RunUntil.
+	disseminated []float64
+	extraMsgs    int
+}
+
+// NewHierarchy builds a hierarchy over values with the given cluster count
+// (values are dealt into clusters round-robin; len(values) must be a
+// multiple of clusters).
+func NewHierarchy(values []float64, clusters int, rng *rand.Rand) *Hierarchy {
+	if clusters < 1 {
+		clusters = 1
+	}
+	if len(values)%clusters != 0 {
+		panic("core: hierarchy requires len(values) divisible by cluster count")
+	}
+	per := len(values) / clusters
+	h := &Hierarchy{n: len(values), perClust: per, rng: rng}
+	for c := 0; c < clusters; c++ {
+		local := make([]float64, per)
+		for i := 0; i < per; i++ {
+			local[i] = values[c*per+i]
+		}
+		topo := RingTopology(per, 1, rng)
+		h.clusters = append(h.clusters, NewCollective(local, topo, rng))
+	}
+	return h
+}
+
+// Messages sums gossip messages across both levels plus dissemination.
+func (h *Hierarchy) Messages() int {
+	m := h.extraMsgs
+	for _, c := range h.clusters {
+		m += c.Messages
+	}
+	if h.top != nil {
+		m += h.top.Messages
+	}
+	return m
+}
+
+// RunUntil mixes the local level until every member is within relErr of
+// its cluster mean, then the top level over cluster means until within
+// relErr, then disseminates (one message per non-representative member).
+// Per-level errors compose sub-additively in practice because they are
+// independent; the measured end-to-end error is reported by MaxRelError.
+func (h *Hierarchy) RunUntil(truth, relErr float64, maxRounds int) {
+	// Local mixing toward each cluster's own mean.
+	for _, c := range h.clusters {
+		c.RunUntil(c.TrueMean(), relErr, maxRounds)
+	}
+	// Top level: representatives gossip the cluster estimates.
+	h.topVals = make([]float64, len(h.clusters))
+	for i, c := range h.clusters {
+		h.topVals[i] = c.Estimate(0) // representative's local view
+	}
+	k := len(h.clusters)
+	if k == 1 {
+		h.disseminate(h.topVals[0])
+		return
+	}
+	topTopo := RingTopology(k, 1, h.rng)
+	h.top = NewCollective(h.topVals, topTopo, h.rng)
+	topTruth := 0.0
+	for _, v := range h.topVals {
+		topTruth += v
+	}
+	topTruth /= float64(k)
+	h.top.RunUntil(topTruth, relErr, maxRounds)
+	// Each representative disseminates its estimate within its cluster.
+	h.disseminated = make([]float64, h.n)
+	for c := 0; c < k; c++ {
+		est := h.top.Estimate(c)
+		for i := 0; i < h.perClust; i++ {
+			h.disseminated[c*h.perClust+i] = est
+		}
+		h.extraMsgs += h.perClust - 1
+	}
+}
+
+func (h *Hierarchy) disseminate(est float64) {
+	h.disseminated = make([]float64, h.n)
+	for i := range h.disseminated {
+		h.disseminated[i] = est
+	}
+	h.extraMsgs += h.n - 1
+}
+
+// Estimate returns node i's final estimate (0 before RunUntil).
+func (h *Hierarchy) Estimate(i int) float64 {
+	if h.disseminated == nil {
+		return 0
+	}
+	return h.disseminated[i]
+}
+
+// MaxRelError reports the worst node error against truth.
+func (h *Hierarchy) MaxRelError(truth float64) float64 {
+	if h.disseminated == nil {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	for _, e := range h.disseminated {
+		d := math.Abs(e - truth)
+		if truth != 0 {
+			d /= math.Abs(truth)
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHierarchyConvergesToGlobalMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	values := make([]float64, 128)
+	truth := 0.0
+	for i := range values {
+		values[i] = 5 + 10*rng.Float64()
+		truth += values[i]
+	}
+	truth /= 128
+	h := NewHierarchy(values, 8, rng)
+	h.RunUntil(truth, 0.01, 400)
+	if err := h.MaxRelError(truth); err > 0.03 {
+		t.Fatalf("hierarchy error %v after convergence", err)
+	}
+	for i := 0; i < 128; i++ {
+		if h.Estimate(i) == 0 {
+			t.Fatalf("node %d has no disseminated estimate", i)
+		}
+	}
+	if h.Messages() == 0 {
+		t.Fatal("no messages counted")
+	}
+}
+
+func TestHierarchySingleCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	values := []float64{1, 2, 3, 4}
+	h := NewHierarchy(values, 1, rng)
+	h.RunUntil(2.5, 0.01, 200)
+	if err := h.MaxRelError(2.5); err > 0.02 {
+		t.Fatalf("single-cluster hierarchy error %v", err)
+	}
+}
+
+func TestHierarchyBeforeRunIsUnknown(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := NewHierarchy([]float64{1, 2, 3, 4}, 2, rng)
+	if h.Estimate(0) != 0 {
+		t.Fatal("estimate before RunUntil should be 0")
+	}
+	if !math.IsInf(h.MaxRelError(2.5), 1) {
+		t.Fatal("error before RunUntil should be +Inf")
+	}
+}
+
+func TestHierarchyUnevenClustersPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("uneven cluster split did not panic")
+		}
+	}()
+	NewHierarchy([]float64{1, 2, 3}, 2, rand.New(rand.NewSource(1)))
+}
+
+func TestHierarchyCheaperThanFlatAtScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n = 1024
+	values := make([]float64, n)
+	truth := 0.0
+	for i := range values {
+		values[i] = 10 + 20*rng.Float64()
+		truth += values[i]
+	}
+	truth /= n
+
+	flat := NewCollective(values, RingTopology(n, 2, rng), rng)
+	flat.RunUntil(truth, 0.01, 400)
+
+	h := NewHierarchy(values, n/16, rng)
+	h.RunUntil(truth, 0.01, 400)
+
+	if h.Messages() >= flat.Messages {
+		t.Fatalf("hierarchy (%d msgs) not cheaper than flat (%d msgs) at n=%d",
+			h.Messages(), flat.Messages, n)
+	}
+	if h.MaxRelError(truth) > 0.03 {
+		t.Fatalf("hierarchy accuracy degraded: %v", h.MaxRelError(truth))
+	}
+}

@@ -1,0 +1,189 @@
+// Package core implements the paper's primary contribution: a reference
+// architecture for computational self-awareness (Lewis, DATE 2017; Lewis et
+// al., Computer 48(8)). The three framework concepts of the paper's §IV are
+// all explicit in the types here:
+//
+//  1. public vs. private self-awareness — knowledge.Scope carried by every
+//     Stimulus and model entry;
+//  2. levels of self-awareness — the Level lattice (stimulus, interaction,
+//     time, goal, meta), with Capabilities gating which processes an agent
+//     runs and which knowledge its reasoner may consult;
+//  3. collective self-awareness without a global component — the Collective
+//     gossip machinery, in which no node ever holds global state.
+//
+// An Agent wires Sensors through an Attention scheduler into per-level
+// awareness Processes that maintain self-models in a knowledge.Store; a
+// goal-aware Reasoner turns models into Actions executed by Effectors; a
+// MetaMonitor observes the quality of the agent's own models and switches
+// learning strategies at run time; and an Explainer renders decision traces
+// as self-explanations. The package is substrate-agnostic: the camera,
+// cloud, multicore and network simulators all instantiate it.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"sacs/internal/knowledge"
+)
+
+// Level enumerates the levels of computational self-awareness, translated
+// from Neisser's levels of human self-knowledge by Faniyi et al. [44] as the
+// paper describes. Higher levels presuppose richer knowledge but not
+// necessarily the lower levels; Capabilities expresses an agent's actual
+// set.
+type Level int
+
+// The five levels.
+const (
+	// LevelStimulus is basic awareness of environmental and internal
+	// stimuli: the agent knows current readings, nothing more.
+	LevelStimulus Level = iota
+	// LevelInteraction is awareness of interactions: the agent models the
+	// effects of exchanges with its environment and with other agents.
+	LevelInteraction
+	// LevelTime is awareness of history and likely futures: the agent keeps
+	// bounded history and forecasts.
+	LevelTime
+	// LevelGoal is awareness of the agent's own goals, objectives and
+	// constraints, including changes to them at run time.
+	LevelGoal
+	// LevelMeta is meta-self-awareness: awareness of the agent's own
+	// awareness processes and their quality.
+	LevelMeta
+)
+
+var levelNames = [...]string{"stimulus", "interaction", "time", "goal", "meta"}
+
+// String returns the lower-case level name.
+func (l Level) String() string {
+	if l < 0 || int(l) >= len(levelNames) {
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+	return levelNames[l]
+}
+
+// Capabilities is a bit set of Levels an agent possesses.
+type Capabilities uint8
+
+// Caps builds a Capabilities set from the given levels.
+func Caps(levels ...Level) Capabilities {
+	var c Capabilities
+	for _, l := range levels {
+		c |= 1 << uint(l)
+	}
+	return c
+}
+
+// FullStack has every level: the "full-stack computational self-awareness"
+// of the paper's §IV.
+const FullStack = Capabilities(1<<uint(LevelStimulus) | 1<<uint(LevelInteraction) |
+	1<<uint(LevelTime) | 1<<uint(LevelGoal) | 1<<uint(LevelMeta))
+
+// Has reports whether the set contains level l.
+func (c Capabilities) Has(l Level) bool { return c&(1<<uint(l)) != 0 }
+
+// With returns a copy of c that also has l.
+func (c Capabilities) With(l Level) Capabilities { return c | 1<<uint(l) }
+
+// Without returns a copy of c lacking l.
+func (c Capabilities) Without(l Level) Capabilities { return c &^ (1 << uint(l)) }
+
+// String lists the contained levels, e.g. "stimulus+time+goal".
+func (c Capabilities) String() string {
+	var parts []string
+	for l := LevelStimulus; l <= LevelMeta; l++ {
+		if c.Has(l) {
+			parts = append(parts, l.String())
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, "+")
+}
+
+// Scope aliases knowledge.Scope so that substrates only import core.
+type Scope = knowledge.Scope
+
+// Scope values re-exported for convenience.
+const (
+	Private = knowledge.Private
+	Public  = knowledge.Public
+)
+
+// Stimulus is one observation delivered by a sensor: the raw material of
+// self-awareness. Source identifies the originating entity (empty or the
+// agent's own name for private phenomena; a peer's name for social ones).
+type Stimulus struct {
+	Name   string
+	Source string
+	Scope  Scope
+	Value  float64
+	Time   float64
+}
+
+// Sensor produces stimuli on demand. Sensing may be costly; the Attention
+// scheduler decides which sensors to sample each step when a budget is set.
+type Sensor interface {
+	// Name identifies the sensor.
+	Name() string
+	// Sense returns the stimuli observable now.
+	Sense(now float64) []Stimulus
+}
+
+// SensorFunc adapts a function to the Sensor interface.
+type SensorFunc struct {
+	SensorName string
+	Fn         func(now float64) []Stimulus
+}
+
+// Name implements Sensor.
+func (s SensorFunc) Name() string { return s.SensorName }
+
+// Sense implements Sensor.
+func (s SensorFunc) Sense(now float64) []Stimulus { return s.Fn(now) }
+
+// ScalarSensor adapts a scalar-returning function to Sensor, producing one
+// stimulus named after the sensor.
+func ScalarSensor(name string, scope Scope, fn func(now float64) float64) Sensor {
+	return SensorFunc{SensorName: name, Fn: func(now float64) []Stimulus {
+		return []Stimulus{{Name: name, Scope: scope, Value: fn(now), Time: now}}
+	}}
+}
+
+// Action is one self-expressive act: a named command with a scalar argument
+// and an optional target (e.g. which core, which route).
+type Action struct {
+	Name   string
+	Target string
+	Value  float64
+}
+
+// String renders the action compactly.
+func (a Action) String() string {
+	if a.Target != "" {
+		return fmt.Sprintf("%s(%s=%.4g)", a.Name, a.Target, a.Value)
+	}
+	return fmt.Sprintf("%s(%.4g)", a.Name, a.Value)
+}
+
+// Effector executes actions: the self-expression half of the loop.
+type Effector interface {
+	// Name identifies the effector; actions are routed by Action.Name.
+	Name() string
+	// Act applies the action to the underlying system.
+	Act(a Action) error
+}
+
+// EffectorFunc adapts a function to the Effector interface.
+type EffectorFunc struct {
+	EffectorName string
+	Fn           func(a Action) error
+}
+
+// Name implements Effector.
+func (e EffectorFunc) Name() string { return e.EffectorName }
+
+// Act implements Effector.
+func (e EffectorFunc) Act(a Action) error { return e.Fn(a) }

@@ -1,0 +1,54 @@
+package core
+
+import "fmt"
+
+// MAPEK is the classic autonomic-computing control loop (monitor, analyse,
+// plan, execute over shared knowledge) that the paper's §III describes as
+// the field's starting point [18,19]. Its rules are fixed at design time —
+// exactly the a-priori domain modelling the paper argues self-awareness can
+// reduce — so it serves as the principled non-self-aware baseline in the
+// experiments: it adapts, but only in ways its designers anticipated.
+type MAPEK struct {
+	// Rules are evaluated in order; every rule whose condition holds
+	// contributes its action (classic ECA policy set).
+	Rules []Rule
+	// Knowledge is the loop's shared blackboard, refreshed each Step.
+	Knowledge map[string]float64
+
+	// Fired counts rule activations.
+	Fired int
+}
+
+// Rule is a design-time event-condition-action policy.
+type Rule struct {
+	Name string
+	When func(k map[string]float64) bool
+	Then Action
+}
+
+// NewMAPEK returns a loop with the given rule set.
+func NewMAPEK(rules ...Rule) *MAPEK {
+	return &MAPEK{Rules: rules, Knowledge: make(map[string]float64)}
+}
+
+// Step runs one MAPE cycle: copy metrics into knowledge (monitor), evaluate
+// rules (analyse+plan) and return the actions to execute.
+func (m *MAPEK) Step(now float64, metrics map[string]float64) []Action {
+	for k, v := range metrics {
+		m.Knowledge[k] = v
+	}
+	m.Knowledge["now"] = now
+	var out []Action
+	for _, r := range m.Rules {
+		if r.When(m.Knowledge) {
+			out = append(out, r.Then)
+			m.Fired++
+		}
+	}
+	return out
+}
+
+// String describes the loop.
+func (m *MAPEK) String() string {
+	return fmt.Sprintf("mape-k(%d rules, %d fired)", len(m.Rules), m.Fired)
+}

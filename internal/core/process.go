@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+
+	"sacs/internal/goals"
+	"sacs/internal/knowledge"
+	"sacs/internal/learning"
+)
+
+// Process is one self-awareness process: it observes stimuli and maintains
+// models at a particular level. An agent runs only the processes whose level
+// its Capabilities include — this gating is what makes the E5 levels
+// ablation meaningful.
+type Process interface {
+	// Name identifies the process.
+	Name() string
+	// Level reports which self-awareness level the process realises.
+	Level() Level
+	// Observe folds a batch of stimuli into the process's models.
+	Observe(now float64, batch []Stimulus)
+}
+
+// StimulusProcess realises stimulus-awareness: it records the latest value
+// of every stimulus into the knowledge store under "stim/<name>". This is
+// the minimal awareness every agent has.
+type StimulusProcess struct {
+	Store *knowledge.Store
+}
+
+// Name implements Process.
+func (p *StimulusProcess) Name() string { return "stimulus-awareness" }
+
+// Level implements Process.
+func (p *StimulusProcess) Level() Level { return LevelStimulus }
+
+// Observe implements Process.
+func (p *StimulusProcess) Observe(now float64, batch []Stimulus) {
+	for _, s := range batch {
+		p.Store.Observe("stim/"+s.Name, s.Scope, s.Value, now)
+	}
+}
+
+// InteractionProcess realises interaction-awareness: it separates stimuli
+// originating from peers (Source set and different from Self) and models
+// per-peer behaviour under "peer/<source>/<name>", plus an interaction
+// count under "interactions".
+type InteractionProcess struct {
+	Self  string
+	Store *knowledge.Store
+
+	count float64
+}
+
+// Name implements Process.
+func (p *InteractionProcess) Name() string { return "interaction-awareness" }
+
+// Level implements Process.
+func (p *InteractionProcess) Level() Level { return LevelInteraction }
+
+// Observe implements Process.
+func (p *InteractionProcess) Observe(now float64, batch []Stimulus) {
+	for _, s := range batch {
+		if s.Source == "" || s.Source == p.Self {
+			continue
+		}
+		p.count++
+		p.Store.Observe(fmt.Sprintf("peer/%s/%s", s.Source, s.Name), Public, s.Value, now)
+	}
+	p.Store.Ensure("interactions", Private).Set(p.count, now)
+}
+
+// TimeProcess realises time-awareness: for every stimulus name it maintains
+// a one-step-ahead prediction under "pred/<name>" and a recent trend under
+// "trend/<name>". The predictor factory is pluggable so the meta level can
+// swap forecasting strategies at run time.
+type TimeProcess struct {
+	Store      *knowledge.Store
+	NewPredict func() learning.Predictor
+
+	preds  map[string]learning.Predictor
+	errors map[string]*learning.MSETracker
+}
+
+// Name implements Process.
+func (p *TimeProcess) Name() string { return "time-awareness" }
+
+// Level implements Process.
+func (p *TimeProcess) Level() Level { return LevelTime }
+
+// Observe implements Process.
+func (p *TimeProcess) Observe(now float64, batch []Stimulus) {
+	if p.preds == nil {
+		p.preds = make(map[string]learning.Predictor)
+		p.errors = make(map[string]*learning.MSETracker)
+	}
+	if p.NewPredict == nil {
+		p.NewPredict = func() learning.Predictor { return learning.NewEWMA(0.3) }
+	}
+	for _, s := range batch {
+		pr, ok := p.preds[s.Name]
+		if !ok {
+			pr = p.NewPredict()
+			p.preds[s.Name] = pr
+			p.errors[s.Name] = &learning.MSETracker{}
+		} else {
+			// Score yesterday's forecast against today's truth before
+			// updating: honest out-of-sample error for the meta level.
+			p.errors[s.Name].Record(pr.Predict(), s.Value)
+		}
+		pr.Observe(s.Value)
+		p.Store.Ensure("pred/"+s.Name, s.Scope).Set(pr.Predict(), now)
+		if e := p.Store.Get("stim/" + s.Name); e != nil && e.History() != nil {
+			p.Store.Ensure("trend/"+s.Name, s.Scope).Set(e.History().Trend(), now)
+		}
+	}
+}
+
+// ForecastError returns the running RMSE of the process's forecasts for the
+// named stimulus (0 if unknown). The meta level reads this.
+func (p *TimeProcess) ForecastError(name string) float64 {
+	if t, ok := p.errors[name]; ok {
+		return t.RMSE()
+	}
+	return 0
+}
+
+// MeanForecastError averages RMSE over all predicted stimuli.
+func (p *TimeProcess) MeanForecastError() float64 {
+	if len(p.errors) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, t := range p.errors {
+		s += t.RMSE()
+	}
+	return s / float64(len(p.errors))
+}
+
+// Reset discards all predictors, forcing re-learning; the meta level calls
+// this when drift is detected.
+func (p *TimeProcess) Reset() {
+	p.preds = nil
+	p.errors = nil
+}
+
+// SwapPredictor replaces the predictor factory and resets state.
+func (p *TimeProcess) SwapPredictor(f func() learning.Predictor) {
+	p.NewPredict = f
+	p.Reset()
+}
+
+// GoalProcess realises goal-awareness: at every step it evaluates the
+// current metric snapshot against the active goal set, recording
+// "goal/utility", "goal/violations" and the count of run-time goal switches
+// it has noticed ("goal/switches"). Metrics are supplied by the agent from
+// its substrate via SetMetrics before Observe runs.
+type GoalProcess struct {
+	Store    *knowledge.Store
+	Switcher *goals.Switcher
+
+	metrics  map[string]float64
+	switches float64
+}
+
+// SetMetrics provides the substrate's current metric snapshot for the next
+// Observe call.
+func (p *GoalProcess) SetMetrics(m map[string]float64) { p.metrics = m }
+
+// Name implements Process.
+func (p *GoalProcess) Name() string { return "goal-awareness" }
+
+// Level implements Process.
+func (p *GoalProcess) Level() Level { return LevelGoal }
+
+// Observe implements Process.
+func (p *GoalProcess) Observe(now float64, batch []Stimulus) {
+	if p.Switcher == nil {
+		return
+	}
+	active, changed := p.Switcher.Tick(now)
+	if changed {
+		p.switches++
+	}
+	m := p.metrics
+	if m == nil {
+		// Fall back to raw stimulus values so goal evaluation degrades
+		// gracefully when the substrate provides no explicit metrics.
+		m = make(map[string]float64, len(batch))
+		for _, s := range batch {
+			m[s.Name] = s.Value
+		}
+	}
+	p.Store.Ensure("goal/utility", Private).Set(active.Utility(m), now)
+	p.Store.Ensure("goal/violations", Private).Set(float64(len(active.Violations(m))), now)
+	p.Store.Ensure("goal/switches", Private).Set(p.switches, now)
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"sacs/internal/knowledge"
+	"sacs/internal/learning"
+)
+
+func feed(p Process, values []float64) {
+	for i, v := range values {
+		p.Observe(float64(i), []Stimulus{{Name: "x", Scope: Private, Value: v, Time: float64(i)}})
+	}
+}
+
+func TestTimeProcessPredictsAndScores(t *testing.T) {
+	store := knowledge.NewStore(0.3, 32)
+	tp := &TimeProcess{Store: store}
+	feed(tp, []float64{5, 5, 5, 5, 5, 5, 5, 5})
+	if got := store.Value("pred/x", -1); got != 5 {
+		t.Fatalf("prediction on constant stream = %v", got)
+	}
+	if tp.ForecastError("x") != 0 {
+		t.Fatalf("forecast error on constant stream = %v", tp.ForecastError("x"))
+	}
+	if tp.ForecastError("unknown") != 0 {
+		t.Fatal("unknown stimulus should report 0 error")
+	}
+}
+
+func TestTimeProcessSwapPredictorResets(t *testing.T) {
+	store := knowledge.NewStore(0.3, 32)
+	tp := &TimeProcess{Store: store}
+	feed(tp, []float64{1, 2, 3, 4, 5, 6})
+	if tp.MeanForecastError() == 0 {
+		t.Fatal("ramp stream should have nonzero EWMA forecast error")
+	}
+	tp.SwapPredictor(func() learning.Predictor { return learning.NewHolt(0.5, 0.3) })
+	if tp.MeanForecastError() != 0 {
+		t.Fatal("swap did not reset error tracking")
+	}
+	// After the swap, Holt should track the ramp closely.
+	for i := 6; i < 60; i++ {
+		tp.Observe(float64(i), []Stimulus{{Name: "x", Scope: Private,
+			Value: float64(i) + 1, Time: float64(i)}})
+	}
+	if tp.ForecastError("x") > 0.5 {
+		t.Fatalf("holt forecast error on a pure ramp = %v", tp.ForecastError("x"))
+	}
+}
+
+func TestStimulusProcessRecordsScope(t *testing.T) {
+	store := knowledge.NewStore(0.3, 0)
+	sp := &StimulusProcess{Store: store}
+	sp.Observe(0, []Stimulus{
+		{Name: "priv", Scope: Private, Value: 1, Time: 0},
+		{Name: "pub", Scope: Public, Value: 2, Time: 0},
+	})
+	pub := store.Names(Public, true)
+	if len(pub) != 1 || pub[0] != "stim/pub" {
+		t.Fatalf("public stimulus scope lost: %v", pub)
+	}
+}
+
+func TestTrendModelOnHistory(t *testing.T) {
+	store := knowledge.NewStore(0.5, 32)
+	sp := &StimulusProcess{Store: store}
+	tp := &TimeProcess{Store: store}
+	for i := 0; i < 20; i++ {
+		batch := []Stimulus{{Name: "x", Scope: Private, Value: 2 * float64(i), Time: float64(i)}}
+		sp.Observe(float64(i), batch)
+		tp.Observe(float64(i), batch)
+	}
+	// Raw observations rise with slope 2; the trend model reads it off the
+	// stimulus history ring.
+	if tr := store.Value("trend/x", 0); tr < 1.5 || tr > 2.5 {
+		t.Fatalf("trend = %v, want ≈ 2", tr)
+	}
+}

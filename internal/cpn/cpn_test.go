@@ -1,0 +1,228 @@
+package cpn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testFlows() []Flow {
+	return []Flow{{Src: 0, Dst: 23, Rate: 1.0}, {Src: 5, Dst: 18, Rate: 1.0}}
+}
+
+func TestGridConstruction(t *testing.T) {
+	g := Grid(4, 3, rand.New(rand.NewSource(1)))
+	if g.N != 12 {
+		t.Fatalf("N = %d", g.N)
+	}
+	// A w×h grid has w(h−1) + h(w−1) duplex links → ×2 directed.
+	wantDirected := 2 * (4*2 + 3*3)
+	if len(g.Links()) != wantDirected {
+		t.Fatalf("links = %d, want %d", len(g.Links()), wantDirected)
+	}
+	// Corner nodes have exactly 2 outgoing links.
+	if len(g.Out(0)) != 2 {
+		t.Fatalf("corner degree = %d", len(g.Out(0)))
+	}
+}
+
+func TestShortestPathsOnKnownGraph(t *testing.T) {
+	g := NewGraph(4)
+	g.AddDuplex(0, 1, 1)
+	g.AddDuplex(1, 2, 1)
+	g.AddDuplex(2, 3, 1)
+	g.AddDuplex(0, 3, 10) // long direct edge
+	next := g.ShortestPaths()
+	if next[0][3] != 1 {
+		t.Fatalf("0→3 first hop = %d, want 1 (via chain, cost 3 < 10)", next[0][3])
+	}
+	if next[0][0] != -1 {
+		t.Fatal("self route should be -1")
+	}
+}
+
+func TestShortestPathsRespectFailures(t *testing.T) {
+	g := NewGraph(3)
+	g.AddDuplex(0, 1, 1)
+	g.AddDuplex(1, 2, 1)
+	g.AddDuplex(0, 2, 5)
+	if !g.FailDuplex(0, 1) {
+		t.Fatal("FailDuplex did not find the link")
+	}
+	next := g.ShortestPaths()
+	if next[0][2] != 2 {
+		t.Fatalf("after failure 0→2 should go direct, got %d", next[0][2])
+	}
+	if next[0][1] != 2 {
+		t.Fatalf("0→1 should detour via 2, got %d", next[0][1])
+	}
+	if g.FailDuplex(0, 9) {
+		t.Fatal("failing a non-existent link reported success")
+	}
+}
+
+func TestUnreachableDestination(t *testing.T) {
+	g := NewGraph(3)
+	g.AddDuplex(0, 1, 1) // node 2 isolated
+	next := g.ShortestPaths()
+	if next[0][2] != -1 {
+		t.Fatalf("unreachable destination should be -1, got %d", next[0][2])
+	}
+}
+
+func TestPacketConservation(t *testing.T) {
+	cfg := Config{Seed: 1, Ticks: 800, Flows: testFlows()}
+	n := NewNetwork(cfg, NewQRouter(rand.New(rand.NewSource(2))))
+	n.Run()
+	queued := 0
+	for _, q := range n.queues {
+		queued += len(q)
+	}
+	if n.Delivered+n.Lost+queued != n.pktID {
+		t.Fatalf("conservation: %d delivered + %d lost + %d queued != %d injected",
+			n.Delivered, n.Lost, queued, n.pktID)
+	}
+	if n.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	run := func() Result {
+		cfg := Config{Seed: 3, Ticks: 500, Flows: testFlows()}
+		return NewNetwork(cfg, NewQRouter(rand.New(rand.NewSource(4)))).Run()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different results: %v vs %v", a, b)
+	}
+}
+
+func TestQRouterAdaptsToFailure(t *testing.T) {
+	cfg := Config{Seed: 5, Ticks: 4000, Flows: testFlows(), FailAt: 1500, FailLinks: 6}
+	q := NewNetwork(cfg, NewQRouter(rand.New(rand.NewSource(6))))
+	s := NewNetwork(cfg, NewStatic(rand.New(rand.NewSource(6))))
+	qr := q.Run()
+	sr := s.Run()
+	if qr.LossRate >= sr.LossRate {
+		t.Fatalf("q-routing loss %v should beat static %v after failures",
+			qr.LossRate, sr.LossRate)
+	}
+}
+
+func TestOracleHandlesFailuresBest(t *testing.T) {
+	cfg := Config{Seed: 7, Ticks: 3000, Flows: testFlows(), FailAt: 1000, FailLinks: 6}
+	o := NewNetwork(cfg, NewOracle(rand.New(rand.NewSource(8)))).Run()
+	s := NewNetwork(cfg, NewStatic(rand.New(rand.NewSource(8)))).Run()
+	// The oracle can never do worse than the frozen design; depending on
+	// which links fail, the static router may get lucky and tie.
+	if o.LossRate > s.LossRate {
+		t.Fatalf("oracle loss %v should not exceed static %v", o.LossRate, s.LossRate)
+	}
+	if o.Delivered == 0 || o.MeanDelay <= 0 {
+		t.Fatal("oracle delivered nothing")
+	}
+}
+
+func TestQRouterEstimatesImproveWithTraffic(t *testing.T) {
+	cfg := Config{Seed: 9, Ticks: 1500, Flows: testFlows()}
+	q := NewQRouter(rand.New(rand.NewSource(10)))
+	n := NewNetwork(cfg, q)
+	n.Run()
+	est, ok := q.Estimate(0, 23)
+	if !ok {
+		t.Fatal("no estimate for an active flow's source")
+	}
+	// The grid diameter is 8 hops; the estimate must be in a sane band.
+	if est < 5 || est > 200 {
+		t.Fatalf("estimate 0→23 = %v, implausible", est)
+	}
+	if v, ok := q.Estimate(23, 23); !ok || v != 0 {
+		t.Fatal("estimate at destination should be 0")
+	}
+}
+
+func TestAdaptiveEpsRisesAfterDisruption(t *testing.T) {
+	cfg := Config{Seed: 11, Ticks: 4000, Flows: testFlows(), FailAt: 2000, FailLinks: 14}
+	q := NewQRouter(rand.New(rand.NewSource(12)))
+	n := NewNetwork(cfg, q)
+	var before, peakAfter float64
+	for i := 0; i < 4000; i++ {
+		n.Step()
+		if i == 1999 {
+			before = q.Eps()
+		}
+		if i >= 2000 && i < 3000 && q.Eps() > peakAfter {
+			peakAfter = q.Eps()
+		}
+	}
+	if peakAfter <= before {
+		t.Fatalf("smart-packet fraction did not rise after failures: %v -> peak %v",
+			before, peakAfter)
+	}
+	if q.Eps() > q.EpsMax || q.Eps() < q.EpsMin {
+		t.Fatal("eps out of bounds")
+	}
+}
+
+func TestRouterNames(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if NewStatic(rng).Name() == "" || NewOracle(rng).Name() == "" || NewQRouter(rng).Name() == "" {
+		t.Fatal("empty router name")
+	}
+}
+
+func TestWindowStatsReset(t *testing.T) {
+	cfg := Config{Seed: 13, Ticks: 100, Flows: testFlows()}
+	n := NewNetwork(cfg, NewQRouter(rand.New(rand.NewSource(14))))
+	for i := 0; i < 300; i++ {
+		n.Step()
+	}
+	_, _, delivered := n.WindowStats()
+	if delivered == 0 {
+		t.Fatal("no deliveries in window")
+	}
+	d, lost, del2 := n.WindowStats()
+	if d != 0 || lost != 0 || del2 != 0 {
+		t.Fatal("window did not reset")
+	}
+}
+
+func TestNextHopOnlyUsesOfferedLinks(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := Grid(3, 3, rng)
+		routers := []Router{NewStatic(rng), NewOracle(rng), NewQRouter(rng)}
+		for _, r := range routers {
+			r.Rewire(g)
+			p := &Packet{Src: 0, Dst: 8, at: 4}
+			out := g.Out(4)
+			l := r.NextHop(0, p, 4, out)
+			found := false
+			for _, o := range out {
+				if o == l {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultLossRate(t *testing.T) {
+	n := &Network{Delivered: 90, Lost: 10}
+	r := n.Result()
+	if math.Abs(r.LossRate-0.1) > 1e-12 {
+		t.Fatalf("loss rate = %v", r.LossRate)
+	}
+	if r.String() == "" {
+		t.Fatal("empty result string")
+	}
+}

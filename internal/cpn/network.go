@@ -1,0 +1,456 @@
+// Package cpn simulates a cognitive packet network (Gelenbe's CPN, the
+// paper's §III example of self-awareness in resource-constrained systems
+// [38,39]): packets are routed hop by hop, and self-aware nodes measure the
+// delays their own forwarding decisions produce and adapt their routes
+// online (Q-routing, standing in for the CPN random-neural-network learner —
+// the loop is identical: smart packets measure, nodes learn, routes adapt).
+//
+// The experiments inject link failures and a DoS-style traffic flood at run
+// time and compare: a static shortest-path router (design-time knowledge
+// only), a periodic global re-planner (an idealised centralised oracle), and
+// the self-aware Q-router. The paper's claim is resilience: the self-aware
+// network recovers quickly without any global view.
+package cpn
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sacs/internal/stats"
+)
+
+// Link is a directed edge with a propagation delay in ticks.
+type Link struct {
+	From, To int
+	Delay    float64
+	Up       bool
+}
+
+// Graph is the network topology. Links are stored directed; Grid and Ring
+// builders create both directions.
+type Graph struct {
+	N     int
+	links []*Link
+	adj   [][]*Link // outgoing links per node
+}
+
+// NewGraph returns an empty graph over n nodes.
+func NewGraph(n int) *Graph {
+	return &Graph{N: n, adj: make([][]*Link, n)}
+}
+
+// AddLink inserts a directed link.
+func (g *Graph) AddLink(from, to int, delay float64) *Link {
+	l := &Link{From: from, To: to, Delay: delay, Up: true}
+	g.links = append(g.links, l)
+	g.adj[from] = append(g.adj[from], l)
+	return l
+}
+
+// AddDuplex inserts links in both directions.
+func (g *Graph) AddDuplex(a, b int, delay float64) {
+	g.AddLink(a, b, delay)
+	g.AddLink(b, a, delay)
+}
+
+// Out returns the outgoing links of node v.
+func (g *Graph) Out(v int) []*Link { return g.adj[v] }
+
+// Links returns all directed links.
+func (g *Graph) Links() []*Link { return g.links }
+
+// FailDuplex marks both directions of (a, b) down. It reports whether such
+// a link existed.
+func (g *Graph) FailDuplex(a, b int) bool {
+	found := false
+	for _, l := range g.links {
+		if (l.From == a && l.To == b) || (l.From == b && l.To == a) {
+			l.Up = false
+			found = true
+		}
+	}
+	return found
+}
+
+// Grid builds a w×h grid with unit-ish random delays.
+func Grid(w, h int, rng *rand.Rand) *Graph {
+	g := NewGraph(w * h)
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				g.AddDuplex(id(x, y), id(x+1, y), 1+2*rng.Float64())
+			}
+			if y+1 < h {
+				g.AddDuplex(id(x, y), id(x, y+1), 1+2*rng.Float64())
+			}
+		}
+	}
+	return g
+}
+
+// ShortestPaths runs Dijkstra from every node over current link state
+// (queue lengths ignored), returning next[src][dst] = neighbour to use, or
+// -1 when unreachable. This is the global-knowledge computation the static
+// and oracle routers rely on.
+func (g *Graph) ShortestPaths() [][]int {
+	next := make([][]int, g.N)
+	for s := 0; s < g.N; s++ {
+		dist := make([]float64, g.N)
+		prev := make([]int, g.N)
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			prev[i] = -1
+		}
+		dist[s] = 0
+		pq := &distHeap{{node: s, d: 0}}
+		for pq.Len() > 0 {
+			it := heap.Pop(pq).(distItem)
+			if it.d > dist[it.node] {
+				continue
+			}
+			for _, l := range g.adj[it.node] {
+				if !l.Up {
+					continue
+				}
+				nd := it.d + l.Delay
+				if nd < dist[l.To] {
+					dist[l.To] = nd
+					prev[l.To] = it.node
+					heap.Push(pq, distItem{node: l.To, d: nd})
+				}
+			}
+		}
+		// Walk back from every destination to find the first hop.
+		next[s] = make([]int, g.N)
+		for d := 0; d < g.N; d++ {
+			if d == s || math.IsInf(dist[d], 1) {
+				next[s][d] = -1
+				continue
+			}
+			v := d
+			for prev[v] != s {
+				v = prev[v]
+				if v == -1 {
+					break
+				}
+			}
+			next[s][d] = v
+		}
+	}
+	return next
+}
+
+type distItem struct {
+	node int
+	d    float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Packet is one unit of traffic.
+type Packet struct {
+	ID       int
+	Src, Dst int
+	Born     float64
+	Hops     int
+
+	at       int     // current node
+	arriveAt float64 // when it becomes available at `at`
+}
+
+// Flow is a steady src→dst traffic demand.
+type Flow struct {
+	Src, Dst int
+	Rate     float64 // packets per tick
+}
+
+// Router decides packet forwarding.
+type Router interface {
+	Name() string
+	// NextHop picks the outgoing link for p at node v (only Up links are
+	// offered; never empty).
+	NextHop(now float64, p *Packet, v int, out []*Link) *Link
+	// Delivered reports the packet's arrival at its destination with the
+	// total transit delay, and the per-hop trajectory feedback has already
+	// been given via Feedback.
+	Delivered(now float64, p *Packet, delay float64)
+	// Feedback reports one hop's outcome: packet for dst forwarded from v
+	// via link l, experienced hopDelay (queue + service + propagation),
+	// and the receiving node's own best remaining-delay estimate.
+	Feedback(now float64, dst, v int, l *Link, hopDelay, remoteEstimate float64)
+	// Estimate returns the router's current remaining-delay estimate from
+	// node v to dst (used to propagate bootstrap values upstream) and
+	// whether it has one.
+	Estimate(v, dst int) (float64, bool)
+	// Rewire tells the router the topology changed (oracle replans;
+	// static ignores it — that is the point).
+	Rewire(g *Graph)
+}
+
+// Config parameterises a CPN run.
+type Config struct {
+	Seed  int64
+	W, H  int // grid size (defaults 6×4)
+	Ticks int
+
+	Flows []Flow
+	// ServiceRate is packets a node can forward per tick (default 4).
+	ServiceRate int
+	// MaxAge drops packets older than this (default 300).
+	MaxAge float64
+
+	// FailAt kills FailLinks random duplex links at that tick (0 = none).
+	FailAt    float64
+	FailLinks int
+	// DosAt floods DosRate extra packets/tick at a random victim from
+	// DosFrom until DosUntil (0 = none).
+	DosAt, DosUntil float64
+	DosRate         float64
+}
+
+func (c *Config) defaults() {
+	if c.W == 0 {
+		c.W = 6
+	}
+	if c.H == 0 {
+		c.H = 4
+	}
+	if c.ServiceRate == 0 {
+		c.ServiceRate = 4
+	}
+	if c.MaxAge == 0 {
+		c.MaxAge = 300
+	}
+}
+
+// Network is a running CPN simulation.
+type Network struct {
+	Cfg    Config
+	G      *Graph
+	Router Router
+
+	rng    *rand.Rand
+	tick   int
+	pktID  int
+	queues [][]*Packet // per node
+
+	// Delivered/Lost counters and delay statistics.
+	Delivered int
+	Lost      int
+	Delay     stats.Online
+
+	// Window accounting for time-series output.
+	winDelay stats.Online
+	winLost  int
+
+	dosVictim int
+}
+
+// NewNetwork builds the simulation; the router is consulted for every hop.
+func NewNetwork(cfg Config, r Router) *Network {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := Grid(cfg.W, cfg.H, rng)
+	n := &Network{Cfg: cfg, G: g, Router: r, rng: rng,
+		queues: make([][]*Packet, g.N), dosVictim: -1}
+	r.Rewire(g)
+	return n
+}
+
+// Step advances one tick.
+func (n *Network) Step() {
+	cfg := &n.Cfg
+	now := float64(n.tick)
+	n.tick++
+
+	// Scheduled disturbances.
+	if cfg.FailAt > 0 && now == cfg.FailAt {
+		n.failRandomLinks(cfg.FailLinks)
+		n.Router.Rewire(n.G)
+	}
+	if cfg.DosAt > 0 && now == cfg.DosAt {
+		n.dosVictim = n.rng.Intn(n.G.N)
+	}
+	if cfg.DosUntil > 0 && now == cfg.DosUntil {
+		n.dosVictim = -1
+	}
+
+	// Traffic generation.
+	for _, f := range n.Flows() {
+		k := poisson(n.rng, f.Rate)
+		for i := 0; i < k; i++ {
+			n.inject(f.Src, f.Dst, now)
+		}
+	}
+	if n.dosVictim >= 0 {
+		k := poisson(n.rng, cfg.DosRate)
+		for i := 0; i < k; i++ {
+			src := n.rng.Intn(n.G.N)
+			if src != n.dosVictim {
+				n.inject(src, n.dosVictim, now)
+			}
+		}
+	}
+
+	// Forwarding: each node serves up to ServiceRate ready packets.
+	type move struct {
+		p  *Packet
+		to int
+		at float64
+	}
+	var moves []move
+	for v := 0; v < n.G.N; v++ {
+		served := 0
+		rest := n.queues[v][:0]
+		for i, p := range n.queues[v] {
+			if served >= cfg.ServiceRate || p.arriveAt > now {
+				rest = append(rest, n.queues[v][i])
+				continue
+			}
+			served++
+			if now-p.Born > cfg.MaxAge {
+				n.Lost++
+				n.winLost++
+				continue
+			}
+			// Offer only live links.
+			var out []*Link
+			for _, l := range n.G.Out(v) {
+				if l.Up {
+					out = append(out, l)
+				}
+			}
+			if len(out) == 0 {
+				n.Lost++
+				n.winLost++
+				continue
+			}
+			l := n.Router.NextHop(now, p, v, out)
+			queueWait := float64(len(n.queues[l.To])) / float64(cfg.ServiceRate)
+			hopDelay := 1 + l.Delay // service + propagation
+			remote, _ := n.Router.Estimate(l.To, p.Dst)
+			n.Router.Feedback(now, p.Dst, v, l, hopDelay+queueWait, remote)
+			p.Hops++
+			moves = append(moves, move{p: p, to: l.To, at: now + hopDelay})
+		}
+		n.queues[v] = rest
+	}
+	for _, m := range moves {
+		m.p.at = m.to
+		m.p.arriveAt = m.at
+		if m.to == m.p.Dst {
+			delay := m.at - m.p.Born
+			n.Delivered++
+			n.Delay.Add(delay)
+			n.winDelay.Add(delay)
+			n.Router.Delivered(m.at, m.p, delay)
+			continue
+		}
+		n.queues[m.to] = append(n.queues[m.to], m.p)
+	}
+}
+
+// Flows returns the configured flows (the DoS flood is handled separately).
+func (n *Network) Flows() []Flow { return n.Cfg.Flows }
+
+func (n *Network) inject(src, dst int, now float64) {
+	p := &Packet{ID: n.pktID, Src: src, Dst: dst, Born: now, at: src, arriveAt: now}
+	n.pktID++
+	n.queues[src] = append(n.queues[src], p)
+}
+
+func (n *Network) failRandomLinks(k int) {
+	// Collect distinct duplex pairs.
+	type pair struct{ a, b int }
+	seen := make(map[pair]bool)
+	var pairs []pair
+	for _, l := range n.G.Links() {
+		if !l.Up {
+			continue
+		}
+		a, b := l.From, l.To
+		if a > b {
+			a, b = b, a
+		}
+		pr := pair{a, b}
+		if !seen[pr] {
+			seen[pr] = true
+			pairs = append(pairs, pr)
+		}
+	}
+	n.rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+	for i := 0; i < k && i < len(pairs); i++ {
+		n.G.FailDuplex(pairs[i].a, pairs[i].b)
+	}
+}
+
+// WindowStats returns and resets the window's mean delay and loss count.
+func (n *Network) WindowStats() (meanDelay float64, lost int, delivered int) {
+	meanDelay = n.winDelay.Mean()
+	lost = n.winLost
+	delivered = n.winDelay.N()
+	n.winDelay = stats.Online{}
+	n.winLost = 0
+	return meanDelay, lost, delivered
+}
+
+// Run executes the configured ticks.
+func (n *Network) Run() Result {
+	for i := 0; i < n.Cfg.Ticks; i++ {
+		n.Step()
+	}
+	return n.Result()
+}
+
+// Result summarises a run.
+type Result struct {
+	Delivered int
+	Lost      int
+	LossRate  float64
+	MeanDelay float64
+}
+
+// Result computes the summary so far.
+func (n *Network) Result() Result {
+	r := Result{Delivered: n.Delivered, Lost: n.Lost, MeanDelay: n.Delay.Mean()}
+	if n.Delivered+n.Lost > 0 {
+		r.LossRate = float64(n.Lost) / float64(n.Delivered+n.Lost)
+	}
+	return r
+}
+
+// String renders the result compactly.
+func (r Result) String() string {
+	return fmt.Sprintf("delivered=%d lost=%d loss=%.4f meanDelay=%.1f",
+		r.Delivered, r.Lost, r.LossRate, r.MeanDelay)
+}
+
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

@@ -1,0 +1,211 @@
+package cpn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Static routes along shortest paths computed once at start-up: pure
+// design-time knowledge. It ignores Rewire after the first call, so link
+// failures leave it sending packets into holes (they detour randomly only
+// when the planned hop is physically down).
+type Static struct {
+	next  [][]int
+	wired bool
+	rng   *rand.Rand
+}
+
+// NewStatic returns a static shortest-path router.
+func NewStatic(rng *rand.Rand) *Static { return &Static{rng: rng} }
+
+// Name implements Router.
+func (s *Static) Name() string { return "static-shortest-path" }
+
+// Rewire implements Router: only the first call (initial topology) is used.
+func (s *Static) Rewire(g *Graph) {
+	if s.wired {
+		return
+	}
+	s.next = g.ShortestPaths()
+	s.wired = true
+}
+
+// NextHop implements Router.
+func (s *Static) NextHop(_ float64, p *Packet, v int, out []*Link) *Link {
+	want := s.next[v][p.Dst]
+	for _, l := range out {
+		if l.To == want {
+			return l
+		}
+	}
+	// Planned hop is gone: the static design has no answer; flail randomly.
+	return out[s.rng.Intn(len(out))]
+}
+
+// Delivered implements Router.
+func (s *Static) Delivered(float64, *Packet, float64) {}
+
+// Feedback implements Router (nothing is learned).
+func (s *Static) Feedback(float64, int, int, *Link, float64, float64) {}
+
+// Estimate implements Router.
+func (s *Static) Estimate(int, int) (float64, bool) { return 0, false }
+
+// Oracle recomputes global shortest paths on every topology change and
+// every Period ticks: an idealised centralised re-planner with instant,
+// free global knowledge. Real systems cannot have this; it bounds what any
+// router could achieve on path quality (it still ignores queues).
+type Oracle struct {
+	Period int
+	g      *Graph
+	next   [][]int
+	last   float64
+	rng    *rand.Rand
+}
+
+// NewOracle returns an oracle re-planner (default period 50).
+func NewOracle(rng *rand.Rand) *Oracle { return &Oracle{Period: 50, rng: rng} }
+
+// Name implements Router.
+func (o *Oracle) Name() string { return "oracle-replan" }
+
+// Rewire implements Router.
+func (o *Oracle) Rewire(g *Graph) {
+	o.g = g
+	o.next = g.ShortestPaths()
+}
+
+// NextHop implements Router.
+func (o *Oracle) NextHop(now float64, p *Packet, v int, out []*Link) *Link {
+	if now-o.last >= float64(o.Period) {
+		o.next = o.g.ShortestPaths()
+		o.last = now
+	}
+	want := o.next[v][p.Dst]
+	for _, l := range out {
+		if l.To == want {
+			return l
+		}
+	}
+	return out[o.rng.Intn(len(out))]
+}
+
+// Delivered implements Router.
+func (o *Oracle) Delivered(float64, *Packet, float64) {}
+
+// Feedback implements Router.
+func (o *Oracle) Feedback(float64, int, int, *Link, float64, float64) {}
+
+// Estimate implements Router.
+func (o *Oracle) Estimate(int, int) (float64, bool) { return 0, false }
+
+// QRouter is the self-aware router: per-node tables Q[v][dst][neighbour]
+// estimate the remaining delivery delay, updated from each hop's measured
+// delay plus the downstream node's own estimate (Boyan–Littman Q-routing —
+// the learning loop of Gelenbe's cognitive packet network). A fraction of
+// packets is forwarded exploratorily ("smart packets"); that fraction is
+// itself adaptive — it follows the router's own model surprise, so the
+// network probes aggressively right after failures and settles down when
+// its self-models are accurate again (a meta-self-awareness touch: the
+// learner watches its own learning).
+type QRouter struct {
+	// Alpha is the learning rate (default 0.3).
+	Alpha float64
+	// EpsMin/EpsMax bound the smart-packet fraction (defaults 0.02/0.10).
+	EpsMin, EpsMax float64
+
+	n        int
+	q        [][]map[int]float64 // q[v][dst][neighbour] -> delay estimate
+	rng      *rand.Rand
+	surprise float64 // EWMA of relative TD error
+}
+
+// NewQRouter returns a Q-routing router.
+func NewQRouter(rng *rand.Rand) *QRouter {
+	return &QRouter{Alpha: 0.3, EpsMin: 0.02, EpsMax: 0.10, rng: rng}
+}
+
+// Eps returns the current smart-packet fraction.
+func (q *QRouter) Eps() float64 {
+	e := q.EpsMin + q.surprise
+	if e > q.EpsMax {
+		e = q.EpsMax
+	}
+	return e
+}
+
+// Name implements Router.
+func (q *QRouter) Name() string { return "self-aware-qrouting" }
+
+// Rewire implements Router: tables persist (the learner adapts instead of
+// being re-initialised; it only sizes tables on first wiring).
+func (q *QRouter) Rewire(g *Graph) {
+	if q.q != nil {
+		return
+	}
+	q.n = g.N
+	q.q = make([][]map[int]float64, g.N)
+	for v := range q.q {
+		q.q[v] = make([]map[int]float64, g.N)
+		for d := range q.q[v] {
+			q.q[v][d] = make(map[int]float64)
+		}
+	}
+}
+
+// NextHop implements Router.
+func (q *QRouter) NextHop(_ float64, p *Packet, v int, out []*Link) *Link {
+	if q.rng.Float64() < q.Eps() {
+		return out[q.rng.Intn(len(out))] // smart packet: explore
+	}
+	var best *Link
+	bestQ := math.Inf(1)
+	for _, l := range out {
+		est, ok := q.q[v][p.Dst][l.To]
+		if !ok {
+			// Optimistic initialisation: unknown routes look good, so they
+			// get tried — exploration without global knowledge.
+			est = l.Delay
+		}
+		if est < bestQ {
+			best, bestQ = l, est
+		}
+	}
+	return best
+}
+
+// Feedback implements Router: the Q-routing update.
+func (q *QRouter) Feedback(_ float64, dst, v int, l *Link, hopDelay, remoteEstimate float64) {
+	target := hopDelay + remoteEstimate
+	old, ok := q.q[v][dst][l.To]
+	if !ok {
+		old = target
+	}
+	q.q[v][dst][l.To] = old + q.Alpha*(target-old)
+	// Track our own prediction quality; exploration follows surprise.
+	rel := (target - old) / (old + 1)
+	if rel < 0 {
+		rel = -rel
+	}
+	q.surprise += 0.005 * (rel - q.surprise)
+}
+
+// Estimate implements Router: min over neighbours of Q (0 at destination).
+func (q *QRouter) Estimate(v, dst int) (float64, bool) {
+	if v == dst {
+		return 0, true
+	}
+	best := math.Inf(1)
+	for _, e := range q.q[v][dst] {
+		if e < best {
+			best = e
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, false
+	}
+	return best, true
+}
+
+// Delivered implements Router.
+func (q *QRouter) Delivered(float64, *Packet, float64) {}

@@ -1,0 +1,169 @@
+// Package env generates the dynamic, uncertain environments the paper's
+// complexity challenges describe (§II): workloads whose characteristics
+// change over time (phases, drift), stochastic noise, bursts, and scheduled
+// disturbances. Substrates draw their inputs from these generators so that
+// every experiment runs against a non-stationary world by construction.
+package env
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Signal produces a scalar value as a function of virtual time. Signals are
+// deterministic given their RNG seed, and are the common currency between
+// environment generators and substrates.
+type Signal interface {
+	// At returns the signal value at time t. Calls must be made with
+	// non-decreasing t; generators may keep internal state.
+	At(t float64) float64
+}
+
+// Constant is a Signal with a fixed value.
+type Constant float64
+
+// At returns the constant value.
+func (c Constant) At(float64) float64 { return float64(c) }
+
+// Phase is one regime of a piecewise schedule.
+type Phase struct {
+	Until float64 // phase applies while t < Until
+	Value float64
+}
+
+// Phased is a piecewise-constant signal: the classic "workload changes its
+// characteristics over time" model. Phases must be sorted by Until.
+type Phased struct {
+	Phases []Phase
+	Last   float64 // value after the final phase
+}
+
+// NewPhased builds a phased signal, sorting phases by boundary.
+func NewPhased(last float64, phases ...Phase) *Phased {
+	ps := make([]Phase, len(phases))
+	copy(ps, phases)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Until < ps[j].Until })
+	return &Phased{Phases: ps, Last: last}
+}
+
+// At returns the value of the active phase.
+func (p *Phased) At(t float64) float64 {
+	for _, ph := range p.Phases {
+		if t < ph.Until {
+			return ph.Value
+		}
+	}
+	return p.Last
+}
+
+// Drift linearly interpolates from Start to End over [0, Duration], then
+// holds End: gradual concept drift.
+type Drift struct {
+	Start, End float64
+	Duration   float64
+}
+
+// At returns the drifted value at t.
+func (d *Drift) At(t float64) float64 {
+	if d.Duration <= 0 || t >= d.Duration {
+		return d.End
+	}
+	if t <= 0 {
+		return d.Start
+	}
+	frac := t / d.Duration
+	return d.Start + (d.End-d.Start)*frac
+}
+
+// Sine oscillates around Base with the given Amplitude and Period: diurnal
+// workload patterns.
+type Sine struct {
+	Base, Amplitude, Period float64
+}
+
+// At returns the oscillating value at t.
+func (s *Sine) At(t float64) float64 {
+	if s.Period == 0 {
+		return s.Base
+	}
+	return s.Base + s.Amplitude*math.Sin(2*math.Pi*t/s.Period)
+}
+
+// Noisy wraps a Signal with additive Gaussian noise: measurement and
+// environmental uncertainty.
+type Noisy struct {
+	Base  Signal
+	Sigma float64
+	Rng   *rand.Rand
+}
+
+// At returns base(t) + N(0, Sigma²).
+func (n *Noisy) At(t float64) float64 {
+	return n.Base.At(t) + n.Rng.NormFloat64()*n.Sigma
+}
+
+// RandomWalk is a bounded random walk: slowly wandering environment state.
+type RandomWalk struct {
+	Value    float64
+	Step     float64
+	Min, Max float64
+	Rng      *rand.Rand
+
+	lastT   float64
+	started bool
+}
+
+// At advances the walk by one step per unit time elapsed and returns the
+// current value, clamped to [Min, Max].
+func (w *RandomWalk) At(t float64) float64 {
+	if !w.started {
+		w.started = true
+		w.lastT = t
+		return w.Value
+	}
+	steps := int(t - w.lastT)
+	for i := 0; i < steps; i++ {
+		w.Value += (w.Rng.Float64()*2 - 1) * w.Step
+		if w.Value < w.Min {
+			w.Value = w.Min
+		}
+		if w.Value > w.Max {
+			w.Value = w.Max
+		}
+	}
+	if steps > 0 {
+		w.lastT = t
+	}
+	return w.Value
+}
+
+// Sum adds signals pointwise.
+type Sum []Signal
+
+// At returns the sum of component signals at t.
+func (s Sum) At(t float64) float64 {
+	total := 0.0
+	for _, sig := range s {
+		total += sig.At(t)
+	}
+	return total
+}
+
+// Clamp limits a signal to [Min, Max].
+type Clamp struct {
+	Base     Signal
+	Min, Max float64
+}
+
+// At returns base(t) clamped.
+func (c *Clamp) At(t float64) float64 {
+	v := c.Base.At(t)
+	if v < c.Min {
+		return c.Min
+	}
+	if v > c.Max {
+		return c.Max
+	}
+	return v
+}

@@ -1,0 +1,188 @@
+package env
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstant(t *testing.T) {
+	if Constant(3).At(100) != 3 {
+		t.Fatal("constant signal not constant")
+	}
+}
+
+func TestPhasedBoundaries(t *testing.T) {
+	p := NewPhased(9, Phase{Until: 10, Value: 1}, Phase{Until: 20, Value: 2})
+	cases := []struct{ t, want float64 }{
+		{0, 1}, {9.99, 1}, {10, 2}, {19.99, 2}, {20, 9}, {1000, 9},
+	}
+	for _, c := range cases {
+		if got := p.At(c.t); got != c.want {
+			t.Errorf("Phased.At(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestPhasedSortsInput(t *testing.T) {
+	p := NewPhased(0, Phase{Until: 20, Value: 2}, Phase{Until: 10, Value: 1})
+	if p.At(5) != 1 {
+		t.Fatal("phases not sorted by boundary")
+	}
+}
+
+func TestDrift(t *testing.T) {
+	d := &Drift{Start: 0, End: 10, Duration: 100}
+	if d.At(0) != 0 || d.At(100) != 10 || d.At(200) != 10 {
+		t.Fatal("drift endpoints wrong")
+	}
+	if got := d.At(50); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("drift midpoint = %v", got)
+	}
+	zero := &Drift{Start: 1, End: 2, Duration: 0}
+	if zero.At(0) != 2 {
+		t.Fatal("zero-duration drift should hold End")
+	}
+}
+
+func TestSinePeriodicity(t *testing.T) {
+	s := &Sine{Base: 5, Amplitude: 2, Period: 40}
+	if math.Abs(s.At(0)-s.At(40)) > 1e-9 {
+		t.Fatal("sine not periodic")
+	}
+	if math.Abs(s.At(10)-7) > 1e-9 {
+		t.Fatalf("sine quarter-period = %v, want 7", s.At(10))
+	}
+	flat := &Sine{Base: 5, Period: 0}
+	if flat.At(3) != 5 {
+		t.Fatal("zero-period sine should be flat")
+	}
+}
+
+func TestClampProperty(t *testing.T) {
+	f := func(vals []int16) bool {
+		raw := make([]Phase, 0, len(vals))
+		for i, v := range vals {
+			raw = append(raw, Phase{Until: float64(i + 1), Value: float64(v)})
+		}
+		sig := &Clamp{Base: NewPhased(0, raw...), Min: -10, Max: 10}
+		for i := range vals {
+			got := sig.At(float64(i) + 0.5)
+			if got < -10 || got > 10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomWalkBounds(t *testing.T) {
+	w := &RandomWalk{Value: 0, Step: 5, Min: -3, Max: 3, Rng: rand.New(rand.NewSource(1))}
+	for i := 0; i < 500; i++ {
+		v := w.At(float64(i))
+		if v < -3 || v > 3 {
+			t.Fatalf("walk escaped bounds: %v", v)
+		}
+	}
+}
+
+func TestRandomWalkAdvancesWithTime(t *testing.T) {
+	w := &RandomWalk{Value: 0, Step: 1, Min: -100, Max: 100, Rng: rand.New(rand.NewSource(2))}
+	v0 := w.At(0)
+	v0again := w.At(0)
+	if v0 != v0again {
+		t.Fatal("walk moved without time passing")
+	}
+	moved := false
+	for i := 1; i <= 10; i++ {
+		if w.At(float64(i)) != v0 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("walk never moved in 10 steps")
+	}
+}
+
+func TestSumAndNoisy(t *testing.T) {
+	s := Sum{Constant(2), Constant(3)}
+	if s.At(0) != 5 {
+		t.Fatal("Sum wrong")
+	}
+	n := &Noisy{Base: Constant(10), Sigma: 0, Rng: rand.New(rand.NewSource(1))}
+	if n.At(0) != 10 {
+		t.Fatal("zero-sigma noise changed value")
+	}
+}
+
+func TestBursty(t *testing.T) {
+	b := &Bursty{Base: Constant(2), Bursts: []Burst{{From: 10, To: 20, Multiplier: 3}}}
+	if b.At(5) != 2 || b.At(15) != 6 || b.At(20) != 2 {
+		t.Fatalf("bursty values: %v %v %v", b.At(5), b.At(15), b.At(20))
+	}
+}
+
+func TestScheduleDueAndReset(t *testing.T) {
+	fired := []string{}
+	mk := func(at float64, name string) Disturbance {
+		return Disturbance{At: at, Name: name, Apply: func(interface{}) {}}
+	}
+	s := NewSchedule(mk(30, "c"), mk(10, "a"), mk(20, "b"))
+	if got := s.Due(5); len(got) != 0 {
+		t.Fatal("nothing should be due at t=5")
+	}
+	for _, d := range s.Due(25) {
+		fired = append(fired, d.Name)
+	}
+	if len(fired) != 2 || fired[0] != "a" || fired[1] != "b" {
+		t.Fatalf("due order wrong: %v", fired)
+	}
+	if s.Remaining() != 1 {
+		t.Fatalf("remaining = %d", s.Remaining())
+	}
+	s.Reset()
+	if s.Remaining() != 3 {
+		t.Fatal("reset did not rewind")
+	}
+}
+
+func TestPoissonProcessMonotonic(t *testing.T) {
+	p := &PoissonProcess{Rate: Constant(2), Rng: rand.New(rand.NewSource(3))}
+	t0 := 0.0
+	for i := 0; i < 100; i++ {
+		t1 := p.NextAfter(t0)
+		if t1 <= t0 {
+			t.Fatalf("arrival not strictly after: %v <= %v", t1, t0)
+		}
+		t0 = t1
+	}
+	// Mean inter-arrival should be near 1/rate.
+	if t0 < 100/2.0*0.5 || t0 > 100/2.0*2 {
+		t.Fatalf("100 arrivals at rate 2 took %v, expected ≈50", t0)
+	}
+}
+
+func TestLogNormalAndBernoulli(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		if LogNormal(rng, 5, 0.5) <= 0 {
+			t.Fatal("lognormal produced non-positive value")
+		}
+	}
+	if LogNormal(rng, 5, 0) != 5 {
+		t.Fatal("zero-sigma lognormal should equal median")
+	}
+	yes := 0
+	for i := 0; i < 10000; i++ {
+		if Bernoulli(rng, 0.3) {
+			yes++
+		}
+	}
+	if yes < 2700 || yes > 3300 {
+		t.Fatalf("Bernoulli(0.3) hit %d/10000", yes)
+	}
+}

@@ -1,0 +1,100 @@
+package env
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// PoissonProcess generates exponentially distributed inter-arrival times
+// with a (possibly time-varying) rate signal. It models request arrivals,
+// packet generation, and object appearances.
+type PoissonProcess struct {
+	Rate Signal // arrivals per unit time; must be > 0 where sampled
+	Rng  *rand.Rand
+}
+
+// NextAfter returns the time of the next arrival strictly after t, using the
+// rate at t (piecewise-homogeneous approximation, which is exact for phased
+// rates when phases are long relative to inter-arrival times).
+func (p *PoissonProcess) NextAfter(t float64) float64 {
+	rate := p.Rate.At(t)
+	if rate <= 0 {
+		rate = 1e-9
+	}
+	return t + p.Rng.ExpFloat64()/rate
+}
+
+// Burst is a scheduled disturbance: between From and To the Multiplier is
+// applied (e.g. a flash crowd or a DoS attack window).
+type Burst struct {
+	From, To   float64
+	Multiplier float64
+}
+
+// Bursty scales a base signal by every active burst's multiplier.
+type Bursty struct {
+	Base   Signal
+	Bursts []Burst
+}
+
+// At returns base(t) scaled by all bursts covering t.
+func (b *Bursty) At(t float64) float64 {
+	v := b.Base.At(t)
+	for _, burst := range b.Bursts {
+		if t >= burst.From && t < burst.To {
+			v *= burst.Multiplier
+		}
+	}
+	return v
+}
+
+// Disturbance is a named, scheduled environment change used by substrates to
+// inject failures and attacks at run time.
+type Disturbance struct {
+	At   float64
+	Name string
+	// Apply mutates substrate state; the substrate passes itself in.
+	Apply func(target interface{})
+}
+
+// Schedule is an ordered list of disturbances.
+type Schedule struct {
+	items []Disturbance
+	next  int
+}
+
+// NewSchedule builds a schedule sorted by time.
+func NewSchedule(items ...Disturbance) *Schedule {
+	s := &Schedule{items: make([]Disturbance, len(items))}
+	copy(s.items, items)
+	sort.Slice(s.items, func(i, j int) bool { return s.items[i].At < s.items[j].At })
+	return s
+}
+
+// Due returns (and consumes) all disturbances with At ≤ t, in order.
+func (s *Schedule) Due(t float64) []Disturbance {
+	var due []Disturbance
+	for s.next < len(s.items) && s.items[s.next].At <= t {
+		due = append(due, s.items[s.next])
+		s.next++
+	}
+	return due
+}
+
+// Remaining reports how many disturbances have not yet fired.
+func (s *Schedule) Remaining() int { return len(s.items) - s.next }
+
+// Reset rewinds the schedule so it can be replayed.
+func (s *Schedule) Reset() { s.next = 0 }
+
+// LogNormal samples a log-normal value with the given median and sigma of
+// the underlying normal; used for heavy-tailed service times.
+func LogNormal(rng *rand.Rand, median, sigma float64) float64 {
+	return median * math.Exp(rng.NormFloat64()*sigma)
+}
+
+// Bernoulli returns true with probability p.
+func Bernoulli(rng *rand.Rand, p float64) bool {
+	return rng.Float64() < p
+}

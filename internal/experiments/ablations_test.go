@@ -1,0 +1,85 @@
+package experiments
+
+import "testing"
+
+func TestAblationIDs(t *testing.T) {
+	ids := AblationIDs()
+	if len(ids) != 5 || ids[0] != "X1" || ids[4] != "X5" {
+		t.Fatalf("ablation ids = %v", ids)
+	}
+}
+
+func TestX1LambdaMonotoneMessages(t *testing.T) {
+	r := X1CamnetLambda(Config{Seeds: 1, Scale: 0.3})
+	// Messages must decrease (weakly) as λ rises across the sweep ends.
+	first := r.Table.Cell(0, 2)
+	last := r.Table.Cell(r.Table.NumRows()-1, 2)
+	if last >= first {
+		t.Fatalf("messages did not fall with λ: %v → %v", first, last)
+	}
+	// Utility should not collapse: the learner trades gracefully.
+	uFirst := r.Table.Cell(0, 1)
+	uLast := r.Table.Cell(r.Table.NumRows()-1, 1)
+	if uLast < 0.85*uFirst {
+		t.Fatalf("utility collapsed across the λ sweep: %v → %v", uFirst, uLast)
+	}
+}
+
+func TestX2EpochSweepRuns(t *testing.T) {
+	r := X2PortfolioEpoch(Config{Seeds: 1, Scale: 0.2})
+	if r.Table.NumRows() != 5 {
+		t.Fatalf("rows = %d", r.Table.NumRows())
+	}
+	// Shorter epochs must switch more often than longer ones.
+	swShort := r.Table.Cell(0, 2)
+	swLong := r.Table.Cell(r.Table.NumRows()-1, 2)
+	if swShort <= swLong {
+		t.Fatalf("switch counts not decreasing with epoch: %v vs %v", swShort, swLong)
+	}
+}
+
+func TestX3AdaptiveCompetitive(t *testing.T) {
+	r := X3CPNExploration(Config{Seeds: 2, Scale: 1})
+	adaptive, ok := r.Table.Lookup("adaptive (default)", "loss-rate")
+	if !ok {
+		t.Fatal("missing adaptive row")
+	}
+	worstFixed := 0.0
+	for _, name := range []string{"fixed ε=0.01", "fixed ε=0.05", "fixed ε=0.20"} {
+		v, _ := r.Table.Lookup(name, "loss-rate")
+		if v > worstFixed {
+			worstFixed = v
+		}
+	}
+	if adaptive >= worstFixed {
+		t.Fatalf("adaptive loss %v not better than the worst fixed setting %v",
+			adaptive, worstFixed)
+	}
+}
+
+func TestX4GateMiddleBandWins(t *testing.T) {
+	r := X4CloudGate(Config{Seeds: 1, Scale: 0.3})
+	noGate, _ := r.Table.Lookup("gate=0.00", "success")
+	mid, _ := r.Table.Lookup("gate=0.85", "success")
+	if mid <= noGate {
+		t.Fatalf("gated success %v not above ungated %v", mid, noGate)
+	}
+	strictLat, _ := r.Table.Lookup("gate=0.95", "mean-lat")
+	midLat, _ := r.Table.Lookup("gate=0.85", "mean-lat")
+	if strictLat <= midLat {
+		t.Fatalf("overly strict gate should cost latency: %v vs %v", strictLat, midLat)
+	}
+}
+
+func TestX5HierarchyCrossover(t *testing.T) {
+	r := X5Hierarchy(Config{Seeds: 2, Scale: 1})
+	flatBig, _ := r.Table.Lookup("n=1024", "flat-msgs")
+	hierBig, _ := r.Table.Lookup("n=1024", "hier-msgs")
+	if hierBig >= flatBig {
+		t.Fatalf("hierarchy not cheaper at n=1024: %v vs %v", hierBig, flatBig)
+	}
+	hierErr, _ := r.Table.Lookup("n=1024", "hier-err")
+	if hierErr > 0.03 {
+		t.Fatalf("hierarchy accuracy out of band: %v", hierErr)
+	}
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sacs/internal/core"
+	"sacs/internal/learning"
+	"sacs/internal/stats"
+)
+
+// E6MetaUnderDrift pits fixed learning strategies against the meta
+// portfolio (a learner-over-learners) on a decision problem whose reward
+// structure shifts regime: under drift the portfolio should track the best
+// per-phase strategy, and on a stationary problem it should pay only a small
+// overhead versus the best fixed learner — the paper's meta-self-awareness
+// payoff.
+func E6MetaUnderDrift(cfg Config) *Result {
+	cfg = cfg.defaults()
+	steps := cfg.ticks(30000)
+	const arms = 10
+	const phaseLen = 2500
+
+	table := stats.NewTable(
+		fmt.Sprintf("E6 meta-self-awareness: %d-armed bandit, %d steps, phase change every %d (drift case), %d seeds",
+			arms, steps, phaseLen, cfg.Seeds),
+		"reward-stationary", "regret-stationary", "reward-drift", "regret-drift", "switches")
+
+	type mkLearner func(rng *rand.Rand) learning.Bandit
+	systems := []struct {
+		name string
+		mk   mkLearner
+	}{
+		{"eps-greedy (fixed)", func(rng *rand.Rand) learning.Bandit {
+			return learning.NewEpsilonGreedy(arms, 0.1, rng)
+		}},
+		{"ucb1 (fixed)", func(rng *rand.Rand) learning.Bandit {
+			return learning.NewUCB1(arms)
+		}},
+		{"softmax (fixed)", func(rng *rand.Rand) learning.Bandit {
+			return learning.NewSoftmax(arms, 0.1, rng)
+		}},
+		{"exp3 (adversarial)", func(rng *rand.Rand) learning.Bandit {
+			return learning.NewEXP3(arms, 0.07, rng)
+		}},
+		{"sliding-ucb", func(rng *rand.Rand) learning.Bandit {
+			return learning.NewSlidingUCB(arms, 150)
+		}},
+		{"meta-portfolio", func(rng *rand.Rand) learning.Bandit {
+			return core.NewPortfolio(100,
+				learning.NewEpsilonGreedy(arms, 0.1, rng),
+				learning.NewUCB1(arms),
+				learning.NewSlidingUCB(arms, 150),
+				learning.NewSoftmax(arms, 0.1, rng),
+			)
+		}},
+	}
+
+	// run returns mean reward and mean per-step regret against the current
+	// best arm.
+	run := func(b learning.Bandit, drift bool, seed int64) (reward, regret float64) {
+		rng := rand.New(rand.NewSource(seed))
+		means := make([]float64, arms)
+		reroll := func() {
+			for i := range means {
+				means[i] = 0.2 + 0.6*rng.Float64()
+			}
+			// One clearly best arm per phase.
+			means[rng.Intn(arms)] = 0.9
+		}
+		reroll()
+		best := func() float64 {
+			b := means[0]
+			for _, m := range means[1:] {
+				if m > b {
+					b = m
+				}
+			}
+			return b
+		}
+		var sumR, sumRegret float64
+		for t := 0; t < steps; t++ {
+			if drift && t > 0 && t%phaseLen == 0 {
+				reroll()
+			}
+			arm := b.Select()
+			r := 0.0
+			if rng.Float64() < means[arm] {
+				r = 1
+			}
+			b.Update(arm, r)
+			sumR += r
+			sumRegret += best() - means[arm]
+		}
+		return sumR / float64(steps), sumRegret / float64(steps)
+	}
+
+	for _, sys := range systems {
+		var rs, gs, rd, gd, sw float64
+		for s := 0; s < cfg.Seeds; s++ {
+			b1 := sys.mk(rand.New(rand.NewSource(int64(100 + s))))
+			r1, g1 := run(b1, false, int64(200+s))
+			b2 := sys.mk(rand.New(rand.NewSource(int64(100 + s))))
+			r2, g2 := run(b2, true, int64(200+s))
+			rs += r1
+			gs += g1
+			rd += r2
+			gd += g2
+			if p, ok := b2.(*core.Portfolio); ok {
+				sw += float64(p.Switches)
+			}
+		}
+		n := float64(cfg.Seeds)
+		table.AddRow(sys.name, rs/n, gs/n, rd/n, gd/n, sw/n)
+	}
+
+	table.AddNote("expected shape: exploit-heavy fixed learners (eps-greedy, softmax, exp3) " +
+		"collapse under drift; the meta portfolio stays within ~5%% of the best-in-hindsight " +
+		"specialist in BOTH regimes without design-time knowledge of which specialist fits")
+	return &Result{
+		ID:    "E6",
+		Title: "meta-self-awareness: strategy switching under drift",
+		Claim: `"Advanced organisms also engage in meta-self-awareness ... aware of the way ` +
+			`they themselves are aware" (§IV, [42]); the meta level adapts how the system ` +
+			`learns when the world shifts`,
+		Table: table,
+	}
+}

@@ -1,0 +1,164 @@
+package experiments
+
+// Edge-case and failure-injection tests: the substrates must stay sane at
+// the boundaries of their parameter spaces (empty workloads, total failure,
+// degenerate sizes), not only in the tuned experiment regimes.
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sacs/internal/camnet"
+	"sacs/internal/cloudsim"
+	"sacs/internal/core"
+	"sacs/internal/cpn"
+	"sacs/internal/env"
+	"sacs/internal/goals"
+	"sacs/internal/multicore"
+)
+
+func TestCloudAllNodesUnreliable(t *testing.T) {
+	cfg := cloudsim.Config{
+		Seed: 1, Nodes: 10, MaxNodes: 12, Ticks: 1500,
+		ArrivalRate: env.Constant(0.8), UnreliableFrac: 0.999999,
+		ChurnOut: 1e-9, ChurnIn: 1e-9,
+	}
+	c := cloudsim.New(cfg, cloudsim.NewSelfAware(), nil)
+	r := c.Run()
+	// With every node unreliable, retries burn capacity but the simulation
+	// must terminate with sane accounting.
+	if r.SuccessRate < 0 || r.SuccessRate > 1 {
+		t.Fatalf("success rate out of range: %v", r.SuccessRate)
+	}
+	if r.Succeeded+r.Failed == 0 {
+		t.Fatal("no outcomes at all")
+	}
+	// With per-node reliability in 0.3..0.7 and two retries, the best
+	// achievable success is ≈ 1−0.3³ ≈ 0.973: some requests must die.
+	if r.Failed == 0 || r.SuccessRate > 0.99 {
+		t.Fatalf("implausible outcome with fully unreliable fleet: %+v", r)
+	}
+}
+
+func TestCloudZeroArrivals(t *testing.T) {
+	cfg := cloudsim.Config{
+		Seed: 2, Nodes: 5, MaxNodes: 6, Ticks: 500,
+		ArrivalRate: env.Constant(0.000001),
+	}
+	r := cloudsim.New(cfg, cloudsim.LeastQueue{}, nil).Run()
+	if r.Failed != 0 {
+		t.Fatalf("failures with (almost) no traffic: %d", r.Failed)
+	}
+}
+
+func TestCloudAutoscalerUnderIdleLoad(t *testing.T) {
+	cfg := cloudsim.Config{
+		Seed: 3, Nodes: 20, MaxNodes: 25, Ticks: 1000,
+		ArrivalRate: env.Constant(0.1),
+	}
+	c := cloudsim.New(cfg, cloudsim.NewSelfAware(), &cloudsim.Reactive{Hi: 3, Lo: 0.5})
+	r := c.Run()
+	// The scaler should park most of the idle fleet.
+	if r.NodeTicks > 0.5*20*1000 {
+		t.Fatalf("idle fleet not scaled down: %v node-ticks", r.NodeTicks)
+	}
+	if r.SuccessRate < 0.95 {
+		t.Fatalf("scaling broke service: %v", r.SuccessRate)
+	}
+}
+
+func TestMulticoreNoArrivals(t *testing.T) {
+	gsw := goals.NewSwitcher(perfGoal())
+	sa := multicore.NewSelfAware(core.FullStack, gsw)
+	p := multicore.New(multicore.Config{
+		Seed: 4, Ticks: 600, ArrivalRate: env.Constant(0.0000001),
+	}, sa)
+	sa.Bind(p)
+	r := p.Run()
+	if r.Done != 0 && r.MissRate > 0 {
+		t.Fatalf("misses without meaningful load: %+v", r)
+	}
+	if r.Energy <= 0 {
+		t.Fatal("idle platform should still burn static power")
+	}
+}
+
+func TestMulticoreSevereThrottle(t *testing.T) {
+	gsw := goals.NewSwitcher(perfGoal())
+	sa := multicore.NewSelfAware(core.FullStack, gsw)
+	p := multicore.New(multicore.Config{
+		Seed: 5, Ticks: 3000, ThrottleAt: 1000, ThrottleFactor: 0.2,
+	}, sa)
+	sa.Bind(p)
+	r := p.Run()
+	if r.Done == 0 {
+		t.Fatal("nothing completed under severe throttle")
+	}
+	if sa.Adaptations == 0 {
+		t.Fatal("meta level slept through an 80% big-core throttle")
+	}
+}
+
+func TestCPNTotalPartition(t *testing.T) {
+	cfg := cpn.Config{
+		Seed: 6, Ticks: 800,
+		Flows:  []cpn.Flow{{Src: 0, Dst: 23, Rate: 0.5}},
+		FailAt: 200, FailLinks: 10000, // sever everything
+	}
+	n := cpn.NewNetwork(cfg, cpn.NewQRouter(rand.New(rand.NewSource(7))))
+	r := n.Run()
+	// After total partition every packet must eventually be lost, with no
+	// panics and no phantom deliveries.
+	if r.Delivered == 0 {
+		t.Fatal("expected some deliveries before the partition")
+	}
+	if r.Lost == 0 {
+		t.Fatal("expected losses after total partition")
+	}
+}
+
+func TestCamnetDegenerateSizes(t *testing.T) {
+	one := camnet.NewNetwork(camnet.Config{Seed: 8, Cameras: 1, Objects: 1, Ticks: 300}).Run()
+	if one.Coverage < 0 || one.Coverage > 1 {
+		t.Fatalf("degenerate coverage: %v", one.Coverage)
+	}
+	crowded := camnet.NewNetwork(camnet.Config{
+		Seed: 9, Cameras: 4, Objects: 60, Ticks: 300, SelfAware: true,
+	}).Run()
+	if crowded.Utility <= 0 {
+		t.Fatal("crowded network tracked nothing")
+	}
+}
+
+func TestAgentWithNoSensorsOrEffectors(t *testing.T) {
+	a := core.New(core.Config{Name: "bare"})
+	for i := 0; i < 10; i++ {
+		if acts := a.Step(float64(i), nil); len(acts) != 0 {
+			t.Fatal("inert agent acted")
+		}
+	}
+	if a.Steps() != 10 {
+		t.Fatal("steps not counted")
+	}
+}
+
+func TestWhyNotContrastive(t *testing.T) {
+	d := &core.Decision{Now: 3}
+	d.Score("fast", 0.9)
+	d.Score("cheap", 0.4)
+	d.Choose(core.Action{Name: "go-fast"}, "fast wins")
+
+	if got := d.WhyNot("cheap"); got == "" ||
+		!contains(got, "fast") || !contains(got, "cheap") {
+		t.Fatalf("contrastive explanation incomplete: %s", got)
+	}
+	if got := d.WhyNot("fast"); !contains(got, "basis of my action") {
+		t.Fatalf("winner explanation wrong: %s", got)
+	}
+	if got := d.WhyNot("never-scored"); !contains(got, "never considered") {
+		t.Fatalf("unknown candidate explanation wrong: %s", got)
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

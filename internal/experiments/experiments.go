@@ -1,0 +1,133 @@
+// Package experiments implements the synthetic evaluation suite E1–E10.
+//
+// The reproduced paper is a vision paper with no tables or figures; per the
+// reproduction protocol, each experiment here operationalises one concrete
+// claim from the paper's text on one of the simulated substrates, with at
+// least one non-self-aware baseline. EXPERIMENTS.md records the expected
+// qualitative shape and the measured numbers; cmd/sawbench prints the
+// tables; bench_test.go wraps each experiment in a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"sacs/internal/stats"
+)
+
+// Config controls experiment size.
+type Config struct {
+	// Seeds is how many independent seeds to average over (default 3).
+	Seeds int
+	// Scale multiplies run lengths; 1 is the full experiment, benchmarks
+	// use smaller values (default 1, minimum effective length enforced
+	// per experiment).
+	Scale float64
+}
+
+func (c Config) defaults() Config {
+	if c.Seeds <= 0 {
+		c.Seeds = 3
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	return c
+}
+
+func (c Config) ticks(full int) int {
+	t := int(float64(full) * c.Scale)
+	if t < 500 {
+		t = 500
+	}
+	return t
+}
+
+// Result is one experiment's output.
+type Result struct {
+	ID    string
+	Title string
+	// Claim is the paper statement the experiment operationalises.
+	Claim   string
+	Table   *stats.Table
+	Figures []*stats.Figure
+}
+
+// String renders the full result.
+func (r *Result) String() string {
+	s := fmt.Sprintf("=== %s: %s ===\nclaim: %s\n\n%s", r.ID, r.Title, r.Claim, r.Table)
+	for _, f := range r.Figures {
+		s += "\n" + f.String()
+	}
+	return s
+}
+
+// Runner produces one experiment result.
+type Runner func(Config) *Result
+
+// Registry maps experiment IDs to runners.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"E1":  E1CameraNetwork,
+		"E2":  E2GoalSwitch,
+		"E3":  E3VolunteerCloud,
+		"E4":  E4CPNResilience,
+		"E5":  E5LevelsAblation,
+		"E6":  E6MetaUnderDrift,
+		"E7":  E7Collective,
+		"E8":  E8Attention,
+		"E9":  E9Explanation,
+		"E10": E10NoAPriori,
+		"X1":  X1CamnetLambda,
+		"X2":  X2PortfolioEpoch,
+		"X3":  X3CPNExploration,
+		"X4":  X4CloudGate,
+		"X5":  X5Hierarchy,
+	}
+}
+
+// IDs returns the main experiment IDs (E1..E10) in order; ablations
+// (X1..X5) are run explicitly by ID.
+func IDs() []string {
+	ids := make([]string, 0, 10)
+	for id := range Registry() {
+		if id[0] == 'E' {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		// E1 < E2 < ... < E10 (numeric order, not lexicographic).
+		return num(ids[i]) < num(ids[j])
+	})
+	return ids
+}
+
+// AblationIDs returns the design-ablation experiment IDs in order.
+func AblationIDs() []string {
+	ids := make([]string, 0, 5)
+	for id := range Registry() {
+		if id[0] == 'X' {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return num(ids[i]) < num(ids[j]) })
+	return ids
+}
+
+func num(id string) int {
+	n := 0
+	for _, r := range id[1:] {
+		n = n*10 + int(r-'0')
+	}
+	return n
+}
+
+// All runs every experiment in order.
+func All(cfg Config) []*Result {
+	var out []*Result
+	reg := Registry()
+	for _, id := range IDs() {
+		out = append(out, reg[id](cfg))
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package goals
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func twoObjectiveSet() *Set {
+	return NewSet("g",
+		Objective{Name: "perf", Direction: Maximize, Weight: 1, Scale: 10},
+		Objective{Name: "power", Direction: Minimize, Weight: 0.5, Scale: 5},
+	)
+}
+
+func TestUtilityWeightingAndDirection(t *testing.T) {
+	g := twoObjectiveSet()
+	u := g.Utility(map[string]float64{"perf": 10, "power": 5})
+	// 1·(10/10) − 0.5·(5/5) = 0.5
+	if math.Abs(u-0.5) > 1e-12 {
+		t.Fatalf("utility = %v, want 0.5", u)
+	}
+}
+
+func TestUtilityMissingMetricsContributeZero(t *testing.T) {
+	g := twoObjectiveSet()
+	if u := g.Utility(nil); u != 0 {
+		t.Fatalf("utility with no metrics = %v", u)
+	}
+	if u := g.Utility(map[string]float64{"perf": 10}); math.Abs(u-1) > 1e-12 {
+		t.Fatalf("partial metrics utility = %v", u)
+	}
+}
+
+func TestUtilityMonotoneProperty(t *testing.T) {
+	g := twoObjectiveSet()
+	f := func(perfRaw, powerRaw uint8, bump uint8) bool {
+		perf := float64(perfRaw)
+		power := float64(powerRaw)
+		base := g.Utility(map[string]float64{"perf": perf, "power": power})
+		// More of a maximised metric never lowers utility...
+		up := g.Utility(map[string]float64{"perf": perf + float64(bump), "power": power})
+		// ...and more of a minimised metric never raises it.
+		down := g.Utility(map[string]float64{"perf": perf, "power": power + float64(bump)})
+		return up >= base-1e-12 && down <= base+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstraintPenaltyAndViolations(t *testing.T) {
+	g := NewSet("sla",
+		Objective{Name: "latency", Direction: Minimize, Weight: 1, Scale: 10,
+			Constrained: true, Bound: 100},
+	)
+	ok := g.Utility(map[string]float64{"latency": 50})
+	bad := g.Utility(map[string]float64{"latency": 150})
+	if bad >= ok {
+		t.Fatal("violating the constraint did not reduce utility")
+	}
+	// The penalty should dominate the smooth part: 10·weight.
+	if (ok - bad) < 10 {
+		t.Fatalf("constraint penalty too small: %v", ok-bad)
+	}
+	if v := g.Violations(map[string]float64{"latency": 150}); len(v) != 1 || v[0] != "latency" {
+		t.Fatalf("violations = %v", v)
+	}
+	if v := g.Violations(map[string]float64{"latency": 50}); len(v) != 0 {
+		t.Fatalf("unexpected violations = %v", v)
+	}
+}
+
+func TestConstraintDirectionMaximize(t *testing.T) {
+	o := Objective{Name: "uptime", Direction: Maximize, Constrained: true, Bound: 0.99}
+	if o.Satisfied(0.995) != true || o.Satisfied(0.5) != false {
+		t.Fatal("maximize constraint logic wrong")
+	}
+}
+
+func TestDuplicateObjectivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate objective did not panic")
+		}
+	}()
+	NewSet("dup", Objective{Name: "a"}, Objective{Name: "a"})
+}
+
+func TestDominates(t *testing.T) {
+	g := twoObjectiveSet()
+	a := map[string]float64{"perf": 10, "power": 5}
+	b := map[string]float64{"perf": 8, "power": 5}
+	c := map[string]float64{"perf": 8, "power": 4}
+	if !g.Dominates(a, b) {
+		t.Fatal("a should dominate b (better perf, equal power)")
+	}
+	if g.Dominates(b, a) {
+		t.Fatal("b cannot dominate a")
+	}
+	if g.Dominates(a, c) || g.Dominates(c, a) {
+		t.Fatal("a and c are incomparable (trade-off)")
+	}
+	if g.Dominates(a, a) {
+		t.Fatal("a point cannot dominate itself")
+	}
+}
+
+func TestDominanceAxiomsProperty(t *testing.T) {
+	g := twoObjectiveSet()
+	f := func(p1, w1, p2, w2 uint8) bool {
+		a := map[string]float64{"perf": float64(p1), "power": float64(w1)}
+		b := map[string]float64{"perf": float64(p2), "power": float64(w2)}
+		// Antisymmetry: both directions cannot hold.
+		if g.Dominates(a, b) && g.Dominates(b, a) {
+			return false
+		}
+		// Irreflexivity.
+		return !g.Dominates(a, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObjectiveLookupAndString(t *testing.T) {
+	g := twoObjectiveSet()
+	o, ok := g.Objective("perf")
+	if !ok || o.Direction != Maximize {
+		t.Fatal("Objective lookup failed")
+	}
+	if _, ok := g.Objective("nope"); ok {
+		t.Fatal("lookup of missing objective succeeded")
+	}
+	s := g.String()
+	if !strings.Contains(s, "perf") || !strings.Contains(s, "power") {
+		t.Fatalf("String() missing objectives: %s", s)
+	}
+	if Maximize.String() != "max" || Minimize.String() != "min" {
+		t.Fatal("direction strings")
+	}
+}
+
+func TestSwitcherAppliesScheduledSwitches(t *testing.T) {
+	g1 := NewSet("one")
+	g2 := NewSet("two")
+	g3 := NewSet("three")
+	sw := NewSwitcher(g1)
+	sw.ScheduleSwitch(10, g2)
+	sw.ScheduleSwitch(20, g3)
+
+	if a, changed := sw.Tick(5); a != g1 || changed {
+		t.Fatal("switched too early")
+	}
+	if a, changed := sw.Tick(10); a != g2 || !changed {
+		t.Fatal("switch at t=10 missed")
+	}
+	// Jumping past several switches applies all of them.
+	if a, _ := sw.Tick(100); a != g3 {
+		t.Fatal("later switch not applied")
+	}
+	if sw.Switches != 2 {
+		t.Fatalf("Switches = %d, want 2", sw.Switches)
+	}
+	if sw.Active() != g3 {
+		t.Fatal("Active() inconsistent")
+	}
+}
+
+func TestSwitcherOutOfOrderPanics(t *testing.T) {
+	sw := NewSwitcher(NewSet("g"))
+	sw.ScheduleSwitch(20, NewSet("a"))
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order schedule did not panic")
+		}
+	}()
+	sw.ScheduleSwitch(10, NewSet("b"))
+}
+
+func TestSwitcherNilInitialPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil initial set did not panic")
+		}
+	}()
+	NewSwitcher(nil)
+}
+
+func TestObjectivesReturnsCopy(t *testing.T) {
+	g := twoObjectiveSet()
+	objs := g.Objectives()
+	objs[0].Weight = 999
+	if o, _ := g.Objective("perf"); o.Weight == 999 {
+		t.Fatal("Objectives leaked internal state")
+	}
+}

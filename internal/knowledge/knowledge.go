@@ -1,0 +1,311 @@
+// Package knowledge implements the self-model store at the heart of the
+// framework: named, scoped models with confidence, provenance and bounded
+// history. The paper's definition of self-awareness — knowledge of internal
+// state, history, environment and goals — is realised as entries in this
+// store, which the reasoner reads, the learners write, and the explainer
+// cites.
+package knowledge
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Scope distinguishes private self-knowledge (internal phenomena: own load,
+// own error rates) from public self-knowledge (externally visible phenomena:
+// the agent's role, impact and appearance in the world). This is the paper's
+// first framework concept (§IV).
+type Scope int
+
+// Scope values.
+const (
+	Private Scope = iota
+	Public
+)
+
+// String returns "private" or "public".
+func (s Scope) String() string {
+	if s == Public {
+		return "public"
+	}
+	return "private"
+}
+
+// Entry is one model in the store: a scalar estimate with uncertainty,
+// bounded history, and bookkeeping for explanation.
+type Entry struct {
+	Name       string
+	Scope      Scope
+	value      float64
+	variance   float64
+	alpha      float64 // EWMA factor for value/variance tracking
+	n          int
+	lastUpdate float64 // virtual time of last update
+	hist       *Ring
+}
+
+// Value returns the current estimate.
+func (e *Entry) Value() float64 { return e.value }
+
+// Variance returns the EWMA-tracked variance of observations around the
+// estimate, a cheap volatility signal used by attention and meta levels.
+func (e *Entry) Variance() float64 { return e.variance }
+
+// Updates returns how many observations the entry has absorbed.
+func (e *Entry) Updates() int { return e.n }
+
+// LastUpdate returns the virtual time of the last observation.
+func (e *Entry) LastUpdate() float64 { return e.lastUpdate }
+
+// Confidence maps freshness and sample count to [0, 1]: zero observations
+// give 0; confidence grows with n and is discounted by staleness.
+func (e *Entry) Confidence(now float64) float64 {
+	if e.n == 0 {
+		return 0
+	}
+	sample := 1 - 1/math.Sqrt(float64(e.n)+1)
+	age := now - e.lastUpdate
+	fresh := math.Exp(-age / 100)
+	return sample * fresh
+}
+
+// History returns the entry's bounded history ring (may be nil if the store
+// was created without history).
+func (e *Entry) History() *Ring { return e.hist }
+
+// Observe folds a new observation in at virtual time now.
+func (e *Entry) Observe(x, now float64) {
+	if e.n == 0 {
+		e.value = x
+	} else {
+		d := x - e.value
+		e.value += e.alpha * d
+		e.variance += e.alpha * (d*d - e.variance)
+	}
+	e.n++
+	e.lastUpdate = now
+	if e.hist != nil {
+		e.hist.Push(now, x)
+	}
+}
+
+// Set overwrites the estimate without history bookkeeping (for derived
+// quantities computed by reasoning rather than sensed).
+func (e *Entry) Set(x, now float64) {
+	e.value = x
+	e.n++
+	e.lastUpdate = now
+	if e.hist != nil {
+		e.hist.Push(now, x)
+	}
+}
+
+// Store is a threadsafe registry of model entries keyed by name.
+type Store struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+	alpha   float64
+	histLen int
+	Reads   int // instrumentation: model consultations (for E9 overhead)
+	Writes  int
+}
+
+// NewStore returns a store whose entries smooth with factor alpha and keep
+// histLen historical points (histLen = 0 disables history).
+func NewStore(alpha float64, histLen int) *Store {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.2
+	}
+	return &Store{entries: make(map[string]*Entry), alpha: alpha, histLen: histLen}
+}
+
+// Ensure returns the entry named name, creating it with the given scope on
+// first use.
+func (s *Store) Ensure(name string, scope Scope) *Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[name]
+	if !ok {
+		e = &Entry{Name: name, Scope: scope, alpha: s.alpha}
+		if s.histLen > 0 {
+			e.hist = NewRing(s.histLen)
+		}
+		s.entries[name] = e
+	}
+	return e
+}
+
+// Observe records an observation for name (creating the entry if needed).
+func (s *Store) Observe(name string, scope Scope, x, now float64) {
+	e := s.Ensure(name, scope)
+	s.mu.Lock()
+	s.Writes++
+	s.mu.Unlock()
+	e.Observe(x, now)
+}
+
+// Get returns the entry for name, or nil if absent. It counts as a model
+// consultation.
+func (s *Store) Get(name string) *Entry {
+	s.mu.Lock()
+	s.Reads++
+	e := s.entries[name]
+	s.mu.Unlock()
+	return e
+}
+
+// Value returns the current estimate for name, or def if the model is
+// absent or has never been updated.
+func (s *Store) Value(name string, def float64) float64 {
+	e := s.Get(name)
+	if e == nil || e.n == 0 {
+		return def
+	}
+	return e.value
+}
+
+// Delete removes the named entry; a later Ensure/Observe recreates it
+// fresh (first observation re-seeds the value). Deleting a missing name is
+// a no-op. Meta-level processes use this to discard models that drift
+// detection has invalidated.
+func (s *Store) Delete(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.entries, name)
+}
+
+// Names returns all entry names, sorted, optionally filtered by scope.
+func (s *Store) Names(scope Scope, filter bool) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var names []string
+	for n, e := range s.entries {
+		if filter && e.Scope != scope {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len reports the number of entries.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
+
+// Inventory renders a human-readable snapshot, used by self-explanation.
+func (s *Store) Inventory(now float64) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var names []string
+	for n := range s.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		e := s.entries[n]
+		fmt.Fprintf(&b, "%-28s %8.3f  conf=%.2f  scope=%s  n=%d\n",
+			n, e.value, e.Confidence(now), e.Scope, e.n)
+	}
+	return b.String()
+}
+
+// Ring is a fixed-capacity time-stamped history buffer: the substrate of
+// time-awareness. The zero value is unusable; create with NewRing.
+type Ring struct {
+	t, v []float64
+	head int
+	size int
+}
+
+// NewRing returns a ring holding up to capacity points.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic("knowledge: ring capacity must be > 0")
+	}
+	return &Ring{t: make([]float64, capacity), v: make([]float64, capacity)}
+}
+
+// Push appends a point, evicting the oldest when full.
+func (r *Ring) Push(t, v float64) {
+	r.t[r.head] = t
+	r.v[r.head] = v
+	r.head = (r.head + 1) % len(r.t)
+	if r.size < len(r.t) {
+		r.size++
+	}
+}
+
+// Len reports how many points are stored.
+func (r *Ring) Len() int { return r.size }
+
+// Values returns stored values oldest-first.
+func (r *Ring) Values() []float64 {
+	out := make([]float64, 0, r.size)
+	start := r.head - r.size
+	if start < 0 {
+		start += len(r.t)
+	}
+	for i := 0; i < r.size; i++ {
+		out = append(out, r.v[(start+i)%len(r.v)])
+	}
+	return out
+}
+
+// Times returns stored timestamps oldest-first.
+func (r *Ring) Times() []float64 {
+	out := make([]float64, 0, r.size)
+	start := r.head - r.size
+	if start < 0 {
+		start += len(r.t)
+	}
+	for i := 0; i < r.size; i++ {
+		out = append(out, r.t[(start+i)%len(r.t)])
+	}
+	return out
+}
+
+// Mean returns the mean of stored values (0 when empty).
+func (r *Ring) Mean() float64 {
+	if r.size == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range r.Values() {
+		s += v
+	}
+	return s / float64(r.size)
+}
+
+// Trend returns a least-squares slope of value against time over the stored
+// window (0 with fewer than 2 points): a cheap "likely future" signal.
+func (r *Ring) Trend() float64 {
+	if r.size < 2 {
+		return 0
+	}
+	ts, vs := r.Times(), r.Values()
+	var mt, mv float64
+	for i := range ts {
+		mt += ts[i]
+		mv += vs[i]
+	}
+	n := float64(len(ts))
+	mt /= n
+	mv /= n
+	var num, den float64
+	for i := range ts {
+		num += (ts[i] - mt) * (vs[i] - mv)
+		den += (ts[i] - mt) * (ts[i] - mt)
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,210 @@
+package knowledge
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStoreEnsureObserveValue(t *testing.T) {
+	s := NewStore(0.5, 8)
+	if got := s.Value("missing", 42); got != 42 {
+		t.Fatalf("default value = %v", got)
+	}
+	s.Observe("load", Private, 10, 1)
+	if got := s.Value("load", 0); got != 10 {
+		t.Fatalf("first observation should seed: %v", got)
+	}
+	s.Observe("load", Private, 20, 2)
+	if got := s.Value("load", 0); got != 15 { // 10 + 0.5·(20−10)
+		t.Fatalf("EWMA value = %v, want 15", got)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestStoreDelete(t *testing.T) {
+	s := NewStore(0.5, 0)
+	s.Observe("x", Private, 99, 1)
+	s.Delete("x")
+	if got := s.Value("x", -1); got != -1 {
+		t.Fatal("deleted entry still present")
+	}
+	s.Delete("never-existed") // must not panic
+	s.Observe("x", Private, 7, 2)
+	if got := s.Value("x", 0); got != 7 {
+		t.Fatal("recreated entry did not reseed")
+	}
+}
+
+func TestStoreScopeFilter(t *testing.T) {
+	s := NewStore(0.5, 0)
+	s.Observe("priv", Private, 1, 0)
+	s.Observe("pub", Public, 1, 0)
+	pub := s.Names(Public, true)
+	if len(pub) != 1 || pub[0] != "pub" {
+		t.Fatalf("public names = %v", pub)
+	}
+	all := s.Names(Private, false)
+	if len(all) != 2 {
+		t.Fatalf("all names = %v", all)
+	}
+}
+
+func TestConfidenceGrowsWithSamplesDecaysWithAge(t *testing.T) {
+	s := NewStore(0.3, 0)
+	e := s.Ensure("m", Private)
+	if e.Confidence(0) != 0 {
+		t.Fatal("confidence before any observation should be 0")
+	}
+	e.Observe(1, 0)
+	c1 := e.Confidence(0)
+	for i := 1; i <= 20; i++ {
+		e.Observe(1, float64(i))
+	}
+	c20 := e.Confidence(20)
+	if c20 <= c1 {
+		t.Fatalf("confidence did not grow with samples: %v vs %v", c20, c1)
+	}
+	stale := e.Confidence(500)
+	if stale >= c20 {
+		t.Fatalf("confidence did not decay with staleness: %v vs %v", stale, c20)
+	}
+}
+
+func TestEntryVarianceTracksSpread(t *testing.T) {
+	s := NewStore(0.2, 0)
+	calm := s.Ensure("calm", Private)
+	wild := s.Ensure("wild", Private)
+	for i := 0; i < 200; i++ {
+		calm.Observe(5, float64(i))
+		v := 0.0
+		if i%2 == 0 {
+			v = 10
+		}
+		wild.Observe(v, float64(i))
+	}
+	if wild.Variance() <= calm.Variance() {
+		t.Fatalf("variance ordering wrong: wild %v, calm %v", wild.Variance(), calm.Variance())
+	}
+}
+
+func TestScopeString(t *testing.T) {
+	if Private.String() != "private" || Public.String() != "public" {
+		t.Fatal("scope strings wrong")
+	}
+}
+
+func TestInventoryListsEntries(t *testing.T) {
+	s := NewStore(0.3, 4)
+	s.Observe("alpha", Private, 1, 0)
+	s.Observe("beta", Public, 2, 0)
+	inv := s.Inventory(0)
+	if !strings.Contains(inv, "alpha") || !strings.Contains(inv, "beta") ||
+		!strings.Contains(inv, "public") {
+		t.Fatalf("inventory missing entries:\n%s", inv)
+	}
+}
+
+func TestRingKeepsLastK(t *testing.T) {
+	f := func(raw []int16) bool {
+		const k = 8
+		r := NewRing(k)
+		for i, v := range raw {
+			r.Push(float64(i), float64(v))
+		}
+		vals := r.Values()
+		want := len(raw)
+		if want > k {
+			want = k
+		}
+		if len(vals) != want || r.Len() != want {
+			return false
+		}
+		for j := 0; j < want; j++ {
+			if vals[j] != float64(raw[len(raw)-want+j]) {
+				return false
+			}
+		}
+		// Times are increasing.
+		ts := r.Times()
+		for j := 1; j < len(ts); j++ {
+			if ts[j] <= ts[j-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingMeanAndTrend(t *testing.T) {
+	r := NewRing(16)
+	for i := 0; i < 10; i++ {
+		r.Push(float64(i), 3+2*float64(i)) // slope 2
+	}
+	if math.Abs(r.Trend()-2) > 1e-9 {
+		t.Fatalf("trend = %v, want 2", r.Trend())
+	}
+	if math.Abs(r.Mean()-(3+2*4.5)) > 1e-9 {
+		t.Fatalf("mean = %v", r.Mean())
+	}
+	empty := NewRing(4)
+	if empty.Mean() != 0 || empty.Trend() != 0 {
+		t.Fatal("empty ring stats should be 0")
+	}
+	one := NewRing(4)
+	one.Push(0, 5)
+	if one.Trend() != 0 {
+		t.Fatal("single-point trend should be 0")
+	}
+}
+
+func TestRingZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRing(0) did not panic")
+		}
+	}()
+	NewRing(0)
+}
+
+func TestEntryHistoryWiring(t *testing.T) {
+	s := NewStore(0.3, 4)
+	e := s.Ensure("h", Private)
+	for i := 0; i < 6; i++ {
+		e.Observe(float64(i), float64(i))
+	}
+	if e.History() == nil || e.History().Len() != 4 {
+		t.Fatal("history ring not bounded at 4")
+	}
+	noHist := NewStore(0.3, 0).Ensure("n", Private)
+	noHist.Observe(1, 0)
+	if noHist.History() != nil {
+		t.Fatal("histLen=0 should disable history")
+	}
+}
+
+func TestStoreReadWriteInstrumentation(t *testing.T) {
+	s := NewStore(0.3, 0)
+	s.Observe("a", Private, 1, 0)
+	s.Get("a")
+	s.Get("a")
+	if s.Writes != 1 || s.Reads != 2 {
+		t.Fatalf("instrumentation reads=%d writes=%d", s.Reads, s.Writes)
+	}
+}
+
+func TestBadAlphaFallsBack(t *testing.T) {
+	s := NewStore(-1, 0)
+	s.Observe("x", Private, 10, 0)
+	s.Observe("x", Private, 20, 1)
+	v := s.Value("x", 0)
+	if v <= 10 || v >= 20 {
+		t.Fatalf("fallback alpha not applied sensibly: %v", v)
+	}
+}

@@ -1,0 +1,353 @@
+// Package learning implements the online-learning toolbox the paper's
+// framework depends on: the "simple learning schemes" of cognitive packet
+// networks [38], the strategy learning of the smart-camera work [13], and
+// the model building of self-aware service systems [30] all reduce to a
+// small set of primitives — multi-armed bandits, tabular Q-learning,
+// time-series predictors, drift detectors and recursive least squares — each
+// implemented here from scratch on the standard library.
+package learning
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Bandit is a multi-armed bandit policy: Select an arm, then Update it with
+// the observed reward. Implementations are the learning engines behind
+// stimulus- and interaction-awareness in this repository.
+type Bandit interface {
+	// Select returns the index of the arm to pull next.
+	Select() int
+	// Update records reward for a pull of arm.
+	Update(arm int, reward float64)
+	// Arms returns the number of arms.
+	Arms() int
+	// Name identifies the policy for reports and explanations.
+	Name() string
+}
+
+// armStats tracks per-arm pull counts and mean rewards.
+type armStats struct {
+	pulls []int
+	mean  []float64
+	total int
+}
+
+func newArmStats(n int) armStats {
+	return armStats{pulls: make([]int, n), mean: make([]float64, n)}
+}
+
+func (a *armStats) update(arm int, reward float64) {
+	a.pulls[arm]++
+	a.total++
+	a.mean[arm] += (reward - a.mean[arm]) / float64(a.pulls[arm])
+}
+
+func (a *armStats) best() int {
+	best, bestV := 0, math.Inf(-1)
+	for i, m := range a.mean {
+		if a.pulls[i] > 0 && m > bestV {
+			best, bestV = i, m
+		}
+	}
+	return best
+}
+
+// EpsilonGreedy explores uniformly with probability Eps (optionally decayed)
+// and exploits the empirically best arm otherwise.
+type EpsilonGreedy struct {
+	Eps   float64
+	Decay float64 // per-update multiplicative decay; 1 (or 0) means none
+	rng   *rand.Rand
+	stats armStats
+}
+
+// NewEpsilonGreedy returns an ε-greedy bandit over n arms.
+func NewEpsilonGreedy(n int, eps float64, rng *rand.Rand) *EpsilonGreedy {
+	return &EpsilonGreedy{Eps: eps, Decay: 1, rng: rng, stats: newArmStats(n)}
+}
+
+// Select implements Bandit.
+func (e *EpsilonGreedy) Select() int {
+	// Pull each arm once first.
+	for i, p := range e.stats.pulls {
+		if p == 0 {
+			return i
+		}
+	}
+	if e.rng.Float64() < e.Eps {
+		return e.rng.Intn(len(e.stats.pulls))
+	}
+	return e.stats.best()
+}
+
+// Update implements Bandit.
+func (e *EpsilonGreedy) Update(arm int, reward float64) {
+	e.stats.update(arm, reward)
+	if e.Decay > 0 && e.Decay < 1 {
+		e.Eps *= e.Decay
+	}
+}
+
+// Arms implements Bandit.
+func (e *EpsilonGreedy) Arms() int { return len(e.stats.pulls) }
+
+// Name implements Bandit.
+func (e *EpsilonGreedy) Name() string { return "eps-greedy" }
+
+// Mean returns the estimated mean reward of arm.
+func (e *EpsilonGreedy) Mean(arm int) float64 { return e.stats.mean[arm] }
+
+// UCB1 implements the upper-confidence-bound policy of Auer et al.: optimism
+// in the face of uncertainty, with logarithmic regret on stationary
+// problems.
+type UCB1 struct {
+	C     float64 // exploration constant; 0 means sqrt(2)
+	stats armStats
+}
+
+// NewUCB1 returns a UCB1 bandit over n arms.
+func NewUCB1(n int) *UCB1 { return &UCB1{stats: newArmStats(n)} }
+
+// Select implements Bandit.
+func (u *UCB1) Select() int {
+	for i, p := range u.stats.pulls {
+		if p == 0 {
+			return i
+		}
+	}
+	c := u.C
+	if c == 0 {
+		c = math.Sqrt2
+	}
+	best, bestV := 0, math.Inf(-1)
+	lt := math.Log(float64(u.stats.total))
+	for i := range u.stats.pulls {
+		v := u.stats.mean[i] + c*math.Sqrt(lt/float64(u.stats.pulls[i]))
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// Update implements Bandit.
+func (u *UCB1) Update(arm int, reward float64) { u.stats.update(arm, reward) }
+
+// Arms implements Bandit.
+func (u *UCB1) Arms() int { return len(u.stats.pulls) }
+
+// Name implements Bandit.
+func (u *UCB1) Name() string { return "ucb1" }
+
+// Mean returns the estimated mean reward of arm.
+func (u *UCB1) Mean(arm int) float64 { return u.stats.mean[arm] }
+
+// Pulls returns how many times arm has been pulled.
+func (u *UCB1) Pulls(arm int) int { return u.stats.pulls[arm] }
+
+// Softmax (Boltzmann) selects arms with probability proportional to
+// exp(mean/τ). High temperature explores; low temperature exploits.
+type Softmax struct {
+	Tau   float64
+	rng   *rand.Rand
+	stats armStats
+}
+
+// NewSoftmax returns a Boltzmann bandit over n arms with temperature tau.
+func NewSoftmax(n int, tau float64, rng *rand.Rand) *Softmax {
+	if tau <= 0 {
+		panic("learning: softmax temperature must be > 0")
+	}
+	return &Softmax{Tau: tau, rng: rng, stats: newArmStats(n)}
+}
+
+// Probabilities returns the current selection distribution.
+func (s *Softmax) Probabilities() []float64 {
+	n := len(s.stats.pulls)
+	p := make([]float64, n)
+	maxM := math.Inf(-1)
+	for _, m := range s.stats.mean {
+		if m > maxM {
+			maxM = m
+		}
+	}
+	sum := 0.0
+	for i, m := range s.stats.mean {
+		p[i] = math.Exp((m - maxM) / s.Tau)
+		sum += p[i]
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+	return p
+}
+
+// Select implements Bandit.
+func (s *Softmax) Select() int {
+	p := s.Probabilities()
+	x := s.rng.Float64()
+	acc := 0.0
+	for i, pi := range p {
+		acc += pi
+		if x < acc {
+			return i
+		}
+	}
+	return len(p) - 1
+}
+
+// Update implements Bandit.
+func (s *Softmax) Update(arm int, reward float64) { s.stats.update(arm, reward) }
+
+// Arms implements Bandit.
+func (s *Softmax) Arms() int { return len(s.stats.pulls) }
+
+// Name implements Bandit.
+func (s *Softmax) Name() string { return "softmax" }
+
+// EXP3 is the exponential-weight algorithm for adversarial (non-stationary)
+// bandits. Rewards must lie in [0, 1].
+type EXP3 struct {
+	Gamma   float64
+	weights []float64
+	rng     *rand.Rand
+	lastP   []float64
+}
+
+// NewEXP3 returns an EXP3 bandit over n arms with exploration rate gamma in
+// (0, 1].
+func NewEXP3(n int, gamma float64, rng *rand.Rand) *EXP3 {
+	if gamma <= 0 || gamma > 1 {
+		panic(fmt.Sprintf("learning: EXP3 gamma %v out of (0,1]", gamma))
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return &EXP3{Gamma: gamma, weights: w, rng: rng}
+}
+
+// Probabilities returns the current selection distribution.
+func (e *EXP3) Probabilities() []float64 {
+	n := len(e.weights)
+	sum := 0.0
+	for _, w := range e.weights {
+		sum += w
+	}
+	p := make([]float64, n)
+	for i, w := range e.weights {
+		p[i] = (1-e.Gamma)*(w/sum) + e.Gamma/float64(n)
+	}
+	return p
+}
+
+// Select implements Bandit.
+func (e *EXP3) Select() int {
+	p := e.Probabilities()
+	e.lastP = p
+	x := e.rng.Float64()
+	acc := 0.0
+	for i, pi := range p {
+		acc += pi
+		if x < acc {
+			return i
+		}
+	}
+	return len(p) - 1
+}
+
+// Update implements Bandit. Rewards outside [0,1] are clamped.
+func (e *EXP3) Update(arm int, reward float64) {
+	if reward < 0 {
+		reward = 0
+	}
+	if reward > 1 {
+		reward = 1
+	}
+	p := e.lastP
+	if p == nil {
+		p = e.Probabilities()
+	}
+	n := float64(len(e.weights))
+	est := reward / p[arm]
+	e.weights[arm] *= math.Exp(e.Gamma * est / n)
+	// Normalise weights to avoid overflow on long runs.
+	maxW := 0.0
+	for _, w := range e.weights {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW > 1e100 {
+		for i := range e.weights {
+			e.weights[i] /= maxW
+		}
+	}
+}
+
+// Arms implements Bandit.
+func (e *EXP3) Arms() int { return len(e.weights) }
+
+// Name implements Bandit.
+func (e *EXP3) Name() string { return "exp3" }
+
+// SlidingUCB is UCB over a sliding window of recent rewards, which tracks
+// non-stationary arms: old observations fall out of the window, so the
+// policy re-explores after the environment changes.
+type SlidingUCB struct {
+	C      float64
+	window int
+	hist   [][]float64 // per-arm recent rewards
+	total  int
+}
+
+// NewSlidingUCB returns a sliding-window UCB over n arms.
+func NewSlidingUCB(n, window int) *SlidingUCB {
+	if window <= 0 {
+		panic("learning: SlidingUCB window must be > 0")
+	}
+	return &SlidingUCB{C: math.Sqrt2, window: window, hist: make([][]float64, n)}
+}
+
+// Select implements Bandit.
+func (s *SlidingUCB) Select() int {
+	for i, h := range s.hist {
+		if len(h) == 0 {
+			return i
+		}
+	}
+	best, bestV := 0, math.Inf(-1)
+	lt := math.Log(float64(s.total + 1))
+	for i, h := range s.hist {
+		mean := 0.0
+		for _, r := range h {
+			mean += r
+		}
+		mean /= float64(len(h))
+		v := mean + s.C*math.Sqrt(lt/float64(len(h)))
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// Update implements Bandit.
+func (s *SlidingUCB) Update(arm int, reward float64) {
+	s.hist[arm] = append(s.hist[arm], reward)
+	if len(s.hist[arm]) > s.window {
+		s.hist[arm] = s.hist[arm][1:]
+	}
+	s.total++
+	if s.total > s.window*len(s.hist) {
+		s.total = s.window * len(s.hist)
+	}
+}
+
+// Arms implements Bandit.
+func (s *SlidingUCB) Arms() int { return len(s.hist) }
+
+// Name implements Bandit.
+func (s *SlidingUCB) Name() string { return "sliding-ucb" }

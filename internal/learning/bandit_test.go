@@ -1,0 +1,221 @@
+package learning
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// pullMany runs a stationary Bernoulli bandit problem and returns the
+// fraction of pulls on the best arm over the last quarter.
+func pullMany(b Bandit, means []float64, steps int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	best := 0
+	for i, m := range means {
+		if m > means[best] {
+			best = i
+		}
+	}
+	bestPulls, window := 0, steps/4
+	for t := 0; t < steps; t++ {
+		arm := b.Select()
+		r := 0.0
+		if rng.Float64() < means[arm] {
+			r = 1
+		}
+		b.Update(arm, r)
+		if t >= steps-window && arm == best {
+			bestPulls++
+		}
+	}
+	return float64(bestPulls) / float64(window)
+}
+
+func easyProblem() []float64 { return []float64{0.2, 0.5, 0.9, 0.3} }
+
+func TestEpsilonGreedyConverges(t *testing.T) {
+	b := NewEpsilonGreedy(4, 0.1, rand.New(rand.NewSource(1)))
+	if frac := pullMany(b, easyProblem(), 4000, 2); frac < 0.8 {
+		t.Fatalf("eps-greedy best-arm fraction = %v, want ≥ 0.8", frac)
+	}
+}
+
+func TestEpsilonGreedyDecay(t *testing.T) {
+	b := NewEpsilonGreedy(4, 0.5, rand.New(rand.NewSource(1)))
+	b.Decay = 0.99
+	pullMany(b, easyProblem(), 2000, 2)
+	if b.Eps >= 0.5 {
+		t.Fatalf("eps did not decay: %v", b.Eps)
+	}
+}
+
+func TestUCB1Converges(t *testing.T) {
+	b := NewUCB1(4)
+	if frac := pullMany(b, easyProblem(), 4000, 3); frac < 0.8 {
+		t.Fatalf("ucb1 best-arm fraction = %v, want ≥ 0.8", frac)
+	}
+	if b.Pulls(0)+b.Pulls(1)+b.Pulls(2)+b.Pulls(3) != 4000 {
+		t.Fatal("pull counts do not sum to steps")
+	}
+}
+
+func TestSoftmaxConverges(t *testing.T) {
+	b := NewSoftmax(4, 0.1, rand.New(rand.NewSource(4)))
+	if frac := pullMany(b, easyProblem(), 4000, 5); frac < 0.7 {
+		t.Fatalf("softmax best-arm fraction = %v, want ≥ 0.7", frac)
+	}
+}
+
+func TestSoftmaxProbabilitiesSumToOne(t *testing.T) {
+	f := func(rewards []uint8) bool {
+		b := NewSoftmax(5, 0.2, rand.New(rand.NewSource(1)))
+		for i, r := range rewards {
+			b.Update(i%5, float64(r)/255)
+		}
+		p := b.Probabilities()
+		sum := 0.0
+		for _, pi := range p {
+			if pi < 0 || pi > 1 {
+				return false
+			}
+			sum += pi
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEXP3ProbabilitiesValid(t *testing.T) {
+	f := func(rewards []uint8) bool {
+		b := NewEXP3(5, 0.1, rand.New(rand.NewSource(1)))
+		for _, r := range rewards {
+			arm := b.Select()
+			b.Update(arm, float64(r)/255)
+		}
+		p := b.Probabilities()
+		sum := 0.0
+		for _, pi := range p {
+			// EXP3 guarantees γ/K minimum probability.
+			if pi < 0.1/5-1e-12 || pi > 1 {
+				return false
+			}
+			sum += pi
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEXP3ClampsRewards(t *testing.T) {
+	b := NewEXP3(2, 0.2, rand.New(rand.NewSource(1)))
+	arm := b.Select()
+	b.Update(arm, 100) // should clamp to 1, not explode
+	arm = b.Select()
+	b.Update(arm, -5) // clamps to 0
+	p := b.Probabilities()
+	if math.IsNaN(p[0]) || math.IsInf(p[0], 0) {
+		t.Fatal("EXP3 weights exploded on out-of-range rewards")
+	}
+}
+
+func TestEXP3BadGammaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("EXP3 gamma > 1 did not panic")
+		}
+	}()
+	NewEXP3(2, 1.5, rand.New(rand.NewSource(1)))
+}
+
+func TestSlidingUCBAdaptsToSwap(t *testing.T) {
+	b := NewSlidingUCB(2, 100)
+	rng := rand.New(rand.NewSource(6))
+	means := []float64{0.9, 0.1}
+	lastQuarterBest := 0
+	for tm := 0; tm < 4000; tm++ {
+		if tm == 2000 {
+			means[0], means[1] = means[1], means[0] // the world flips
+		}
+		arm := b.Select()
+		r := 0.0
+		if rng.Float64() < means[arm] {
+			r = 1
+		}
+		b.Update(arm, r)
+		if tm >= 3000 && arm == 1 {
+			lastQuarterBest++
+		}
+	}
+	if frac := float64(lastQuarterBest) / 1000; frac < 0.7 {
+		t.Fatalf("sliding UCB did not adapt after swap: best-arm fraction %v", frac)
+	}
+}
+
+func TestAllBanditsTryEveryArmFirst(t *testing.T) {
+	mks := []func() Bandit{
+		func() Bandit { return NewEpsilonGreedy(6, 0.1, rand.New(rand.NewSource(1))) },
+		func() Bandit { return NewUCB1(6) },
+		func() Bandit { return NewSlidingUCB(6, 50) },
+	}
+	for _, mk := range mks {
+		b := mk()
+		seen := make(map[int]bool)
+		for i := 0; i < 6; i++ {
+			arm := b.Select()
+			seen[arm] = true
+			b.Update(arm, 0.5)
+		}
+		if len(seen) != 6 {
+			t.Errorf("%s did not try every arm first: %v", b.Name(), seen)
+		}
+	}
+}
+
+func TestBanditSelectionsInRangeProperty(t *testing.T) {
+	f := func(seed int64, rewards []uint8) bool {
+		bandits := []Bandit{
+			NewEpsilonGreedy(3, 0.2, rand.New(rand.NewSource(seed))),
+			NewUCB1(3),
+			NewSoftmax(3, 0.5, rand.New(rand.NewSource(seed))),
+			NewEXP3(3, 0.3, rand.New(rand.NewSource(seed))),
+			NewSlidingUCB(3, 20),
+		}
+		for _, b := range bandits {
+			for _, r := range rewards {
+				arm := b.Select()
+				if arm < 0 || arm >= 3 {
+					return false
+				}
+				b.Update(arm, float64(r)/255)
+			}
+			if b.Arms() != 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBanditNames(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	names := map[string]Bandit{
+		"eps-greedy":  NewEpsilonGreedy(2, 0.1, rng),
+		"ucb1":        NewUCB1(2),
+		"softmax":     NewSoftmax(2, 0.1, rng),
+		"exp3":        NewEXP3(2, 0.1, rng),
+		"sliding-ucb": NewSlidingUCB(2, 10),
+	}
+	for want, b := range names {
+		if b.Name() != want {
+			t.Errorf("Name() = %q, want %q", b.Name(), want)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package learning
+
+import "math"
+
+// DriftDetector flags changes in a stream's distribution. Meta-self-aware
+// agents use detectors to notice that their own models have gone stale —
+// awareness about awareness.
+type DriftDetector interface {
+	// Observe feeds one value and reports whether drift was detected at
+	// this step. Detectors reset themselves after signalling.
+	Observe(x float64) bool
+	Name() string
+}
+
+// PageHinkley implements the Page–Hinkley test for mean increase/decrease.
+type PageHinkley struct {
+	Delta     float64 // magnitude tolerance
+	Threshold float64 // detection threshold λ
+
+	n          int
+	mean       float64
+	cumUp      float64
+	minUp      float64
+	cumDown    float64
+	maxDown    float64
+	Detections int
+}
+
+// NewPageHinkley returns a two-sided Page–Hinkley detector.
+func NewPageHinkley(delta, threshold float64) *PageHinkley {
+	return &PageHinkley{Delta: delta, Threshold: threshold}
+}
+
+// Observe implements DriftDetector.
+func (p *PageHinkley) Observe(x float64) bool {
+	p.n++
+	p.mean += (x - p.mean) / float64(p.n)
+
+	p.cumUp += x - p.mean - p.Delta
+	if p.cumUp < p.minUp {
+		p.minUp = p.cumUp
+	}
+	p.cumDown += x - p.mean + p.Delta
+	if p.cumDown > p.maxDown {
+		p.maxDown = p.cumDown
+	}
+
+	if p.cumUp-p.minUp > p.Threshold || p.maxDown-p.cumDown > p.Threshold {
+		p.Detections++
+		p.reset()
+		return true
+	}
+	return false
+}
+
+func (p *PageHinkley) reset() {
+	p.n = 0
+	p.mean = 0
+	p.cumUp, p.minUp = 0, 0
+	p.cumDown, p.maxDown = 0, 0
+}
+
+// Name implements DriftDetector.
+func (p *PageHinkley) Name() string { return "page-hinkley" }
+
+// DDM implements the drift detection method of Gama et al. for binary error
+// streams (observe 1 on error, 0 on success): drift is flagged when the
+// error rate rises significantly above its historical minimum.
+type DDM struct {
+	WarnLevel  float64 // typically 2
+	DriftLevel float64 // typically 3
+	MinSamples int
+
+	n          int
+	p          float64 // running error rate
+	sMin       float64
+	pMin       float64
+	warned     bool
+	Detections int
+}
+
+// NewDDM returns a DDM detector with standard 2σ warn / 3σ drift levels.
+func NewDDM() *DDM {
+	return &DDM{WarnLevel: 2, DriftLevel: 3, MinSamples: 30, pMin: math.Inf(1), sMin: math.Inf(1)}
+}
+
+// Warned reports whether the detector is currently in the warning zone.
+func (d *DDM) Warned() bool { return d.warned }
+
+// Observe implements DriftDetector; x should be 1 for error, 0 for success.
+func (d *DDM) Observe(x float64) bool {
+	if x != 0 {
+		x = 1
+	}
+	d.n++
+	d.p += (x - d.p) / float64(d.n)
+	if d.n < d.MinSamples {
+		return false
+	}
+	s := math.Sqrt(d.p * (1 - d.p) / float64(d.n))
+	if d.p+s < d.pMin+d.sMin {
+		d.pMin, d.sMin = d.p, s
+	}
+	switch {
+	case d.p+s > d.pMin+d.DriftLevel*d.sMin:
+		d.Detections++
+		d.resetDDM()
+		return true
+	case d.p+s > d.pMin+d.WarnLevel*d.sMin:
+		d.warned = true
+	default:
+		d.warned = false
+	}
+	return false
+}
+
+func (d *DDM) resetDDM() {
+	d.n = 0
+	d.p = 0
+	d.pMin, d.sMin = math.Inf(1), math.Inf(1)
+	d.warned = false
+}
+
+// Name implements DriftDetector.
+func (d *DDM) Name() string { return "ddm" }

@@ -1,0 +1,170 @@
+package learning
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPageHinkleyDetectsJump(t *testing.T) {
+	d := NewPageHinkley(0.02, 1.5)
+	rng := rand.New(rand.NewSource(1))
+	detectedAt := -1
+	for i := 0; i < 2000; i++ {
+		x := 0.2 + rng.NormFloat64()*0.05
+		if i >= 1000 {
+			x += 0.3 // mean jumps up
+		}
+		if d.Observe(x) && detectedAt < 0 {
+			detectedAt = i
+		}
+	}
+	if detectedAt < 1000 {
+		t.Fatalf("false alarm before the jump (at %d)", detectedAt)
+	}
+	if detectedAt < 0 || detectedAt > 1200 {
+		t.Fatalf("jump detected at %d, want shortly after 1000", detectedAt)
+	}
+}
+
+func TestPageHinkleyDetectsDrop(t *testing.T) {
+	d := NewPageHinkley(0.02, 1.5)
+	rng := rand.New(rand.NewSource(2))
+	detected := false
+	for i := 0; i < 2000; i++ {
+		x := 0.8 + rng.NormFloat64()*0.05
+		if i >= 1000 {
+			x -= 0.4
+		}
+		if d.Observe(x) {
+			if i < 1000 {
+				t.Fatalf("false alarm at %d", i)
+			}
+			detected = true
+			break
+		}
+	}
+	if !detected {
+		t.Fatal("downward drift never detected")
+	}
+}
+
+func TestPageHinkleyQuietOnStationary(t *testing.T) {
+	d := NewPageHinkley(0.05, 3.0)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		if d.Observe(0.5 + rng.NormFloat64()*0.05) {
+			t.Fatalf("false alarm on stationary stream at %d", i)
+		}
+	}
+}
+
+func TestPageHinkleyResetsAfterDetection(t *testing.T) {
+	d := NewPageHinkley(0.01, 0.5)
+	for i := 0; i < 100; i++ {
+		d.Observe(0)
+	}
+	fired := false
+	for i := 0; i < 50 && !fired; i++ {
+		fired = d.Observe(1)
+	}
+	if !fired {
+		t.Fatal("no detection on step change")
+	}
+	if d.Detections != 1 {
+		t.Fatalf("Detections = %d", d.Detections)
+	}
+	// After reset the detector should function again on a new change.
+	for i := 0; i < 200; i++ {
+		d.Observe(1)
+	}
+	fired = false
+	for i := 0; i < 50 && !fired; i++ {
+		fired = d.Observe(0)
+	}
+	if !fired {
+		t.Fatal("no detection after reset")
+	}
+}
+
+func TestDDMDetectsErrorRateRise(t *testing.T) {
+	// DDM on a stochastic error stream can raise occasional false alarms
+	// before the change (it resets and carries on); the essential property
+	// is that the real jump at t=2000 is caught promptly.
+	d := NewDDM()
+	rng := rand.New(rand.NewSource(4))
+	var detections []int
+	for i := 0; i < 4000; i++ {
+		p := 0.05
+		if i >= 2000 {
+			p = 0.5
+		}
+		x := 0.0
+		if rng.Float64() < p {
+			x = 1
+		}
+		if d.Observe(x) {
+			detections = append(detections, i)
+		}
+	}
+	early := 0
+	caught := false
+	for _, at := range detections {
+		if at < 2000 {
+			early++
+		}
+		if at >= 2000 && at <= 2500 {
+			caught = true
+		}
+	}
+	if !caught {
+		t.Fatalf("DDM missed the jump at 2000; detections: %v", detections)
+	}
+	if early > 3 {
+		t.Fatalf("DDM raised %d false alarms before the jump", early)
+	}
+}
+
+func TestDDMWarnsBeforeDrift(t *testing.T) {
+	d := NewDDM()
+	rng := rand.New(rand.NewSource(5))
+	warned := false
+	for i := 0; i < 4000; i++ {
+		p := 0.05
+		if i >= 2000 {
+			p = 0.5
+		}
+		x := 0.0
+		if rng.Float64() < p {
+			x = 1
+		}
+		if d.Warned() {
+			warned = true
+		}
+		if d.Observe(x) {
+			break
+		}
+	}
+	if !warned {
+		t.Fatal("DDM never entered the warning zone before drifting")
+	}
+}
+
+func TestDDMNonBinaryInputCoerced(t *testing.T) {
+	d := NewDDM()
+	for i := 0; i < 100; i++ {
+		d.Observe(3.7) // treated as error=1
+	}
+	// Should not panic and p should be ≈1.
+	if d.p < 0.99 {
+		t.Fatalf("coerced error rate = %v", d.p)
+	}
+}
+
+func TestDetectorNames(t *testing.T) {
+	if NewPageHinkley(0.1, 1).Name() != "page-hinkley" {
+		t.Error("PageHinkley name")
+	}
+	if NewDDM().Name() != "ddm" {
+		t.Error("DDM name")
+	}
+}

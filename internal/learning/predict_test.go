@@ -1,0 +1,158 @@
+package learning
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEWMAConstantConvergence(t *testing.T) {
+	e := NewEWMA(0.3)
+	for i := 0; i < 100; i++ {
+		e.Observe(7)
+	}
+	if math.Abs(e.Predict()-7) > 1e-9 {
+		t.Fatalf("EWMA on constant = %v", e.Predict())
+	}
+}
+
+func TestEWMAFirstObservationSeeds(t *testing.T) {
+	e := NewEWMA(0.1)
+	e.Observe(42)
+	if e.Predict() != 42 {
+		t.Fatalf("first observation should seed level, got %v", e.Predict())
+	}
+}
+
+func TestEWMABadAlphaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("EWMA alpha 0 did not panic")
+		}
+	}()
+	NewEWMA(0)
+}
+
+func TestHoltTracksLinearTrend(t *testing.T) {
+	h := NewHolt(0.5, 0.3)
+	for i := 0; i < 200; i++ {
+		h.Observe(3 + 2*float64(i))
+	}
+	next := 3 + 2*200.0
+	if math.Abs(h.Predict()-next) > 1 {
+		t.Fatalf("Holt one-ahead on line = %v, want ≈ %v", h.Predict(), next)
+	}
+	if math.Abs(h.PredictAhead(5)-(3+2*204.0)) > 1.5 {
+		t.Fatalf("Holt 5-ahead = %v, want ≈ %v", h.PredictAhead(5), 3+2*204.0)
+	}
+}
+
+func TestAR1FitsARProcess(t *testing.T) {
+	a := NewAR1()
+	x := 10.0
+	for i := 0; i < 500; i++ {
+		a.Observe(x)
+		x = 0.8*x + 2 // deterministic AR(1): fixed point 10
+	}
+	// Prediction of the next value from the last observed.
+	pred := a.Predict()
+	want := 0.8*x + 2
+	_ = want
+	if math.Abs(pred-10) > 0.5 {
+		t.Fatalf("AR1 prediction = %v, want ≈ 10 (fixed point)", pred)
+	}
+}
+
+func TestWindowMean(t *testing.T) {
+	m := NewWindowMean(3)
+	if m.Predict() != 0 {
+		t.Fatal("empty window mean should be 0")
+	}
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		m.Observe(x)
+	}
+	if m.Predict() != 4 { // mean of {3,4,5}
+		t.Fatalf("window mean = %v, want 4", m.Predict())
+	}
+}
+
+func TestWindowMeanBadWPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("WindowMean(0) did not panic")
+		}
+	}()
+	NewWindowMean(0)
+}
+
+func TestRLSRecoversLinearModel(t *testing.T) {
+	rls := NewRLS(3, 1.0)
+	rng := rand.New(rand.NewSource(1))
+	trueW := []float64{2, -1, 0.5}
+	for i := 0; i < 500; i++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64(), 1}
+		y := trueW[0]*x[0] + trueW[1]*x[1] + trueW[2]*x[2]
+		rls.Observe(x, y)
+	}
+	w := rls.Weights()
+	for i := range trueW {
+		if math.Abs(w[i]-trueW[i]) > 0.01 {
+			t.Fatalf("RLS weights = %v, want %v", w, trueW)
+		}
+	}
+}
+
+func TestRLSPredictionErrorShrinksProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rls := NewRLS(2, 1.0)
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		var early, late float64
+		for i := 0; i < 200; i++ {
+			x := []float64{rng.NormFloat64(), 1}
+			y := a*x[0] + b
+			err := math.Abs(y - rls.Predict(x))
+			if i < 20 {
+				early += err
+			}
+			if i >= 180 {
+				late += err
+			}
+			rls.Observe(x, y)
+		}
+		return late <= early+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMSETracker(t *testing.T) {
+	var m MSETracker
+	if m.MSE() != 0 || m.RMSE() != 0 {
+		t.Fatal("empty tracker should be 0")
+	}
+	m.Record(1, 3) // err 2 → 4
+	m.Record(5, 5) // err 0
+	if math.Abs(m.MSE()-2) > 1e-12 || m.N() != 2 {
+		t.Fatalf("MSE = %v, n = %d", m.MSE(), m.N())
+	}
+	if math.Abs(m.RMSE()-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("RMSE = %v", m.RMSE())
+	}
+}
+
+func TestPredictorNames(t *testing.T) {
+	preds := map[string]Predictor{
+		"ewma":        NewEWMA(0.5),
+		"holt":        NewHolt(0.5, 0.5),
+		"ar1":         NewAR1(),
+		"window-mean": NewWindowMean(4),
+	}
+	for want, p := range preds {
+		if p.Name() != want {
+			t.Errorf("Name() = %q, want %q", p.Name(), want)
+		}
+	}
+}

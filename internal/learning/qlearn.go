@@ -1,0 +1,93 @@
+package learning
+
+import (
+	"math"
+	"math/rand"
+)
+
+// QLearner is a tabular Q-learning agent over discrete states and actions.
+// It is the learning core of the cognitive-packet-network substrate
+// (Q-routing) and of the goal-aware multicore scheduler.
+type QLearner struct {
+	States  int
+	Actions int
+	Alpha   float64 // learning rate
+	Gamma   float64 // discount factor
+	Eps     float64 // exploration rate
+	q       [][]float64
+	rng     *rand.Rand
+}
+
+// NewQLearner returns a Q-learner with an all-zero table.
+func NewQLearner(states, actions int, alpha, gamma, eps float64, rng *rand.Rand) *QLearner {
+	q := make([][]float64, states)
+	for i := range q {
+		q[i] = make([]float64, actions)
+	}
+	return &QLearner{
+		States: states, Actions: actions,
+		Alpha: alpha, Gamma: gamma, Eps: eps,
+		q: q, rng: rng,
+	}
+}
+
+// Q returns the current estimate Q(s, a).
+func (l *QLearner) Q(s, a int) float64 { return l.q[s][a] }
+
+// SetQ overrides Q(s, a); used to seed optimistic initial values.
+func (l *QLearner) SetQ(s, a int, v float64) { l.q[s][a] = v }
+
+// Best returns the greedy action for s and its value.
+func (l *QLearner) Best(s int) (action int, value float64) {
+	action, value = 0, math.Inf(-1)
+	for a, v := range l.q[s] {
+		if v > value {
+			action, value = a, v
+		}
+	}
+	return action, value
+}
+
+// Act returns an ε-greedy action for state s.
+func (l *QLearner) Act(s int) int {
+	if l.rng.Float64() < l.Eps {
+		return l.rng.Intn(l.Actions)
+	}
+	a, _ := l.Best(s)
+	return a
+}
+
+// ActAmong returns an ε-greedy action restricted to the allowed set. It
+// panics if allowed is empty.
+func (l *QLearner) ActAmong(s int, allowed []int) int {
+	if len(allowed) == 0 {
+		panic("learning: ActAmong with empty action set")
+	}
+	if l.rng.Float64() < l.Eps {
+		return allowed[l.rng.Intn(len(allowed))]
+	}
+	best, bestV := allowed[0], math.Inf(-1)
+	for _, a := range allowed {
+		if l.q[s][a] > bestV {
+			best, bestV = a, l.q[s][a]
+		}
+	}
+	return best
+}
+
+// Learn applies the Q-learning update for transition (s, a) → s2 with the
+// given reward. Pass terminal=true when s2 is absorbing.
+func (l *QLearner) Learn(s, a int, reward float64, s2 int, terminal bool) {
+	target := reward
+	if !terminal {
+		_, next := l.Best(s2)
+		target += l.Gamma * next
+	}
+	l.q[s][a] += l.Alpha * (target - l.q[s][a])
+}
+
+// LearnTowards moves Q(s, a) toward an externally computed target; used by
+// Q-routing where the bootstrap estimate arrives from a neighbour.
+func (l *QLearner) LearnTowards(s, a int, target float64) {
+	l.q[s][a] += l.Alpha * (target - l.q[s][a])
+}

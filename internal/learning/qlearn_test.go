@@ -1,0 +1,107 @@
+package learning
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// chainWorld is a 5-state chain; action 1 moves right, action 0 moves left.
+// Reaching state 4 gives reward 1 and terminates.
+func chainStep(s, a int) (s2 int, r float64, done bool) {
+	if a == 1 {
+		s2 = s + 1
+	} else {
+		s2 = s - 1
+	}
+	if s2 < 0 {
+		s2 = 0
+	}
+	if s2 >= 4 {
+		return 4, 1, true
+	}
+	return s2, 0, false
+}
+
+func TestQLearnerSolvesChain(t *testing.T) {
+	l := NewQLearner(5, 2, 0.2, 0.9, 0.5, rand.New(rand.NewSource(1)))
+	for ep := 0; ep < 600; ep++ {
+		s := ep % 4 // vary start states so value propagates down the chain
+		for step := 0; step < 50; step++ {
+			a := l.Act(s)
+			s2, r, done := chainStep(s, a)
+			l.Learn(s, a, r, s2, done)
+			s = s2
+			if done {
+				break
+			}
+		}
+	}
+	// The greedy policy should move right from every interior state.
+	for s := 0; s < 4; s++ {
+		if a, _ := l.Best(s); a != 1 {
+			t.Fatalf("greedy action at state %d = %d, want 1 (Q=%v,%v)",
+				s, a, l.Q(s, 0), l.Q(s, 1))
+		}
+	}
+}
+
+func TestQLearnerValuePropagation(t *testing.T) {
+	l := NewQLearner(5, 2, 0.5, 0.9, 0, rand.New(rand.NewSource(2)))
+	for i := 0; i < 1000; i++ {
+		s := i % 4
+		a := 1
+		s2, r, done := chainStep(s, a)
+		l.Learn(s, a, r, s2, done)
+	}
+	// Q(s,right) should increase toward the goal: γ-discounted values.
+	for s := 0; s < 3; s++ {
+		if l.Q(s, 1) >= l.Q(s+1, 1) {
+			t.Fatalf("value not increasing toward goal: Q(%d)=%v ≥ Q(%d)=%v",
+				s, l.Q(s, 1), s+1, l.Q(s+1, 1))
+		}
+	}
+}
+
+func TestActAmongRestriction(t *testing.T) {
+	l := NewQLearner(3, 4, 0.1, 0.9, 0.5, rand.New(rand.NewSource(3)))
+	l.SetQ(0, 2, 100) // best unrestricted action is 2
+	allowed := []int{0, 3}
+	for i := 0; i < 100; i++ {
+		a := l.ActAmong(0, allowed)
+		if a != 0 && a != 3 {
+			t.Fatalf("ActAmong returned disallowed action %d", a)
+		}
+	}
+}
+
+func TestActAmongEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ActAmong with empty set did not panic")
+		}
+	}()
+	l := NewQLearner(2, 2, 0.1, 0.9, 0.1, rand.New(rand.NewSource(1)))
+	l.ActAmong(0, nil)
+}
+
+func TestLearnTowards(t *testing.T) {
+	l := NewQLearner(1, 1, 0.5, 0.9, 0, rand.New(rand.NewSource(1)))
+	l.LearnTowards(0, 0, 10)
+	if l.Q(0, 0) != 5 {
+		t.Fatalf("LearnTowards: Q = %v, want 5", l.Q(0, 0))
+	}
+	l.LearnTowards(0, 0, 10)
+	if l.Q(0, 0) != 7.5 {
+		t.Fatalf("LearnTowards second step: Q = %v, want 7.5", l.Q(0, 0))
+	}
+}
+
+func TestEpsilonZeroIsGreedy(t *testing.T) {
+	l := NewQLearner(2, 3, 0.1, 0.9, 0, rand.New(rand.NewSource(4)))
+	l.SetQ(1, 2, 5)
+	for i := 0; i < 50; i++ {
+		if a := l.Act(1); a != 2 {
+			t.Fatalf("greedy Act = %d, want 2", a)
+		}
+	}
+}

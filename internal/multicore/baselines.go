@@ -1,0 +1,109 @@
+package multicore
+
+// StaticMax is the design-time "performance" policy: all cores pinned to
+// maximum frequency, tasks placed on the least-loaded big core (littles are
+// used only when every big is deeply backlogged). It was "tuned" for raw
+// throughput and cannot re-balance when the goal changes to power saving.
+type StaticMax struct{}
+
+// Name implements Scheduler.
+func (StaticMax) Name() string { return "static-max" }
+
+// Place implements Scheduler.
+func (StaticMax) Place(_ float64, t *Task, cores []*Core) *Core {
+	var bestBig, bestAny *Core
+	for _, c := range cores {
+		if bestAny == nil || c.QueueWork() < bestAny.QueueWork() {
+			bestAny = c
+		}
+		if c.Type == Big && (bestBig == nil || c.QueueWork() < bestBig.QueueWork()) {
+			bestBig = c
+		}
+	}
+	if bestBig != nil && bestBig.QueueWork() < 40 {
+		return bestBig
+	}
+	return bestAny
+}
+
+// Control implements Scheduler: pin everything at max frequency.
+func (StaticMax) Control(_ float64, cores []*Core) {
+	for _, c := range cores {
+		c.FreqIdx = len(FreqLevels) - 1
+	}
+}
+
+// Completed implements Scheduler.
+func (StaticMax) Completed(float64, *Task, *Core, float64, float64) {}
+
+// RoundRobin spreads tasks blindly across all cores at a fixed middle
+// frequency: the oblivious baseline.
+type RoundRobin struct {
+	next int
+}
+
+// Name implements Scheduler.
+func (r *RoundRobin) Name() string { return "round-robin" }
+
+// Place implements Scheduler.
+func (r *RoundRobin) Place(_ float64, t *Task, cores []*Core) *Core {
+	c := cores[r.next%len(cores)]
+	r.next++
+	return c
+}
+
+// Control implements Scheduler.
+func (r *RoundRobin) Control(_ float64, cores []*Core) {
+	for _, c := range cores {
+		c.FreqIdx = 2
+	}
+}
+
+// Completed implements Scheduler.
+func (r *RoundRobin) Completed(float64, *Task, *Core, float64, float64) {}
+
+// Governor is the classic autonomic baseline (an "ondemand" CPU governor
+// expressed as MAPE-K-style threshold rules): least-backlog placement, and
+// per-core frequency stepped up when the backlog is high, down when low.
+// It adapts — but only along the single axis its designers anticipated, with
+// thresholds fixed at design time.
+type Governor struct {
+	// UpAt and DownAt are backlog (work-unit) thresholds (defaults 12/3).
+	UpAt, DownAt float64
+}
+
+// Name implements Scheduler.
+func (g *Governor) Name() string { return "governor" }
+
+// Place implements Scheduler.
+func (g *Governor) Place(_ float64, t *Task, cores []*Core) *Core {
+	best := cores[0]
+	for _, c := range cores[1:] {
+		if c.QueueWork() < best.QueueWork() {
+			best = c
+		}
+	}
+	return best
+}
+
+// Control implements Scheduler.
+func (g *Governor) Control(_ float64, cores []*Core) {
+	up, down := g.UpAt, g.DownAt
+	if up == 0 {
+		up = 12
+	}
+	if down == 0 {
+		down = 3
+	}
+	for _, c := range cores {
+		switch {
+		case c.QueueWork() > up && c.FreqIdx < len(FreqLevels)-1:
+			c.FreqIdx++
+		case c.QueueWork() < down && c.FreqIdx > 0:
+			c.FreqIdx--
+		}
+	}
+}
+
+// Completed implements Scheduler.
+func (g *Governor) Completed(float64, *Task, *Core, float64, float64) {}

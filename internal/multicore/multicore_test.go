@@ -1,0 +1,241 @@
+package multicore
+
+import (
+	"testing"
+
+	"sacs/internal/core"
+	"sacs/internal/env"
+	"sacs/internal/goals"
+)
+
+func perfGoalT() *goals.Set {
+	return goals.NewSet("performance",
+		goals.Objective{Name: "mean-latency", Direction: goals.Minimize, Weight: 1.0, Scale: 30},
+		goals.Objective{Name: "power", Direction: goals.Minimize, Weight: 0.15, Scale: 10},
+	)
+}
+
+func powerGoalT() *goals.Set {
+	return goals.NewSet("powersave",
+		goals.Objective{Name: "mean-latency", Direction: goals.Minimize, Weight: 0.15, Scale: 30},
+		goals.Objective{Name: "power", Direction: goals.Minimize, Weight: 1.0, Scale: 10},
+	)
+}
+
+func newSA(caps core.Capabilities, cfg Config) (*Platform, *SelfAware) {
+	gsw := goals.NewSwitcher(perfGoalT())
+	sa := NewSelfAware(caps, gsw)
+	p := New(cfg, sa)
+	sa.Bind(p)
+	return p, sa
+}
+
+func TestCoreTypesAndFreq(t *testing.T) {
+	if Big.String() != "big" || Little.String() != "little" {
+		t.Fatal("core type strings")
+	}
+	c := &Core{FreqIdx: 2}
+	if c.Freq() != FreqLevels[2] {
+		t.Fatal("Freq indexing")
+	}
+}
+
+func TestQueueWorkIncludesRunningTask(t *testing.T) {
+	c := &Core{}
+	c.queue = []*Task{{remains: 5}, {remains: 3}}
+	if c.QueueWork() != 8 || c.QueueLen() != 2 {
+		t.Fatalf("queue stats: %v/%d", c.QueueWork(), c.QueueLen())
+	}
+	c.busy = &Task{remains: 2}
+	if c.QueueWork() != 10 || c.QueueLen() != 3 {
+		t.Fatalf("queue stats with busy: %v/%d", c.QueueWork(), c.QueueLen())
+	}
+}
+
+func TestPlatformTaskConservation(t *testing.T) {
+	p := New(Config{Seed: 1, Ticks: 1000}, &Governor{})
+	p.Run()
+	queued := 0
+	for _, c := range p.Cores {
+		queued += c.QueueLen()
+	}
+	if p.Done+queued != p.Arrived {
+		t.Fatalf("conservation: done %d + queued %d != arrived %d", p.Done, queued, p.Arrived)
+	}
+	if p.Done == 0 {
+		t.Fatal("no tasks completed")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	run := func() Result {
+		p, _ := newSA(core.FullStack, Config{Seed: 3, Ticks: 800})
+		return p.Run()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different results:\n%v\n%v", a, b)
+	}
+}
+
+func TestBaselinesPlaceOnValidCores(t *testing.T) {
+	p := New(Config{Seed: 2, Ticks: 10}, &RoundRobin{})
+	scheds := []Scheduler{StaticMax{}, &RoundRobin{}, &Governor{}}
+	task := &Task{Type: 0, Work: 5, remains: 5}
+	for _, s := range scheds {
+		c := s.Place(0, task, p.Cores)
+		found := false
+		for _, pc := range p.Cores {
+			if pc == c {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s placed on foreign core", s.Name())
+		}
+	}
+}
+
+func TestStaticMaxPinsMaxFrequency(t *testing.T) {
+	p := New(Config{Seed: 2, Ticks: 10}, StaticMax{})
+	StaticMax{}.Control(0, p.Cores)
+	for _, c := range p.Cores {
+		if c.FreqIdx != len(FreqLevels)-1 {
+			t.Fatal("static-max did not pin max frequency")
+		}
+	}
+}
+
+func TestGovernorStepsFrequencies(t *testing.T) {
+	g := &Governor{}
+	p := New(Config{Seed: 2, Ticks: 10}, g)
+	c := p.Cores[0]
+	c.FreqIdx = 2
+	c.queue = []*Task{{remains: 100}}
+	g.Control(0, p.Cores)
+	if c.FreqIdx != 3 {
+		t.Fatalf("governor did not step up: %d", c.FreqIdx)
+	}
+	c.queue = nil
+	g.Control(1, p.Cores)
+	if c.FreqIdx != 2 {
+		t.Fatalf("governor did not step down: %d", c.FreqIdx)
+	}
+}
+
+func TestSelfAwareLearnsAffinity(t *testing.T) {
+	p, sa := newSA(core.FullStack, Config{Seed: 4, Ticks: 4000})
+	p.Run()
+	// Hidden truth: type 0 runs ~1.0 vs 0.35 affinity; learned rates must
+	// reflect that big is much faster than little for type 0.
+	rateBig := sa.rate(0, Big)
+	rateLittle := sa.rate(0, Little)
+	if rateBig <= rateLittle*1.5 {
+		t.Fatalf("affinity not learned: big %v vs little %v", rateBig, rateLittle)
+	}
+}
+
+func TestStimulusOnlyHasNoRateModels(t *testing.T) {
+	p, sa := newSA(core.Caps(core.LevelStimulus), Config{Seed: 4, Ticks: 1500})
+	p.Run()
+	if sa.store.Get("rate/0/0") != nil {
+		t.Fatal("stimulus-only scheduler built interaction models")
+	}
+	if sa.store.Value("rate/global", 0) == 0 {
+		t.Fatal("global rate estimate missing")
+	}
+}
+
+func TestGoalSwitchReducesPower(t *testing.T) {
+	gsw := goals.NewSwitcher(perfGoalT())
+	gsw.ScheduleSwitch(3000, powerGoalT())
+	sa := NewSelfAware(core.FullStack, gsw)
+	p := New(Config{Seed: 5, Ticks: 6000}, sa)
+	sa.Bind(p)
+	var e1 float64
+	for i := 0; i < 6000; i++ {
+		p.Step()
+		if i == 2999 {
+			e1 = p.EnergyTotal()
+		}
+	}
+	powerPhase1 := e1 / 3000
+	powerPhase2 := (p.EnergyTotal() - e1) / 3000
+	if powerPhase2 >= powerPhase1 {
+		t.Fatalf("powersave phase did not reduce power: %v -> %v", powerPhase1, powerPhase2)
+	}
+}
+
+func TestMetaDetectsThrottleDrift(t *testing.T) {
+	p, sa := newSA(core.FullStack, Config{Seed: 6, Ticks: 6000, ThrottleAt: 3000})
+	p.Run()
+	if sa.Adaptations == 0 {
+		t.Fatal("meta level never adapted to thermal throttling")
+	}
+}
+
+func TestNoMetaNoAdaptations(t *testing.T) {
+	caps := core.FullStack.Without(core.LevelMeta)
+	p, sa := newSA(caps, Config{Seed: 6, Ticks: 4000, ThrottleAt: 2000})
+	p.Run()
+	if sa.Adaptations != 0 {
+		t.Fatal("non-meta scheduler reported adaptations")
+	}
+}
+
+func TestSelfAwareBeatsRoundRobinLatency(t *testing.T) {
+	cfg := Config{Seed: 7, Ticks: 4000}
+	p1, _ := newSA(core.FullStack, cfg)
+	r1 := p1.Run()
+	p2 := New(cfg, &RoundRobin{})
+	r2 := p2.Run()
+	if r1.MeanLatency >= r2.MeanLatency {
+		t.Fatalf("self-aware latency %v not better than round-robin %v",
+			r1.MeanLatency, r2.MeanLatency)
+	}
+}
+
+func TestWindowMetricsResets(t *testing.T) {
+	p := New(Config{Seed: 8, Ticks: 10}, &Governor{})
+	for i := 0; i < 200; i++ {
+		p.Step()
+	}
+	m1 := p.WindowMetrics(200)
+	if m1["throughput"] <= 0 {
+		t.Fatal("no throughput in first window")
+	}
+	m2 := p.WindowMetrics(1)
+	if m2["throughput"] != 0 {
+		t.Fatal("window did not reset")
+	}
+	for _, key := range []string{"throughput", "miss-rate", "mean-latency", "power"} {
+		if _, ok := m1[key]; !ok {
+			t.Fatalf("metric %q missing", key)
+		}
+	}
+}
+
+func TestBurstyWorkloadRuns(t *testing.T) {
+	cfg := Config{Seed: 9, Ticks: 2000,
+		ArrivalRate: &env.Clamp{Base: &env.Sine{Base: 0.6, Amplitude: 0.35, Period: 400}, Min: 0.05, Max: 2}}
+	p, _ := newSA(core.FullStack, cfg)
+	r := p.Run()
+	if r.Done == 0 {
+		t.Fatal("bursty run completed nothing")
+	}
+}
+
+func TestSchedulerNames(t *testing.T) {
+	if (StaticMax{}).Name() != "static-max" || (&RoundRobin{}).Name() != "round-robin" ||
+		(&Governor{}).Name() != "governor" {
+		t.Fatal("baseline names")
+	}
+	sa := NewSelfAware(core.FullStack, goals.NewSwitcher(perfGoalT()))
+	if sa.Name() != "self-aware" {
+		t.Fatal("self-aware name")
+	}
+	sa.Label = "custom"
+	if sa.Name() != "custom" {
+		t.Fatal("label override")
+	}
+}

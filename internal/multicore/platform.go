@@ -1,0 +1,383 @@
+// Package multicore simulates a heterogeneous multi-core platform with
+// per-core DVFS — the "self-aware heterogeneous multicores" setting of the
+// paper (§II, §V; Platzner [8], Agarwal [16], Agne et al. [47]).
+//
+// Tasks of several (hidden) types arrive continuously; their execution speed
+// depends on which core type runs them (affinity) and at what frequency.
+// Schedulers place tasks and set frequencies, trading performance against
+// power — a run-time multi-objective trade-off that can be re-weighted while
+// the system runs (run-time goal switches), and whose ground truth can shift
+// under thermal throttling (drift). The self-aware scheduler is built on
+// core.Agent and learns everything it needs online; the baselines encode
+// fixed design-time policy.
+package multicore
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sacs/internal/env"
+	"sacs/internal/stats"
+)
+
+// CoreType distinguishes the two heterogeneous core designs.
+type CoreType int
+
+// Core types.
+const (
+	Big CoreType = iota
+	Little
+)
+
+// String returns "big" or "little".
+func (t CoreType) String() string {
+	if t == Little {
+		return "little"
+	}
+	return "big"
+}
+
+// FreqLevels are the DVFS operating points (relative frequency).
+var FreqLevels = []float64{0.5, 0.75, 1.0, 1.25, 1.5}
+
+// Core is one processing element.
+type Core struct {
+	ID   int
+	Type CoreType
+	// FreqIdx indexes FreqLevels; schedulers change it in Control.
+	FreqIdx int
+
+	queue []*Task
+	busy  *Task
+
+	// Energy accumulates consumed energy (power × ticks).
+	Energy float64
+	// BusyTicks counts ticks spent executing.
+	BusyTicks float64
+}
+
+// Freq returns the current relative frequency.
+func (c *Core) Freq() float64 { return FreqLevels[c.FreqIdx] }
+
+// QueueLen returns the backlog (including the running task).
+func (c *Core) QueueLen() int {
+	n := len(c.queue)
+	if c.busy != nil {
+		n++
+	}
+	return n
+}
+
+// QueueWork sums remaining work in the backlog (including the running
+// task). Observable by schedulers.
+func (c *Core) QueueWork() float64 {
+	w := 0.0
+	if c.busy != nil {
+		w += c.busy.remains
+	}
+	for _, t := range c.queue {
+		w += t.remains
+	}
+	return w
+}
+
+// Task is one unit of work.
+type Task struct {
+	ID   int
+	Type int
+	// Work is the task size in work units.
+	Work float64
+	// Arrive and Deadline are absolute times.
+	Arrive, Deadline float64
+
+	remains float64
+	started float64
+	execT   float64 // accumulated execution ticks
+}
+
+// Config parameterises a platform run.
+type Config struct {
+	Seed    int64
+	Bigs    int // default 2
+	Littles int // default 4
+	Ticks   int
+
+	// TaskTypes is the number of distinct task types (default 3).
+	TaskTypes int
+	// ArrivalRate is tasks per tick (default 0.65, may vary over time).
+	ArrivalRate env.Signal
+	// MeanWork is mean task size (default 6).
+	MeanWork float64
+	// DeadlineSlack multiplies the ideal big-core service time into the
+	// deadline (default 8).
+	DeadlineSlack float64
+
+	// ThrottleAt, when positive, throttles big cores to ThrottleFactor of
+	// their base speed from that tick on (drift for the meta level).
+	ThrottleAt     float64
+	ThrottleFactor float64
+}
+
+func (c *Config) defaults() {
+	if c.Bigs == 0 {
+		c.Bigs = 2
+	}
+	if c.Littles == 0 {
+		c.Littles = 4
+	}
+	if c.TaskTypes == 0 {
+		c.TaskTypes = 3
+	}
+	if c.ArrivalRate == nil {
+		c.ArrivalRate = env.Constant(0.65)
+	}
+	if c.MeanWork == 0 {
+		c.MeanWork = 6
+	}
+	if c.DeadlineSlack == 0 {
+		c.DeadlineSlack = 8
+	}
+	if c.ThrottleFactor == 0 {
+		c.ThrottleFactor = 0.6
+	}
+}
+
+// Scheduler is a placement + DVFS policy.
+type Scheduler interface {
+	Name() string
+	// Place assigns an arriving task to a core.
+	Place(now float64, t *Task, cores []*Core) *Core
+	// Control runs once per control period to adjust frequencies.
+	Control(now float64, cores []*Core)
+	// Completed reports a finished task: which core ran it, its end-to-end
+	// latency and pure execution time at the frequency it ran.
+	Completed(now float64, t *Task, c *Core, latency, execTicks float64)
+}
+
+// Platform is a running simulation.
+type Platform struct {
+	Cfg   Config
+	Cores []*Core
+	Sched Scheduler
+
+	rng    *rand.Rand
+	tick   int
+	taskID int
+
+	throttled bool
+
+	// Hidden ground truth: baseSpeed[coreType] work units per tick at
+	// freq 1.0, and affinity[taskType][coreType] multipliers.
+	baseSpeed [2]float64
+	affinity  [][2]float64
+
+	// Accounting.
+	Arrived   int
+	Done      int
+	Missed    int
+	Latency   stats.Online
+	TotalWork float64
+
+	// Window accounting for periodic metric snapshots.
+	winDone, winMissed, winEnergy float64
+	winLat                        stats.Online
+	lastEnergy                    float64
+}
+
+// ControlPeriod is how often Scheduler.Control runs (ticks).
+const ControlPeriod = 25
+
+// Power model constants: P = static + dyn·f³, per core type.
+var (
+	staticPower = [2]float64{0.6, 0.15} // big, little
+	dynPower    = [2]float64{2.0, 0.5}
+	idleFactor  = 0.4 // idle cores burn static + idleFactor·dyn at min freq
+)
+
+// New builds a platform with the given scheduler.
+func New(cfg Config, s Scheduler) *Platform {
+	cfg.defaults()
+	p := &Platform{Cfg: cfg, Sched: s, rng: rand.New(rand.NewSource(cfg.Seed))}
+	p.baseSpeed = [2]float64{2.0, 0.9}
+	p.affinity = make([][2]float64, cfg.TaskTypes)
+	for tt := range p.affinity {
+		switch tt % 3 {
+		case 0: // compute-bound: terrible on little cores
+			p.affinity[tt] = [2]float64{1.0, 0.35}
+		case 1: // balanced
+			p.affinity[tt] = [2]float64{1.0, 0.8}
+		default: // memory-bound: big cores barely help
+			p.affinity[tt] = [2]float64{0.6, 0.55}
+		}
+	}
+	id := 0
+	for i := 0; i < cfg.Bigs; i++ {
+		p.Cores = append(p.Cores, &Core{ID: id, Type: Big, FreqIdx: 2})
+		id++
+	}
+	for i := 0; i < cfg.Littles; i++ {
+		p.Cores = append(p.Cores, &Core{ID: id, Type: Little, FreqIdx: 2})
+		id++
+	}
+	return p
+}
+
+// speed returns the hidden effective speed of task type tt on core c now.
+func (p *Platform) speed(tt int, c *Core) float64 {
+	s := p.baseSpeed[c.Type] * c.Freq() * p.affinity[tt][c.Type]
+	if p.throttled && c.Type == Big {
+		s *= p.Cfg.ThrottleFactor
+	}
+	return s
+}
+
+// Step advances one tick.
+func (p *Platform) Step() {
+	cfg := &p.Cfg
+	now := float64(p.tick)
+	p.tick++
+
+	if cfg.ThrottleAt > 0 && now >= cfg.ThrottleAt {
+		p.throttled = true
+	}
+
+	// Arrivals.
+	rate := cfg.ArrivalRate.At(now)
+	n := poisson(p.rng, rate)
+	for i := 0; i < n; i++ {
+		work := env.LogNormal(p.rng, cfg.MeanWork, 0.4)
+		tt := p.rng.Intn(cfg.TaskTypes)
+		t := &Task{
+			ID: p.taskID, Type: tt, Work: work, remains: work,
+			Arrive:   now,
+			Deadline: now + cfg.DeadlineSlack*work/(p.baseSpeed[Big]*1.0),
+		}
+		p.taskID++
+		p.Arrived++
+		c := p.Sched.Place(now, t, p.Cores)
+		c.queue = append(c.queue, t)
+	}
+
+	// DVFS control.
+	if p.tick%ControlPeriod == 0 {
+		p.Sched.Control(now, p.Cores)
+	}
+
+	// Execute.
+	for _, c := range p.Cores {
+		if c.busy == nil && len(c.queue) > 0 {
+			c.busy = c.queue[0]
+			c.queue = c.queue[1:]
+			c.busy.started = now
+		}
+		if c.busy == nil {
+			c.Energy += staticPower[c.Type] + idleFactor*dynPower[c.Type]*math.Pow(FreqLevels[0], 3)
+			continue
+		}
+		c.Energy += staticPower[c.Type] + dynPower[c.Type]*math.Pow(c.Freq(), 3)
+		c.BusyTicks++
+		t := c.busy
+		t.execT++
+		t.remains -= p.speed(t.Type, c)
+		if t.remains <= 0 {
+			c.busy = nil
+			p.finish(now+1, t, c)
+		}
+	}
+}
+
+func (p *Platform) finish(now float64, t *Task, c *Core) {
+	lat := now - t.Arrive
+	p.Done++
+	p.TotalWork += t.Work
+	p.Latency.Add(lat)
+	p.winLat.Add(lat)
+	p.winDone++
+	if now > t.Deadline {
+		p.Missed++
+		p.winMissed++
+	}
+	p.Sched.Completed(now, t, c, lat, t.execT)
+}
+
+// Energy sums energy over all cores.
+func (p *Platform) EnergyTotal() float64 {
+	e := 0.0
+	for _, c := range p.Cores {
+		e += c.Energy
+	}
+	return e
+}
+
+// WindowMetrics returns and resets the current metric window: the map the
+// goal sets evaluate. Keys: "throughput" (tasks/tick), "miss-rate",
+// "mean-latency", "power" (energy/tick over the window).
+func (p *Platform) WindowMetrics(window float64) map[string]float64 {
+	e := p.EnergyTotal()
+	m := map[string]float64{
+		"throughput":   p.winDone / window,
+		"miss-rate":    0,
+		"mean-latency": p.winLat.Mean(),
+		"power":        (e - p.lastEnergy) / window,
+	}
+	if p.winDone > 0 {
+		m["miss-rate"] = p.winMissed / p.winDone
+	}
+	p.lastEnergy = e
+	p.winDone, p.winMissed = 0, 0
+	p.winLat = stats.Online{}
+	return m
+}
+
+// Run executes the configured ticks.
+func (p *Platform) Run() Result {
+	for i := 0; i < p.Cfg.Ticks; i++ {
+		p.Step()
+	}
+	return p.Result()
+}
+
+// Result summarises a run.
+type Result struct {
+	Done          int
+	MissRate      float64
+	MeanLatency   float64
+	Energy        float64
+	EnergyPerTask float64
+}
+
+// Result computes the summary so far.
+func (p *Platform) Result() Result {
+	r := Result{
+		Done:        p.Done,
+		MeanLatency: p.Latency.Mean(),
+		Energy:      p.EnergyTotal(),
+	}
+	if p.Done > 0 {
+		r.MissRate = float64(p.Missed) / float64(p.Done)
+		r.EnergyPerTask = r.Energy / float64(p.Done)
+	}
+	return r
+}
+
+// String renders the result compactly.
+func (r Result) String() string {
+	return fmt.Sprintf("done=%d miss=%.3f meanLat=%.1f energy=%.0f e/task=%.2f",
+		r.Done, r.MissRate, r.MeanLatency, r.Energy, r.EnergyPerTask)
+}
+
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

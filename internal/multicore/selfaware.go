@@ -1,0 +1,335 @@
+package multicore
+
+import (
+	"fmt"
+	"math"
+
+	"sacs/internal/core"
+	"sacs/internal/goals"
+	"sacs/internal/knowledge"
+	"sacs/internal/learning"
+)
+
+// SelfAware is the goal-driven scheduler built on the core.Agent framework.
+// Its behaviour is gated by the agent's self-awareness Capabilities, which
+// is what experiment E5 ablates:
+//
+//   - stimulus only: it sees backlogs and places by least work, fixed
+//     mid frequency — no models;
+//   - +interaction: it learns per-(task type, core type) execution-rate
+//     models from completions and places by predicted finish time;
+//   - +time: it forecasts incoming work (Holt) and sets frequencies
+//     proactively for the predicted demand instead of the current backlog;
+//   - +goal: placement and DVFS optimise the *active* goal set's weights,
+//     so a run-time switch from performance to powersave mode takes effect
+//     at the next control period;
+//   - +meta: a drift detector watches the scheduler's own service-time
+//     prediction error and resets the learned rate models when the platform
+//     changes under it (e.g. thermal throttling).
+type SelfAware struct {
+	caps  core.Capabilities
+	agent *core.Agent
+	store *knowledge.Store
+	gsw   *goals.Switcher
+
+	platform *Platform
+
+	// Learned execution-rate models and their prediction quality.
+	predErr   *learning.MSETracker
+	detectors map[string]*learning.PageHinkley // per-model drift watch
+	forecast  *learning.Holt
+
+	// Window accounting (what the scheduler itself can observe).
+	winArrivedWork float64
+
+	// Adaptations counts meta-triggered model resets.
+	Adaptations int
+	// Label overrides Name() (used by the ablation experiment).
+	Label string
+}
+
+// NewSelfAware builds the scheduler with the given capabilities and goal
+// switcher (gsw may be nil when LevelGoal is absent).
+func NewSelfAware(caps core.Capabilities, gsw *goals.Switcher) *SelfAware {
+	s := &SelfAware{
+		caps:      caps,
+		gsw:       gsw,
+		store:     knowledge.NewStore(0.02, 32),
+		predErr:   &learning.MSETracker{},
+		detectors: make(map[string]*learning.PageHinkley),
+		forecast:  learning.NewHolt(0.4, 0.15),
+	}
+	return s
+}
+
+// Bind attaches the scheduler to its platform and assembles the core.Agent.
+// It must be called once, after multicore.New.
+func (s *SelfAware) Bind(p *Platform) {
+	s.platform = p
+	sensors := []core.Sensor{
+		core.ScalarSensor("backlog-work", core.Private, func(float64) float64 {
+			w := 0.0
+			for _, c := range p.Cores {
+				w += c.QueueWork()
+			}
+			return w
+		}),
+		core.ScalarSensor("power-draw", core.Private, func(float64) float64 {
+			pw := 0.0
+			for _, c := range p.Cores {
+				pw += staticPower[c.Type] + dynPower[c.Type]*cube(c.Freq())
+			}
+			return pw
+		}),
+		core.ScalarSensor("arrived-work", core.Public, func(float64) float64 {
+			return s.winArrivedWork
+		}),
+	}
+	s.agent = core.New(core.Config{
+		Name:     "multicore-scheduler",
+		Caps:     s.caps,
+		Store:    s.store,
+		Goals:    s.gsw,
+		Sensors:  sensors,
+		Reasoner: core.ReasonerFunc{ReasonerName: "dvfs-planner", Fn: s.plan},
+		Effectors: []core.Effector{core.EffectorFunc{
+			EffectorName: "set-freq",
+			Fn: func(a core.Action) error {
+				id := int(a.Value) / 16
+				idx := int(a.Value) % 16
+				if id < 0 || id >= len(p.Cores) || idx < 0 || idx >= len(FreqLevels) {
+					return fmt.Errorf("multicore: bad set-freq %v", a.Value)
+				}
+				p.Cores[id].FreqIdx = idx
+				return nil
+			},
+		}},
+	})
+}
+
+// Agent exposes the underlying core.Agent (for explanations, E9).
+func (s *SelfAware) Agent() *core.Agent { return s.agent }
+
+// Name implements Scheduler.
+func (s *SelfAware) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return "self-aware"
+}
+
+func cube(f float64) float64 { return f * f * f }
+
+func rateModel(tt int, ct CoreType) string {
+	return fmt.Sprintf("rate/%d/%d", tt, int(ct))
+}
+
+// rate returns the learned execution rate (work per tick per unit
+// frequency) for task type tt on core type ct. Without interaction
+// awareness a single pooled estimate is used, so core types look identical.
+func (s *SelfAware) rate(tt int, ct CoreType) float64 {
+	if !s.caps.Has(core.LevelInteraction) {
+		return s.store.Value("rate/global", 1.2)
+	}
+	return s.store.Value(rateModel(tt, ct), 1.2)
+}
+
+// weights extracts the active goal's latency/power weighting; without goal
+// awareness a fixed design-time blend is used.
+func (s *SelfAware) weights() (wLat, wPow, latScale, powScale float64) {
+	wLat, wPow, latScale, powScale = 1, 0.3, 30, 10
+	if !s.caps.Has(core.LevelGoal) || s.gsw == nil {
+		return wLat, wPow, latScale, powScale
+	}
+	g := s.gsw.Active()
+	if o, ok := g.Objective("mean-latency"); ok {
+		wLat = o.Weight
+		if o.Scale != 0 {
+			latScale = o.Scale
+		}
+	}
+	if o, ok := g.Objective("power"); ok {
+		wPow = o.Weight
+		if o.Scale != 0 {
+			powScale = o.Scale
+		}
+	}
+	return wLat, wPow, latScale, powScale
+}
+
+// Place implements Scheduler.
+func (s *SelfAware) Place(now float64, t *Task, cores []*Core) *Core {
+	s.winArrivedWork += t.Work
+
+	// Stimulus-only: least backlog at whatever frequency is set.
+	if !s.caps.Has(core.LevelInteraction) {
+		best := cores[0]
+		for _, c := range cores[1:] {
+			if c.QueueWork() < best.QueueWork() {
+				best = c
+			}
+		}
+		return best
+	}
+
+	wLat, wPow, latScale, powScale := s.weights()
+	var best *Core
+	bestScore := 0.0
+	for _, c := range cores {
+		r := s.rate(t.Type, c.Type) * c.Freq()
+		if r <= 0.01 {
+			r = 0.01
+		}
+		// Mean drain rate for the backlog ahead of us (approximate with
+		// this task type's rate; backlogs are type mixes).
+		finish := (c.QueueWork() + t.Work) / r
+		power := staticPower[c.Type] + dynPower[c.Type]*cube(c.Freq())
+		taskEnergy := power * t.Work / r
+		score := -wLat*finish/latScale - wPow*taskEnergy/powScale
+		// Deadline feasibility dominates when latency matters at all.
+		if now+finish > t.Deadline && wLat > 0.05 {
+			score -= 5 * wLat
+		}
+		if best == nil || score > bestScore {
+			best, bestScore = c, score
+		}
+	}
+	return best
+}
+
+// Control implements Scheduler: one LRA-M cycle of the agent; the reasoner
+// (plan) sets frequencies through the set-freq effector.
+func (s *SelfAware) Control(now float64, cores []*Core) {
+	metrics := s.platform.WindowMetrics(ControlPeriod)
+	s.agent.Step(now, metrics)
+	s.winArrivedWork = 0
+}
+
+// plan is the agent's Reasoner: choose per-core frequencies to serve the
+// (predicted or current) demand at the utilisation target implied by the
+// active goal weights. Cores are filled greedily in an order that blends
+// speed (performance goals) with energy efficiency (powersave goals), so a
+// run-time goal switch re-ranks the whole platform at the next period.
+func (s *SelfAware) plan(d *core.Decision) {
+	cores := s.platform.Cores
+	wLat, wPow, _, _ := s.weights()
+
+	// Demand estimate. Time-awareness is the difference between reacting
+	// to the backlog that has already built up and provisioning for the
+	// inflow the forecast expects: without LevelTime the planner knows
+	// only the present (stimulus) state.
+	backlog := d.Consult("stim/backlog-work", 0)
+	var need float64
+	if s.caps.Has(core.LevelTime) {
+		arrived := d.Consult("stim/arrived-work", 0)
+		s.forecast.Observe(arrived)
+		pred := s.forecast.Predict()
+		if pred < 0 {
+			pred = 0
+		}
+		need = backlog/2 + pred
+	} else {
+		need = backlog
+	}
+
+	// Utilisation target: powersave tolerates fuller queues.
+	target := 0.7
+	if s.caps.Has(core.LevelGoal) {
+		target = 0.5 + 0.45*wPow/(wPow+wLat)
+	}
+	need = need / ControlPeriod / target // work units per tick
+
+	// Water-fill operating points: start every core at minimum frequency
+	// and repeatedly take the most attractive single-level step until the
+	// planned capacity covers the demand. Step attractiveness blends raw
+	// capacity gain (what latency wants) with capacity-per-watt (what
+	// powersave wants) through the goal weights: score = Δcap / Δpow^β,
+	// β = wPow/(wPow+wLat).
+	beta := wPow / (wPow + wLat)
+	idxs := make([]int, len(cores))
+	rates := make([]float64, len(cores))
+	capacity := 0.0
+	for i, c := range cores {
+		rates[i] = s.meanRate(c.Type)
+		capacity += rates[i] * FreqLevels[0]
+	}
+	for capacity < need {
+		best, bestScore := -1, 0.0
+		for i, c := range cores {
+			if idxs[i] >= len(FreqLevels)-1 {
+				continue
+			}
+			dCap := rates[i] * (FreqLevels[idxs[i]+1] - FreqLevels[idxs[i]])
+			dPow := dynPower[c.Type] * (cube(FreqLevels[idxs[i]+1]) - cube(FreqLevels[idxs[i]]))
+			score := dCap / math.Pow(dPow, beta)
+			if best < 0 || score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		if best < 0 {
+			break // everything already at maximum
+		}
+		capacity -= rates[best] * FreqLevels[idxs[best]]
+		idxs[best]++
+		capacity += rates[best] * FreqLevels[idxs[best]]
+	}
+	for i, c := range cores {
+		d.Score(fmt.Sprintf("core%d@f%.2f", c.ID, FreqLevels[idxs[i]]), rates[i]*FreqLevels[idxs[i]])
+		d.Choose(core.Action{Name: "set-freq", Target: fmt.Sprintf("core%d", c.ID),
+			Value: float64(c.ID*16 + idxs[i])},
+			"plan capacity %.2f/tick for demand %.2f/tick (target util %.2f, β=%.2f)",
+			capacity, need, target, beta)
+	}
+}
+
+// meanRate averages the learned rates over task types for a core type.
+func (s *SelfAware) meanRate(ct CoreType) float64 {
+	if !s.caps.Has(core.LevelInteraction) {
+		return s.store.Value("rate/global", 1.2)
+	}
+	sum, n := 0.0, 0
+	for tt := 0; tt < s.platform.Cfg.TaskTypes; tt++ {
+		sum += s.rate(tt, ct)
+		n++
+	}
+	if n == 0 {
+		return 1.2
+	}
+	return sum / float64(n)
+}
+
+// Completed implements Scheduler: learn execution rates, score our own
+// prediction quality, and let the meta level react to drift.
+func (s *SelfAware) Completed(now float64, t *Task, c *Core, latency, execTicks float64) {
+	if execTicks <= 0 {
+		execTicks = 1
+	}
+	observed := t.Work / (execTicks * c.Freq())
+	if s.caps.Has(core.LevelInteraction) {
+		// Score the old model before updating it (honest error).
+		pred := s.rate(t.Type, c.Type)
+		s.predErr.Record(pred, observed)
+		s.store.Observe(rateModel(t.Type, c.Type), knowledge.Private, observed, now)
+	} else {
+		s.store.Observe("rate/global", knowledge.Private, observed, now)
+	}
+
+	if s.caps.Has(core.LevelMeta) && s.caps.Has(core.LevelInteraction) {
+		name := rateModel(t.Type, c.Type)
+		relErr := (s.rate(t.Type, c.Type) - observed) / (observed + 1e-9)
+		if relErr < 0 {
+			relErr = -relErr
+		}
+		det, ok := s.detectors[name]
+		if !ok {
+			det = learning.NewPageHinkley(0.05, 2.0)
+			s.detectors[name] = det
+		}
+		if det.Observe(relErr) {
+			// This model has drifted from the platform: discard it so the
+			// next completion re-seeds it at the new ground truth.
+			s.store.Delete(name)
+			s.Adaptations++
+		}
+	}
+}

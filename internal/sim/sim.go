@@ -1,0 +1,157 @@
+// Package sim provides a small deterministic discrete-event simulation
+// kernel used by every substrate in this repository.
+//
+// The kernel is intentionally minimal: a virtual clock, a binary-heap event
+// queue with stable FIFO ordering for simultaneous events, and seeded random
+// number streams so that every experiment is reproducible from a single
+// integer seed. Both event-driven simulation (Schedule/Run) and fixed-step
+// simulation (Ticker) are supported, because the camera-network and
+// multicore substrates are naturally tick-based while the cloud and network
+// substrates are naturally event-based.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is virtual simulation time. Units are substrate-defined (ticks,
+// milliseconds, ...); the kernel only requires a total order.
+type Time float64
+
+// Event is a scheduled callback. The callback receives the engine so that it
+// can schedule follow-up events.
+type Event struct {
+	At   Time
+	Name string
+	Fn   func(*Engine)
+
+	seq int // tie-break: FIFO among simultaneous events
+}
+
+// eventQueue implements heap.Interface ordered by (At, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*Event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not ready
+// to use; create one with NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	nextSeq int
+	stopped bool
+	horizon Time // 0 means no horizon
+
+	rng *rand.Rand
+
+	// Processed counts events executed so far; useful in tests and for
+	// guarding against runaway simulations.
+	Processed int
+}
+
+// NewEngine returns an engine whose random streams derive from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's base random stream.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Stream derives an independent, deterministic random stream identified by
+// id. Two engines built from the same seed produce identical streams for the
+// same id, regardless of how the base stream has been consumed.
+func (e *Engine) Stream(id int64) *rand.Rand {
+	// SplitMix-style derivation keeps streams independent of consumption
+	// order on the base stream.
+	z := uint64(id) + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return rand.New(rand.NewSource(int64(z)))
+}
+
+// Schedule enqueues fn to run at absolute virtual time at. Scheduling in the
+// past is an error and panics: it always indicates a substrate bug.
+func (e *Engine) Schedule(at Time, name string, fn func(*Engine)) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule %q at %v before now %v", name, at, e.now))
+	}
+	ev := &Event{At: at, Name: name, Fn: fn, seq: e.nextSeq}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+}
+
+// After enqueues fn to run delay time units from now.
+func (e *Engine) After(delay Time, name string, fn func(*Engine)) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for %q", delay, name))
+	}
+	e.Schedule(e.now+delay, name, fn)
+}
+
+// Stop halts the run loop after the current event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Run executes events in timestamp order until the queue is empty, Stop is
+// called, or the horizon (if set with RunUntil) is passed.
+func (e *Engine) Run() {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		ev := heap.Pop(&e.queue).(*Event)
+		if e.horizon > 0 && ev.At > e.horizon {
+			// Leave time at the horizon; the event is dropped, matching
+			// the usual "simulate until T" contract.
+			e.now = e.horizon
+			return
+		}
+		e.now = ev.At
+		e.Processed++
+		ev.Fn(e)
+	}
+}
+
+// RunUntil executes events until virtual time exceeds horizon.
+func (e *Engine) RunUntil(horizon Time) {
+	e.horizon = horizon
+	e.Run()
+	e.horizon = 0
+	if e.now < horizon {
+		e.now = horizon
+	}
+}
+
+// Ticker drives a fixed-step simulation: it calls step(t) for t = 0, dt,
+// 2·dt, ... while t < horizon. It is a convenience for tick-based substrates
+// that do not need the event queue.
+func Ticker(horizon, dt Time, step func(t Time)) {
+	if dt <= 0 {
+		panic("sim: Ticker requires dt > 0")
+	}
+	for t := Time(0); t < horizon; t += dt {
+		step(t)
+	}
+}

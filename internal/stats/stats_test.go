@@ -1,0 +1,220 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func batchMoments(xs []float64) (mean, variance float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	for _, x := range xs {
+		variance += (x - mean) * (x - mean)
+	}
+	variance /= float64(len(xs) - 1)
+	return mean, variance
+}
+
+func close(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return d <= tol*scale
+}
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	f := func(raw []int16) bool {
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v) / 16
+		}
+		var o Online
+		for _, x := range xs {
+			o.Add(x)
+		}
+		m, v := batchMoments(xs)
+		return close(o.Mean(), m, 1e-9) && close(o.Var(), v, 1e-6) && o.N() == len(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineMinMaxSum(t *testing.T) {
+	var o Online
+	for _, x := range []float64{3, -1, 7, 2} {
+		o.Add(x)
+	}
+	if o.Min() != -1 || o.Max() != 7 {
+		t.Fatalf("min/max = %v/%v", o.Min(), o.Max())
+	}
+	if !close(o.Sum(), 11, 1e-12) {
+		t.Fatalf("sum = %v", o.Sum())
+	}
+}
+
+func TestOnlineMergeEquivalentToSequential(t *testing.T) {
+	f := func(a, b []int16) bool {
+		var oa, ob, all Online
+		for _, v := range a {
+			oa.Add(float64(v))
+			all.Add(float64(v))
+		}
+		for _, v := range b {
+			ob.Add(float64(v))
+			all.Add(float64(v))
+		}
+		oa.Merge(&ob)
+		return close(oa.Mean(), all.Mean(), 1e-9) &&
+			close(oa.Var(), all.Var(), 1e-6) &&
+			oa.N() == all.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	var small, large Online
+	for i := 0; i < 10; i++ {
+		small.Add(float64(i % 3))
+	}
+	for i := 0; i < 1000; i++ {
+		large.Add(float64(i % 3))
+	}
+	if large.CI95() >= small.CI95() {
+		t.Fatalf("CI95 did not shrink: small=%v large=%v", small.CI95(), large.CI95())
+	}
+	var one Online
+	one.Add(5)
+	if one.CI95() != 0 {
+		t.Fatalf("CI95 with n=1 should be 0, got %v", one.CI95())
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.5, 3}, {1, 5}, {0.25, 2}, {0.75, 4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !close(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("Quantile of empty slice should be 0")
+	}
+	// Out-of-range q clamps.
+	if Quantile(xs, -1) != 1 || Quantile(xs, 2) != 5 {
+		t.Error("Quantile did not clamp q")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Quantile(xs, 0.5)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatalf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestQuantileWithinBoundsProperty(t *testing.T) {
+	f := func(raw []int16, qRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, v := range raw {
+			xs[i] = float64(v)
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		q := float64(qRaw) / 255
+		got := Quantile(xs, q)
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if !close(Mean([]float64{2, 4, 6}), 4, 1e-12) {
+		t.Error("Mean wrong")
+	}
+	if !close(Std([]float64{2, 4, 6}), 2, 1e-12) {
+		t.Errorf("Std = %v, want 2", Std([]float64{2, 4, 6}))
+	}
+}
+
+func TestTableLookupAndRender(t *testing.T) {
+	tb := NewTable("demo", "a", "b")
+	tb.AddRow("sys1", 1, 2)
+	tb.AddRow("sys2", 3.5, 4000)
+	tb.AddNote("a note with %d", 42)
+
+	if v, ok := tb.Lookup("sys2", "a"); !ok || v != 3.5 {
+		t.Fatalf("Lookup = %v, %v", v, ok)
+	}
+	if _, ok := tb.Lookup("nope", "a"); ok {
+		t.Fatal("Lookup of missing row succeeded")
+	}
+	if _, ok := tb.Lookup("sys1", "nope"); ok {
+		t.Fatal("Lookup of missing column succeeded")
+	}
+
+	s := tb.String()
+	for _, want := range []string{"demo", "sys1", "sys2", "a note with 42", "4000"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+	if tb.NumRows() != 2 || tb.RowLabel(0) != "sys1" || tb.Cell(1, 1) != 4000 {
+		t.Fatal("table accessors wrong")
+	}
+}
+
+func TestTableMismatchedRowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched row did not panic")
+		}
+	}()
+	NewTable("t", "a").AddRow("r", 1, 2)
+}
+
+func TestFigureRender(t *testing.T) {
+	f := NewFigure("fig", "x", "y")
+	s1 := f.AddSeries("one")
+	s1.Add(1, 10)
+	s1.Add(2, 20)
+	s2 := f.AddSeries("two")
+	s2.Add(1, 11)
+
+	out := f.String()
+	for _, want := range []string{"fig", "one", "two", "20", "11", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure render missing %q:\n%s", want, out)
+		}
+	}
+}

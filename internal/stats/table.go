@@ -1,0 +1,216 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a labelled grid of results: one row per system/configuration, one
+// column per metric. Every experiment in internal/experiments returns one,
+// mirroring how a paper table reports one row per compared system.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    []row
+	Notes   []string
+}
+
+type row struct {
+	label string
+	cells []float64
+}
+
+// NewTable creates a table with the given title and metric column names.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row. The number of cells must equal the number of
+// columns; a mismatch panics because it is always a harness bug.
+func (t *Table) AddRow(label string, cells ...float64) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("stats: row %q has %d cells, table %q has %d columns",
+			label, len(cells), t.Title, len(t.Columns)))
+	}
+	t.rows = append(t.rows, row{label: label, cells: cells})
+}
+
+// AddNote appends a free-text footnote printed under the table.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// NumRows reports the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// RowLabel returns the label of row i.
+func (t *Table) RowLabel(i int) string { return t.rows[i].label }
+
+// Cell returns the value at row i, column j.
+func (t *Table) Cell(i, j int) float64 { return t.rows[i].cells[j] }
+
+// Lookup returns the cell for the row with the given label and the column
+// with the given name. ok is false when either is absent.
+func (t *Table) Lookup(label, column string) (v float64, ok bool) {
+	ci := -1
+	for j, c := range t.Columns {
+		if c == column {
+			ci = j
+			break
+		}
+	}
+	if ci < 0 {
+		return 0, false
+	}
+	for _, r := range t.rows {
+		if r.label == label {
+			return r.cells[ci], true
+		}
+	}
+	return 0, false
+}
+
+// String renders the table as aligned plain text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+
+	labelW := len("system")
+	for _, r := range t.rows {
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+	colW := make([]int, len(t.Columns))
+	cells := make([][]string, len(t.rows))
+	for j, c := range t.Columns {
+		colW[j] = len(c)
+	}
+	for i, r := range t.rows {
+		cells[i] = make([]string, len(r.cells))
+		for j, v := range r.cells {
+			s := formatCell(v)
+			cells[i][j] = s
+			if len(s) > colW[j] {
+				colW[j] = len(s)
+			}
+		}
+	}
+
+	fmt.Fprintf(&b, "  %-*s", labelW, "system")
+	for j, c := range t.Columns {
+		fmt.Fprintf(&b, "  %*s", colW[j], c)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "  %s\n", strings.Repeat("-", labelW+sum(colW)+2*len(colW)))
+	for i, r := range t.rows {
+		fmt.Fprintf(&b, "  %-*s", labelW, r.label)
+		for j := range r.cells {
+			fmt.Fprintf(&b, "  %*s", colW[j], cells[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+func formatCell(v float64) string {
+	a := v
+	if a < 0 {
+		a = -a
+	}
+	switch {
+	case v == float64(int64(v)) && a < 1e7:
+		return fmt.Sprintf("%d", int64(v))
+	case a >= 1000:
+		return fmt.Sprintf("%.1f", v)
+	case a >= 1:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Series is a labelled sequence of (x, y) points: the plain-text analogue of
+// one line in a paper figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Figure is a set of series sharing an x-axis: the plain-text analogue of a
+// paper figure with one line per system.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// NewFigure creates an empty figure.
+func NewFigure(title, xlabel, ylabel string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// AddSeries appends and returns a named series.
+func (f *Figure) AddSeries(name string) *Series {
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// String renders the figure as a column-per-series text block.
+func (f *Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (x=%s, y=%s)\n", f.Title, f.XLabel, f.YLabel)
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  %12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "  %14s", s.Name)
+	}
+	b.WriteByte('\n')
+	n := 0
+	for _, s := range f.Series {
+		if len(s.X) > n {
+			n = len(s.X)
+		}
+	}
+	for i := 0; i < n; i++ {
+		var x float64
+		for _, s := range f.Series {
+			if i < len(s.X) {
+				x = s.X[i]
+				break
+			}
+		}
+		fmt.Fprintf(&b, "  %12s", formatCell(x))
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, "  %14s", formatCell(s.Y[i]))
+			} else {
+				fmt.Fprintf(&b, "  %14s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,102 @@
+// Package trace records time series produced during simulation runs and
+// exports them as CSV, so that any experiment's trajectory (not just its
+// summary table) can be inspected or re-plotted outside the harness.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Recorder accumulates named time series. It is safe for concurrent use.
+type Recorder struct {
+	mu     sync.Mutex
+	series map[string]*points
+}
+
+type points struct {
+	t []float64
+	v []float64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{series: make(map[string]*points)}
+}
+
+// Record appends (t, v) to the named series.
+func (r *Recorder) Record(name string, t, v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.series[name]
+	if !ok {
+		p = &points{}
+		r.series[name] = p
+	}
+	p.t = append(p.t, t)
+	p.v = append(p.v, v)
+}
+
+// Names returns the recorded series names, sorted.
+func (r *Recorder) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.series))
+	for n := range r.series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Series returns copies of the time and value slices for name (nil, nil if
+// absent).
+func (r *Recorder) Series(name string) (t, v []float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.series[name]
+	if !ok {
+		return nil, nil
+	}
+	t = append([]float64(nil), p.t...)
+	v = append([]float64(nil), p.v...)
+	return t, v
+}
+
+// Len returns the number of points in the named series.
+func (r *Recorder) Len(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.series[name]
+	if !ok {
+		return 0
+	}
+	return len(p.t)
+}
+
+// WriteCSV emits all series in long format: series,t,value.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "t", "value"}); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, name := range r.Names() {
+		t, v := r.Series(name)
+		for i := range t {
+			rec := []string{
+				name,
+				strconv.FormatFloat(t[i], 'g', -1, 64),
+				strconv.FormatFloat(v[i], 'g', -1, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("trace: write row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

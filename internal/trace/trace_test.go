@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecordAndSeries(t *testing.T) {
+	r := NewRecorder()
+	r.Record("lat", 1, 10)
+	r.Record("lat", 2, 20)
+	r.Record("pow", 1, 5)
+
+	ts, vs := r.Series("lat")
+	if len(ts) != 2 || ts[1] != 2 || vs[1] != 20 {
+		t.Fatalf("series = %v %v", ts, vs)
+	}
+	if r.Len("lat") != 2 || r.Len("missing") != 0 {
+		t.Fatal("Len wrong")
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "lat" || names[1] != "pow" {
+		t.Fatalf("names = %v", names)
+	}
+	if ts, vs := r.Series("missing"); ts != nil || vs != nil {
+		t.Fatal("missing series should be nil")
+	}
+}
+
+func TestSeriesReturnsCopies(t *testing.T) {
+	r := NewRecorder()
+	r.Record("a", 1, 1)
+	ts, _ := r.Series("a")
+	ts[0] = 999
+	ts2, _ := r.Series("a")
+	if ts2[0] == 999 {
+		t.Fatal("Series leaked internal slice")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder()
+	r.Record("x", 0.5, 1.25)
+	r.Record("y", 1, 2)
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "series,t,value" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %v", lines)
+	}
+	if !strings.Contains(out, "x,0.5,1.25") {
+		t.Fatalf("csv missing row:\n%s", out)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record("shared", float64(i), float64(g))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len("shared") != 800 {
+		t.Fatalf("concurrent records lost: %d", r.Len("shared"))
+	}
+}

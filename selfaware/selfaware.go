@@ -1,0 +1,199 @@
+// Package selfaware is the public API of the SACS library: a framework for
+// building computationally self-aware systems, reproducing Lewis,
+// "Self-aware computing systems: from psychology to engineering" (DATE
+// 2017).
+//
+// A self-aware agent senses stimuli, maintains self-models at up to five
+// levels of self-awareness (stimulus, interaction, time, goal, meta),
+// reasons over those models against run-time-switchable multi-objective
+// goals, acts through effectors, and can explain every decision it makes
+// from the models it consulted.
+//
+// Quick start:
+//
+//	agent := selfaware.New(selfaware.Config{
+//	    Name: "thermostat",
+//	    Sensors: []selfaware.Sensor{
+//	        selfaware.ScalarSensor("temp", selfaware.Public, readTemp),
+//	    },
+//	    Goals: selfaware.NewSwitcher(selfaware.NewGoalSet("comfort",
+//	        selfaware.Objective{Name: "temp-error", Direction: selfaware.Minimize, Weight: 1},
+//	    )),
+//	    Reasoner: selfaware.ReasonerFunc{ReasonerName: "bang-bang", Fn: decide},
+//	    Effectors: []selfaware.Effector{heater},
+//	})
+//	for t := 0.0; ; t++ {
+//	    agent.Step(t, map[string]float64{"temp-error": errNow()})
+//	}
+//
+// The package re-exports the framework types from the internal
+// implementation packages; see the examples directory for complete
+// programs, and DESIGN.md for how the pieces map onto the paper.
+package selfaware
+
+import (
+	"sacs/internal/core"
+	"sacs/internal/goals"
+	"sacs/internal/knowledge"
+)
+
+// Level enumerates the levels of computational self-awareness.
+type Level = core.Level
+
+// The five levels of self-awareness, translated from Neisser's levels of
+// human self-knowledge.
+const (
+	LevelStimulus    = core.LevelStimulus
+	LevelInteraction = core.LevelInteraction
+	LevelTime        = core.LevelTime
+	LevelGoal        = core.LevelGoal
+	LevelMeta        = core.LevelMeta
+)
+
+// Capabilities is a bit set of levels an agent possesses.
+type Capabilities = core.Capabilities
+
+// FullStack has every self-awareness level.
+const FullStack = core.FullStack
+
+// Caps builds a capability set from levels.
+func Caps(levels ...Level) Capabilities { return core.Caps(levels...) }
+
+// Scope distinguishes private from public self-awareness.
+type Scope = knowledge.Scope
+
+// Scope values.
+const (
+	Private = knowledge.Private
+	Public  = knowledge.Public
+)
+
+// Stimulus is one observation delivered by a sensor.
+type Stimulus = core.Stimulus
+
+// Sensor produces stimuli on demand.
+type Sensor = core.Sensor
+
+// SensorFunc adapts a function to Sensor.
+type SensorFunc = core.SensorFunc
+
+// ScalarSensor adapts a scalar-returning function to Sensor.
+func ScalarSensor(name string, scope Scope, fn func(now float64) float64) Sensor {
+	return core.ScalarSensor(name, scope, fn)
+}
+
+// Action is one self-expressive act.
+type Action = core.Action
+
+// Effector executes actions.
+type Effector = core.Effector
+
+// EffectorFunc adapts a function to Effector.
+type EffectorFunc = core.EffectorFunc
+
+// Reasoner turns self-knowledge into actions.
+type Reasoner = core.Reasoner
+
+// ReasonerFunc adapts a function to Reasoner.
+type ReasonerFunc = core.ReasonerFunc
+
+// Decision is the context handed to a Reasoner and the record used for
+// self-explanation.
+type Decision = core.Decision
+
+// Explainer retains recent decisions and renders explanations.
+type Explainer = core.Explainer
+
+// Agent is a self-aware entity.
+type Agent = core.Agent
+
+// Config assembles an Agent.
+type Config = core.Config
+
+// New builds an agent.
+func New(cfg Config) *Agent { return core.New(cfg) }
+
+// Attention couples an attention policy with a sensing budget.
+type Attention = core.Attention
+
+// AttentionPolicy decides which sensors to sample under a budget.
+type AttentionPolicy = core.AttentionPolicy
+
+// Attention policies.
+type (
+	// RoundRobinAttention cycles through sensors.
+	RoundRobinAttention = core.RoundRobinAttention
+	// RandomAttention samples uniformly.
+	RandomAttention = core.RandomAttention
+	// VOIAttention samples by value of information.
+	VOIAttention = core.VOIAttention
+)
+
+// MetaMonitor is the agent's meta-self-awareness process.
+type MetaMonitor = core.MetaMonitor
+
+// Portfolio is standalone meta-self-awareness over decision strategies.
+type Portfolio = core.Portfolio
+
+// Collective is push-sum gossip for collective self-awareness without a
+// global component.
+type Collective = core.Collective
+
+// Hierarchy is two-level hierarchical collective self-awareness: clusters
+// aggregate locally, representatives gossip globally.
+type Hierarchy = core.Hierarchy
+
+// NewHierarchy builds a hierarchical collective; see core.NewHierarchy.
+var NewHierarchy = core.NewHierarchy
+
+// NewCollective builds a collective; see core.NewCollective.
+var NewCollective = core.NewCollective
+
+// RingTopology builds a small-world gossip topology.
+var RingTopology = core.RingTopology
+
+// MAPEK is the classic autonomic-computing baseline loop.
+type MAPEK = core.MAPEK
+
+// Rule is a MAPE-K design-time policy rule.
+type Rule = core.Rule
+
+// NewMAPEK builds a MAPE-K loop.
+var NewMAPEK = core.NewMAPEK
+
+// Knowledge store types.
+type (
+	// Store is the agent's self-model registry.
+	Store = knowledge.Store
+	// Entry is one model in the store.
+	Entry = knowledge.Entry
+)
+
+// NewStore builds a knowledge store.
+var NewStore = knowledge.NewStore
+
+// Goal types.
+type (
+	// GoalSet is a named collection of objectives.
+	GoalSet = goals.Set
+	// Objective is one stakeholder concern.
+	Objective = goals.Objective
+	// Switcher holds the active goal set with scheduled run-time switches.
+	Switcher = goals.Switcher
+	// Direction says whether larger or smaller is better.
+	Direction = goals.Direction
+)
+
+// Objective directions.
+const (
+	Maximize = goals.Maximize
+	Minimize = goals.Minimize
+)
+
+// NewGoalSet builds a goal set.
+func NewGoalSet(name string, objectives ...Objective) *GoalSet {
+	return goals.NewSet(name, objectives...)
+}
+
+// NewSwitcher builds a goal switcher.
+var NewSwitcher = goals.NewSwitcher

@@ -1,0 +1,100 @@
+package selfaware_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sacs/selfaware"
+)
+
+// TestPublicAPIEndToEnd builds a complete agent purely through the public
+// facade and runs a closed control loop.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	world := 10.0
+	actuated := 0
+
+	goal := selfaware.NewGoalSet("track",
+		selfaware.Objective{Name: "error", Direction: selfaware.Minimize, Weight: 1},
+	)
+	agent := selfaware.New(selfaware.Config{
+		Name:  "api-test",
+		Caps:  selfaware.FullStack,
+		Goals: selfaware.NewSwitcher(goal),
+		Sensors: []selfaware.Sensor{
+			selfaware.ScalarSensor("world", selfaware.Public,
+				func(float64) float64 { return world }),
+		},
+		Reasoner: selfaware.ReasonerFunc{ReasonerName: "r", Fn: func(d *selfaware.Decision) {
+			v := d.Consult("stim/world", 0)
+			if v > 5 {
+				d.Choose(selfaware.Action{Name: "damp", Value: v}, "world %v too high", v)
+			}
+		}},
+		Effectors: []selfaware.Effector{selfaware.EffectorFunc{
+			EffectorName: "damp",
+			Fn: func(selfaware.Action) error {
+				world *= 0.5
+				actuated++
+				return nil
+			},
+		}},
+	})
+
+	for i := 0; i < 20; i++ {
+		agent.Step(float64(i), map[string]float64{"error": world - 5})
+	}
+	if actuated == 0 {
+		t.Fatal("effector never ran")
+	}
+	if world > 6 {
+		t.Fatalf("control loop did not damp the world: %v", world)
+	}
+	if !strings.Contains(agent.Describe(20), "api-test") {
+		t.Fatal("Describe through facade broken")
+	}
+	if agent.Explainer().WhyLast() == "" {
+		t.Fatal("explanation through facade broken")
+	}
+}
+
+func TestFacadeLevelsAndScopes(t *testing.T) {
+	c := selfaware.Caps(selfaware.LevelStimulus, selfaware.LevelMeta)
+	if !c.Has(selfaware.LevelMeta) || c.Has(selfaware.LevelGoal) {
+		t.Fatal("capability facade broken")
+	}
+	if selfaware.Private == selfaware.Public {
+		t.Fatal("scopes indistinct")
+	}
+}
+
+func TestFacadeCollective(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	values := []float64{1, 2, 3, 4, 5, 6}
+	g := selfaware.NewCollective(values, selfaware.RingTopology(6, 1, rng), rng)
+	for i := 0; i < 50; i++ {
+		g.Round()
+	}
+	if g.MaxRelError(3.5) > 0.05 {
+		t.Fatalf("collective through facade did not converge: %v", g.MaxRelError(3.5))
+	}
+}
+
+func TestFacadeMAPEK(t *testing.T) {
+	m := selfaware.NewMAPEK(selfaware.Rule{
+		Name: "r",
+		When: func(k map[string]float64) bool { return k["x"] > 1 },
+		Then: selfaware.Action{Name: "act"},
+	})
+	if acts := m.Step(0, map[string]float64{"x": 2}); len(acts) != 1 {
+		t.Fatal("MAPE-K facade broken")
+	}
+}
+
+func TestFacadeStore(t *testing.T) {
+	s := selfaware.NewStore(0.3, 8)
+	s.Observe("m", selfaware.Private, 4, 0)
+	if s.Value("m", 0) != 4 {
+		t.Fatal("store facade broken")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sacs/internal/experiments"
 	"sacs/internal/knowledge"
 	"sacs/internal/learning"
+	"sacs/internal/runner"
 )
 
 // benchCfg runs each experiment at a fraction of the paper-scale length so
@@ -24,10 +25,10 @@ import (
 var benchCfg = experiments.Config{Seeds: 1, Scale: 0.1}
 
 func benchExperiment(b *testing.B, id string) {
-	runner := experiments.Registry()[id]
+	spec := experiments.Registry()[id]
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		r := runner(benchCfg)
+		r := spec.Run(benchCfg)
 		if r.Table.NumRows() == 0 {
 			b.Fatalf("%s produced an empty table", id)
 		}
@@ -54,6 +55,60 @@ func BenchmarkX2PortfolioEpoch(b *testing.B) { benchExperiment(b, "X2") }
 func BenchmarkX3CPNExploration(b *testing.B) { benchExperiment(b, "X3") }
 func BenchmarkX4CloudGate(b *testing.B)      { benchExperiment(b, "X4") }
 func BenchmarkX5Hierarchy(b *testing.B)      { benchExperiment(b, "X5") }
+
+// Dispatcher benchmarks: the runner pool's per-job overhead and the
+// experiment suite's scaling with worker count.
+
+// BenchmarkRunnerFanOut measures pure dispatch overhead: many tiny jobs, so
+// queue and scheduling costs dominate the work itself.
+func BenchmarkRunnerFanOut(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p := runner.New(workers)
+			defer p.Close()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out := runner.FanOut(p, runner.Key{Experiment: "bench"}, 64, func(j int) float64 {
+					s := 0.0
+					for k := 1; k <= 256; k++ {
+						s += 1 / float64(k^j+1)
+					}
+					return s
+				})
+				if len(out) != 64 {
+					b.Fatal("short result")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunnerSuite runs a slice of the real experiment suite through a
+// shared pool at different worker counts — the shape cmd/sawbench uses.
+func BenchmarkRunnerSuite(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p := runner.New(workers)
+			defer p.Close()
+			cfg := experiments.Config{Seeds: 2, Scale: 0.05, Pool: p}
+			reg := experiments.Registry()
+			ids := []string{"E1", "E3", "E8"}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				batch := p.NewBatch()
+				for _, id := range ids {
+					id := id
+					batch.Add(runner.Key{Experiment: id}, nil, func() (any, error) {
+						return reg[id].Run(cfg), nil
+					})
+				}
+				if err := runner.Errors(batch.Wait()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // Framework micro-benchmarks: the per-decision costs of self-awareness.
 

@@ -1,0 +1,3 @@
+module sacs
+
+go 1.24

@@ -10,6 +10,7 @@ import (
 	"sacs/internal/cpn"
 	"sacs/internal/env"
 	"sacs/internal/learning"
+	"sacs/internal/runner"
 	"sacs/internal/stats"
 )
 
@@ -31,32 +32,28 @@ func X1CamnetLambda(cfg Config) *Result {
 	fig := stats.NewFigure("X1 λ vs messages (learned network)", "lambda", "messages")
 	s := fig.AddSeries("self-aware")
 
-	for _, lambda := range []float64{0.01, 0.05, 0.1, 0.2, 0.5} {
-		var util, msgs, upm, ent float64
-		for seed := 0; seed < cfg.Seeds; seed++ {
-			r := camnet.NewNetwork(camnet.Config{
-				Seed: int64(1 + seed), Cameras: 25, Objects: 30, Ticks: ticks,
-				SelfAware: true, Lambda: lambda,
-			}).Run()
-			util += r.Utility
-			msgs += r.Messages
-			upm += r.UtilPerMsg
-			ent += r.Entropy
-		}
-		n := float64(cfg.Seeds)
-		table.AddRow(fmt.Sprintf("λ=%.2f", lambda), lambda, util/n, msgs/n, upm/n, ent/n)
-		s.Add(lambda, msgs/n)
+	lambdas := []float64{0.01, 0.05, 0.1, 0.2, 0.5}
+	labels := make([]string, len(lambdas))
+	for i, l := range lambdas {
+		labels[i] = fmt.Sprintf("λ=%.2f", l)
+	}
+	rows := runner.Rows(cfg.Pool, "X1", labels, cfg.Seeds, func(sys, seed int) []float64 {
+		r := camnet.NewNetwork(camnet.Config{
+			Seed: int64(1 + seed), Cameras: 25, Objects: 30, Ticks: ticks,
+			SelfAware: true, Lambda: lambdas[sys],
+		}).Run()
+		return []float64{r.Utility, r.Messages, r.UtilPerMsg, r.Entropy}
+	})
+	for i, label := range labels {
+		util, msgs, upm, ent := rows[i][0], rows[i][1], rows[i][2], rows[i][3]
+		table.AddRow(label, lambdas[i], util, msgs, upm, ent)
+		s.Add(lambdas[i], msgs)
 	}
 
 	table.AddNote("expected shape: messages fall as λ rises while utility degrades gently — " +
 		"the learned operating point follows the stakeholder weight, which is the point " +
 		"of run-time goal-driven learning")
-	return &Result{
-		ID:    "X1",
-		Title: "ablation: camera communication weight λ",
-		Claim: "design choice: reward = window utility − λ·window messages (camnet)",
-		Table: table, Figures: []*stats.Figure{fig},
-	}
+	return resultFor("X1", table, fig)
 }
 
 // X2PortfolioEpoch sweeps the meta portfolio's commitment epoch: too short
@@ -73,56 +70,51 @@ func X2PortfolioEpoch(cfg Config) *Result {
 			arms, steps, cfg.Seeds),
 		"epoch", "reward-drift", "switches", "resets")
 
-	for _, epoch := range []int{10, 25, 50, 100, 200} {
-		var reward, switches, resets float64
-		for s := 0; s < cfg.Seeds; s++ {
-			rng := rand.New(rand.NewSource(int64(100 + s)))
-			p := core.NewPortfolio(100,
-				learning.NewEpsilonGreedy(arms, 0.1, rng),
-				learning.NewUCB1(arms),
-				learning.NewSlidingUCB(arms, 150),
-				learning.NewSoftmax(arms, 0.1, rng),
-			)
-			p.EpochLen = epoch
-			env := rand.New(rand.NewSource(int64(200 + s)))
-			means := make([]float64, arms)
-			reroll := func() {
-				for i := range means {
-					means[i] = 0.2 + 0.6*env.Float64()
-				}
-				means[env.Intn(arms)] = 0.9
+	epochs := []int{10, 25, 50, 100, 200}
+	labels := make([]string, len(epochs))
+	for i, e := range epochs {
+		labels[i] = fmt.Sprintf("epoch=%d", e)
+	}
+	rows := runner.Rows(cfg.Pool, "X2", labels, cfg.Seeds, func(sys, s int) []float64 {
+		rng := rand.New(rand.NewSource(int64(100 + s)))
+		p := core.NewPortfolio(100,
+			learning.NewEpsilonGreedy(arms, 0.1, rng),
+			learning.NewUCB1(arms),
+			learning.NewSlidingUCB(arms, 150),
+			learning.NewSoftmax(arms, 0.1, rng),
+		)
+		p.EpochLen = epochs[sys]
+		env := rand.New(rand.NewSource(int64(200 + s)))
+		means := make([]float64, arms)
+		reroll := func() {
+			for i := range means {
+				means[i] = 0.2 + 0.6*env.Float64()
 			}
-			reroll()
-			sum := 0.0
-			for t := 0; t < steps; t++ {
-				if t > 0 && t%phaseLen == 0 {
-					reroll()
-				}
-				arm := p.Select()
-				r := 0.0
-				if env.Float64() < means[arm] {
-					r = 1
-				}
-				p.Update(arm, r)
-				sum += r
-			}
-			reward += sum / float64(steps)
-			switches += float64(p.Switches)
-			resets += float64(p.Resets)
+			means[env.Intn(arms)] = 0.9
 		}
-		n := float64(cfg.Seeds)
-		table.AddRow(fmt.Sprintf("epoch=%d", epoch),
-			float64(epoch), reward/n, switches/n, resets/n)
+		reroll()
+		sum := 0.0
+		for t := 0; t < steps; t++ {
+			if t > 0 && t%phaseLen == 0 {
+				reroll()
+			}
+			arm := p.Select()
+			r := 0.0
+			if env.Float64() < means[arm] {
+				r = 1
+			}
+			p.Update(arm, r)
+			sum += r
+		}
+		return []float64{sum / float64(steps), float64(p.Switches), float64(p.Resets)}
+	})
+	for i, label := range labels {
+		table.AddRow(label, float64(epochs[i]), rows[i][0], rows[i][1], rows[i][2])
 	}
 
 	table.AddNote("expected shape: an interior optimum — very short epochs thrash " +
 		"(many switches, noisy credit), very long epochs straddle drift phases")
-	return &Result{
-		ID:    "X2",
-		Title: "ablation: meta-portfolio commitment epoch",
-		Claim: "design choice: the meta level reassesses strategies every EpochLen decisions",
-		Table: table,
-	}
+	return resultFor("X2", table)
 }
 
 // X3CPNExploration compares fixed smart-packet fractions against the
@@ -149,49 +141,34 @@ func X3CPNExploration(cfg Config) *Result {
 	}
 
 	variants := []struct {
-		name string
-		mk   func(rng *rand.Rand) *cpn.QRouter
+		name     string
+		min, max float64
 	}{
-		{"fixed ε=0.01", func(rng *rand.Rand) *cpn.QRouter {
-			q := cpn.NewQRouter(rng)
-			q.EpsMin, q.EpsMax = 0.01, 0.01
-			return q
-		}},
-		{"fixed ε=0.05", func(rng *rand.Rand) *cpn.QRouter {
-			q := cpn.NewQRouter(rng)
-			q.EpsMin, q.EpsMax = 0.05, 0.05
-			return q
-		}},
-		{"fixed ε=0.20", func(rng *rand.Rand) *cpn.QRouter {
-			q := cpn.NewQRouter(rng)
-			q.EpsMin, q.EpsMax = 0.20, 0.20
-			return q
-		}},
-		{"adaptive (default)", func(rng *rand.Rand) *cpn.QRouter {
-			return cpn.NewQRouter(rng)
-		}},
+		{"fixed ε=0.01", 0.01, 0.01},
+		{"fixed ε=0.05", 0.05, 0.05},
+		{"fixed ε=0.20", 0.20, 0.20},
+		{"adaptive (default)", -1, -1},
 	}
-	for _, v := range variants {
-		var loss, delay float64
-		for s := 0; s < cfg.Seeds; s++ {
-			n := cpn.NewNetwork(mkCfg(int64(5+s)), v.mk(rand.New(rand.NewSource(int64(99+s)))))
-			r := n.Run()
-			loss += r.LossRate
-			delay += r.MeanDelay
+	names := make([]string, len(variants))
+	for i, v := range variants {
+		names[i] = v.name
+	}
+	rows := runner.Rows(cfg.Pool, "X3", names, cfg.Seeds, func(sys, s int) []float64 {
+		q := cpn.NewQRouter(rand.New(rand.NewSource(int64(99 + s))))
+		if v := variants[sys]; v.min >= 0 {
+			q.EpsMin, q.EpsMax = v.min, v.max
 		}
-		k := float64(cfg.Seeds)
-		table.AddRow(v.name, loss/k, delay/k)
+		r := cpn.NewNetwork(mkCfg(int64(5+s)), q).Run()
+		return []float64{r.LossRate, r.MeanDelay}
+	})
+	for i, name := range names {
+		table.AddRow(name, rows[i]...)
 	}
 
 	table.AddNote("expected shape: low fixed ε recovers slowly after failures, high fixed ε " +
 		"wastes capacity in steady state; the adaptive fraction — exploration follows the " +
 		"router's own model surprise — is competitive with the best fixed setting everywhere")
-	return &Result{
-		ID:    "X3",
-		Title: "ablation: CPN smart-packet exploration",
-		Claim: "design choice: the smart-packet fraction follows the router's own TD surprise",
-		Table: table,
-	}
+	return resultFor("X3", table)
 }
 
 // X4CloudGate sweeps the self-aware dispatcher's reliability gate: 0
@@ -205,33 +182,29 @@ func X4CloudGate(cfg Config) *Result {
 		fmt.Sprintf("X4 cloud reliability-gate ablation, %d ticks, %d seeds", ticks, cfg.Seeds),
 		"gate", "success", "mean-lat", "p95-lat")
 
-	for _, gate := range []float64{0, 0.5, 0.7, 0.85, 0.95} {
-		var succ, lat, p95 float64
-		for s := 0; s < cfg.Seeds; s++ {
-			d := cloudsim.NewSelfAware()
-			d.ReliableAt = gate
-			c := cloudsim.New(cloudsim.Config{
-				Seed: int64(7 + s), Nodes: 30, MaxNodes: 45, Ticks: ticks,
-				ArrivalRate: env.Constant(3.0), ChurnIn: 0.02,
-			}, d, nil)
-			r := c.Run()
-			succ += r.SuccessRate
-			lat += r.MeanLatency
-			p95 += r.P95Latency
-		}
-		n := float64(cfg.Seeds)
-		table.AddRow(fmt.Sprintf("gate=%.2f", gate), gate, succ/n, lat/n, p95/n)
+	gates := []float64{0, 0.5, 0.7, 0.85, 0.95}
+	labels := make([]string, len(gates))
+	for i, g := range gates {
+		labels[i] = fmt.Sprintf("gate=%.2f", g)
+	}
+	rows := runner.Rows(cfg.Pool, "X4", labels, cfg.Seeds, func(sys, s int) []float64 {
+		d := cloudsim.NewSelfAware()
+		d.ReliableAt = gates[sys]
+		c := cloudsim.New(cloudsim.Config{
+			Seed: int64(7 + s), Nodes: 30, MaxNodes: 45, Ticks: ticks,
+			ArrivalRate: env.Constant(3.0), ChurnIn: 0.02,
+		}, d, nil)
+		r := c.Run()
+		return []float64{r.SuccessRate, r.MeanLatency, r.P95Latency}
+	})
+	for i, label := range labels {
+		table.AddRow(label, gates[i], rows[i][0], rows[i][1], rows[i][2])
 	}
 
 	table.AddNote("expected shape: without the gate (0) unreliable nodes keep receiving work " +
 		"and success drops; overly strict gates squeeze the candidate set and raise latency; " +
 		"a broad middle band works — the design is robust, not finely tuned")
-	return &Result{
-		ID:    "X4",
-		Title: "ablation: cloud dispatcher reliability gate",
-		Claim: "design choice: learned reliability gates the candidate set before wait prediction",
-		Table: table,
-	}
+	return resultFor("X4", table)
 }
 
 // X5Hierarchy compares flat push-sum with two-level hierarchical gossip
@@ -245,41 +218,39 @@ func X5Hierarchy(cfg Config) *Result {
 		fmt.Sprintf("X5 flat vs hierarchical collective, target 1%% everywhere, %d seeds", cfg.Seeds),
 		"n", "flat-msgs", "hier-msgs", "flat-err", "hier-err")
 
-	for _, n := range []int{64, 256, 1024} {
-		var flatMsgs, hierMsgs, flatErr, hierErr float64
-		for s := 0; s < cfg.Seeds; s++ {
-			rng := rand.New(rand.NewSource(int64(41 + s)))
-			values := make([]float64, n)
-			truth := 0.0
-			for i := range values {
-				values[i] = 10 + 20*rng.Float64()
-				truth += values[i]
-			}
-			truth /= float64(n)
-
-			flat := core.NewCollective(values, core.RingTopology(n, 2, rng), rng)
-			flat.RunUntil(truth, 0.01, 400)
-			flatMsgs += float64(flat.Messages)
-			flatErr += flat.MaxRelError(truth)
-
-			hier := core.NewHierarchy(values, n/16, rng)
-			hier.RunUntil(truth, 0.01, 400)
-			hierMsgs += float64(hier.Messages())
-			hierErr += hier.MaxRelError(truth)
+	sizes := []int{64, 256, 1024}
+	labels := make([]string, len(sizes))
+	for i, n := range sizes {
+		labels[i] = fmt.Sprintf("n=%d", n)
+	}
+	rows := runner.Rows(cfg.Pool, "X5", labels, cfg.Seeds, func(sys, s int) []float64 {
+		n := sizes[sys]
+		rng := rand.New(rand.NewSource(int64(41 + s)))
+		values := make([]float64, n)
+		truth := 0.0
+		for i := range values {
+			values[i] = 10 + 20*rng.Float64()
+			truth += values[i]
 		}
-		k := float64(cfg.Seeds)
-		table.AddRow(fmt.Sprintf("n=%d", n),
-			float64(n), flatMsgs/k, hierMsgs/k, flatErr/k, hierErr/k)
+		truth /= float64(n)
+
+		flat := core.NewCollective(values, core.RingTopology(n, 2, rng), rng)
+		flat.RunUntil(truth, 0.01, 400)
+
+		hier := core.NewHierarchy(values, n/16, rng)
+		hier.RunUntil(truth, 0.01, 400)
+		return []float64{
+			float64(flat.Messages), float64(hier.Messages()),
+			flat.MaxRelError(truth), hier.MaxRelError(truth),
+		}
+	})
+	for i, label := range labels {
+		table.AddRow(label, float64(sizes[i]), rows[i][0], rows[i][1], rows[i][2], rows[i][3])
 	}
 
 	table.AddNote("expected shape: a crossover — below ~100 nodes the extra levels cost more " +
 		"than they save; from a few hundred nodes the hierarchy reaches comparable accuracy " +
 		"with materially fewer messages (still no global component: representatives know " +
 		"only cluster aggregates)")
-	return &Result{
-		ID:    "X5",
-		Title: "ablation: hierarchical collective self-awareness",
-		Claim: `"mechanisms based on hierarchies of self-aware components" (§V, [62,63])`,
-		Table: table,
-	}
+	return resultFor("X5", table)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sacs/internal/camnet"
+	"sacs/internal/runner"
 	"sacs/internal/stats"
 )
 
@@ -20,45 +21,35 @@ func E1CameraNetwork(cfg Config) *Result {
 			25, 30, ticks, cfg.Seeds),
 		"utility", "messages", "util/msg", "coverage", "entropy")
 
-	run := func(selfAware bool, fixed camnet.Strategy) camnet.Result {
-		var agg camnet.Result
-		for s := 0; s < cfg.Seeds; s++ {
-			c := camnet.Config{
-				Seed: int64(1 + s), Cameras: 25, Objects: 30, Ticks: ticks,
-				SelfAware: selfAware, Fixed: fixed,
-			}
-			r := camnet.NewNetwork(c).Run()
-			agg.Utility += r.Utility
-			agg.Messages += r.Messages
-			agg.Coverage += r.Coverage
-			agg.Entropy += r.Entropy
-		}
-		n := float64(cfg.Seeds)
-		agg.Utility /= n
-		agg.Messages /= n
-		agg.Coverage /= n
-		agg.Entropy /= n
-		if agg.Messages > 0 {
-			agg.UtilPerMsg = agg.Utility / agg.Messages
-		}
-		return agg
-	}
-
+	systems := make([]string, 0, int(camnet.NumStrategies)+1)
 	for s := camnet.Strategy(0); s < camnet.NumStrategies; s++ {
-		r := run(false, s)
-		table.AddRow(s.String(), r.Utility, r.Messages, r.UtilPerMsg, r.Coverage, r.Entropy)
+		systems = append(systems, s.String())
 	}
-	r := run(true, 0)
-	table.AddRow("self-aware (learned)", r.Utility, r.Messages, r.UtilPerMsg, r.Coverage, r.Entropy)
+	systems = append(systems, "self-aware (learned)")
+
+	rows := runner.Rows(cfg.Pool, "E1", systems, cfg.Seeds, func(sys, seed int) []float64 {
+		c := camnet.Config{
+			Seed: int64(1 + seed), Cameras: 25, Objects: 30, Ticks: ticks,
+		}
+		if sys == len(systems)-1 {
+			c.SelfAware = true
+		} else {
+			c.Fixed = camnet.Strategy(sys)
+		}
+		r := camnet.NewNetwork(c).Run()
+		return []float64{r.Utility, r.Messages, r.Coverage, r.Entropy}
+	})
+
+	for i, name := range systems {
+		util, msgs, cov, ent := rows[i][0], rows[i][1], rows[i][2], rows[i][3]
+		upm := 0.0
+		if msgs > 0 {
+			upm = util / msgs
+		}
+		table.AddRow(name, util, msgs, upm, cov, ent)
+	}
 
 	table.AddNote("expected shape: self-aware utility ≥ ~90%% of the best static strategy " +
 		"at ≤ ~15%% of its messages, with entropy > 0 (heterogeneity emerges)")
-	return &Result{
-		ID:    "E1",
-		Title: "smart-camera handover: learned heterogeneous strategies",
-		Claim: `"a system comprising many self-aware entities may lead to increased ` +
-			`heterogeneity, as the different entities learn to be different from each ` +
-			`other" (§II, [13])`,
-		Table: table,
-	}
+	return resultFor("E1", table)
 }

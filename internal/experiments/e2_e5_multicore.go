@@ -7,6 +7,7 @@ import (
 	"sacs/internal/env"
 	"sacs/internal/goals"
 	"sacs/internal/multicore"
+	"sacs/internal/runner"
 	"sacs/internal/stats"
 )
 
@@ -119,34 +120,25 @@ func E2GoalSwitch(cfg Config) *Result {
 		}},
 	}
 
-	for _, sys := range systems {
-		var p1, p2 mcPhase
-		for s := 0; s < cfg.Seeds; s++ {
-			gsw := goals.NewSwitcher(perfGoal())
-			gsw.ScheduleSwitch(float64(switchAt), powerGoal())
-			sched, sa := sys.mk(gsw)
-			mcCfg := multicore.Config{Seed: int64(11 + s), Ticks: ticks}
-			a, b, _ := runMulticore(mcCfg, sched, sa, gsw, switchAt)
-			p1.util += a.util
-			p1.lat += a.lat
-			p1.pow += a.pow
-			p2.util += b.util
-			p2.lat += b.lat
-			p2.pow += b.pow
-		}
-		n := float64(cfg.Seeds)
-		table.AddRow(sys.name, p1.util/n, p2.util/n, p1.lat/n, p1.pow/n, p2.lat/n, p2.pow/n)
+	names := make([]string, len(systems))
+	for i, sys := range systems {
+		names[i] = sys.name
+	}
+	rows := runner.Rows(cfg.Pool, "E2", names, cfg.Seeds, func(sys, seed int) []float64 {
+		gsw := goals.NewSwitcher(perfGoal())
+		gsw.ScheduleSwitch(float64(switchAt), powerGoal())
+		sched, sa := systems[sys].mk(gsw)
+		mcCfg := multicore.Config{Seed: int64(11 + seed), Ticks: ticks}
+		a, b, _ := runMulticore(mcCfg, sched, sa, gsw, switchAt)
+		return []float64{a.util, b.util, a.lat, a.pow, b.lat, b.pow}
+	})
+	for i, name := range names {
+		table.AddRow(name, rows[i]...)
 	}
 
 	table.AddNote("expected shape: self-aware has the highest utility in BOTH phases; " +
 		"static-max is fast but power-blind; governor sits at one fixed trade-off point")
-	return &Result{
-		ID:    "E2",
-		Title: "heterogeneous multicore: run-time goal change",
-		Claim: `"systems that engage in self-awareness can better manage trade-offs ` +
-			`between goals at run time" (§III)`,
-		Table: table,
-	}
+	return resultFor("E2", table)
 }
 
 // E5LevelsAblation adds self-awareness levels one at a time to the same
@@ -175,40 +167,36 @@ func E5LevelsAblation(cfg Config) *Result {
 			switchAt, throttleAt, cfg.Seeds),
 		"mean-utility", "miss-rate", "mean-latency", "energy/task", "adaptations")
 
-	for _, lv := range levels {
-		var util, miss, lat, ept, adapt float64
-		for s := 0; s < cfg.Seeds; s++ {
-			gsw := goals.NewSwitcher(perfGoal())
-			gsw.ScheduleSwitch(float64(switchAt), powerGoal())
-			sa := multicore.NewSelfAware(lv.caps, gsw)
-			sa.Label = lv.name
-			mcCfg := multicore.Config{
-				Seed: int64(11 + s), Ticks: ticks, ThrottleAt: throttleAt,
-				ArrivalRate: &env.Clamp{
-					Base: &env.Sine{Base: 0.6, Amplitude: 0.35, Period: 600},
-					Min:  0.05, Max: 2,
-				},
-			}
-			a, b, res := runMulticore(mcCfg, sa, sa, gsw, switchAt)
-			// Mean utility across both phases, weighted by duration.
-			w1 := float64(switchAt) / float64(ticks)
-			util += a.util*w1 + b.util*(1-w1)
-			miss += res.MissRate
-			lat += res.MeanLatency
-			ept += res.EnergyPerTask
-			adapt += float64(sa.Adaptations)
+	names := make([]string, len(levels))
+	for i, lv := range levels {
+		names[i] = lv.name
+	}
+	rows := runner.Rows(cfg.Pool, "E5", names, cfg.Seeds, func(sys, seed int) []float64 {
+		lv := levels[sys]
+		gsw := goals.NewSwitcher(perfGoal())
+		gsw.ScheduleSwitch(float64(switchAt), powerGoal())
+		sa := multicore.NewSelfAware(lv.caps, gsw)
+		sa.Label = lv.name
+		mcCfg := multicore.Config{
+			Seed: int64(11 + seed), Ticks: ticks, ThrottleAt: throttleAt,
+			ArrivalRate: &env.Clamp{
+				Base: &env.Sine{Base: 0.6, Amplitude: 0.35, Period: 600},
+				Min:  0.05, Max: 2,
+			},
 		}
-		n := float64(cfg.Seeds)
-		table.AddRow(lv.name, util/n, miss/n, lat/n, ept/n, adapt/n)
+		a, b, res := runMulticore(mcCfg, sa, sa, gsw, switchAt)
+		// Mean utility across both phases, weighted by duration.
+		w1 := float64(switchAt) / float64(ticks)
+		return []float64{
+			a.util*w1 + b.util*(1-w1),
+			res.MissRate, res.MeanLatency, res.EnergyPerTask, float64(sa.Adaptations),
+		}
+	})
+	for i, name := range names {
+		table.AddRow(name, rows[i]...)
 	}
 
 	table.AddNote("expected shape: utility improves monotonically from stimulus to goal level; " +
 		"meta is neutral-to-positive here (its decisive case is E6)")
-	return &Result{
-		ID:    "E5",
-		Title: "levels of self-awareness: capability ablation",
-		Claim: `"different levels of self-awareness ... Self-aware computing systems may ` +
-			`similarly vary a great deal in their complexity" (§IV, concept 2)`,
-		Table: table,
-	}
+	return resultFor("E5", table)
 }

@@ -5,6 +5,7 @@ import (
 
 	"sacs/internal/cloudsim"
 	"sacs/internal/env"
+	"sacs/internal/runner"
 	"sacs/internal/stats"
 )
 
@@ -30,68 +31,43 @@ func E3VolunteerCloud(cfg Config) *Result {
 		}
 	}
 
-	dispatchers := []struct {
-		name string
-		mk   func() cloudsim.Dispatcher
-	}{
-		{"round-robin", func() cloudsim.Dispatcher { return &cloudsim.RoundRobin{} }},
-		{"least-queue", func() cloudsim.Dispatcher { return cloudsim.LeastQueue{} }},
-		{"self-aware", func() cloudsim.Dispatcher { return cloudsim.NewSelfAware() }},
+	dispatchers := []func() cloudsim.Dispatcher{
+		func() cloudsim.Dispatcher { return &cloudsim.RoundRobin{} },
+		func() cloudsim.Dispatcher { return cloudsim.LeastQueue{} },
+		func() cloudsim.Dispatcher { return cloudsim.NewSelfAware() },
 	}
-	for _, d := range dispatchers {
-		var agg cloudsim.Result
-		for s := 0; s < cfg.Seeds; s++ {
-			r := cloudsim.New(base(int64(7+s)), d.mk(), nil).Run()
-			agg.SuccessRate += r.SuccessRate
-			agg.MeanLatency += r.MeanLatency
-			agg.P95Latency += r.P95Latency
-			agg.SLAViolation += r.SLAViolation
-			agg.NodeTicks += r.NodeTicks
-		}
-		n := float64(cfg.Seeds)
-		table.AddRow("dispatch/"+d.name,
-			agg.SuccessRate/n, agg.MeanLatency/n, agg.P95Latency/n, agg.SLAViolation/n, agg.NodeTicks/n)
-	}
-
 	// Autoscaling on a diurnal workload (self-aware dispatch underneath for
 	// both, isolating the scaling policy).
-	scalers := []struct {
-		name string
-		mk   func() cloudsim.Autoscaler
-	}{
-		{"reactive", func() cloudsim.Autoscaler { return &cloudsim.Reactive{Hi: 3, Lo: 0.5} }},
-		{"predictive", func() cloudsim.Autoscaler { return cloudsim.NewPredictive(8, 1.75) }},
+	scalers := []func() cloudsim.Autoscaler{
+		func() cloudsim.Autoscaler { return &cloudsim.Reactive{Hi: 3, Lo: 0.5} },
+		func() cloudsim.Autoscaler { return cloudsim.NewPredictive(8, 1.75) },
 	}
-	for _, sc := range scalers {
-		var agg cloudsim.Result
-		for s := 0; s < cfg.Seeds; s++ {
-			c := base(int64(7 + s))
+	systems := []string{
+		"dispatch/round-robin", "dispatch/least-queue", "dispatch/self-aware",
+		"scale/reactive", "scale/predictive",
+	}
+
+	rows := runner.Rows(cfg.Pool, "E3", systems, cfg.Seeds, func(sys, seed int) []float64 {
+		c := base(int64(7 + seed))
+		var r cloudsim.Result
+		if sys < len(dispatchers) {
+			r = cloudsim.New(c, dispatchers[sys](), nil).Run()
+		} else {
 			c.ArrivalRate = &env.Clamp{
 				Base: &env.Sine{Base: 2.5, Amplitude: 1.8, Period: 1500},
 				Min:  0.2, Max: 6,
 			}
-			r := cloudsim.New(c, cloudsim.NewSelfAware(), sc.mk()).Run()
-			agg.SuccessRate += r.SuccessRate
-			agg.MeanLatency += r.MeanLatency
-			agg.P95Latency += r.P95Latency
-			agg.SLAViolation += r.SLAViolation
-			agg.NodeTicks += r.NodeTicks
+			r = cloudsim.New(c, cloudsim.NewSelfAware(), scalers[sys-len(dispatchers)]()).Run()
 		}
-		n := float64(cfg.Seeds)
-		table.AddRow("scale/"+sc.name,
-			agg.SuccessRate/n, agg.MeanLatency/n, agg.P95Latency/n, agg.SLAViolation/n, agg.NodeTicks/n)
+		return []float64{r.SuccessRate, r.MeanLatency, r.P95Latency, r.SLAViolation, r.NodeTicks}
+	})
+	for i, name := range systems {
+		table.AddRow(name, rows[i]...)
 	}
 
 	table.AddNote("expected shape: self-aware dispatch wins success rate at least-queue-level latency; " +
 		"predictive scaling cuts SLA violations vs reactive at comparable node-ticks")
-	return &Result{
-		ID:    "E3",
-		Title: "volunteer cloud: dispatch and autoscaling under uncertainty",
-		Claim: `"physical storage resources may or may not be available to satisfy a ` +
-			`request, and even if storage is allocated, it may or may not be reliable" ` +
-			`(§II, [14,15]; autoscaling [58])`,
-		Table: table,
-	}
+	return resultFor("E3", table)
 }
 
 // E10NoAPriori tests the abstract's second claim: self-awareness reduces the
@@ -136,39 +112,25 @@ func E10NoAPriori(cfg Config) *Result {
 		return w
 	}
 
-	systems := []struct {
-		name string
-		mk   func(seed int64) cloudsim.Dispatcher
-	}{
-		{"design-weighted", func(seed int64) cloudsim.Dispatcher {
+	systems := []string{"design-weighted", "self-aware"}
+	mk := func(sys int, seed int64) cloudsim.Dispatcher {
+		if sys == 0 {
 			return &cloudsim.Weighted{Weights: designWeights(seed)}
-		}},
-		{"self-aware", func(int64) cloudsim.Dispatcher { return cloudsim.NewSelfAware() }},
+		}
+		return cloudsim.NewSelfAware()
 	}
 
-	for _, sys := range systems {
-		var sA, pA, sB, pB float64
-		for s := 0; s < cfg.Seeds; s++ {
-			seed := int64(7 + s)
-			ra := cloudsim.New(envA(seed), sys.mk(seed), nil).Run()
-			rb := cloudsim.New(envB(seed), sys.mk(seed), nil).Run()
-			sA += ra.SuccessRate
-			pA += ra.P95Latency
-			sB += rb.SuccessRate
-			pB += rb.P95Latency
-		}
-		n := float64(cfg.Seeds)
-		table.AddRow(sys.name, sA/n, pA/n, sB/n, pB/n)
+	rows := runner.Rows(cfg.Pool, "E10", systems, cfg.Seeds, func(sys, s int) []float64 {
+		seed := int64(7 + s)
+		ra := cloudsim.New(envA(seed), mk(sys, seed), nil).Run()
+		rb := cloudsim.New(envB(seed), mk(sys, seed), nil).Run()
+		return []float64{ra.SuccessRate, ra.P95Latency, rb.SuccessRate, rb.P95Latency}
+	})
+	for i, name := range systems {
+		table.AddRow(name, rows[i]...)
 	}
 
 	table.AddNote("expected shape: design-weighted ≈ self-aware in env A (its assumptions hold); " +
 		"in env B the design model misleads it while self-aware stays near its env-A quality")
-	return &Result{
-		ID:    "E10",
-		Title: "reducing a-priori domain modelling",
-		Claim: `"reducing the need for a priori domain modelling at design or deployment ` +
-			`time" (abstract); "designs are favoured in which systems can discover resources ` +
-			`and make decisions ... during operation" (§III, [16])`,
-		Table: table,
-	}
+	return resultFor("E10", table)
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"sacs/internal/cpn"
+	"sacs/internal/runner"
 	"sacs/internal/stats"
 )
 
@@ -47,64 +48,63 @@ func E4CPNResilience(cfg Config) *Result {
 		{"oracle-replan (global)", func(rng *rand.Rand) cpn.Router { return cpn.NewOracle(rng) }},
 		{"self-aware q-routing", func(rng *rand.Rand) cpn.Router { return cpn.NewQRouter(rng) }},
 	}
+	names := make([]string, len(routers))
+	// One figure series per router, created up front in row order; only the
+	// seed-0 job of each row writes into its own series, so concurrent jobs
+	// never share a series and the figure is identical at any worker count.
+	series := make([]*stats.Series, len(routers))
+	for i, rt := range routers {
+		names[i] = rt.name
+		series[i] = fig.AddSeries(rt.name)
+	}
 
 	const window = 250
-	for _, rt := range routers {
-		var loss, delay, pre, post, recovery float64
-		for s := 0; s < cfg.Seeds; s++ {
-			n := cpn.NewNetwork(mkCfg(int64(5+s)), rt.mk(rand.New(rand.NewSource(int64(99+s)))))
-			var series *stats.Series
-			if s == 0 {
-				series = fig.AddSeries(rt.name)
-			}
-			var preFail stats.Online
-			recovered := -1.0
-			for i := 0; i < ticks; i++ {
-				n.Step()
-				if (i+1)%window == 0 {
-					d, _, delivered := n.WindowStats()
-					if delivered == 0 {
-						d = 0
-					}
-					if series != nil {
-						series.Add(float64(i+1), d)
-					}
-					if float64(i+1) <= failAt {
-						preFail.Add(d)
-					} else if float64(i+1) <= dosAt {
-						post += d
-						// Recovery: first window after the failure whose
-						// delay is back within 1.5× the pre-failure mean.
-						if recovered < 0 && preFail.Mean() > 0 && d <= 1.5*preFail.Mean() {
-							recovered = float64(i+1) - failAt
-						}
+	rows := runner.Rows(cfg.Pool, "E4", names, cfg.Seeds, func(sys, s int) []float64 {
+		n := cpn.NewNetwork(mkCfg(int64(5+s)), routers[sys].mk(rand.New(rand.NewSource(int64(99+s)))))
+		var sr *stats.Series
+		if s == 0 {
+			sr = series[sys]
+		}
+		var preFail stats.Online
+		var post float64
+		recovered := -1.0
+		for i := 0; i < ticks; i++ {
+			n.Step()
+			if (i+1)%window == 0 {
+				d, _, delivered := n.WindowStats()
+				if delivered == 0 {
+					d = 0
+				}
+				if sr != nil {
+					sr.Add(float64(i+1), d)
+				}
+				if float64(i+1) <= failAt {
+					preFail.Add(d)
+				} else if float64(i+1) <= dosAt {
+					post += d
+					// Recovery: first window after the failure whose
+					// delay is back within 1.5× the pre-failure mean.
+					if recovered < 0 && preFail.Mean() > 0 && d <= 1.5*preFail.Mean() {
+						recovered = float64(i+1) - failAt
 					}
 				}
 			}
-			if recovered < 0 {
-				recovered = dosAt - failAt // never recovered before the DoS
-			}
-			r := n.Result()
-			loss += r.LossRate
-			delay += r.MeanDelay
-			pre += preFail.Mean()
-			recovery += recovered
 		}
-		n := float64(cfg.Seeds)
-		postWindows := (dosAt - failAt) / window * n
-		table.AddRow(rt.name, loss/n, delay/n, pre/n, post/postWindows, recovery/n)
+		if recovered < 0 {
+			recovered = dosAt - failAt // never recovered before the DoS
+		}
+		r := n.Result()
+		return []float64{r.LossRate, r.MeanDelay, preFail.Mean(), post, recovered}
+	})
+
+	postWindows := (dosAt - failAt) / window
+	for i, name := range names {
+		loss, delay, pre, post, recovery := rows[i][0], rows[i][1], rows[i][2], rows[i][3], rows[i][4]
+		table.AddRow(name, loss, delay, pre, post/postWindows, recovery)
 	}
 
 	table.AddNote("expected shape: static loses a large fraction of traffic after failures; " +
 		"q-routing recovers to near its pre-failure delay with no global knowledge; " +
 		"the oracle bounds achievable path quality but needs instant global state")
-	return &Result{
-		ID:    "E4",
-		Title: "cognitive packet network: resilience to failure and attack",
-		Claim: `"a self-awareness loop provides nodes ... the ability to monitor the effect ` +
-			`of using different routes ... routes between a particular source and destination ` +
-			`are adapted on an ongoing basis" (§III, [38,39])`,
-		Table:   table,
-		Figures: []*stats.Figure{fig},
-	}
+	return resultFor("E4", table, fig)
 }

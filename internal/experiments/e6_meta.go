@@ -6,6 +6,7 @@ import (
 
 	"sacs/internal/core"
 	"sacs/internal/learning"
+	"sacs/internal/runner"
 	"sacs/internal/stats"
 )
 
@@ -95,34 +96,27 @@ func E6MetaUnderDrift(cfg Config) *Result {
 		return sumR / float64(steps), sumRegret / float64(steps)
 	}
 
-	for _, sys := range systems {
-		var rs, gs, rd, gd, sw float64
-		for s := 0; s < cfg.Seeds; s++ {
-			b1 := sys.mk(rand.New(rand.NewSource(int64(100 + s))))
-			r1, g1 := run(b1, false, int64(200+s))
-			b2 := sys.mk(rand.New(rand.NewSource(int64(100 + s))))
-			r2, g2 := run(b2, true, int64(200+s))
-			rs += r1
-			gs += g1
-			rd += r2
-			gd += g2
-			if p, ok := b2.(*core.Portfolio); ok {
-				sw += float64(p.Switches)
-			}
+	names := make([]string, len(systems))
+	for i, sys := range systems {
+		names[i] = sys.name
+	}
+	rows := runner.Rows(cfg.Pool, "E6", names, cfg.Seeds, func(sys, s int) []float64 {
+		b1 := systems[sys].mk(rand.New(rand.NewSource(int64(100 + s))))
+		r1, g1 := run(b1, false, int64(200+s))
+		b2 := systems[sys].mk(rand.New(rand.NewSource(int64(100 + s))))
+		r2, g2 := run(b2, true, int64(200+s))
+		sw := 0.0
+		if p, ok := b2.(*core.Portfolio); ok {
+			sw = float64(p.Switches)
 		}
-		n := float64(cfg.Seeds)
-		table.AddRow(sys.name, rs/n, gs/n, rd/n, gd/n, sw/n)
+		return []float64{r1, g1, r2, g2, sw}
+	})
+	for i, name := range names {
+		table.AddRow(name, rows[i]...)
 	}
 
 	table.AddNote("expected shape: exploit-heavy fixed learners (eps-greedy, softmax, exp3) " +
 		"collapse under drift; the meta portfolio stays within ~5%% of the best-in-hindsight " +
 		"specialist in BOTH regimes without design-time knowledge of which specialist fits")
-	return &Result{
-		ID:    "E6",
-		Title: "meta-self-awareness: strategy switching under drift",
-		Claim: `"Advanced organisms also engage in meta-self-awareness ... aware of the way ` +
-			`they themselves are aware" (§IV, [42]); the meta level adapts how the system ` +
-			`learns when the world shifts`,
-		Table: table,
-	}
+	return resultFor("E6", table)
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"sacs/internal/core"
+	"sacs/internal/runner"
 	"sacs/internal/stats"
 )
 
@@ -28,72 +29,68 @@ func E7Collective(cfg Config) *Result {
 	sizes := []int{8, 32, 128, 512}
 	const maxRounds = 400
 
-	for _, n := range sizes {
-		var rounds, gmsgs, cmsgs, gerr, cerr float64
-		for s := 0; s < cfg.Seeds; s++ {
-			rng := rand.New(rand.NewSource(int64(31 + s)))
-			values := make([]float64, n)
-			for i := range values {
-				values[i] = 10 + 20*rng.Float64()
-			}
-			truth := mean(values)
-
-			topo := core.RingTopology(n, 2, rng)
-			g := core.NewCollective(values, topo, rng)
-			r, _ := g.RunUntil(truth, 0.01, maxRounds)
-			rounds += float64(r)
-			gmsgs += float64(g.Messages)
-
-			c := core.NewCentralCollector(values)
-			for i := 0; i < r; i++ {
-				c.Round()
-			}
-			cmsgs += float64(c.Messages)
-
-			// Correlated failure: the 10% highest-value nodes die together
-			// (a failing hot rack) along with the centre, so the survivors'
-			// mean shifts materially. Live gossip nodes locally reseed and
-			// re-converge; the central collector is gone.
-			kill := n / 10
-			if kill < 1 {
-				kill = 1
-			}
-			order := argsortDesc(values)
-			for k := 0; k < kill; k++ {
-				g.Kill(order[k])
-				c.Kill(order[k])
-			}
-			g.Kill(0)
-			c.Kill(0) // the centre dies too
-			g.Reseed()
-			for i := 0; i < maxRounds/2; i++ {
-				g.Round()
-				c.Round()
-			}
-			newTruth := g.TrueMean()
-			gerr += g.MaxRelError(newTruth)
-			ce := c.Estimate() - newTruth
-			if ce < 0 {
-				ce = -ce
-			}
-			cerr += ce / newTruth
+	labels := make([]string, len(sizes))
+	for i, n := range sizes {
+		labels[i] = fmt.Sprintf("n=%d", n)
+	}
+	rows := runner.Rows(cfg.Pool, "E7", labels, cfg.Seeds, func(sys, s int) []float64 {
+		n := sizes[sys]
+		rng := rand.New(rand.NewSource(int64(31 + s)))
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = 10 + 20*rng.Float64()
 		}
-		k := float64(cfg.Seeds)
-		table.AddRow(fmt.Sprintf("n=%d", n),
-			float64(n), rounds/k, gmsgs/k, cmsgs/k, gerr/k, cerr/k)
-		gossipSeries.Add(float64(n), rounds/k)
+		truth := mean(values)
+
+		topo := core.RingTopology(n, 2, rng)
+		g := core.NewCollective(values, topo, rng)
+		r, _ := g.RunUntil(truth, 0.01, maxRounds)
+
+		c := core.NewCentralCollector(values)
+		for i := 0; i < r; i++ {
+			c.Round()
+		}
+
+		// Correlated failure: the 10% highest-value nodes die together
+		// (a failing hot rack) along with the centre, so the survivors'
+		// mean shifts materially. Live gossip nodes locally reseed and
+		// re-converge; the central collector is gone.
+		kill := n / 10
+		if kill < 1 {
+			kill = 1
+		}
+		order := argsortDesc(values)
+		for k := 0; k < kill; k++ {
+			g.Kill(order[k])
+			c.Kill(order[k])
+		}
+		g.Kill(0)
+		c.Kill(0) // the centre dies too
+		g.Reseed()
+		for i := 0; i < maxRounds/2; i++ {
+			g.Round()
+			c.Round()
+		}
+		newTruth := g.TrueMean()
+		ce := c.Estimate() - newTruth
+		if ce < 0 {
+			ce = -ce
+		}
+		return []float64{
+			float64(r), float64(g.Messages), float64(c.Messages),
+			g.MaxRelError(newTruth), ce / newTruth,
+		}
+	})
+	for i, label := range labels {
+		n := sizes[i]
+		rounds, gmsgs, cmsgs, gerr, cerr := rows[i][0], rows[i][1], rows[i][2], rows[i][3], rows[i][4]
+		table.AddRow(label, float64(n), rounds, gmsgs, cmsgs, gerr, cerr)
+		gossipSeries.Add(float64(n), rounds)
 	}
 
 	table.AddNote("expected shape: gossip rounds grow ~logarithmically with n; after the centre " +
 		"dies the central collector's error is frozen while gossip re-converges")
-	return &Result{
-		ID:    "E7",
-		Title: "collective self-awareness without a global component",
-		Claim: `"self-awareness can be a property of collective systems, even when there is ` +
-			`no single component with a global awareness of the whole system" (§IV, [45])`,
-		Table:   table,
-		Figures: []*stats.Figure{fig},
-	}
+	return resultFor("E7", table, fig)
 }
 
 func mean(xs []float64) float64 {

@@ -6,6 +6,7 @@ import (
 
 	"sacs/internal/core"
 	"sacs/internal/env"
+	"sacs/internal/runner"
 	"sacs/internal/stats"
 )
 
@@ -35,81 +36,81 @@ func E8Attention(cfg Config) *Result {
 		{"self-aware (voi)", func(rng *rand.Rand) core.AttentionPolicy { return &core.VOIAttention{Rng: rng} }},
 	}
 
-	for _, pol := range policies {
-		var total, volErr, calmErr, samples float64
-		for s := 0; s < cfg.Seeds; s++ {
-			rng := rand.New(rand.NewSource(int64(17 + s)))
+	names := make([]string, len(policies))
+	for i, pol := range policies {
+		names[i] = pol.name
+	}
+	// Each job returns this seed's error sums and sample count; the per-seed
+	// means come back from Rows and are normalised per tick/sensor below.
+	rows := runner.Rows(cfg.Pool, "E8", names, cfg.Seeds, func(sys, s int) []float64 {
+		var total, volErr, calmErr float64
+		rng := rand.New(rand.NewSource(int64(17 + s)))
 
-			// Hidden world: slow walks plus a volatile subset.
-			truths := make([]*env.RandomWalk, sensors)
-			for i := range truths {
-				step := 0.02
-				if i < volatile {
-					step = 1.5
-				}
-				truths[i] = &env.RandomWalk{
-					Value: 10 * rng.Float64(), Step: step, Min: -50, Max: 50,
-					Rng: rand.New(rand.NewSource(int64(1000*s + i))),
-				}
+		// Hidden world: slow walks plus a volatile subset.
+		truths := make([]*env.RandomWalk, sensors)
+		for i := range truths {
+			step := 0.02
+			if i < volatile {
+				step = 1.5
 			}
-
-			var sens []core.Sensor
-			for i := 0; i < sensors; i++ {
-				i := i
-				sens = append(sens, core.ScalarSensor(
-					fmt.Sprintf("s%02d", i), core.Private,
-					func(now float64) float64 { return truths[i].At(now) }))
+			truths[i] = &env.RandomWalk{
+				Value: 10 * rng.Float64(), Step: step, Min: -50, Max: 50,
+				Rng: rand.New(rand.NewSource(int64(1000*s + i))),
 			}
-			att := &core.Attention{Policy: pol.mk(rng), Budget: budget}
-			agent := core.New(core.Config{
-				Name:    "attention-agent",
-				Caps:    core.Caps(core.LevelStimulus),
-				Sensors: sens, Attention: att,
-				ExplainDepth: -1,
-			})
-
-			for t := 0; t < ticks; t++ {
-				now := float64(t)
-				// Advance every hidden signal exactly once per tick so
-				// unsampled sensors drift away from their models.
-				current := make([]float64, sensors)
-				for i, w := range truths {
-					current[i] = w.At(now)
-				}
-				agent.Step(now, nil)
-				// Tracking error: model estimate vs hidden truth.
-				for i := range truths {
-					est := agent.Store().Value(fmt.Sprintf("stim/s%02d", i), 0)
-					err := est - current[i]
-					if err < 0 {
-						err = -err
-					}
-					total += err
-					if i < volatile {
-						volErr += err
-					} else {
-						calmErr += err
-					}
-				}
-			}
-			samples += float64(att.Sampled)
 		}
-		denom := float64(cfg.Seeds * ticks * sensors)
-		table.AddRow(pol.name,
-			total/denom,
-			volErr/float64(cfg.Seeds*ticks*volatile),
-			calmErr/float64(cfg.Seeds*ticks*(sensors-volatile)),
-			samples/float64(cfg.Seeds))
+
+		var sens []core.Sensor
+		for i := 0; i < sensors; i++ {
+			i := i
+			sens = append(sens, core.ScalarSensor(
+				fmt.Sprintf("s%02d", i), core.Private,
+				func(now float64) float64 { return truths[i].At(now) }))
+		}
+		att := &core.Attention{Policy: policies[sys].mk(rng), Budget: budget}
+		agent := core.New(core.Config{
+			Name:    "attention-agent",
+			Caps:    core.Caps(core.LevelStimulus),
+			Sensors: sens, Attention: att,
+			ExplainDepth: -1,
+		})
+
+		for t := 0; t < ticks; t++ {
+			now := float64(t)
+			// Advance every hidden signal exactly once per tick so
+			// unsampled sensors drift away from their models.
+			current := make([]float64, sensors)
+			for i, w := range truths {
+				current[i] = w.At(now)
+			}
+			agent.Step(now, nil)
+			// Tracking error: model estimate vs hidden truth.
+			for i := range truths {
+				est := agent.Store().Value(fmt.Sprintf("stim/s%02d", i), 0)
+				err := est - current[i]
+				if err < 0 {
+					err = -err
+				}
+				total += err
+				if i < volatile {
+					volErr += err
+				} else {
+					calmErr += err
+				}
+			}
+		}
+		return []float64{total, volErr, calmErr, float64(att.Sampled)}
+	})
+
+	for i, name := range names {
+		total, volErr, calmErr, samples := rows[i][0], rows[i][1], rows[i][2], rows[i][3]
+		table.AddRow(name,
+			total/float64(ticks*sensors),
+			volErr/float64(ticks*volatile),
+			calmErr/float64(ticks*(sensors-volatile)),
+			samples)
 	}
 
 	table.AddNote("expected shape: voi attention concentrates its budget on the volatile " +
 		"sensors, cutting overall tracking error well below round-robin at the same budget")
-	return &Result{
-		ID:    "E8",
-		Title: "attention: directing limited sensing resources",
-		Claim: `"resource-constrained systems must determine, for themselves, how to direct ` +
-			`their limited resources, given the vast set of possible things they could ` +
-			`attend to" (§V, [55])`,
-		Table: table,
-	}
+	return resultFor("E8", table)
 }

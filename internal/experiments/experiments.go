@@ -6,16 +6,22 @@
 // least one non-self-aware baseline. EXPERIMENTS.md records the expected
 // qualitative shape and the measured numbers; cmd/sawbench prints the
 // tables; bench_test.go wraps each experiment in a testing.B benchmark.
+//
+// Every experiment fans its individual simulation runs — one per
+// (system, seed) pair — out as jobs on an internal/runner pool, supplied
+// via Config.Pool. Each job owns its own RNG seed and results are merged
+// in fixed job order, so the aggregate tables are bit-identical whether
+// the pool runs one worker or many.
 package experiments
 
 import (
 	"fmt"
-	"sort"
 
+	"sacs/internal/runner"
 	"sacs/internal/stats"
 )
 
-// Config controls experiment size.
+// Config controls experiment size and execution.
 type Config struct {
 	// Seeds is how many independent seeds to average over (default 3).
 	Seeds int
@@ -23,6 +29,10 @@ type Config struct {
 	// use smaller values (default 1, minimum effective length enforced
 	// per experiment).
 	Scale float64
+	// Pool executes the experiment's internal fan-out (its systems × seeds
+	// simulation runs as independent jobs). nil runs everything inline on
+	// the calling goroutine; the aggregates are identical either way.
+	Pool *runner.Pool
 }
 
 func (c Config) defaults() Config {
@@ -65,61 +75,180 @@ func (r *Result) String() string {
 // Runner produces one experiment result.
 type Runner func(Config) *Result
 
-// Registry maps experiment IDs to runners.
-func Registry() map[string]Runner {
-	return map[string]Runner{
-		"E1":  E1CameraNetwork,
-		"E2":  E2GoalSwitch,
-		"E3":  E3VolunteerCloud,
-		"E4":  E4CPNResilience,
-		"E5":  E5LevelsAblation,
-		"E6":  E6MetaUnderDrift,
-		"E7":  E7Collective,
-		"E8":  E8Attention,
-		"E9":  E9Explanation,
-		"E10": E10NoAPriori,
-		"X1":  X1CamnetLambda,
-		"X2":  X2PortfolioEpoch,
-		"X3":  X3CPNExploration,
-		"X4":  X4CloudGate,
-		"X5":  X5Hierarchy,
+// Spec statically describes one experiment: ID, title and the paper claim
+// it operationalises. Listing specs requires no simulation run.
+type Spec struct {
+	ID    string
+	Title string
+	Claim string
+	Run   Runner
+}
+
+// specs is the single source of truth for experiment metadata, in suite
+// order: E1..E10 then the design ablations X1..X5. The runners fetch their
+// Title and Claim from here via resultFor. Populated in init rather than a
+// composite literal because the runners themselves reference specs through
+// resultFor, which the compiler would reject as an initialization cycle.
+var specs []Spec
+
+func init() {
+	specs = []Spec{
+		{
+			ID:    "E1",
+			Title: "smart-camera handover: learned heterogeneous strategies",
+			Claim: `"a system comprising many self-aware entities may lead to increased ` +
+				`heterogeneity, as the different entities learn to be different from each ` +
+				`other" (§II, [13])`,
+			Run: E1CameraNetwork,
+		},
+		{
+			ID:    "E2",
+			Title: "heterogeneous multicore: run-time goal change",
+			Claim: `"systems that engage in self-awareness can better manage trade-offs ` +
+				`between goals at run time" (§III)`,
+			Run: E2GoalSwitch,
+		},
+		{
+			ID:    "E3",
+			Title: "volunteer cloud: dispatch and autoscaling under uncertainty",
+			Claim: `"physical storage resources may or may not be available to satisfy a ` +
+				`request, and even if storage is allocated, it may or may not be reliable" ` +
+				`(§II, [14,15]; autoscaling [58])`,
+			Run: E3VolunteerCloud,
+		},
+		{
+			ID:    "E4",
+			Title: "cognitive packet network: resilience to failure and attack",
+			Claim: `"a self-awareness loop provides nodes ... the ability to monitor the effect ` +
+				`of using different routes ... routes between a particular source and destination ` +
+				`are adapted on an ongoing basis" (§III, [38,39])`,
+			Run: E4CPNResilience,
+		},
+		{
+			ID:    "E5",
+			Title: "levels of self-awareness: capability ablation",
+			Claim: `"different levels of self-awareness ... Self-aware computing systems may ` +
+				`similarly vary a great deal in their complexity" (§IV, concept 2)`,
+			Run: E5LevelsAblation,
+		},
+		{
+			ID:    "E6",
+			Title: "meta-self-awareness: strategy switching under drift",
+			Claim: `"Advanced organisms also engage in meta-self-awareness ... aware of the way ` +
+				`they themselves are aware" (§IV, [42]); the meta level adapts how the system ` +
+				`learns when the world shifts`,
+			Run: E6MetaUnderDrift,
+		},
+		{
+			ID:    "E7",
+			Title: "collective self-awareness without a global component",
+			Claim: `"self-awareness can be a property of collective systems, even when there is ` +
+				`no single component with a global awareness of the whole system" (§IV, [45])`,
+			Run: E7Collective,
+		},
+		{
+			ID:    "E8",
+			Title: "attention: directing limited sensing resources",
+			Claim: `"resource-constrained systems must determine, for themselves, how to direct ` +
+				`their limited resources, given the vast set of possible things they could ` +
+				`attend to" (§V, [55])`,
+			Run: E8Attention,
+		},
+		{
+			ID:    "E9",
+			Title: "self-explanation from self-models",
+			Claim: `"Self-aware systems will be able to explain or justify themselves to external ` +
+				`entities ... based on their self-awareness" (§III, [25,28]); "the reasons behind ` +
+				`action (or inaction) are made clear" (§VI)`,
+			Run: E9Explanation,
+		},
+		{
+			ID:    "E10",
+			Title: "reducing a-priori domain modelling",
+			Claim: `"reducing the need for a priori domain modelling at design or deployment ` +
+				`time" (abstract); "designs are favoured in which systems can discover resources ` +
+				`and make decisions ... during operation" (§III, [16])`,
+			Run: E10NoAPriori,
+		},
+		{
+			ID:    "X1",
+			Title: "ablation: camera communication weight λ",
+			Claim: "design choice: reward = window utility − λ·window messages (camnet)",
+			Run:   X1CamnetLambda,
+		},
+		{
+			ID:    "X2",
+			Title: "ablation: meta-portfolio commitment epoch",
+			Claim: "design choice: the meta level reassesses strategies every EpochLen decisions",
+			Run:   X2PortfolioEpoch,
+		},
+		{
+			ID:    "X3",
+			Title: "ablation: CPN smart-packet exploration",
+			Claim: "design choice: the smart-packet fraction follows the router's own TD surprise",
+			Run:   X3CPNExploration,
+		},
+		{
+			ID:    "X4",
+			Title: "ablation: cloud dispatcher reliability gate",
+			Claim: "design choice: learned reliability gates the candidate set before wait prediction",
+			Run:   X4CloudGate,
+		},
+		{
+			ID:    "X5",
+			Title: "ablation: hierarchical collective self-awareness",
+			Claim: `"mechanisms based on hierarchies of self-aware components" (§V, [62,63])`,
+			Run:   X5Hierarchy,
+		},
 	}
 }
 
-// IDs returns the main experiment IDs (E1..E10) in order; ablations
+// Specs returns every experiment's static description in suite order.
+func Specs() []Spec {
+	return append([]Spec(nil), specs...)
+}
+
+// Registry maps experiment IDs to their specs.
+func Registry() map[string]Spec {
+	m := make(map[string]Spec, len(specs))
+	for _, s := range specs {
+		m[s.ID] = s
+	}
+	return m
+}
+
+// resultFor assembles a Result from the registry's static metadata, so
+// titles and claims live in exactly one place.
+func resultFor(id string, table *stats.Table, figures ...*stats.Figure) *Result {
+	for _, s := range specs {
+		if s.ID == id {
+			return &Result{ID: id, Title: s.Title, Claim: s.Claim, Table: table, Figures: figures}
+		}
+	}
+	panic("experiments: no spec for " + id)
+}
+
+// IDs returns the main experiment IDs (E1..E10) in suite order; ablations
 // (X1..X5) are run explicitly by ID.
 func IDs() []string {
 	ids := make([]string, 0, 10)
-	for id := range Registry() {
-		if id[0] == 'E' {
-			ids = append(ids, id)
+	for _, s := range specs {
+		if s.ID[0] == 'E' {
+			ids = append(ids, s.ID)
 		}
 	}
-	sort.Slice(ids, func(i, j int) bool {
-		// E1 < E2 < ... < E10 (numeric order, not lexicographic).
-		return num(ids[i]) < num(ids[j])
-	})
 	return ids
 }
 
-// AblationIDs returns the design-ablation experiment IDs in order.
+// AblationIDs returns the design-ablation experiment IDs in suite order.
 func AblationIDs() []string {
 	ids := make([]string, 0, 5)
-	for id := range Registry() {
-		if id[0] == 'X' {
-			ids = append(ids, id)
+	for _, s := range specs {
+		if s.ID[0] == 'X' {
+			ids = append(ids, s.ID)
 		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return num(ids[i]) < num(ids[j]) })
 	return ids
-}
-
-func num(id string) int {
-	n := 0
-	for _, r := range id[1:] {
-		n = n*10 + int(r-'0')
-	}
-	return n
 }
 
 // All runs every experiment in order.
@@ -127,7 +256,7 @@ func All(cfg Config) []*Result {
 	var out []*Result
 	reg := Registry()
 	for _, id := range IDs() {
-		out = append(out, reg[id](cfg))
+		out = append(out, reg[id].Run(cfg))
 	}
 	return out
 }

@@ -1,0 +1,33 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// NewReporter returns an OnProgress callback that writes one status line
+// per completion to w, throttled to at most one line per `every` (0 means
+// every completion). The final completion is always reported. The returned
+// callback is safe for concurrent use, as Pool.OnProgress requires.
+func NewReporter(w io.Writer, every time.Duration) func(Progress) {
+	var mu sync.Mutex
+	var last time.Time
+	return func(pr Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		now := time.Now()
+		if pr.Done < pr.Total && now.Sub(last) < every {
+			return
+		}
+		last = now
+		line := fmt.Sprintf("runner: %d/%d jobs done, last %s in %v, elapsed %v",
+			pr.Done, pr.Total, pr.Key, pr.JobTime.Round(time.Millisecond),
+			pr.Elapsed.Round(time.Millisecond))
+		if pr.ETA > 0 {
+			line += fmt.Sprintf(", eta %v", pr.ETA.Round(time.Second))
+		}
+		fmt.Fprintln(w, line)
+	}
+}

@@ -1,0 +1,313 @@
+// Package runner is the experiment dispatcher: a deterministic,
+// dependency-aware job queue executed by a bounded worker pool.
+//
+// The experiments layer submits every individual simulation run — one
+// (experiment, system/variant, seed) triple — as a job; the pool runs as
+// many of them concurrently as its worker bound allows, and results are
+// merged back in job-index order, never completion order. Because each job
+// owns its own RNG seed and the merge order is fixed, aggregate tables are
+// bit-identical regardless of the worker count: `New(1)` and `New(32)`
+// produce the same bytes, only at different speeds.
+//
+// Waiting helps: Batch.Wait executes queued jobs on the waiting goroutine
+// instead of idling. This is what makes nested fan-out safe — an experiment
+// job that blocks on its own seed batch drains that batch (or any other
+// ready work) itself, so a pool can never deadlock on jobs that submit
+// jobs. It also means New(1) spawns no goroutines at all: every job runs
+// inline in Wait, which is the serial reference mode.
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"sacs/internal/trace"
+)
+
+// Key identifies a job: which experiment, which system/variant row, and
+// which RNG seed index it owns.
+type Key struct {
+	Experiment string
+	System     string
+	Seed       int
+}
+
+func (k Key) String() string {
+	s := k.Experiment
+	if s == "" {
+		s = "?"
+	}
+	if k.System != "" {
+		s += "/" + k.System
+	}
+	return fmt.Sprintf("%s#%d", s, k.Seed)
+}
+
+// Result is one completed job's outcome. Index is the job's position in its
+// batch — the merge order — not the order it finished in.
+type Result struct {
+	Index   int
+	Key     Key
+	Value   any
+	Err     error
+	Elapsed time.Duration
+}
+
+// Progress is a snapshot delivered to Pool.OnProgress after each completion.
+type Progress struct {
+	Key     Key           // the job that just finished
+	Done    int           // jobs completed so far, pool-wide
+	Total   int           // jobs submitted so far, pool-wide
+	Elapsed time.Duration // since the pool's first submission
+	ETA     time.Duration // naive estimate of remaining wall time
+	JobTime time.Duration // the finished job's own elapsed time
+}
+
+// Pool is a bounded-concurrency job dispatcher. Concurrency is bounded by
+// the worker count passed to New: one slot belongs to whichever goroutine
+// is waiting on a batch (Wait executes jobs itself), so New spawns
+// workers-1 background goroutines.
+type Pool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	ready   []*task
+	closed  bool
+	workers int
+	wg      sync.WaitGroup
+
+	started time.Time
+	done    int
+	total   int
+
+	// OnProgress, when non-nil, is invoked after every job completes,
+	// before the job is marked done — Batch.Wait returns only once the
+	// callbacks for all its jobs have run. It may be called from several
+	// goroutines at once and must be safe for that (NewReporter returns a
+	// suitable callback). It must not call back into the pool. Set it
+	// before submitting work.
+	OnProgress func(Progress)
+	// Trace, when non-nil, records one point per completed job in the
+	// series "runner/<experiment>": x is the job's batch index, y its
+	// elapsed seconds. Set it before submitting work.
+	Trace *trace.Recorder
+}
+
+type task struct {
+	batch      *Batch
+	index      int
+	key        Key
+	fn         func() (any, error)
+	waiting    int // unfinished dependencies
+	dependents []*task
+	done       bool
+	result     Result
+}
+
+// New creates a pool that runs at most workers jobs at once; workers <= 0
+// means runtime.GOMAXPROCS(0). Close releases the background goroutines
+// when all batches have been waited on. New(1) is the serial mode: no
+// goroutines are spawned and every job runs inline in Batch.Wait.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 0; i < workers-1; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Workers reports the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close drains the queue and stops the background workers. It is
+// idempotent. Call it only after every batch has been waited on.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Batch is an ordered set of jobs submitted to one pool. Jobs may depend on
+// earlier jobs in the same batch; the dispatcher only starts a job once its
+// dependencies have finished.
+type Batch struct {
+	pool    *Pool
+	tasks   []*task
+	pending int
+}
+
+// NewBatch starts an empty batch on the pool.
+func (p *Pool) NewBatch() *Batch { return &Batch{pool: p} }
+
+// Add appends a job and returns its index. deps lists indices of
+// previously added jobs in this batch that must finish first; referencing
+// this job or a later one panics, which keeps the dependency graph a DAG
+// by construction (no cycle detection needed, no scheduling deadlock
+// possible). Eligible jobs may start running before Add returns.
+func (b *Batch) Add(key Key, deps []int, fn func() (any, error)) int {
+	p := b.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	idx := len(b.tasks)
+	t := &task{batch: b, index: idx, key: key, fn: fn}
+	for _, d := range deps {
+		if d < 0 || d >= idx {
+			panic(fmt.Sprintf("runner: job %d (%s) depends on job %d; dependencies must name earlier jobs in the batch", idx, key, d))
+		}
+		dt := b.tasks[d]
+		if !dt.done {
+			t.waiting++
+			dt.dependents = append(dt.dependents, t)
+		}
+	}
+	b.tasks = append(b.tasks, t)
+	b.pending++
+	p.total++
+	if p.started.IsZero() {
+		p.started = time.Now()
+	}
+	if t.waiting == 0 {
+		p.ready = append(p.ready, t)
+		p.cond.Broadcast()
+	}
+	return idx
+}
+
+// Len reports how many jobs have been added to the batch.
+func (b *Batch) Len() int {
+	b.pool.mu.Lock()
+	defer b.pool.mu.Unlock()
+	return len(b.tasks)
+}
+
+// Wait blocks until every job in the batch has finished and returns their
+// results in index order. While blocked, the calling goroutine executes
+// ready jobs itself (from this batch or any other on the pool), so nested
+// fan-out — a job waiting on a sub-batch of the same pool — cannot
+// deadlock.
+func (b *Batch) Wait() []Result {
+	p := b.pool
+	p.mu.Lock()
+	for b.pending > 0 {
+		if t := p.popLocked(); t != nil {
+			p.mu.Unlock()
+			p.run(t)
+			p.mu.Lock()
+			continue
+		}
+		p.cond.Wait()
+	}
+	out := make([]Result, len(b.tasks))
+	for i, t := range b.tasks {
+		out[i] = t.result
+	}
+	p.mu.Unlock()
+	return out
+}
+
+// Errors collects the failures in a result set into one error (nil when
+// every job succeeded).
+func Errors(rs []Result) error {
+	var errs []error
+	for _, r := range rs {
+		if r.Err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", r.Key, r.Err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	p.mu.Lock()
+	for {
+		t := p.popLocked()
+		if t == nil {
+			if p.closed {
+				p.mu.Unlock()
+				return
+			}
+			p.cond.Wait()
+			continue
+		}
+		p.mu.Unlock()
+		p.run(t)
+		p.mu.Lock()
+	}
+}
+
+func (p *Pool) popLocked() *task {
+	if len(p.ready) == 0 {
+		return nil
+	}
+	t := p.ready[0]
+	p.ready = p.ready[1:]
+	return t
+}
+
+// run executes one job with panic recovery, records its result and timing,
+// reports progress, then releases its dependents and marks the job done.
+// Trace and OnProgress are delivered strictly before the job counts as
+// complete, so when Batch.Wait returns every callback for the batch's jobs
+// has already run — callers may read state the callbacks accumulate.
+func (p *Pool) run(t *task) {
+	start := time.Now()
+	v, err := protect(t.key, t.fn)
+	elapsed := time.Since(start)
+	t.result = Result{Index: t.index, Key: t.key, Value: v, Err: err, Elapsed: elapsed}
+
+	p.mu.Lock()
+	p.done++
+	done, total := p.done, p.total
+	poolElapsed := time.Since(p.started)
+	p.mu.Unlock()
+
+	if p.Trace != nil {
+		p.Trace.Record("runner/"+t.key.Experiment, float64(t.index), elapsed.Seconds())
+	}
+	if f := p.OnProgress; f != nil {
+		var eta time.Duration
+		if done > 0 && done < total {
+			eta = time.Duration(float64(poolElapsed) / float64(done) * float64(total-done))
+		}
+		f(Progress{Key: t.key, Done: done, Total: total, Elapsed: poolElapsed, ETA: eta, JobTime: elapsed})
+	}
+
+	p.mu.Lock()
+	t.done = true
+	for _, d := range t.dependents {
+		d.waiting--
+		if d.waiting == 0 {
+			p.ready = append(p.ready, d)
+		}
+	}
+	t.dependents = nil
+	t.batch.pending--
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// protect runs fn, converting a panic into an error that carries the job
+// key and the stack, so one bad simulation run cannot take down the suite.
+func protect(key Key, fn func() (any, error)) (v any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("runner: job %s panicked: %v\n%s", key, r, debug.Stack())
+		}
+	}()
+	return fn()
+}

@@ -16,6 +16,7 @@ import (
 	"sacs/internal/experiments"
 	"sacs/internal/knowledge"
 	"sacs/internal/learning"
+	"sacs/internal/population"
 	"sacs/internal/runner"
 )
 
@@ -55,6 +56,44 @@ func BenchmarkX2PortfolioEpoch(b *testing.B) { benchExperiment(b, "X2") }
 func BenchmarkX3CPNExploration(b *testing.B) { benchExperiment(b, "X3") }
 func BenchmarkX4CloudGate(b *testing.B)      { benchExperiment(b, "X4") }
 func BenchmarkX5Hierarchy(b *testing.B)      { benchExperiment(b, "X5") }
+
+// Population-engine benchmarks: wall-clock throughput of the sharded
+// stepping path. The S1 table deliberately reports only deterministic work
+// metrics; these benchmarks are where steps/sec vs population size and
+// worker count is actually measured. CI runs them with -benchtime=1x as a
+// smoke test so the scaling path cannot silently rot.
+
+func BenchmarkS1PopulationScaling(b *testing.B) { benchExperiment(b, "S1") }
+
+// BenchmarkPopulationTick sweeps worker counts over a 10k-agent population
+// (plus a 1k point for the size axis): with >1 core available, ns/op at
+// workers=4 dropping below workers=1 is the >1-core speedup the sharding
+// exists for. steps/sec is reported as a custom metric.
+func BenchmarkPopulationTick(b *testing.B) {
+	for _, bc := range []struct{ agents, workers int }{
+		{1000, 1},
+		{10000, 1},
+		{10000, 2},
+		{10000, 4},
+	} {
+		b.Run(fmt.Sprintf("agents=%d/workers=%d", bc.agents, bc.workers), func(b *testing.B) {
+			p := runner.New(bc.workers)
+			defer p.Close()
+			// The exact S1 workload (experiments.S1Config), at 32 shards so
+			// 4 workers still get 8 jobs each per tick.
+			eng := population.New(experiments.S1Config(bc.agents, 32, 1, p))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Tick()
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(bc.agents)*float64(b.N)/secs, "steps/sec")
+			}
+		})
+	}
+}
 
 // Dispatcher benchmarks: the runner pool's per-job overhead and the
 // experiment suite's scaling with worker count.

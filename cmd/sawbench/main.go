@@ -11,6 +11,7 @@
 //
 //	sawbench                 # run everything at full scale
 //	sawbench -exp E4,E6      # selected experiments
+//	sawbench -scaling        # run the S-series scaling experiments (S1)
 //	sawbench -seeds 5        # more seeds
 //	sawbench -scale 0.2      # quick pass at reduced run lengths
 //	sawbench -parallel 8     # cap concurrent simulation jobs (1 = serial)
@@ -52,6 +53,7 @@ func run() int {
 		scale    = flag.Float64("scale", 1.0, "run-length scale factor (0..1]")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		abl      = flag.Bool("ablations", false, "run the design ablations X1..X5 instead of E1..E10")
+		scaling  = flag.Bool("scaling", false, "run the S-series population-scaling experiments instead of E1..E10")
 		csvDir   = flag.String("csv", "", "directory to write per-experiment CSV files into")
 		jsonPath = flag.String("json", "", "file to write suite results as JSON (default <csvdir>/results.json when -csv is set)")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max simulation jobs in flight (1 = serial, <=0 = all cores)")
@@ -71,6 +73,9 @@ func run() int {
 	ids := experiments.IDs()
 	if *abl {
 		ids = experiments.AblationIDs()
+	}
+	if *scaling {
+		ids = experiments.ScalingIDs()
 	}
 	if *expFlag != "" {
 		ids = nil

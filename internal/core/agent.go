@@ -79,6 +79,7 @@ type Agent struct {
 	goalProc    *GoalProcess
 	stepCount   int
 	lastMetrics map[string]float64
+	stimBuf     []Stimulus // Step's sensed-stimulus batch, reused across ticks
 }
 
 // New builds an agent from cfg.
@@ -185,15 +186,18 @@ func (a *Agent) Step(now float64, metrics map[string]float64) []Action {
 	a.stepCount++
 	a.lastMetrics = metrics
 
-	// Sense, optionally limited by attention.
+	// Sense, optionally limited by attention. The batch buffer is owned by
+	// the agent and reused every tick; processes consume it synchronously
+	// and must not retain it.
 	sensors := a.sensors
 	if a.attention != nil {
 		sensors = a.attention.Pick(now, a.sensors, a.store)
 	}
-	var batch []Stimulus
+	batch := a.stimBuf[:0]
 	for _, s := range sensors {
 		batch = append(batch, s.Sense(now)...)
 	}
+	a.stimBuf = batch
 
 	// Learn: feed every capability-enabled process.
 	if a.goalProc != nil {

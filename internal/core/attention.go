@@ -53,13 +53,22 @@ type RoundRobinAttention struct {
 // Name implements AttentionPolicy.
 func (r *RoundRobinAttention) Name() string { return "round-robin" }
 
-// Pick implements AttentionPolicy.
+// Pick implements AttentionPolicy. A budget beyond the sensor count is
+// clamped so each sensor appears at most once per step; the policy stays
+// safe on direct calls, not only behind Attention.Pick's guard.
 func (r *RoundRobinAttention) Pick(_ float64, sensors []Sensor, budget int, _ *knowledge.Store) []int {
+	n := len(sensors)
+	if n == 0 || budget <= 0 {
+		return nil
+	}
+	if budget > n {
+		budget = n
+	}
 	idx := make([]int, 0, budget)
 	for i := 0; i < budget; i++ {
-		idx = append(idx, (r.next+i)%len(sensors))
+		idx = append(idx, (r.next+i)%n)
 	}
-	r.next = (r.next + budget) % len(sensors)
+	r.next = (r.next + budget) % n
 	return idx
 }
 
@@ -71,10 +80,17 @@ type RandomAttention struct {
 // Name implements AttentionPolicy.
 func (r *RandomAttention) Name() string { return "random" }
 
-// Pick implements AttentionPolicy.
+// Pick implements AttentionPolicy. A budget beyond the sensor count is
+// clamped: sampling is without replacement, so at most every sensor once.
 func (r *RandomAttention) Pick(_ float64, sensors []Sensor, budget int, _ *knowledge.Store) []int {
-	perm := r.Rng.Perm(len(sensors))
-	return perm[:budget]
+	n := len(sensors)
+	if budget > n {
+		budget = n
+	}
+	if budget <= 0 {
+		return nil
+	}
+	return r.Rng.Perm(n)[:budget]
 }
 
 // VOIAttention is the self-aware policy: it directs attention by expected
@@ -91,6 +107,19 @@ func (v *VOIAttention) Name() string { return "voi" }
 
 // Pick implements AttentionPolicy.
 func (v *VOIAttention) Pick(now float64, sensors []Sensor, budget int, store *knowledge.Store) []int {
+	if len(sensors) == 0 || budget <= 0 {
+		return nil
+	}
+	if budget >= len(sensors) {
+		// Budget covers everything: no selection problem to solve. Guarded
+		// here as well as in Attention.Pick so direct calls cannot spin in
+		// the fill phase below looking for untaken indices that don't exist.
+		idx := make([]int, len(sensors))
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
 	eps := v.Eps
 	if eps == 0 {
 		eps = 0.25
@@ -136,13 +165,22 @@ func (v *VOIAttention) Pick(now float64, sensors []Sensor, budget int, store *kn
 		taken[best] = true
 		picked = append(picked, best)
 	}
-	// Fill the exploration share uniformly from the rest.
-	for len(picked) < budget {
-		i := v.Rng.Intn(len(sensors))
+	// Fill the exploration share uniformly from the remaining untaken
+	// indices, drawing without replacement. Collecting the remainder once
+	// and swap-removing each draw keeps the fill at exactly budget−exploit
+	// RNG calls; rejection sampling here would have a pathological tail as
+	// the budget approaches the sensor count.
+	rest := make([]int, 0, len(sensors)-len(picked))
+	for i := range sensors {
 		if !taken[i] {
-			taken[i] = true
-			picked = append(picked, i)
+			rest = append(rest, i)
 		}
+	}
+	for len(picked) < budget && len(rest) > 0 {
+		j := v.Rng.Intn(len(rest))
+		picked = append(picked, rest[j])
+		rest[j] = rest[len(rest)-1]
+		rest = rest[:len(rest)-1]
 	}
 	return picked
 }

@@ -109,6 +109,79 @@ func TestVOIAttentionPrefersStaleVolatile(t *testing.T) {
 	}
 }
 
+// TestPoliciesClampBudgetBeyondSensorCount calls every policy directly —
+// not through Attention.Pick's guard — with budgets at and beyond the
+// sensor count. Each must return every sensor exactly once: round-robin
+// used to emit duplicates, random sliced past the permutation's end, and
+// VOI's fill loop span forever hunting untaken indices that didn't exist.
+func TestPoliciesClampBudgetBeyondSensorCount(t *testing.T) {
+	sensors := mkSensors(4)
+	store := knowledge.NewStore(0.3, 0)
+	for _, p := range []AttentionPolicy{
+		&RoundRobinAttention{},
+		&RandomAttention{Rng: rand.New(rand.NewSource(1))},
+		&VOIAttention{Rng: rand.New(rand.NewSource(2))},
+	} {
+		for _, budget := range []int{4, 5, 100} {
+			idx := p.Pick(0, sensors, budget, store)
+			if len(idx) != 4 {
+				t.Fatalf("%s budget=%d: got %d indices, want 4", p.Name(), budget, len(idx))
+			}
+			seen := map[int]bool{}
+			for _, i := range idx {
+				if i < 0 || i >= 4 || seen[i] {
+					t.Fatalf("%s budget=%d: bad or duplicate index in %v", p.Name(), budget, idx)
+				}
+				seen[i] = true
+			}
+		}
+	}
+}
+
+// TestPoliciesDegenerateInputs covers zero budgets and empty sensor sets on
+// direct calls (round-robin used to hit a %0 panic with no sensors).
+func TestPoliciesDegenerateInputs(t *testing.T) {
+	store := knowledge.NewStore(0.3, 0)
+	for _, p := range []AttentionPolicy{
+		&RoundRobinAttention{},
+		&RandomAttention{Rng: rand.New(rand.NewSource(1))},
+		&VOIAttention{Rng: rand.New(rand.NewSource(2))},
+	} {
+		if idx := p.Pick(0, nil, 3, store); len(idx) != 0 {
+			t.Fatalf("%s: picked %v from no sensors", p.Name(), idx)
+		}
+		if idx := p.Pick(0, mkSensors(3), 0, store); len(idx) != 0 {
+			t.Fatalf("%s: picked %v on zero budget", p.Name(), idx)
+		}
+	}
+}
+
+// TestVOIFillNearFullBudget is the pathological-tail case the rejection
+// sampler degraded on: with eps=1 the whole budget goes through the fill
+// phase, and budget = sensors−1 leaves a single untaken index at the end.
+// The deterministic fill must return exactly budget distinct indices (and
+// must do so immediately; under the old sampler this shape could spin for
+// an unbounded number of RNG draws).
+func TestVOIFillNearFullBudget(t *testing.T) {
+	const n = 16
+	sensors := mkSensors(n)
+	store := knowledge.NewStore(0.3, 0)
+	v := &VOIAttention{Rng: rand.New(rand.NewSource(9)), Eps: 1}
+	for step := 0; step < 50; step++ {
+		idx := v.Pick(float64(step), sensors, n-1, store)
+		if len(idx) != n-1 {
+			t.Fatalf("step %d: got %d indices, want %d", step, len(idx), n-1)
+		}
+		seen := map[int]bool{}
+		for _, i := range idx {
+			if seen[i] {
+				t.Fatalf("step %d: duplicate index in %v", step, idx)
+			}
+			seen[i] = true
+		}
+	}
+}
+
 func TestMetaMonitorSwitchesStrategyOnDrift(t *testing.T) {
 	// Feed the agent a signal whose dynamics change abruptly; the meta
 	// monitor watches the time process's forecast error and must adapt.

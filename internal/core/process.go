@@ -110,8 +110,10 @@ func (p *TimeProcess) Observe(now float64, batch []Stimulus) {
 		}
 		pr.Observe(s.Value)
 		p.Store.Ensure("pred/"+s.Name, s.Scope).Set(pr.Predict(), now)
-		if e := p.Store.Get("stim/" + s.Name); e != nil && e.History() != nil {
-			p.Store.Ensure("trend/"+s.Name, s.Scope).Set(e.History().Trend(), now)
+		if e := p.Store.Get("stim/" + s.Name); e != nil {
+			if tr, ok := e.Trend(); ok {
+				p.Store.Ensure("trend/"+s.Name, s.Scope).Set(tr, now)
+			}
 		}
 	}
 }

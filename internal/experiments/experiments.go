@@ -200,6 +200,15 @@ func init() {
 			Claim: `"mechanisms based on hierarchies of self-aware components" (§V, [62,63])`,
 			Run:   X5Hierarchy,
 		},
+		{
+			ID:    "S1",
+			Title: "scaling: sharded population engine, 1k-10k agent collectives",
+			Claim: `scaling contract: a population of self-aware agents partitioned into shards ` +
+				`with double-buffered mailboxes steps deterministically — tables are byte-identical ` +
+				`at any worker count while throughput scales with cores (ROADMAP north star; the ` +
+				`paper's collectives of self-aware entities, §IV, at production scale)`,
+			Run: S1PopulationScaling,
+		},
 	}
 }
 
@@ -245,6 +254,19 @@ func AblationIDs() []string {
 	ids := make([]string, 0, 5)
 	for _, s := range specs {
 		if s.ID[0] == 'X' {
+			ids = append(ids, s.ID)
+		}
+	}
+	return ids
+}
+
+// ScalingIDs returns the scaling experiment IDs (S-series) in suite order.
+// They are opt-in (sawbench -scaling or -exp S1): heavier populations than
+// the claim experiments need.
+func ScalingIDs() []string {
+	var ids []string
+	for _, s := range specs {
+		if s.ID[0] == 'S' {
 			ids = append(ids, s.ID)
 		}
 	}

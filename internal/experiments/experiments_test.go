@@ -31,8 +31,8 @@ func TestSpecsStaticMetadata(t *testing.T) {
 	// Listing must be possible without running anything, and the static
 	// metadata must agree with what the runners stamp on their results.
 	specs := Specs()
-	if len(specs) != 15 {
-		t.Fatalf("specs = %d, want 15", len(specs))
+	if len(specs) != 16 {
+		t.Fatalf("specs = %d, want 16", len(specs))
 	}
 	for _, sp := range specs {
 		if sp.ID == "" || sp.Title == "" || sp.Claim == "" || sp.Run == nil {
@@ -49,7 +49,7 @@ func TestSpecsStaticMetadata(t *testing.T) {
 // subsystem: the same experiment config must yield bit-identical tables
 // and figures whether the fan-out runs serially or on many workers.
 func TestParallelDeterminism(t *testing.T) {
-	for _, id := range []string{"E1", "E6", "E4", "X5"} {
+	for _, id := range []string{"E1", "E6", "E4", "X5", "S1"} {
 		spec := Registry()[id]
 		cfg := Config{Seeds: 2, Scale: 0.05}
 		serial := spec.Run(cfg)
@@ -233,6 +233,36 @@ func TestE10ClaimHolds(t *testing.T) {
 	if p95saB > p95dwB*1.5 {
 		t.Fatalf("self-aware p95 in envB (%v) much worse than design-weighted (%v)",
 			p95saB, p95dwB)
+	}
+}
+
+func TestS1ScalingShape(t *testing.T) {
+	r := S1PopulationScaling(Config{Seeds: 1, Scale: 0.05})
+	if r.Table.NumRows() != 3 {
+		t.Fatalf("rows = %d, want 3 population sizes", r.Table.NumRows())
+	}
+	if got := ScalingIDs(); len(got) != 1 || got[0] != "S1" {
+		t.Fatalf("ScalingIDs = %v", got)
+	}
+	for i := 0; i < r.Table.NumRows(); i++ {
+		label := r.Table.RowLabel(i)
+		agents, _ := r.Table.Lookup(label, "agents")
+		steps, _ := r.Table.Lookup(label, "steps/tick")
+		if steps != agents {
+			t.Fatalf("%s: steps/tick %v != population %v", label, steps, agents)
+		}
+		// Ring gossip sends one message per agent per tick, plus a ~25%
+		// random-gossip share: msgs/tick must sit in (agents, 2·agents).
+		msgs, _ := r.Table.Lookup(label, "msgs/tick")
+		if msgs <= agents || msgs >= 2*agents {
+			t.Fatalf("%s: msgs/tick %v outside (n, 2n)", label, msgs)
+		}
+		// Work proxy: at least one unit per agent step each tick.
+		p50, _ := r.Table.Lookup(label, "work-p50")
+		p99, _ := r.Table.Lookup(label, "work-p99")
+		if p50 < agents || p99 < p50 {
+			t.Fatalf("%s: work quantiles inconsistent: p50=%v p99=%v", label, p50, p99)
+		}
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Scope distinguishes private self-knowledge (internal phenomena: own load,
@@ -35,34 +36,59 @@ func (s Scope) String() string {
 }
 
 // Entry is one model in the store: a scalar estimate with uncertainty,
-// bounded history, and bookkeeping for explanation.
+// bounded history, and bookkeeping for explanation. All methods are safe
+// for concurrent use; Name and Scope are immutable after creation.
 type Entry struct {
-	Name       string
-	Scope      Scope
+	Name  string
+	Scope Scope
+
+	mu         sync.RWMutex
 	value      float64
 	variance   float64
-	alpha      float64 // EWMA factor for value/variance tracking
+	alpha      float64 // EWMA factor for value/variance tracking; immutable
 	n          int
 	lastUpdate float64 // virtual time of last update
-	hist       *Ring
+	hist       *Ring   // guarded by mu; the pointer itself is immutable
 }
 
 // Value returns the current estimate.
-func (e *Entry) Value() float64 { return e.value }
+func (e *Entry) Value() float64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.value
+}
 
 // Variance returns the EWMA-tracked variance of observations around the
 // estimate, a cheap volatility signal used by attention and meta levels.
-func (e *Entry) Variance() float64 { return e.variance }
+func (e *Entry) Variance() float64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.variance
+}
 
 // Updates returns how many observations the entry has absorbed.
-func (e *Entry) Updates() int { return e.n }
+func (e *Entry) Updates() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.n
+}
 
 // LastUpdate returns the virtual time of the last observation.
-func (e *Entry) LastUpdate() float64 { return e.lastUpdate }
+func (e *Entry) LastUpdate() float64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.lastUpdate
+}
 
 // Confidence maps freshness and sample count to [0, 1]: zero observations
 // give 0; confidence grows with n and is discounted by staleness.
 func (e *Entry) Confidence(now float64) float64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.confidenceLocked(now)
+}
+
+func (e *Entry) confidenceLocked(now float64) float64 {
 	if e.n == 0 {
 		return 0
 	}
@@ -72,12 +98,40 @@ func (e *Entry) Confidence(now float64) float64 {
 	return sample * fresh
 }
 
-// History returns the entry's bounded history ring (may be nil if the store
-// was created without history).
-func (e *Entry) History() *Ring { return e.hist }
+// History returns a point-in-time copy of the entry's bounded history, or
+// nil if the store was created without history. The copy is private to the
+// caller, so it stays consistent under concurrent Observe/Set; hot paths
+// that only need the slope should call Trend, which allocates nothing.
+func (e *Entry) History() *Ring {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.hist == nil {
+		return nil
+	}
+	c := Ring{
+		t:    append([]float64(nil), e.hist.t...),
+		v:    append([]float64(nil), e.hist.v...),
+		head: e.hist.head,
+		size: e.hist.size,
+	}
+	return &c
+}
+
+// Trend returns the least-squares slope over the entry's history window
+// without copying it; ok is false when the store keeps no history.
+func (e *Entry) Trend() (slope float64, ok bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.hist == nil {
+		return 0, false
+	}
+	return e.hist.Trend(), true
+}
 
 // Observe folds a new observation in at virtual time now.
 func (e *Entry) Observe(x, now float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.n == 0 {
 		e.value = x
 	} else {
@@ -92,9 +146,11 @@ func (e *Entry) Observe(x, now float64) {
 	}
 }
 
-// Set overwrites the estimate without history bookkeeping (for derived
+// Set overwrites the estimate without EWMA smoothing (for derived
 // quantities computed by reasoning rather than sensed).
 func (e *Entry) Set(x, now float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.value = x
 	e.n++
 	e.lastUpdate = now
@@ -103,14 +159,18 @@ func (e *Entry) Set(x, now float64) {
 	}
 }
 
-// Store is a threadsafe registry of model entries keyed by name.
+// Store is a threadsafe registry of model entries keyed by name. The store
+// lock guards the registry map only; each Entry carries its own lock, so
+// concurrent observations of different models never contend and a single
+// Observe acquires the registry lock at most once.
 type Store struct {
 	mu      sync.RWMutex
 	entries map[string]*Entry
 	alpha   float64
 	histLen int
-	Reads   int // instrumentation: model consultations (for E9 overhead)
-	Writes  int
+
+	reads  atomic.Int64 // instrumentation: model consultations (for E9 overhead)
+	writes atomic.Int64
 }
 
 // NewStore returns a store whose entries smooth with factor alpha and keep
@@ -125,6 +185,12 @@ func NewStore(alpha float64, histLen int) *Store {
 // Ensure returns the entry named name, creating it with the given scope on
 // first use.
 func (s *Store) Ensure(name string, scope Scope) *Entry {
+	s.mu.RLock()
+	e := s.entries[name]
+	s.mu.RUnlock()
+	if e != nil {
+		return e
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.entries[name]
@@ -140,20 +206,17 @@ func (s *Store) Ensure(name string, scope Scope) *Entry {
 
 // Observe records an observation for name (creating the entry if needed).
 func (s *Store) Observe(name string, scope Scope, x, now float64) {
-	e := s.Ensure(name, scope)
-	s.mu.Lock()
-	s.Writes++
-	s.mu.Unlock()
-	e.Observe(x, now)
+	s.writes.Add(1)
+	s.Ensure(name, scope).Observe(x, now)
 }
 
 // Get returns the entry for name, or nil if absent. It counts as a model
 // consultation.
 func (s *Store) Get(name string) *Entry {
-	s.mu.Lock()
-	s.Reads++
+	s.reads.Add(1)
+	s.mu.RLock()
 	e := s.entries[name]
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	return e
 }
 
@@ -161,11 +224,22 @@ func (s *Store) Get(name string) *Entry {
 // absent or has never been updated.
 func (s *Store) Value(name string, def float64) float64 {
 	e := s.Get(name)
-	if e == nil || e.n == 0 {
+	if e == nil {
+		return def
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.n == 0 {
 		return def
 	}
 	return e.value
 }
+
+// ReadCount reports how many model consultations the store has served.
+func (s *Store) ReadCount() int { return int(s.reads.Load()) }
+
+// WriteCount reports how many observations the store has absorbed.
+func (s *Store) WriteCount() int { return int(s.writes.Load()) }
 
 // Delete removes the named entry; a later Ensure/Observe recreates it
 // fresh (first observation re-seeds the value). Deleting a missing name is
@@ -211,8 +285,11 @@ func (s *Store) Inventory(now float64) string {
 	var b strings.Builder
 	for _, n := range names {
 		e := s.entries[n]
+		e.mu.RLock()
+		v, count, conf := e.value, e.n, e.confidenceLocked(now)
+		e.mu.RUnlock()
 		fmt.Fprintf(&b, "%-28s %8.3f  conf=%.2f  scope=%s  n=%d\n",
-			n, e.value, e.Confidence(now), e.Scope, e.n)
+			n, v, conf, e.Scope, count)
 	}
 	return b.String()
 }
@@ -285,24 +362,31 @@ func (r *Ring) Mean() float64 {
 }
 
 // Trend returns a least-squares slope of value against time over the stored
-// window (0 with fewer than 2 points): a cheap "likely future" signal.
+// window (0 with fewer than 2 points): a cheap "likely future" signal. It
+// iterates the ring in place — no allocation — because time-awareness calls
+// it once per stimulus per tick.
 func (r *Ring) Trend() float64 {
 	if r.size < 2 {
 		return 0
 	}
-	ts, vs := r.Times(), r.Values()
-	var mt, mv float64
-	for i := range ts {
-		mt += ts[i]
-		mv += vs[i]
+	start := r.head - r.size
+	if start < 0 {
+		start += len(r.t)
 	}
-	n := float64(len(ts))
+	var mt, mv float64
+	for i := 0; i < r.size; i++ {
+		j := (start + i) % len(r.t)
+		mt += r.t[j]
+		mv += r.v[j]
+	}
+	n := float64(r.size)
 	mt /= n
 	mv /= n
 	var num, den float64
-	for i := range ts {
-		num += (ts[i] - mt) * (vs[i] - mv)
-		den += (ts[i] - mt) * (ts[i] - mt)
+	for i := 0; i < r.size; i++ {
+		j := (start + i) % len(r.t)
+		num += (r.t[j] - mt) * (r.v[j] - mv)
+		den += (r.t[j] - mt) * (r.t[j] - mt)
 	}
 	if den == 0 {
 		return 0

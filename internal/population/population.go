@@ -1,0 +1,310 @@
+// Package population is the sharded agent-population engine: it steps tens
+// of thousands of core.Agents per simulated tick through an internal/runner
+// pool while keeping the simulation bit-for-bit deterministic at any worker
+// count.
+//
+// Agents are partitioned into contiguous shards. Every tick each shard is
+// stepped by one pool job using the shard's own persistent RNG stream;
+// agents talk to each other through double-buffered mailboxes — stimuli
+// sent during tick T are routed at the tick barrier, in shard index order,
+// and injected at tick T+1 — so no shard ever reads state another shard is
+// writing. Shard RNG streams, agent construction seeds and the barrier's
+// merge order depend only on Config (never on the worker count or job
+// completion order), so a population configured with S shards produces
+// byte-identical results whether the pool runs one worker or thirty-two;
+// only the wall time changes. See DESIGN.md for the full contract.
+package population
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sacs/internal/core"
+	"sacs/internal/runner"
+	"sacs/internal/stats"
+)
+
+// DefaultShards is the shard count used when Config.Shards is zero. It is a
+// fixed constant rather than a function of the pool's worker count because
+// the shard count is part of the deterministic contract: results may differ
+// between shard counts, never between worker counts.
+const DefaultShards = 32
+
+// EmitContext is handed to Config.Emit after each agent steps; Send routes
+// stimuli to other agents for delivery at the next tick. The context (and
+// the slice behind Actions) is reused between agents of one shard and must
+// not be retained.
+type EmitContext struct {
+	Tick    int
+	Now     float64
+	ID      int           // the agent that just stepped
+	Agent   *core.Agent   // that agent
+	Actions []core.Action // the actions its reasoner chose this tick
+	Rng     *rand.Rand    // the owning shard's RNG stream
+
+	agents int
+	out    *shardResult
+}
+
+// Send queues a stimulus for agent `to`, to be injected before that agent's
+// step on the next tick. Sending to an out-of-range agent panics: it is
+// always a routing bug in the caller's Emit function, and the runner pool's
+// per-job panic recovery turns it into a diagnosable error.
+func (c *EmitContext) Send(to int, s core.Stimulus) {
+	if to < 0 || to >= c.agents {
+		panic(fmt.Sprintf("population: agent %d sent to out-of-range agent %d (population %d)",
+			c.ID, to, c.agents))
+	}
+	c.out.msgs = append(c.out.msgs, message{to: to, stim: s})
+}
+
+// Config assembles an Engine. New and Agents are required.
+type Config struct {
+	// Name labels the engine's runner jobs (default "population").
+	Name string
+	// Agents is the population size.
+	Agents int
+	// Shards is how many partitions to step as independent jobs per tick
+	// (default DefaultShards, clamped to Agents). Fixing the shard count
+	// fixes the simulation: the deterministic contract is per shard count,
+	// across any worker count.
+	Shards int
+	// Seed derives every shard's RNG stream and every agent's construction
+	// RNG.
+	Seed int64
+	// Pool steps the shards concurrently; nil steps them inline on the
+	// calling goroutine. The results are identical either way.
+	Pool *runner.Pool
+	// New builds agent id; rng is that agent's own deterministic stream
+	// (derived from Seed and id, independent of sharding), which the
+	// factory may capture for use inside sensors or reasoners. Agents in
+	// different shards are stepped concurrently, so they must not share
+	// mutable state — in particular, never share one knowledge.Store
+	// across agents (safe now, but the interleaving would be
+	// nondeterministic).
+	New func(id int, rng *rand.Rand) *core.Agent
+	// Emit, when non-nil, runs after each agent's step to publish stimuli
+	// to other agents via EmitContext.Send.
+	Emit func(ctx *EmitContext)
+	// Observe, when non-nil, extracts one scalar per agent per tick; the
+	// engine aggregates it across the population (merged in shard index
+	// order, so the moments are deterministic too).
+	Observe func(id int, a *core.Agent) float64
+}
+
+// message is one routed stimulus: produced inside a shard job, delivered by
+// the coordinator at the tick barrier.
+type message struct {
+	to   int
+	stim core.Stimulus
+}
+
+// shardResult is what one shard job returns for one tick.
+type shardResult struct {
+	delivered int
+	actions   int
+	msgs      []message
+	observed  stats.Online
+}
+
+// TickStats summarises one tick of the whole population.
+type TickStats struct {
+	Tick      int
+	Steps     int          // agent steps executed (== population size)
+	Messages  int          // stimuli routed at this tick's barrier
+	Delivered int          // mailbox stimuli injected into agents this tick
+	Actions   int          // actions chosen by agent reasoners this tick
+	Observed  stats.Online // Config.Observe across the population
+}
+
+// Work is the tick's deterministic work proxy: one unit per agent step plus
+// one per delivered stimulus. Unlike wall time it is byte-identical at any
+// worker count, which is what lets scaling tables compare runs.
+func (t TickStats) Work() float64 { return float64(t.Steps + t.Delivered) }
+
+// RunStats aggregates a multi-tick run.
+type RunStats struct {
+	Ticks, Agents, Shards               int
+	Steps, Messages, Delivered, Actions int64
+	// Observed is the final tick's population aggregate: a deterministic
+	// checksum of where the simulation ended up.
+	Observed stats.Online
+
+	work []float64 // per-tick Work values, for latency-proxy quantiles
+}
+
+// WorkQuantile returns the q-quantile of the per-tick work proxy — the
+// deterministic stand-in for per-tick latency quantiles.
+func (r RunStats) WorkQuantile(q float64) float64 { return stats.Quantile(r.work, q) }
+
+// Engine steps a sharded population. Create one with New; Tick and Run must
+// be called from a single goroutine (the engine fans each tick out itself).
+type Engine struct {
+	cfg    Config
+	agents []*core.Agent
+	rngs   []*rand.Rand // one persistent stream per shard
+	bounds []int        // shard s owns agents [bounds[s], bounds[s+1])
+
+	// Double-buffered mailboxes, one slot per agent. cur holds stimuli
+	// routed at the previous tick's barrier (read-only during a tick);
+	// next is filled by the coordinator at the barrier, then the buffers
+	// swap. Slices are truncated, not freed, so steady-state ticks do not
+	// reallocate mailboxes.
+	cur, next [][]core.Stimulus
+
+	tick                                int
+	steps, messages, delivered, actions int64
+	lastObserved                        stats.Online
+	work                                []float64
+}
+
+// New builds the population: agents are constructed sequentially, each from
+// its own Seed- and id-derived RNG, so construction is deterministic and
+// independent of both sharding and worker count.
+func New(cfg Config) *Engine {
+	if cfg.Agents <= 0 {
+		panic("population: Agents must be > 0")
+	}
+	if cfg.New == nil {
+		panic("population: Config.New is required")
+	}
+	if cfg.Name == "" {
+		cfg.Name = "population"
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.Shards > cfg.Agents {
+		cfg.Shards = cfg.Agents
+	}
+	if cfg.Pool == nil {
+		// A one-worker pool runs every job inline in Batch.Wait and spawns
+		// no goroutines; creating it once here keeps nil-pool Ticks from
+		// building a fresh dispatcher each tick.
+		cfg.Pool = runner.New(1)
+	}
+	e := &Engine{
+		cfg:    cfg,
+		agents: make([]*core.Agent, cfg.Agents),
+		rngs:   make([]*rand.Rand, cfg.Shards),
+		bounds: make([]int, cfg.Shards+1),
+		cur:    make([][]core.Stimulus, cfg.Agents),
+		next:   make([][]core.Stimulus, cfg.Agents),
+	}
+	for id := range e.agents {
+		e.agents[id] = cfg.New(id, rand.New(rand.NewSource(mix(cfg.Seed, 0x9E3779B97F4A7C15, int64(id)))))
+		if e.agents[id] == nil {
+			panic(fmt.Sprintf("population: Config.New returned nil for agent %d", id))
+		}
+	}
+	for s := range e.rngs {
+		e.rngs[s] = rand.New(rand.NewSource(mix(cfg.Seed, 0xBF58476D1CE4E5B9, int64(s))))
+	}
+	// Balanced contiguous partition: the first Agents%Shards shards hold
+	// one extra agent.
+	size, extra := cfg.Agents/cfg.Shards, cfg.Agents%cfg.Shards
+	for s := 0; s < cfg.Shards; s++ {
+		e.bounds[s+1] = e.bounds[s] + size
+		if s < extra {
+			e.bounds[s+1]++
+		}
+	}
+	return e
+}
+
+// mix derives a well-separated sub-seed from a base seed, a stream salt and
+// an index. Arithmetic is in uint64 so overflow wraps deterministically.
+func mix(seed int64, salt uint64, i int64) int64 {
+	x := uint64(seed) ^ salt*uint64(i+1)
+	x ^= x >> 31
+	return int64(x*0x94D049BB133111EB) + i
+}
+
+// Agents reports the population size.
+func (e *Engine) Agents() int { return len(e.agents) }
+
+// Shards reports the shard count.
+func (e *Engine) Shards() int { return len(e.rngs) }
+
+// Agent returns agent id, e.g. for inspection after a run. Do not step or
+// mutate it while a Tick is in flight.
+func (e *Engine) Agent(id int) *core.Agent { return e.agents[id] }
+
+// Ticks reports how many ticks have run.
+func (e *Engine) Ticks() int { return e.tick }
+
+// Tick advances the whole population by one step: every shard is one pool
+// job (delivering mailboxes, stepping its agents in index order, collecting
+// emissions), then the barrier routes the shards' outboxes — in shard index
+// order — into the next tick's mailboxes.
+func (e *Engine) Tick() TickStats {
+	now := float64(e.tick)
+	outs := runner.FanOut(e.cfg.Pool, runner.Key{Experiment: e.cfg.Name, System: "shard"},
+		e.Shards(), func(s int) *shardResult { return e.stepShard(s, now) })
+
+	ts := TickStats{Tick: e.tick, Steps: len(e.agents)}
+	for _, o := range outs {
+		ts.Delivered += o.delivered
+		ts.Actions += o.actions
+		ts.Observed.Merge(&o.observed)
+		for _, m := range o.msgs {
+			e.next[m.to] = append(e.next[m.to], m.stim)
+		}
+		ts.Messages += len(o.msgs)
+	}
+	// Swap mailbox buffers: what was routed just now becomes next tick's
+	// inbox; the consumed buffers are truncated for reuse.
+	e.cur, e.next = e.next, e.cur
+	for i := range e.next {
+		e.next[i] = e.next[i][:0]
+	}
+
+	e.tick++
+	e.steps += int64(ts.Steps)
+	e.messages += int64(ts.Messages)
+	e.delivered += int64(ts.Delivered)
+	e.actions += int64(ts.Actions)
+	e.lastObserved = ts.Observed
+	e.work = append(e.work, ts.Work())
+	return ts
+}
+
+// stepShard runs shard s for one tick. It touches only shard-local state:
+// its own agents, its own RNG stream, the read-only cur mailboxes of its
+// own agents, and a private result.
+func (e *Engine) stepShard(s int, now float64) *shardResult {
+	res := &shardResult{}
+	ctx := EmitContext{Tick: e.tick, Now: now, Rng: e.rngs[s], agents: len(e.agents), out: res}
+	for id := e.bounds[s]; id < e.bounds[s+1]; id++ {
+		a := e.agents[id]
+		if inbox := e.cur[id]; len(inbox) > 0 {
+			a.Inject(now, inbox)
+			res.delivered += len(inbox)
+		}
+		actions := a.Step(now, nil)
+		res.actions += len(actions)
+		if e.cfg.Observe != nil {
+			res.observed.Add(e.cfg.Observe(id, a))
+		}
+		if e.cfg.Emit != nil {
+			ctx.ID, ctx.Agent, ctx.Actions = id, a, actions
+			e.cfg.Emit(&ctx)
+		}
+	}
+	return res
+}
+
+// Run executes ticks ticks and returns the aggregate. It may be called
+// repeatedly; counters continue across calls and the returned stats cover
+// the whole run so far.
+func (e *Engine) Run(ticks int) RunStats {
+	for i := 0; i < ticks; i++ {
+		e.Tick()
+	}
+	return RunStats{
+		Ticks: e.tick, Agents: e.Agents(), Shards: e.Shards(),
+		Steps: e.steps, Messages: e.messages, Delivered: e.delivered, Actions: e.actions,
+		Observed: e.lastObserved,
+		work:     e.work,
+	}
+}

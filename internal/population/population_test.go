@@ -1,0 +1,219 @@
+package population
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sacs/internal/core"
+	"sacs/internal/runner"
+)
+
+// testConfig builds a small ring-gossip population: each agent senses a
+// private walk driven by its own RNG, and after each step sends its load
+// model to its ring successor plus, sometimes, a shard-RNG-chosen peer.
+func testConfig(agents, shards int, pool *runner.Pool) Config {
+	return Config{
+		Name:   "test",
+		Agents: agents,
+		Shards: shards,
+		Seed:   42,
+		Pool:   pool,
+		New: func(id int, rng *rand.Rand) *core.Agent {
+			val := rng.Float64() * 10
+			return core.New(core.Config{
+				Name: fmt.Sprintf("a%04d", id),
+				Caps: core.Caps(core.LevelStimulus, core.LevelInteraction),
+				Sensors: []core.Sensor{core.ScalarSensor("load", core.Private,
+					func(now float64) float64 {
+						val += rng.Float64() - 0.5
+						return val
+					})},
+				ExplainDepth: -1,
+			})
+		},
+		Emit: func(ctx *EmitContext) {
+			load := ctx.Agent.Store().Value("stim/load", 0)
+			stim := core.Stimulus{Name: "load", Source: ctx.Agent.Name(),
+				Scope: core.Public, Value: load, Time: ctx.Now}
+			ctx.Send((ctx.ID+1)%ctx.agents, stim)
+			if ctx.Rng.Float64() < 0.25 {
+				ctx.Send(ctx.Rng.Intn(ctx.agents), stim)
+			}
+		},
+		Observe: func(id int, a *core.Agent) float64 {
+			return a.Store().Value("stim/load", 0)
+		},
+	}
+}
+
+func runStats(t *testing.T, workers, agents, shards, ticks int) RunStats {
+	t.Helper()
+	var pool *runner.Pool
+	if workers > 0 {
+		pool = runner.New(workers)
+		defer pool.Close()
+	}
+	return New(testConfig(agents, shards, pool)).Run(ticks)
+}
+
+// TestDeterministicAcrossWorkers is the engine's core contract: for a fixed
+// shard count, every statistic — counters, merged moments, work quantiles —
+// is bit-identical whether the shards run inline, on one worker, or on
+// eight.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	const agents, shards, ticks = 300, 8, 25
+	ref := runStats(t, 0, agents, shards, ticks) // nil pool: inline
+	for _, workers := range []int{1, 3, 8} {
+		got := runStats(t, workers, agents, shards, ticks)
+		if got.Steps != ref.Steps || got.Messages != ref.Messages ||
+			got.Delivered != ref.Delivered || got.Actions != ref.Actions {
+			t.Fatalf("workers=%d: counters diverged: %+v vs %+v", workers, got, ref)
+		}
+		if got.Observed.Mean() != ref.Observed.Mean() ||
+			got.Observed.Var() != ref.Observed.Var() ||
+			got.Observed.Min() != ref.Observed.Min() ||
+			got.Observed.Max() != ref.Observed.Max() {
+			t.Fatalf("workers=%d: observed moments diverged: mean %v vs %v",
+				workers, got.Observed.Mean(), ref.Observed.Mean())
+		}
+		for _, q := range []float64{0, 0.5, 0.95, 1} {
+			if got.WorkQuantile(q) != ref.WorkQuantile(q) {
+				t.Fatalf("workers=%d: work q%.2f diverged", workers, q)
+			}
+		}
+	}
+}
+
+// TestMailboxDoubleBuffering pins the delivery semantics: a stimulus sent
+// at tick T is injected exactly once, at tick T+1, even across shards.
+func TestMailboxDoubleBuffering(t *testing.T) {
+	mkAgent := func(id int, _ *rand.Rand) *core.Agent {
+		return core.New(core.Config{
+			Name:         fmt.Sprintf("a%d", id),
+			Caps:         core.Caps(core.LevelStimulus, core.LevelInteraction),
+			ExplainDepth: -1,
+		})
+	}
+	e := New(Config{
+		Agents: 2, Shards: 2, New: mkAgent,
+		Emit: func(ctx *EmitContext) {
+			if ctx.ID == 0 {
+				ctx.Send(1, core.Stimulus{Name: "ping", Source: ctx.Agent.Name(),
+					Scope: core.Public, Value: 7, Time: ctx.Now})
+			}
+		},
+	})
+	ts := e.Tick()
+	if ts.Messages != 1 || ts.Delivered != 0 {
+		t.Fatalf("tick 0: messages=%d delivered=%d, want 1 routed and none delivered",
+			ts.Messages, ts.Delivered)
+	}
+	if got := e.Agent(1).Store().Value("peer/a0/ping", -1); got != -1 {
+		t.Fatalf("stimulus visible same tick it was sent: %v", got)
+	}
+	ts = e.Tick()
+	if ts.Delivered != 1 {
+		t.Fatalf("tick 1: delivered=%d, want 1", ts.Delivered)
+	}
+	// InteractionProcess models the peer's stimulus under peer/<source>/<name>.
+	if got := e.Agent(1).Store().Value("peer/a0/ping", -1); got != 7 {
+		t.Fatalf("peer model after delivery = %v, want 7", got)
+	}
+}
+
+func TestShardPartitionCoversAllAgentsOnce(t *testing.T) {
+	for _, tc := range []struct{ agents, shards int }{
+		{10, 3}, {100, 32}, {5, 8} /* shards clamp to agents */, {7, 7}, {1, 1},
+	} {
+		e := New(Config{Agents: tc.agents, Shards: tc.shards,
+			New: func(id int, _ *rand.Rand) *core.Agent {
+				return core.New(core.Config{Name: fmt.Sprintf("a%d", id), ExplainDepth: -1})
+			}})
+		if e.Shards() > e.Agents() {
+			t.Fatalf("%+v: shards %d exceed agents %d", tc, e.Shards(), e.Agents())
+		}
+		if e.bounds[0] != 0 || e.bounds[len(e.bounds)-1] != tc.agents {
+			t.Fatalf("%+v: bounds do not span the population: %v", tc, e.bounds)
+		}
+		for s := 0; s < e.Shards(); s++ {
+			if e.bounds[s+1] <= e.bounds[s] {
+				t.Fatalf("%+v: empty shard %d in bounds %v", tc, s, e.bounds)
+			}
+		}
+	}
+}
+
+func TestObserveAggregatesWholePopulation(t *testing.T) {
+	const agents = 57
+	e := New(Config{
+		Agents: agents, Shards: 5,
+		New: func(id int, _ *rand.Rand) *core.Agent {
+			return core.New(core.Config{Name: fmt.Sprintf("a%d", id), ExplainDepth: -1})
+		},
+		Observe: func(id int, _ *core.Agent) float64 { return float64(id) },
+	})
+	ts := e.Tick()
+	if ts.Observed.N() != agents {
+		t.Fatalf("observed %d agents, want %d", ts.Observed.N(), agents)
+	}
+	if want := float64(agents-1) / 2; math.Abs(ts.Observed.Mean()-want) > 1e-9 {
+		t.Fatalf("observed mean = %v, want %v", ts.Observed.Mean(), want)
+	}
+	if ts.Observed.Min() != 0 || ts.Observed.Max() != float64(agents-1) {
+		t.Fatalf("observed min/max = %v/%v", ts.Observed.Min(), ts.Observed.Max())
+	}
+}
+
+func TestSendOutOfRangePanicsWithContext(t *testing.T) {
+	e := New(Config{
+		Agents: 2, Shards: 1,
+		New: func(id int, _ *rand.Rand) *core.Agent {
+			return core.New(core.Config{Name: fmt.Sprintf("a%d", id), ExplainDepth: -1})
+		},
+		Emit: func(ctx *EmitContext) { ctx.Send(99, core.Stimulus{Name: "x"}) },
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("out-of-range Send did not panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "out-of-range") {
+			t.Fatalf("panic lacks routing context: %v", r)
+		}
+	}()
+	e.Tick()
+}
+
+func TestConfigValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero agents", func() { New(Config{New: func(int, *rand.Rand) *core.Agent { return nil }}) })
+	mustPanic("nil factory", func() { New(Config{Agents: 1}) })
+	mustPanic("nil agent", func() {
+		New(Config{Agents: 1, New: func(int, *rand.Rand) *core.Agent { return nil }})
+	})
+}
+
+// TestRunContinues checks that Run accumulates across calls: the engine can
+// be driven tick by tick, batch by batch, with one coherent aggregate.
+func TestRunContinues(t *testing.T) {
+	e := New(testConfig(20, 4, nil))
+	first := e.Run(5)
+	second := e.Run(5)
+	if first.Ticks != 5 || second.Ticks != 10 {
+		t.Fatalf("tick accounting: %d then %d", first.Ticks, second.Ticks)
+	}
+	if second.Steps != 200 {
+		t.Fatalf("steps = %d, want 200", second.Steps)
+	}
+}

@@ -89,6 +89,77 @@ func TestOnlineMergeEquivalentToSequential(t *testing.T) {
 	}
 }
 
+// TestOnlineMergeMinMaxPropagation pins the min/max semantics of Merge
+// across the edge shapes the population engine's shard-order merging
+// produces: empty accumulators (idle shards), singletons (one-agent
+// shards), and extremes living on either side of the merge.
+func TestOnlineMergeMinMaxPropagation(t *testing.T) {
+	single := func(x float64) *Online {
+		var o Online
+		o.Add(x)
+		return &o
+	}
+
+	// empty.Merge(empty): still empty, no spurious zero extremes counted.
+	var a, b Online
+	a.Merge(&b)
+	if a.N() != 0 || a.Min() != 0 || a.Max() != 0 {
+		t.Fatalf("empty⊕empty: %+v", a)
+	}
+
+	// empty.Merge(singleton): adopts the singleton's extremes, even when
+	// they are on one side of zero (a zero-valued min/max field must not
+	// leak through).
+	var e1 Online
+	e1.Merge(single(5))
+	if e1.N() != 1 || e1.Min() != 5 || e1.Max() != 5 {
+		t.Fatalf("empty⊕{5}: min=%v max=%v n=%d", e1.Min(), e1.Max(), e1.N())
+	}
+	var e2 Online
+	e2.Merge(single(-3))
+	if e2.Min() != -3 || e2.Max() != -3 {
+		t.Fatalf("empty⊕{-3}: min=%v max=%v", e2.Min(), e2.Max())
+	}
+
+	// singleton.Merge(empty): unchanged.
+	s := single(7)
+	s.Merge(&Online{})
+	if s.N() != 1 || s.Min() != 7 || s.Max() != 7 {
+		t.Fatalf("{7}⊕empty: min=%v max=%v n=%d", s.Min(), s.Max(), s.N())
+	}
+
+	// singleton.Merge(singleton), extremes on both sides and both orders.
+	lo, hi := single(-2), single(9)
+	lo.Merge(hi)
+	if lo.Min() != -2 || lo.Max() != 9 || lo.N() != 2 {
+		t.Fatalf("{-2}⊕{9}: min=%v max=%v", lo.Min(), lo.Max())
+	}
+	hi2, lo2 := single(9), single(-2)
+	hi2.Merge(lo2)
+	if hi2.Min() != -2 || hi2.Max() != 9 {
+		t.Fatalf("{9}⊕{-2}: min=%v max=%v", hi2.Min(), hi2.Max())
+	}
+
+	// Property: merged min/max equal sequential min/max for arbitrary
+	// splits, including empty halves.
+	f := func(xs, ys []int16) bool {
+		var ox, oy, all Online
+		for _, v := range xs {
+			ox.Add(float64(v))
+			all.Add(float64(v))
+		}
+		for _, v := range ys {
+			oy.Add(float64(v))
+			all.Add(float64(v))
+		}
+		ox.Merge(&oy)
+		return ox.Min() == all.Min() && ox.Max() == all.Max() && ox.N() == all.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCI95ShrinksWithN(t *testing.T) {
 	var small, large Online
 	for i := 0; i < 10; i++ {

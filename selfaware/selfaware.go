@@ -35,6 +35,7 @@ import (
 	"sacs/internal/core"
 	"sacs/internal/goals"
 	"sacs/internal/knowledge"
+	"sacs/internal/population"
 )
 
 // Level enumerates the levels of computational self-awareness.
@@ -151,6 +152,27 @@ var NewCollective = core.NewCollective
 
 // RingTopology builds a small-world gossip topology.
 var RingTopology = core.RingTopology
+
+// Population types: the sharded engine that steps large collections of
+// agents deterministically through a worker pool, with double-buffered
+// cross-agent mailboxes. See DESIGN.md for the sharding/determinism
+// contract.
+type (
+	// Population steps a sharded agent population tick by tick.
+	Population = population.Engine
+	// PopulationConfig assembles a Population.
+	PopulationConfig = population.Config
+	// EmitContext lets stepped agents publish stimuli to peers for
+	// next-tick delivery.
+	EmitContext = population.EmitContext
+	// PopulationTickStats summarises one population tick.
+	PopulationTickStats = population.TickStats
+	// PopulationRunStats aggregates a multi-tick population run.
+	PopulationRunStats = population.RunStats
+)
+
+// NewPopulation builds a sharded population engine.
+var NewPopulation = population.New
 
 // MAPEK is the classic autonomic-computing baseline loop.
 type MAPEK = core.MAPEK

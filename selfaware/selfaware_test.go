@@ -1,6 +1,7 @@
 package selfaware_test
 
 import (
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -96,5 +97,35 @@ func TestFacadeStore(t *testing.T) {
 	s.Observe("m", selfaware.Private, 4, 0)
 	if s.Value("m", 0) != 4 {
 		t.Fatal("store facade broken")
+	}
+}
+
+func TestFacadePopulation(t *testing.T) {
+	eng := selfaware.NewPopulation(selfaware.PopulationConfig{
+		Agents: 24, Shards: 4, Seed: 3,
+		New: func(id int, rng *rand.Rand) *selfaware.Agent {
+			return selfaware.New(selfaware.Config{
+				Name: fmt.Sprintf("a%d", id),
+				Caps: selfaware.Caps(selfaware.LevelStimulus, selfaware.LevelInteraction),
+				Sensors: []selfaware.Sensor{selfaware.ScalarSensor("x", selfaware.Private,
+					func(now float64) float64 { return float64(id) })},
+				ExplainDepth: -1,
+			})
+		},
+		Emit: func(ctx *selfaware.EmitContext) {
+			ctx.Send((ctx.ID+1)%24, selfaware.Stimulus{
+				Name: "x", Source: ctx.Agent.Name(), Scope: selfaware.Public,
+				Value: float64(ctx.ID), Time: ctx.Now,
+			})
+		},
+		Observe: func(id int, a *selfaware.Agent) float64 { return a.Store().Value("stim/x", 0) },
+	})
+	rs := eng.Run(3)
+	if rs.Steps != 72 || rs.Messages != 72 || rs.Delivered != 48 {
+		t.Fatalf("population facade run: %+v", rs)
+	}
+	// Agent 1 should have modelled its ring predecessor after delivery.
+	if got := eng.Agent(1).Store().Value("peer/a0/x", -1); got != 0 {
+		t.Fatalf("peer model through facade = %v", got)
 	}
 }

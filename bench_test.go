@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"sacs/internal/camnet"
+	"sacs/internal/checkpoint"
 	"sacs/internal/core"
 	"sacs/internal/cpn"
 	"sacs/internal/experiments"
@@ -91,6 +92,42 @@ func BenchmarkPopulationTick(b *testing.B) {
 			if secs := b.Elapsed().Seconds(); secs > 0 {
 				b.ReportMetric(float64(bc.agents)*float64(b.N)/secs, "steps/sec")
 			}
+		})
+	}
+}
+
+// BenchmarkCheckpointRoundTrip measures the full durability path for a
+// running population: Snapshot -> Encode -> Decode -> Restore. bytes/op of
+// encoded state is reported as a custom metric; this is the cost sawd pays
+// per checkpoint interval, so it bounds how aggressive the interval can be.
+func BenchmarkCheckpointRoundTrip(b *testing.B) {
+	for _, agents := range []int{256, 2048} {
+		b.Run(fmt.Sprintf("agents=%d", agents), func(b *testing.B) {
+			cfg := experiments.S2Config(agents, 16, 1, nil)
+			eng := population.New(cfg)
+			eng.Run(20) // populate stores, histories, predictors, mailboxes
+			b.ReportAllocs()
+			b.ResetTimer()
+			var encoded int
+			for i := 0; i < b.N; i++ {
+				snap, err := eng.Snapshot()
+				if err != nil {
+					b.Fatal(err)
+				}
+				buf, err := checkpoint.EncodeBytes(snap, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				encoded = len(buf)
+				decoded, _, err := checkpoint.DecodeBytes(buf)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := population.Restore(cfg, decoded); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(encoded), "snapshot-bytes")
 		})
 	}
 }

@@ -1,0 +1,217 @@
+// Command sawd is the SACS long-run service daemon: it hosts live
+// populations of self-aware agents behind an HTTP API, advances them on a
+// wall-clock cadence (or on demand), ingests external stimuli, serves
+// per-agent self-explanations, and checkpoints population state to disk on
+// an interval and on graceful shutdown. Restarting sawd with the same
+// -dir resumes every population from its latest snapshot and continues
+// byte-identically — the resume-determinism contract of DESIGN.md.
+//
+// Usage:
+//
+//	sawd                                  # one "demo" gossip population, on-demand ticking
+//	sawd -tick 100ms                      # advance every 100ms of wall clock
+//	sawd -pop id=a,agents=1000 -pop id=b  # host several populations
+//	sawd -dir /var/lib/sawd -every 500    # checkpoint every 500 ticks into -dir
+//	sawd -resume=false                    # start fresh (refuses while old snapshots exist)
+//
+// Drive it with curl:
+//
+//	curl localhost:8077/healthz
+//	curl localhost:8077/populations
+//	curl -X POST localhost:8077/populations/demo/ticks?n=10
+//	curl -X POST -d '{"to":3,"name":"pressure","value":42.5,"source":"sensor-9"}' \
+//	     localhost:8077/populations/demo/stimuli
+//	curl localhost:8077/populations/demo/agents/3/explain
+//	curl -X POST localhost:8077/populations/demo/checkpoint
+//
+// Registered workloads (the -pop "workload" key) must be checkpoint
+// friendly in the sense of DESIGN.md; the built-in "gossip" workload is the
+// population experiment S2 validates end to end.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"sacs/internal/experiments"
+	"sacs/internal/runner"
+	"sacs/internal/serve"
+)
+
+func main() { os.Exit(run()) }
+
+// parseSpec turns "id=a,workload=gossip,agents=256,shards=16,seed=7" into a
+// serve.Spec; every key is optional except id when several -pop flags are
+// given.
+func parseSpec(arg string) (serve.Spec, error) {
+	spec := serve.Spec{ID: "demo", Workload: "gossip", Agents: 256, Shards: 16, Seed: 1}
+	if arg == "" {
+		return spec, nil
+	}
+	for _, kv := range strings.Split(arg, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return spec, fmt.Errorf("bad -pop entry %q (want key=value)", kv)
+		}
+		var err error
+		switch k {
+		case "id":
+			spec.ID = v
+		case "workload":
+			spec.Workload = v
+		case "agents":
+			spec.Agents, err = strconv.Atoi(v)
+		case "shards":
+			spec.Shards, err = strconv.Atoi(v)
+		case "seed":
+			spec.Seed, err = strconv.ParseInt(v, 10, 64)
+		default:
+			return spec, fmt.Errorf("unknown -pop key %q", k)
+		}
+		if err != nil {
+			return spec, fmt.Errorf("bad -pop value %q for %s: %v", v, k, err)
+		}
+	}
+	return spec, nil
+}
+
+func run() int {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8077", "HTTP listen address")
+		dir      = flag.String("dir", "sawd-checkpoints", "checkpoint directory (empty disables durability)")
+		every    = flag.Int("every", 200, "checkpoint every N ticks while advancing (0 = shutdown/explicit only)")
+		keep     = flag.Int("keep", 3, "snapshot files retained per population")
+		tick     = flag.Duration("tick", 0, "wall-clock tick cadence (0 = advance only on POST .../ticks)")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for shard stepping")
+		resume   = flag.Bool("resume", true, "resume populations from their latest snapshot in -dir "+
+			"(with -resume=false, starting fresh refuses while old snapshots exist)")
+	)
+	var specArgs []string
+	flag.Func("pop", "population spec: id=...,workload=...,agents=N,shards=N,seed=N (repeatable)",
+		func(v string) error { specArgs = append(specArgs, v); return nil })
+	flag.Parse()
+
+	specs := make([]serve.Spec, 0, len(specArgs))
+	if len(specArgs) == 0 {
+		specArgs = []string{""}
+	}
+	for _, arg := range specArgs {
+		spec, err := parseSpec(arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sawd: %v\n", err)
+			return 2
+		}
+		specs = append(specs, spec)
+	}
+
+	pool := runner.New(*parallel)
+	defer pool.Close()
+	s, err := serve.New(serve.Options{
+		Pool:            pool,
+		Dir:             *dir,
+		CheckpointEvery: *every,
+		Keep:            *keep,
+		Workloads: []serve.Workload{
+			// The S2-validated checkpoint-friendly population: full-stack
+			// self-aware agents gossiping load models around a ring.
+			{Name: "gossip", Build: experiments.S2Config},
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sawd: %v\n", err)
+		return 1
+	}
+
+	for _, spec := range specs {
+		if *resume && *dir != "" {
+			resumed, err := s.AddOrResume(spec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sawd: %s: %v\n", spec.ID, err)
+				return 1
+			}
+			if resumed {
+				st, _ := s.Status(spec.ID)
+				fmt.Printf("sawd: resumed %q at tick %d from %s\n", spec.ID, st.Tick, st.CkptPath)
+				continue
+			}
+		} else if err := s.Add(spec); err != nil {
+			fmt.Fprintf(os.Stderr, "sawd: %s: %v\n", spec.ID, err)
+			return 1
+		}
+		fmt.Printf("sawd: hosting %q (workload=%s agents=%d shards=%d seed=%d)\n",
+			spec.ID, spec.Workload, spec.Agents, spec.Shards, spec.Seed)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- httpSrv.ListenAndServe() }()
+	fmt.Printf("sawd: listening on http://%s (tick=%v checkpoint-every=%d dir=%q)\n",
+		*addr, *tick, *every, *dir)
+
+	// The tick loop gets its own cancellation, separate from the signal
+	// context: on shutdown the HTTP listener must drain FIRST, so that
+	// every request we have acknowledged is part of the final checkpoint —
+	// only then is the loop cancelled and the last snapshot taken.
+	runCtx, stopTicking := context.WithCancel(context.Background())
+	defer stopTicking()
+	runErr := make(chan error, 1)
+	go func() { runErr <- s.Run(runCtx, *tick) }()
+
+	shutdownHTTP := func() {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "sawd: http shutdown: %v\n", err)
+		}
+		<-httpErr // ListenAndServe returns ErrServerClosed after Shutdown
+	}
+
+	exit := 0
+	select {
+	case err := <-httpErr:
+		// The listener failing is fatal; stop the tick loop and still take
+		// the final checkpoint.
+		fmt.Fprintf(os.Stderr, "sawd: http: %v\n", err)
+		exit = 1
+		stopTicking()
+		if err := <-runErr; err != nil {
+			fmt.Fprintf(os.Stderr, "sawd: shutdown checkpoint: %v\n", err)
+		}
+	case err := <-runErr:
+		// The wall-clock tick loop died (it has already checkpointed what
+		// it could). Serving stale HTTP 200s while nothing advances would
+		// be silent rot — fail loudly instead.
+		fmt.Fprintf(os.Stderr, "sawd: tick loop: %v\n", err)
+		exit = 1
+		shutdownHTTP()
+	case <-ctx.Done():
+		fmt.Println("sawd: signal received, draining HTTP, checkpointing and shutting down")
+		shutdownHTTP()
+		stopTicking()
+		if err := <-runErr; err != nil {
+			fmt.Fprintf(os.Stderr, "sawd: shutdown checkpoint: %v\n", err)
+			exit = 1
+		}
+	}
+	if *dir != "" {
+		for _, id := range s.IDs() {
+			if st, err := s.Status(id); err == nil {
+				fmt.Printf("sawd: %q stopped at tick %d, last checkpoint %s\n", id, st.Tick, st.CkptPath)
+			}
+		}
+	}
+	return exit
+}

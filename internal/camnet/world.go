@@ -1,15 +1,3 @@
-// Package camnet simulates a distributed smart-camera network with
-// market-based tracking handover, the case study behind the paper's
-// heterogeneity discussion (§II; Lewis/Esterle et al. [11,13,17,48]).
-//
-// Cameras with limited fields of view track moving objects. Responsibility
-// for an object is exchanged through auctions; a camera's *marketing
-// strategy* controls whom it invites and how eagerly it advertises, trading
-// tracking utility against communication cost. Self-aware cameras learn
-// their own strategy online from local experience — and, as in the paper's
-// "learning to be different" study, a network of identical learners becomes
-// heterogeneous, matching the best fixed strategy's utility at a fraction of
-// its communication cost.
 package camnet
 
 import (

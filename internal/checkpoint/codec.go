@@ -1,0 +1,520 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+
+	"sacs/internal/core"
+	"sacs/internal/knowledge"
+	"sacs/internal/population"
+	"sacs/internal/stats"
+)
+
+// castagnoli is the CRC-32C table; hardware-accelerated on amd64/arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Encode writes the snapshot (plus optional caller metadata, e.g. the
+// workload name a daemon needs to rebuild the population's Config) to w in
+// the versioned wire format. Equal snapshots and metadata encode to equal
+// bytes.
+func Encode(w io.Writer, s *population.Snapshot, meta map[string]string) error {
+	payload := encodePayload(s, meta)
+	var header [20]byte
+	copy(header[:8], magic[:])
+	binary.LittleEndian.PutUint32(header[8:12], Version)
+	binary.LittleEndian.PutUint64(header[12:20], uint64(len(payload)))
+	if _, err := w.Write(header[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.Checksum(payload, castagnoli))
+	_, err := w.Write(sum[:])
+	return err
+}
+
+// EncodeBytes is Encode into a fresh byte slice.
+func EncodeBytes(s *population.Snapshot, meta map[string]string) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, s, meta); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode reads one snapshot from r, verifying magic, version, length and
+// checksum before interpreting the payload. Damage is reported as an error
+// wrapping ErrCorrupt.
+func Decode(r io.Reader) (*population.Snapshot, map[string]string, error) {
+	var header [20]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+	}
+	if !bytes.Equal(header[:8], magic[:]) {
+		return nil, nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, header[:8])
+	}
+	if v := binary.LittleEndian.Uint32(header[8:12]); v != Version {
+		return nil, nil, fmt.Errorf("%w: unsupported version %d (have %d)", ErrCorrupt, v, Version)
+	}
+	n := binary.LittleEndian.Uint64(header[12:20])
+	const maxPayload = 1 << 32 // 4 GiB: far above any real population, far below a length-field attack
+	if n > maxPayload {
+		return nil, nil, fmt.Errorf("%w: payload length %d exceeds limit", ErrCorrupt, n)
+	}
+	payload, err := readPayload(r, n)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: payload: %v", ErrCorrupt, err)
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		return nil, nil, fmt.Errorf("%w: checksum: %v", ErrCorrupt, err)
+	}
+	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(sum[:]); got != want {
+		return nil, nil, fmt.Errorf("%w: checksum mismatch (payload %08x, trailer %08x)", ErrCorrupt, got, want)
+	}
+	d := &decoder{buf: payload}
+	s, meta := d.payload()
+	if d.err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, d.err)
+	}
+	if d.pos != len(d.buf) {
+		return nil, nil, fmt.Errorf("%w: %d trailing bytes after payload", ErrCorrupt, len(d.buf)-d.pos)
+	}
+	return s, meta, nil
+}
+
+// DecodeBytes is Decode from a byte slice.
+func DecodeBytes(b []byte) (*population.Snapshot, map[string]string, error) {
+	return Decode(bytes.NewReader(b))
+}
+
+// readPayload reads exactly n declared payload bytes, growing the buffer
+// geometrically instead of trusting the untrusted length field with one
+// up-front allocation: a corrupt header claiming gigabytes on a short file
+// fails at the first missing chunk with a few MiB allocated, not an OOM.
+func readPayload(r io.Reader, n uint64) ([]byte, error) {
+	const chunk = 4 << 20
+	if n <= chunk {
+		buf := make([]byte, n)
+		_, err := io.ReadFull(r, buf)
+		return buf, err
+	}
+	buf := make([]byte, 0, chunk)
+	tmp := make([]byte, chunk)
+	for uint64(len(buf)) < n {
+		c := n - uint64(len(buf))
+		if c > chunk {
+			c = chunk
+		}
+		if _, err := io.ReadFull(r, tmp[:c]); err != nil {
+			return nil, err
+		}
+		buf = append(buf, tmp[:c]...)
+	}
+	return buf, nil
+}
+
+// ---- payload encoding ----
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *encoder) varint(v int64)   { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *encoder) int(v int)        { e.varint(int64(v)) }
+func (e *encoder) u64(v uint64)     { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *encoder) f64(v float64)    { e.u64(math.Float64bits(v)) }
+
+func (e *encoder) bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	e.buf = append(e.buf, b)
+}
+
+func (e *encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *encoder) f64s(v []float64) {
+	e.uvarint(uint64(len(v)))
+	for _, x := range v {
+		e.f64(x)
+	}
+}
+
+func (e *encoder) online(o stats.OnlineState) {
+	e.int(o.N)
+	e.f64(o.Mean)
+	e.f64(o.M2)
+	e.f64(o.Min)
+	e.f64(o.Max)
+}
+
+func (e *encoder) stimulus(s core.Stimulus) {
+	e.str(s.Name)
+	e.str(s.Source)
+	e.int(int(s.Scope))
+	e.f64(s.Value)
+	e.f64(s.Time)
+}
+
+func (e *encoder) store(st knowledge.StoreState) {
+	e.f64(st.Alpha)
+	e.int(st.HistLen)
+	e.varint(st.Reads)
+	e.varint(st.Writes)
+	e.uvarint(uint64(len(st.Entries)))
+	for _, en := range st.Entries {
+		e.str(en.Name)
+		e.int(int(en.Scope))
+		e.f64(en.Value)
+		e.f64(en.Variance)
+		e.int(en.N)
+		e.f64(en.LastUpdate)
+		e.f64s(en.HistT)
+		e.f64s(en.HistV)
+	}
+}
+
+func (e *encoder) agent(a core.AgentState) {
+	e.str(a.Name)
+	e.int(a.Steps)
+	e.store(a.Store)
+	e.bool(a.Goals != nil)
+	if a.Goals != nil {
+		e.int(a.Goals.Next)
+		e.int(a.Goals.Switches)
+	}
+	e.f64(a.GoalSwitches)
+	e.f64(a.Interactions)
+	e.bool(a.Time != nil)
+	if a.Time != nil {
+		e.uvarint(uint64(len(a.Time.Preds)))
+		for _, p := range a.Time.Preds {
+			e.str(p.Stim)
+			e.str(p.Kind)
+			e.f64s(p.State)
+			e.f64s(p.Err)
+		}
+	}
+	e.bool(a.Meta != nil)
+	if a.Meta != nil {
+		e.int(a.Meta.PoolIdx)
+		e.int(a.Meta.Adaptations)
+		e.f64(a.Meta.LastErr)
+		e.f64s(a.Meta.Detector)
+	}
+}
+
+func encodePayload(s *population.Snapshot, meta map[string]string) []byte {
+	e := &encoder{buf: make([]byte, 0, 1<<16)}
+	keys := make([]string, 0, len(meta))
+	for k := range meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // maps encode sorted: equal metadata, equal bytes
+	e.uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		e.str(k)
+		e.str(meta[k])
+	}
+
+	e.str(s.Name)
+	e.int(s.Agents)
+	e.int(s.Shards)
+	e.varint(s.Seed)
+	e.int(s.Tick)
+	e.varint(s.Steps)
+	e.varint(s.Messages)
+	e.varint(s.Delivered)
+	e.varint(s.Actions)
+	e.online(s.Observed)
+	e.f64s(s.Work)
+	e.uvarint(uint64(len(s.ShardRNG)))
+	for _, v := range s.ShardRNG {
+		e.u64(v)
+	}
+	e.uvarint(uint64(len(s.AgentRNG)))
+	for _, v := range s.AgentRNG {
+		e.u64(v)
+	}
+	e.uvarint(uint64(len(s.Mail)))
+	for _, inbox := range s.Mail {
+		e.uvarint(uint64(len(inbox)))
+		for _, st := range inbox {
+			e.stimulus(st)
+		}
+	}
+	e.uvarint(uint64(len(s.AgentStates)))
+	for _, a := range s.AgentStates {
+		e.agent(a)
+	}
+	return e.buf
+}
+
+// ---- payload decoding ----
+
+// decoder walks the payload with saturating error handling: the first
+// malformed field poisons the decoder and every later read returns zero
+// values, so call sites stay linear and the caller checks err once. The
+// checksum has already validated the bytes, so errors here mean a format
+// bug or version skew, not random corruption — but they are still errors,
+// never panics.
+type decoder struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		d.fail("truncated uvarint at offset %d", d.pos)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.pos:])
+	if n <= 0 {
+		d.fail("truncated varint at offset %d", d.pos)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) int() int { return int(d.varint()) }
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos+8 > len(d.buf) {
+		d.fail("truncated u64 at offset %d", d.pos)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.pos:])
+	d.pos += 8
+	return v
+}
+
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *decoder) bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.pos >= len(d.buf) {
+		d.fail("truncated bool at offset %d", d.pos)
+		return false
+	}
+	b := d.buf[d.pos]
+	d.pos++
+	if b > 1 {
+		d.fail("invalid bool byte %d at offset %d", b, d.pos-1)
+		return false
+	}
+	return b == 1
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.buf)-d.pos) < n {
+		d.fail("string of %d bytes overruns payload at offset %d", n, d.pos)
+		return ""
+	}
+	s := string(d.buf[d.pos : d.pos+uint64asInt(n)])
+	d.pos += uint64asInt(n)
+	return s
+}
+
+// count reads a length prefix for elements of at least elemSize bytes and
+// rejects counts the remaining payload cannot possibly hold, bounding
+// allocation even for adversarial inputs that happen to pass the CRC.
+func (d *decoder) count(elemSize int) int {
+	n := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if elemSize < 1 {
+		elemSize = 1
+	}
+	if n > uint64(len(d.buf)-d.pos)/uint64(elemSize)+1 {
+		d.fail("count %d exceeds remaining payload at offset %d", n, d.pos)
+		return 0
+	}
+	return uint64asInt(n)
+}
+
+func uint64asInt(v uint64) int { return int(v) }
+
+func (d *decoder) f64s() []float64 {
+	n := d.count(8)
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.f64()
+	}
+	return out
+}
+
+func (d *decoder) online() stats.OnlineState {
+	return stats.OnlineState{N: d.int(), Mean: d.f64(), M2: d.f64(), Min: d.f64(), Max: d.f64()}
+}
+
+func (d *decoder) stimulus() core.Stimulus {
+	return core.Stimulus{
+		Name:   d.str(),
+		Source: d.str(),
+		Scope:  knowledge.Scope(d.int()),
+		Value:  d.f64(),
+		Time:   d.f64(),
+	}
+}
+
+func (d *decoder) store() knowledge.StoreState {
+	st := knowledge.StoreState{
+		Alpha:   d.f64(),
+		HistLen: d.int(),
+		Reads:   d.varint(),
+		Writes:  d.varint(),
+	}
+	n := d.count(1)
+	if n > 0 {
+		st.Entries = make([]knowledge.EntryState, n)
+	}
+	for i := 0; i < n && d.err == nil; i++ {
+		st.Entries[i] = knowledge.EntryState{
+			Name:       d.str(),
+			Scope:      knowledge.Scope(d.int()),
+			Value:      d.f64(),
+			Variance:   d.f64(),
+			N:          d.int(),
+			LastUpdate: d.f64(),
+			HistT:      d.f64s(),
+			HistV:      d.f64s(),
+		}
+	}
+	return st
+}
+
+func (d *decoder) agent() core.AgentState {
+	a := core.AgentState{
+		Name:  d.str(),
+		Steps: d.int(),
+		Store: d.store(),
+	}
+	if d.bool() {
+		a.Goals = &core.SwitcherStateRef{Next: d.int(), Switches: d.int()}
+	}
+	a.GoalSwitches = d.f64()
+	a.Interactions = d.f64()
+	if d.bool() {
+		n := d.count(1)
+		t := &core.TimeState{}
+		if n > 0 {
+			t.Preds = make([]core.PredictorState, n)
+		}
+		for i := 0; i < n && d.err == nil; i++ {
+			t.Preds[i] = core.PredictorState{
+				Stim:  d.str(),
+				Kind:  d.str(),
+				State: d.f64s(),
+				Err:   d.f64s(),
+			}
+		}
+		a.Time = t
+	}
+	if d.bool() {
+		a.Meta = &core.MetaState{
+			PoolIdx:     d.int(),
+			Adaptations: d.int(),
+			LastErr:     d.f64(),
+			Detector:    d.f64s(),
+		}
+	}
+	return a
+}
+
+func (d *decoder) payload() (*population.Snapshot, map[string]string) {
+	nm := d.count(2)
+	meta := make(map[string]string, nm)
+	for i := 0; i < nm && d.err == nil; i++ {
+		k := d.str()
+		meta[k] = d.str()
+	}
+
+	s := &population.Snapshot{
+		Name:      d.str(),
+		Agents:    d.int(),
+		Shards:    d.int(),
+		Seed:      d.varint(),
+		Tick:      d.int(),
+		Steps:     d.varint(),
+		Messages:  d.varint(),
+		Delivered: d.varint(),
+		Actions:   d.varint(),
+		Observed:  d.online(),
+		Work:      d.f64s(),
+	}
+	if n := d.count(8); n > 0 {
+		s.ShardRNG = make([]uint64, n)
+		for i := range s.ShardRNG {
+			s.ShardRNG[i] = d.u64()
+		}
+	}
+	if n := d.count(8); n > 0 {
+		s.AgentRNG = make([]uint64, n)
+		for i := range s.AgentRNG {
+			s.AgentRNG[i] = d.u64()
+		}
+	}
+	if n := d.count(1); n > 0 {
+		s.Mail = make([][]core.Stimulus, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			m := d.count(1)
+			if m > 0 {
+				s.Mail[i] = make([]core.Stimulus, m)
+				for j := 0; j < m && d.err == nil; j++ {
+					s.Mail[i][j] = d.stimulus()
+				}
+			}
+		}
+	}
+	if n := d.count(1); n > 0 {
+		s.AgentStates = make([]core.AgentState, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			s.AgentStates[i] = d.agent()
+		}
+	}
+	return s, meta
+}

@@ -1,0 +1,22 @@
+// Package checkpoint serialises population snapshots into a versioned,
+// checksummed binary format and manages snapshot files on disk. It is the
+// durability layer under cmd/sawd: a long-lived population is periodically
+// encoded with Encode/Write, and after a crash or restart the latest intact
+// file is decoded and handed to population.Restore, which continues the
+// simulation byte-identically (the resume-determinism contract in
+// DESIGN.md).
+//
+// The wire format (documented in full in DESIGN.md, "Snapshot wire
+// format") is deliberately boring: a fixed header — 8-byte magic
+// "SACSNAP\x01", little-endian uint32 version, little-endian uint64 payload
+// length — followed by the payload and a CRC-32C of the payload. The
+// payload is a fixed field order of varints, length-prefixed strings and
+// IEEE-754 bits; map-shaped data (snapshot metadata, store entries) is
+// sorted before encoding, so equal states always encode to equal bytes.
+// That byte-determinism is load-bearing: experiment S2 proves resume
+// correctness by comparing encoded snapshots with bytes.Equal.
+//
+// Decode verifies magic, version, length and checksum before interpreting
+// anything, so truncated or bit-flipped files fail with ErrCorrupt rather
+// than yielding a silently wrong population.
+package checkpoint

@@ -1,14 +1,3 @@
-// Package cloudsim simulates a volunteer cloud: a dispatcher feeding
-// requests to nodes whose speed and reliability are hidden, heterogeneous
-// and changing (churn), the setting of the paper's uncertainty discussion
-// (§II; Elhabbash et al. [14,15], self-aware autoscaling [58]).
-//
-// Dispatch policies range from oblivious (round-robin) through
-// state-observing (least-queue) to self-aware (per-node learned models with
-// optimistic exploration). Autoscalers range from reactive thresholds to
-// self-aware predictive provisioning. The experiments compare them under
-// churn, hidden unreliability and workloads that differ from design-time
-// assumptions.
 package cloudsim
 
 import (

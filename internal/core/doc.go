@@ -1,0 +1,21 @@
+// Package core implements the paper's primary contribution: a reference
+// architecture for computational self-awareness (Lewis, DATE 2017; Lewis et
+// al., Computer 48(8)). The three framework concepts of the paper's §IV are
+// all explicit in the types here:
+//
+//  1. public vs. private self-awareness — knowledge.Scope carried by every
+//     Stimulus and model entry;
+//  2. levels of self-awareness — the Level lattice (stimulus, interaction,
+//     time, goal, meta), with Capabilities gating which processes an agent
+//     runs and which knowledge its reasoner may consult;
+//  3. collective self-awareness without a global component — the Collective
+//     gossip machinery, in which no node ever holds global state.
+//
+// An Agent wires Sensors through an Attention scheduler into per-level
+// awareness Processes that maintain self-models in a knowledge.Store; a
+// goal-aware Reasoner turns models into Actions executed by Effectors; a
+// MetaMonitor observes the quality of the agent's own models and switches
+// learning strategies at run time; and an Explainer renders decision traces
+// as self-explanations. The package is substrate-agnostic: the camera,
+// cloud, multicore and network simulators all instantiate it.
+package core

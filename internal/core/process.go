@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"sacs/internal/goals"
 	"sacs/internal/knowledge"
@@ -80,6 +81,7 @@ type TimeProcess struct {
 
 	preds  map[string]learning.Predictor
 	errors map[string]*learning.MSETracker
+	names  []string // sorted keys of preds, maintained on insert
 }
 
 // Name implements Process.
@@ -103,6 +105,7 @@ func (p *TimeProcess) Observe(now float64, batch []Stimulus) {
 			pr = p.NewPredict()
 			p.preds[s.Name] = pr
 			p.errors[s.Name] = &learning.MSETracker{}
+			p.insertName(s.Name)
 		} else {
 			// Score yesterday's forecast against today's truth before
 			// updating: honest out-of-sample error for the meta level.
@@ -127,14 +130,28 @@ func (p *TimeProcess) ForecastError(name string) float64 {
 	return 0
 }
 
-// MeanForecastError averages RMSE over all predicted stimuli.
+// insertName records a newly predicted stimulus in the process's sorted
+// name index, which exists so per-step readers iterate in a fixed order
+// without allocating.
+func (p *TimeProcess) insertName(name string) {
+	i := sort.SearchStrings(p.names, name)
+	p.names = append(p.names, "")
+	copy(p.names[i+1:], p.names[i:])
+	p.names[i] = name
+}
+
+// MeanForecastError averages RMSE over all predicted stimuli. Summation
+// runs in sorted name order: float addition is not associative, and the
+// meta level writes this value into the knowledge store once per step, so
+// map-iteration order must not leak into checkpointed state (and the hot
+// path must not allocate — hence the maintained name index).
 func (p *TimeProcess) MeanForecastError() float64 {
 	if len(p.errors) == 0 {
 		return 0
 	}
 	s := 0.0
-	for _, t := range p.errors {
-		s += t.RMSE()
+	for _, n := range p.names {
+		s += p.errors[n].RMSE()
 	}
 	return s / float64(len(p.errors))
 }
@@ -144,6 +161,7 @@ func (p *TimeProcess) MeanForecastError() float64 {
 func (p *TimeProcess) Reset() {
 	p.preds = nil
 	p.errors = nil
+	p.names = nil
 }
 
 // SwapPredictor replaces the predictor factory and resets state.

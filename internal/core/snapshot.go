@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sacs/internal/goals"
+	"sacs/internal/knowledge"
+	"sacs/internal/learning"
+)
+
+func switcherState(r *SwitcherStateRef) goals.SwitcherState {
+	return goals.SwitcherState{Next: r.Next, Switches: r.Switches}
+}
+
+// This file implements agent checkpointing: State exports every piece of an
+// Agent's mutable run-time state that influences future behaviour, and
+// SetState reinstalls it on a freshly constructed agent, so that
+// resume(snapshot(T)) continues byte-identically (the contract documented
+// in DESIGN.md).
+//
+// What is deliberately NOT captured:
+//
+//   - the Explainer's decision ring: Decision records hold live pointers
+//     and closures and never feed back into behaviour — a resumed agent
+//     explains only post-resume decisions;
+//   - sensor/reasoner/effector internals: those are caller code. The
+//     determinism contract therefore asks callers to keep closure state in
+//     the knowledge store (or derive it from the agent's RNG stream), both
+//     of which ARE captured.
+
+// PredictorState is the exported state of one time-awareness predictor:
+// which stimulus it forecasts, which strategy produced it (for validation
+// on restore), its learner state and its out-of-sample error tracker.
+type PredictorState struct {
+	Stim  string
+	Kind  string // learning.Predictor Name() of the exporter
+	State []float64
+	Err   []float64 // learning.MSETracker state
+}
+
+// TimeState is the exported state of the built-in time-awareness process,
+// predictors sorted by stimulus name.
+type TimeState struct {
+	Preds []PredictorState
+}
+
+// MetaState is the exported state of the agent's MetaMonitor.
+type MetaState struct {
+	PoolIdx     int
+	Adaptations int
+	LastErr     float64
+	Detector    []float64 // Page–Hinkley drift detector state
+}
+
+// AgentState is the complete exported run-time state of one Agent. It is
+// plain data: internal/checkpoint serialises it, and population.Restore
+// feeds it back through Agent.SetState.
+type AgentState struct {
+	Name  string // exporter's name, validated on restore
+	Steps int
+	Store knowledge.StoreState
+	// Goals is the goal switcher's schedule position (nil when the agent
+	// has no switcher).
+	Goals *SwitcherStateRef
+	// GoalSwitches is the goal-awareness process's own switch counter
+	// (distinct from the switcher's: the process counts switches it
+	// noticed).
+	GoalSwitches float64
+	// Interactions is the interaction-awareness process's running count.
+	Interactions float64
+	Time         *TimeState
+	Meta         *MetaState
+}
+
+// SwitcherStateRef mirrors goals.SwitcherState without forcing checkpoint
+// encoders to import the goals package for one tiny struct.
+type SwitcherStateRef struct {
+	Next     int
+	Switches int
+}
+
+// State exports the agent's mutable state. It fails when the agent's
+// time-awareness process carries a predictor that does not implement
+// learning.Stateful (a custom strategy the checkpoint layer cannot
+// serialise).
+func (a *Agent) State() (AgentState, error) {
+	st := AgentState{Name: a.name, Steps: a.stepCount, Store: a.store.State()}
+	if a.goals != nil {
+		gs := a.goals.State()
+		st.Goals = &SwitcherStateRef{Next: gs.Next, Switches: gs.Switches}
+	}
+	if a.goalProc != nil {
+		st.GoalSwitches = a.goalProc.switches
+	}
+	if a.interProc != nil {
+		st.Interactions = a.interProc.count
+	}
+	if a.timeProc != nil && len(a.timeProc.preds) > 0 {
+		names := make([]string, 0, len(a.timeProc.preds))
+		for n := range a.timeProc.preds {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		ts := &TimeState{Preds: make([]PredictorState, 0, len(names))}
+		for _, n := range names {
+			pr := a.timeProc.preds[n]
+			sf, ok := pr.(learning.Stateful)
+			if !ok {
+				return AgentState{}, fmt.Errorf(
+					"core: agent %s predictor %q (%s) does not support checkpointing", a.name, n, pr.Name())
+			}
+			ts.Preds = append(ts.Preds, PredictorState{
+				Stim:  n,
+				Kind:  pr.Name(),
+				State: sf.State(),
+				Err:   a.timeProc.errors[n].State(),
+			})
+		}
+		st.Time = ts
+	}
+	if a.meta != nil {
+		st.Meta = &MetaState{
+			PoolIdx:     a.meta.poolIdx,
+			Adaptations: a.meta.Adaptations,
+			LastErr:     a.meta.lastErr,
+			Detector:    a.meta.detector.State(),
+		}
+	}
+	return st, nil
+}
+
+// SetState reinstalls a previously exported state on the agent. The agent
+// must have been constructed exactly as the exporter was (same Config, same
+// goal schedule, same capability set); mismatches are reported as errors.
+func (a *Agent) SetState(st AgentState) error {
+	if st.Name != a.name {
+		return fmt.Errorf("core: state for agent %q applied to agent %q", st.Name, a.name)
+	}
+	if err := a.store.SetState(st.Store); err != nil {
+		return fmt.Errorf("agent %s: %w", a.name, err)
+	}
+	a.stepCount = st.Steps
+	if st.Goals != nil {
+		if a.goals == nil {
+			return fmt.Errorf("core: agent %s state has goal switcher state but agent has no switcher", a.name)
+		}
+		if err := a.goals.SetState(switcherState(st.Goals)); err != nil {
+			return fmt.Errorf("agent %s: %w", a.name, err)
+		}
+	}
+	if a.goalProc != nil {
+		a.goalProc.switches = st.GoalSwitches
+	}
+	if a.interProc != nil {
+		a.interProc.count = st.Interactions
+	}
+	// Meta before time: the monitor's pool index determines which predictor
+	// factory the time process must rebuild forecasters with.
+	if st.Meta != nil {
+		if a.meta == nil {
+			return fmt.Errorf("core: agent %s state has meta state but agent lacks the meta level", a.name)
+		}
+		if st.Meta.PoolIdx < 0 || st.Meta.PoolIdx >= len(a.meta.pool) {
+			return fmt.Errorf("core: agent %s meta pool index %d out of range", a.name, st.Meta.PoolIdx)
+		}
+		a.meta.poolIdx = st.Meta.PoolIdx
+		a.meta.Adaptations = st.Meta.Adaptations
+		a.meta.lastErr = st.Meta.LastErr
+		if err := a.meta.detector.SetState(st.Meta.Detector); err != nil {
+			return fmt.Errorf("agent %s: %w", a.name, err)
+		}
+		if a.timeProc != nil {
+			a.timeProc.NewPredict = a.meta.pool[a.meta.poolIdx].fn
+		}
+	}
+	if st.Time != nil {
+		if a.timeProc == nil {
+			return fmt.Errorf("core: agent %s state has time state but agent lacks the time level", a.name)
+		}
+		factory := a.timeProc.NewPredict
+		if factory == nil {
+			factory = func() learning.Predictor { return learning.NewEWMA(0.3) }
+			a.timeProc.NewPredict = factory
+		}
+		a.timeProc.preds = make(map[string]learning.Predictor, len(st.Time.Preds))
+		a.timeProc.errors = make(map[string]*learning.MSETracker, len(st.Time.Preds))
+		a.timeProc.names = nil
+		for _, ps := range st.Time.Preds {
+			pr := factory()
+			if pr.Name() != ps.Kind {
+				return fmt.Errorf("core: agent %s predictor for %q is %q, state was exported from %q",
+					a.name, ps.Stim, pr.Name(), ps.Kind)
+			}
+			sf, ok := pr.(learning.Stateful)
+			if !ok {
+				return fmt.Errorf("core: agent %s predictor %q (%s) does not support checkpointing",
+					a.name, ps.Stim, pr.Name())
+			}
+			if err := sf.SetState(ps.State); err != nil {
+				return fmt.Errorf("agent %s predictor %q: %w", a.name, ps.Stim, err)
+			}
+			tr := &learning.MSETracker{}
+			if err := tr.SetState(ps.Err); err != nil {
+				return fmt.Errorf("agent %s predictor %q: %w", a.name, ps.Stim, err)
+			}
+			if _, dup := a.timeProc.preds[ps.Stim]; dup {
+				return fmt.Errorf("core: agent %s has duplicate predictor state for %q", a.name, ps.Stim)
+			}
+			a.timeProc.preds[ps.Stim] = pr
+			a.timeProc.errors[ps.Stim] = tr
+			a.timeProc.insertName(ps.Stim)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+// Package cpn simulates a cognitive packet network (Gelenbe's CPN, the
+// paper's §III example of self-awareness in resource-constrained systems
+// [38,39]): packets are routed hop by hop, and self-aware nodes measure the
+// delays their own forwarding decisions produce and adapt their routes
+// online (Q-routing, standing in for the CPN random-neural-network learner —
+// the loop is identical: smart packets measure, nodes learn, routes adapt).
+//
+// The experiments inject link failures and a DoS-style traffic flood at run
+// time and compare: a static shortest-path router (design-time knowledge
+// only), a periodic global re-planner (an idealised centralised oracle), and
+// the self-aware Q-router. The paper's claim is resilience: the self-aware
+// network recovers quickly without any global view.
+package cpn

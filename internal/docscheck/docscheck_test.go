@@ -1,0 +1,156 @@
+package docscheck
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// repoRoot locates the module root from this package's directory.
+const repoRoot = "../.."
+
+// mdLink matches inline Markdown links and images: [text](target) — good
+// enough for this repository's hand-written docs (no reference-style links
+// in use, and new ones would be caught the moment someone adds them here).
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestMarkdownLinks fails when any relative link in a tracked Markdown file
+// points at a file that does not exist, so renames and deletions cannot
+// silently strand README/DESIGN/EXPERIMENTS cross-references.
+func TestMarkdownLinks(t *testing.T) {
+	var mds []string
+	err := filepath.WalkDir(repoRoot, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Skip VCS internals and run-time artifact directories.
+			switch d.Name() {
+			case ".git", "sawd-checkpoints":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".md") {
+			mds = append(mds, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking repo: %v", err)
+	}
+	if len(mds) < 5 {
+		t.Fatalf("found only %d markdown files from %s — wrong repo root?", len(mds), repoRoot)
+	}
+
+	checked := 0
+	for _, md := range mds {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatalf("read %s: %v", md, err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"),
+				strings.HasPrefix(target, "#"):
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#") // drop in-file anchors
+			resolved := filepath.Join(filepath.Dir(md), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s)", md, m[1], resolved)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no relative links checked — the regex or the docs went wrong")
+	}
+	t.Logf("checked %d relative links across %d markdown files", checked, len(mds))
+}
+
+// TestSelfawareExportedDocs enforces doc comments on every exported
+// identifier of the public selfaware facade: the package is the library's
+// front door, and `go doc` output with silent gaps is how stale facades
+// start. Grouped declarations are accepted when either the group or the
+// individual spec is documented (the convention the stdlib uses for
+// enum-style const blocks).
+func TestSelfawareExportedDocs(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, filepath.Join(repoRoot, "selfaware"),
+		func(fi fs.FileInfo) bool { return !strings.HasSuffix(fi.Name(), "_test.go") },
+		parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse selfaware: %v", err)
+	}
+	pkg, ok := pkgs["selfaware"]
+	if !ok {
+		t.Fatalf("package selfaware not found (got %v)", pkgs)
+	}
+
+	missing := func(pos token.Pos, what, name string) {
+		t.Errorf("%s: exported %s %s has no doc comment", fset.Position(pos), what, name)
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil {
+					missing(d.Pos(), "function", d.Name.Name)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+							missing(s.Pos(), "type", s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						for _, n := range s.Names {
+							if n.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+								missing(n.Pos(), "value", n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPackagesHaveDocFiles pins the doc.go convention: every internal
+// package and the selfaware facade keeps its package documentation in a
+// dedicated doc.go, so `go doc sacs/internal/<pkg>` always has a single
+// authoritative home.
+func TestPackagesHaveDocFiles(t *testing.T) {
+	dirs, err := os.ReadDir(filepath.Join(repoRoot, "internal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs := []string{filepath.Join(repoRoot, "selfaware")}
+	for _, d := range dirs {
+		if d.IsDir() {
+			pkgs = append(pkgs, filepath.Join(repoRoot, "internal", d.Name()))
+		}
+	}
+	for _, dir := range pkgs {
+		docPath := filepath.Join(dir, "doc.go")
+		data, err := os.ReadFile(docPath)
+		if err != nil {
+			t.Errorf("%s: missing doc.go package documentation", dir)
+			continue
+		}
+		if !strings.HasPrefix(strings.TrimSpace(string(data)), "// Package ") {
+			t.Errorf("%s: doc.go does not open with a package comment", docPath)
+		}
+	}
+}

@@ -1,0 +1,6 @@
+// Package env generates the dynamic, uncertain environments the paper's
+// complexity challenges describe (§II): workloads whose characteristics
+// change over time (phases, drift), stochastic noise, bursts, and scheduled
+// disturbances. Substrates draw their inputs from these generators so that
+// every experiment runs against a non-stationary world by construction.
+package env

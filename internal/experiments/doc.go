@@ -1,0 +1,15 @@
+// Package experiments implements the synthetic evaluation suite E1–E10.
+//
+// The reproduced paper is a vision paper with no tables or figures; per the
+// reproduction protocol, each experiment here operationalises one concrete
+// claim from the paper's text on one of the simulated substrates, with at
+// least one non-self-aware baseline. EXPERIMENTS.md records the expected
+// qualitative shape and the measured numbers; cmd/sawbench prints the
+// tables; bench_test.go wraps each experiment in a testing.B benchmark.
+//
+// Every experiment fans its individual simulation runs — one per
+// (system, seed) pair — out as jobs on an internal/runner pool, supplied
+// via Config.Pool. Each job owns its own RNG seed and results are merged
+// in fixed job order, so the aggregate tables are bit-identical whether
+// the pool runs one worker or many.
+package experiments

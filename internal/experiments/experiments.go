@@ -1,17 +1,3 @@
-// Package experiments implements the synthetic evaluation suite E1–E10.
-//
-// The reproduced paper is a vision paper with no tables or figures; per the
-// reproduction protocol, each experiment here operationalises one concrete
-// claim from the paper's text on one of the simulated substrates, with at
-// least one non-self-aware baseline. EXPERIMENTS.md records the expected
-// qualitative shape and the measured numbers; cmd/sawbench prints the
-// tables; bench_test.go wraps each experiment in a testing.B benchmark.
-//
-// Every experiment fans its individual simulation runs — one per
-// (system, seed) pair — out as jobs on an internal/runner pool, supplied
-// via Config.Pool. Each job owns its own RNG seed and results are merged
-// in fixed job order, so the aggregate tables are bit-identical whether
-// the pool runs one worker or many.
 package experiments
 
 import (
@@ -208,6 +194,16 @@ func init() {
 				`at any worker count while throughput scales with cores (ROADMAP north star; the ` +
 				`paper's collectives of self-aware entities, §IV, at production scale)`,
 			Run: S1PopulationScaling,
+		},
+		{
+			ID:    "S2",
+			Title: "durability: checkpoint/resume determinism of long-lived populations",
+			Claim: `durability contract: a population checkpointed at tick T — written to disk in ` +
+				`the versioned snapshot format and restored in a fresh engine — continues ` +
+				`byte-identically to the uninterrupted run, at any worker count (ROADMAP north ` +
+				`star: long-lived self-aware systems accumulate self-models at run time, §I/§II; ` +
+				`durable state is what makes the accumulation survive restarts)`,
+			Run: S2CheckpointResume,
 		},
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"sacs/internal/population"
 	"sacs/internal/runner"
 )
 
@@ -31,8 +32,8 @@ func TestSpecsStaticMetadata(t *testing.T) {
 	// Listing must be possible without running anything, and the static
 	// metadata must agree with what the runners stamp on their results.
 	specs := Specs()
-	if len(specs) != 16 {
-		t.Fatalf("specs = %d, want 16", len(specs))
+	if len(specs) != 17 {
+		t.Fatalf("specs = %d, want 17", len(specs))
 	}
 	for _, sp := range specs {
 		if sp.ID == "" || sp.Title == "" || sp.Claim == "" || sp.Run == nil {
@@ -49,7 +50,7 @@ func TestSpecsStaticMetadata(t *testing.T) {
 // subsystem: the same experiment config must yield bit-identical tables
 // and figures whether the fan-out runs serially or on many workers.
 func TestParallelDeterminism(t *testing.T) {
-	for _, id := range []string{"E1", "E6", "E4", "X5", "S1"} {
+	for _, id := range []string{"E1", "E6", "E4", "X5", "S1", "S2"} {
 		spec := Registry()[id]
 		cfg := Config{Seeds: 2, Scale: 0.05}
 		serial := spec.Run(cfg)
@@ -241,7 +242,7 @@ func TestS1ScalingShape(t *testing.T) {
 	if r.Table.NumRows() != 3 {
 		t.Fatalf("rows = %d, want 3 population sizes", r.Table.NumRows())
 	}
-	if got := ScalingIDs(); len(got) != 1 || got[0] != "S1" {
+	if got := ScalingIDs(); len(got) != 2 || got[0] != "S1" || got[1] != "S2" {
 		t.Fatalf("ScalingIDs = %v", got)
 	}
 	for i := 0; i < r.Table.NumRows(); i++ {
@@ -262,6 +263,42 @@ func TestS1ScalingShape(t *testing.T) {
 		p99, _ := r.Table.Lookup(label, "work-p99")
 		if p50 < agents || p99 < p50 {
 			t.Fatalf("%s: work quantiles inconsistent: p50=%v p99=%v", label, p50, p99)
+		}
+	}
+}
+
+// TestS2ResumeDeterminism is the acceptance check for the checkpoint
+// subsystem: every S2 table row must report a perfect byte match for the
+// disk-roundtripped resumed run, at 1 and at 8 workers, and across the two.
+func TestS2ResumeDeterminism(t *testing.T) {
+	r := S2CheckpointResume(Config{Seeds: 2, Scale: 0.25})
+	if r.Table.NumRows() != 2 {
+		t.Fatalf("rows = %d, want workers=1 and workers=8", r.Table.NumRows())
+	}
+	for _, row := range []string{"workers=1", "workers=8"} {
+		m, ok := r.Table.Lookup(row, "resume-match")
+		if !ok || m != 1 {
+			t.Fatalf("%s: resume-match = %v, want 1 (resumed snapshot bytes differ from reference)", row, m)
+		}
+		x, _ := r.Table.Lookup(row, "xworker-match")
+		if x != 1 {
+			t.Fatalf("%s: xworker-match = %v, want 1 (reference bytes differ across worker counts)", row, x)
+		}
+		kib, _ := r.Table.Lookup(row, "snap-KiB")
+		if kib <= 0 {
+			t.Fatalf("%s: snapshot size %v", row, kib)
+		}
+	}
+}
+
+// TestS2ConfigDegenerateSizes pins the workload against the sizes sawd
+// accepts: a 1-agent population has no second peer to gossip to and must
+// step without panicking.
+func TestS2ConfigDegenerateSizes(t *testing.T) {
+	for _, agents := range []int{1, 2} {
+		rs := population.New(S2Config(agents, 1, 1, nil)).Run(30)
+		if rs.Steps != int64(30*agents) {
+			t.Fatalf("agents=%d: steps=%d", agents, rs.Steps)
 		}
 	}
 }

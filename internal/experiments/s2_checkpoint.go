@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"sacs/internal/checkpoint"
+	"sacs/internal/core"
+	"sacs/internal/goals"
+	"sacs/internal/population"
+	"sacs/internal/runner"
+	"sacs/internal/stats"
+)
+
+// Goal sets for the S2 workload. They are package-level values because the
+// resume contract requires the agent factory to rebuild the *same* goal
+// schedule on restore; the switcher's snapshot stores only its position.
+var (
+	s2GoalSteady = goals.NewSet("steady",
+		goals.Objective{Name: "load", Direction: goals.Minimize, Weight: 1, Scale: 10})
+	s2GoalSurge = goals.NewSet("surge",
+		goals.Objective{Name: "load", Direction: goals.Maximize, Weight: 2, Scale: 10,
+			Constrained: true, Bound: 25})
+)
+
+// S2Config builds the S2 population: full-stack self-aware agents (all five
+// levels, including time-awareness predictors and the meta monitor) whose
+// load sensor is a random walk that keeps its position in the knowledge
+// store rather than in the sensor closure, and whose goal switches from
+// "steady" to "surge" at tick 60. Every piece of mutable agent state
+// therefore lives in the components a population Snapshot captures — the
+// checkpointable-workload contract of DESIGN.md. Exported so that
+// BenchmarkCheckpointRoundTrip, the serve tests and cmd/sawd's demo
+// workload registry all exercise the exact population S2 validates.
+func S2Config(agents, shards int, seed int64, pool *runner.Pool) population.Config {
+	return population.Config{
+		Name:   "S2",
+		Agents: agents,
+		Shards: shards,
+		Seed:   seed,
+		Pool:   pool,
+		New: func(id int, rng *rand.Rand) *core.Agent {
+			sw := goals.NewSwitcher(s2GoalSteady)
+			sw.ScheduleSwitch(60, s2GoalSurge)
+			var a *core.Agent
+			a = core.New(core.Config{
+				Name:  fmt.Sprintf("a%06d", id),
+				Caps:  core.FullStack,
+				Goals: sw,
+				Sensors: []core.Sensor{core.ScalarSensor("load", core.Private,
+					func(now float64) float64 {
+						// Resume-safe random walk: previous position read
+						// back from the store, increment drawn from the
+						// engine-owned (checkpointed) agent stream.
+						return a.Store().Value("stim/load", float64(id%11)) + rng.Float64() - 0.48
+					})},
+				ExplainDepth: 8,
+			})
+			return a
+		},
+		Emit: func(ctx *population.EmitContext) {
+			load := ctx.Agent.Store().Value("stim/load", 0)
+			stim := core.Stimulus{Name: "load", Source: ctx.Agent.Name(),
+				Scope: core.Public, Value: load, Time: ctx.Now}
+			ctx.Send((ctx.ID+1)%agents, stim)
+			// Random extra gossip needs a second distinct peer to draw.
+			if agents > 1 && ctx.Rng.Float64() < 0.25 {
+				ctx.Send((ctx.ID+1+ctx.Rng.Intn(agents-1))%agents, stim)
+			}
+		},
+		Observe: func(id int, a *core.Agent) float64 {
+			return a.Store().Value("stim/load", 0)
+		},
+	}
+}
+
+// S2CheckpointResume proves the checkpoint layer's resume-determinism
+// contract end to end: a population checkpointed at tick T — serialised
+// through the full wire format to a file on disk, read back, and restored
+// into a fresh engine — continues byte-identically to the uninterrupted
+// run. "Byte-identically" is meant literally: the encoded final snapshot of
+// the resumed run is compared with bytes.Equal against the encoded final
+// snapshot of a run that was never interrupted.
+//
+// The check runs at 1 and 8 workers with the checkpoint cut at a different
+// tick for each seed, and additionally asserts that the final bytes agree
+// ACROSS worker counts, so one table row failing pins down exactly which
+// leg of the contract broke. Every cell is deterministic; like all suite
+// tables it is byte-identical at any -parallel value.
+func S2CheckpointResume(cfg Config) *Result {
+	cfg = cfg.defaults()
+	ticks := int(120 * cfg.Scale)
+	if ticks < 24 {
+		ticks = 24
+	}
+	agents := int(512 * cfg.Scale)
+	if agents < 64 {
+		agents = 64
+	}
+	const shards = 16
+
+	table := stats.NewTable(
+		fmt.Sprintf("S2 checkpoint/resume determinism: %d agents, %d shards, %d ticks, %d seeds",
+			agents, shards, ticks, cfg.Seeds),
+		"workers", "ckpt-tick", "snap-KiB", "resume-match", "xworker-match", "model-mean")
+
+	type leg struct {
+		workers int
+		enc     []byte
+		row     []float64
+	}
+	legs := make([]leg, 0, 2)
+	for _, workers := range []int{1, 8} {
+		workers := workers
+		// One scenario per seed, each cutting at a different tick; the row
+		// is the seed average, so resume-match = 1.0 means every seed's
+		// resumed bytes matched its reference. The fan-out itself rides the
+		// suite pool; the populations run on private 1- and 8-worker pools
+		// because the worker count under test is the point.
+		var encs [][]byte
+		row := runner.SeedAvg(cfg.Pool, "S2", fmt.Sprintf("workers=%d", workers), cfg.Seeds,
+			func(seed int) []float64 {
+				pool := runner.New(workers)
+				defer pool.Close()
+				cut := 1 + (ticks*(seed+1))/(cfg.Seeds+1) // distinct interior cut per seed
+				if cut >= ticks {
+					cut = ticks - 1
+				}
+				build := func() population.Config {
+					return S2Config(agents, shards, int64(211+seed), pool)
+				}
+
+				ref := population.New(build())
+				ref.Run(ticks)
+				refEnc := mustEncode(ref)
+
+				// Interrupted run: checkpoint at the cut through a real
+				// file (the daemon's path), then resume in a fresh engine.
+				e := population.New(build())
+				e.Run(cut)
+				snap, err := e.Snapshot()
+				if err != nil {
+					panic(fmt.Sprintf("S2: snapshot: %v", err))
+				}
+				dir, err := os.MkdirTemp("", "sacs-s2-*")
+				if err != nil {
+					panic(fmt.Sprintf("S2: tempdir: %v", err))
+				}
+				defer os.RemoveAll(dir)
+				path := filepath.Join(dir, checkpoint.FileName("s2", cut))
+				if err := checkpoint.Write(path, snap, map[string]string{"workload": "s2"}); err != nil {
+					panic(fmt.Sprintf("S2: write: %v", err))
+				}
+				loaded, _, err := checkpoint.Read(path)
+				if err != nil {
+					panic(fmt.Sprintf("S2: read: %v", err))
+				}
+				resumed, err := population.Restore(build(), loaded)
+				if err != nil {
+					panic(fmt.Sprintf("S2: restore: %v", err))
+				}
+				resumed.Run(ticks - cut)
+				resEnc := mustEncode(resumed)
+
+				match := 0.0
+				if bytes.Equal(refEnc, resEnc) {
+					match = 1
+				}
+				if seed == 0 {
+					encs = append(encs, refEnc)
+				}
+				rs := resumed.Run(0)
+				return []float64{float64(cut), float64(len(resEnc)) / 1024, match, rs.Observed.Mean()}
+			})
+		legs = append(legs, leg{workers: workers, enc: encs[0], row: row})
+	}
+
+	for _, l := range legs {
+		x := 0.0
+		if bytes.Equal(l.enc, legs[0].enc) {
+			x = 1
+		}
+		table.AddRow(fmt.Sprintf("workers=%d", l.workers),
+			float64(l.workers), l.row[0], l.row[1], l.row[2], x, l.row[3])
+	}
+	table.AddNote("resume-match: fraction of seeds whose run — checkpointed to disk at ckpt-tick, " +
+		"read back and resumed in a fresh engine — ended with an encoded snapshot byte-identical " +
+		"to the uninterrupted reference at the same worker count (must be 1)")
+	table.AddNote("xworker-match: 1 when the seed-0 reference snapshot bytes equal the workers=1 " +
+		"row's (resume determinism holds across worker counts, not just within one)")
+	table.AddNote("snapshots travel the full path: population.Snapshot -> checkpoint.Write " +
+		"(versioned binary + CRC-32C) -> checkpoint.Read -> population.Restore")
+	return resultFor("S2", table)
+}
+
+// mustEncode snapshots an engine and encodes it, panicking on error (the
+// runner pool's per-job recovery reports it as the job's failure).
+func mustEncode(e *population.Engine) []byte {
+	s, err := e.Snapshot()
+	if err != nil {
+		panic(fmt.Sprintf("S2: snapshot: %v", err))
+	}
+	b, err := checkpoint.EncodeBytes(s, nil)
+	if err != nil {
+		panic(fmt.Sprintf("S2: encode: %v", err))
+	}
+	return b
+}

@@ -1,0 +1,7 @@
+// Package goals models run-time multi-objective goals: the "stakeholder
+// concerns" of the paper's §I. A goal set aggregates named objectives (each
+// to be maximised or minimised, possibly with a constraint) into a scalar
+// utility, supports Pareto comparison, and — crucially for the paper's
+// hypothesis — can be switched or re-weighted while the system runs, so that
+// goal-aware systems can be tested on their ability to follow.
+package goals

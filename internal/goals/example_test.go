@@ -1,0 +1,30 @@
+package goals_test
+
+import (
+	"fmt"
+
+	"sacs/internal/goals"
+)
+
+// ExampleSwitcher models run-time goal change: the system starts pursuing
+// throughput, and at time 100 the stakeholders switch it to saving energy.
+func ExampleSwitcher() {
+	perf := goals.NewSet("performance",
+		goals.Objective{Name: "throughput", Direction: goals.Maximize, Weight: 1})
+	save := goals.NewSet("economy",
+		goals.Objective{Name: "watts", Direction: goals.Minimize, Weight: 1,
+			Constrained: true, Bound: 90})
+
+	sw := goals.NewSwitcher(perf)
+	sw.ScheduleSwitch(100, save)
+
+	metrics := map[string]float64{"throughput": 40, "watts": 120}
+	for _, now := range []float64{0, 100} {
+		active, changed := sw.Tick(now)
+		fmt.Printf("t=%3.0f goal=%s changed=%t utility=%.0f violations=%v\n",
+			now, active.Name, changed, active.Utility(metrics), active.Violations(metrics))
+	}
+	// Output:
+	// t=  0 goal=performance changed=false utility=40 violations=[]
+	// t=100 goal=economy changed=true utility=-130 violations=[watts]
+}

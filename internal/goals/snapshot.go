@@ -1,0 +1,38 @@
+package goals
+
+import "fmt"
+
+// SwitcherState is the exported run-time position of a Switcher: how far
+// through its schedule it has advanced and how many switches have fired.
+// The goal sets themselves are design-time code, so a restored Switcher is
+// rebuilt with the same initial set and schedule and then repositioned with
+// SetState — the active set is recomputed from the schedule position.
+type SwitcherState struct {
+	Next     int // schedule entries already applied
+	Switches int
+}
+
+// State exports the switcher's schedule position.
+func (w *Switcher) State() SwitcherState {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return SwitcherState{Next: w.next, Switches: w.Switches}
+}
+
+// SetState repositions the switcher. The receiver must carry the same
+// schedule the exporting switcher had; st.Next beyond the schedule is an
+// error.
+func (w *Switcher) SetState(st SwitcherState) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if st.Next < 0 || st.Next > len(w.schedule) {
+		return fmt.Errorf("goals: switcher state next=%d outside schedule of %d entries",
+			st.Next, len(w.schedule))
+	}
+	w.next = st.Next
+	w.Switches = st.Switches
+	if st.Next > 0 {
+		w.active = w.schedule[st.Next-1].set
+	}
+	return nil
+}

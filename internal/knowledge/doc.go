@@ -1,0 +1,7 @@
+// Package knowledge implements the self-model store at the heart of the
+// framework: named, scoped models with confidence, provenance and bounded
+// history. The paper's definition of self-awareness — knowledge of internal
+// state, history, environment and goals — is realised as entries in this
+// store, which the reasoner reads, the learners write, and the explainer
+// cites.
+package knowledge

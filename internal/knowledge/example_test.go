@@ -1,0 +1,24 @@
+package knowledge_test
+
+import (
+	"fmt"
+
+	"sacs/internal/knowledge"
+)
+
+// ExampleStore shows the self-model life cycle: observations fold into an
+// EWMA estimate with variance, history supports trends, and confidence
+// reflects both sample count and staleness.
+func ExampleStore() {
+	store := knowledge.NewStore(0.5, 16)
+	for t := 0.0; t < 8; t++ {
+		store.Observe("cpu-load", knowledge.Private, 10+2*t, t)
+	}
+	e := store.Get("cpu-load")
+	slope, _ := e.Trend()
+	fmt.Printf("value=%.1f updates=%d trend=%.1f\n", e.Value(), e.Updates(), slope)
+	fmt.Printf("confidence now=%.2f much-later=%.2f\n", e.Confidence(8), e.Confidence(500))
+	// Output:
+	// value=22.0 updates=8 trend=2.0
+	// confidence now=0.66 much-later=0.00
+}

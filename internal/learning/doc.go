@@ -1,0 +1,8 @@
+// Package learning implements the online-learning toolbox the paper's
+// framework depends on: the "simple learning schemes" of cognitive packet
+// networks [38], the strategy learning of the smart-camera work [13], and
+// the model building of self-aware service systems [30] all reduce to a
+// small set of primitives — multi-armed bandits, tabular Q-learning,
+// time-series predictors, drift detectors and recursive least squares — each
+// implemented here from scratch on the standard library.
+package learning

@@ -1,0 +1,13 @@
+// Package multicore simulates a heterogeneous multi-core platform with
+// per-core DVFS — the "self-aware heterogeneous multicores" setting of the
+// paper (§II, §V; Platzner [8], Agarwal [16], Agne et al. [47]).
+//
+// Tasks of several (hidden) types arrive continuously; their execution speed
+// depends on which core type runs them (affinity) and at what frequency.
+// Schedulers place tasks and set frequencies, trading performance against
+// power — a run-time multi-objective trade-off that can be re-weighted while
+// the system runs (run-time goal switches), and whose ground truth can shift
+// under thermal throttling (drift). The self-aware scheduler is built on
+// core.Agent and learns everything it needs online; the baselines encode
+// fixed design-time policy.
+package multicore

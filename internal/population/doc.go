@@ -1,0 +1,16 @@
+// Package population is the sharded agent-population engine: it steps tens
+// of thousands of core.Agents per simulated tick through an internal/runner
+// pool while keeping the simulation bit-for-bit deterministic at any worker
+// count.
+//
+// Agents are partitioned into contiguous shards. Every tick each shard is
+// stepped by one pool job using the shard's own persistent RNG stream;
+// agents talk to each other through double-buffered mailboxes — stimuli
+// sent during tick T are routed at the tick barrier, in shard index order,
+// and injected at tick T+1 — so no shard ever reads state another shard is
+// writing. Shard RNG streams, agent construction seeds and the barrier's
+// merge order depend only on Config (never on the worker count or job
+// completion order), so a population configured with S shards produces
+// byte-identical results whether the pool runs one worker or thirty-two;
+// only the wall time changes. See DESIGN.md for the full contract.
+package population

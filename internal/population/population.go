@@ -1,18 +1,3 @@
-// Package population is the sharded agent-population engine: it steps tens
-// of thousands of core.Agents per simulated tick through an internal/runner
-// pool while keeping the simulation bit-for-bit deterministic at any worker
-// count.
-//
-// Agents are partitioned into contiguous shards. Every tick each shard is
-// stepped by one pool job using the shard's own persistent RNG stream;
-// agents talk to each other through double-buffered mailboxes — stimuli
-// sent during tick T are routed at the tick barrier, in shard index order,
-// and injected at tick T+1 — so no shard ever reads state another shard is
-// writing. Shard RNG streams, agent construction seeds and the barrier's
-// merge order depend only on Config (never on the worker count or job
-// completion order), so a population configured with S shards produces
-// byte-identical results whether the pool runs one worker or thirty-two;
-// only the wall time changes. See DESIGN.md for the full contract.
 package population
 
 import (
@@ -22,6 +7,7 @@ import (
 	"sacs/internal/core"
 	"sacs/internal/runner"
 	"sacs/internal/stats"
+	"sacs/internal/xrand"
 )
 
 // DefaultShards is the shard count used when Config.Shards is zero. It is a
@@ -122,6 +108,17 @@ type TickStats struct {
 // worker count, which is what lets scaling tables compare runs.
 func (t TickStats) Work() float64 { return float64(t.Steps + t.Delivered) }
 
+// WorkWindow bounds the per-tick work-proxy history the engine retains for
+// quantiles: compaction keeps between WorkWindow and 2·WorkWindow−1 of the
+// most recent ticks (amortised-O(1) truncation, so the retained count
+// oscillates with the compaction phase). The history is bounded because
+// engines now live arbitrarily long under sawd: an unbounded slice would
+// grow memory, snapshot size and Status cost linearly with uptime. The
+// bound is a constant (never wall-clock-derived), so retention — like
+// everything else — is a pure function of tick count and stays
+// deterministic.
+const WorkWindow = 4096
+
 // RunStats aggregates a multi-tick run.
 type RunStats struct {
 	Ticks, Agents, Shards               int
@@ -130,11 +127,13 @@ type RunStats struct {
 	// checksum of where the simulation ended up.
 	Observed stats.Online
 
-	work []float64 // per-tick Work values, for latency-proxy quantiles
+	work []float64 // recent per-tick Work values (WorkWindow..2·WorkWindow−1 ticks)
 }
 
-// WorkQuantile returns the q-quantile of the per-tick work proxy — the
-// deterministic stand-in for per-tick latency quantiles.
+// WorkQuantile returns the q-quantile of the per-tick work proxy over the
+// retained history (the most recent WorkWindow to 2·WorkWindow−1 ticks; the
+// whole run when shorter) — the deterministic stand-in for per-tick latency
+// quantiles.
 func (r RunStats) WorkQuantile(q float64) float64 { return stats.Quantile(r.work, q) }
 
 // Engine steps a sharded population. Create one with New; Tick and Run must
@@ -144,6 +143,13 @@ type Engine struct {
 	agents []*core.Agent
 	rngs   []*rand.Rand // one persistent stream per shard
 	bounds []int        // shard s owns agents [bounds[s], bounds[s+1])
+
+	// The xrand sources behind every stream, kept so Snapshot can read
+	// (and Restore can write) each stream's exact position. shardSrcs[s]
+	// backs rngs[s]; agentSrcs[id] backs the *rand.Rand handed to
+	// Config.New for agent id.
+	shardSrcs []*xrand.Source
+	agentSrcs []*xrand.Source
 
 	// Double-buffered mailboxes, one slot per agent. cur holds stimuli
 	// routed at the previous tick's barrier (read-only during a tick);
@@ -184,21 +190,25 @@ func New(cfg Config) *Engine {
 		cfg.Pool = runner.New(1)
 	}
 	e := &Engine{
-		cfg:    cfg,
-		agents: make([]*core.Agent, cfg.Agents),
-		rngs:   make([]*rand.Rand, cfg.Shards),
-		bounds: make([]int, cfg.Shards+1),
-		cur:    make([][]core.Stimulus, cfg.Agents),
-		next:   make([][]core.Stimulus, cfg.Agents),
+		cfg:       cfg,
+		agents:    make([]*core.Agent, cfg.Agents),
+		rngs:      make([]*rand.Rand, cfg.Shards),
+		bounds:    make([]int, cfg.Shards+1),
+		shardSrcs: make([]*xrand.Source, cfg.Shards),
+		agentSrcs: make([]*xrand.Source, cfg.Agents),
+		cur:       make([][]core.Stimulus, cfg.Agents),
+		next:      make([][]core.Stimulus, cfg.Agents),
 	}
 	for id := range e.agents {
-		e.agents[id] = cfg.New(id, rand.New(rand.NewSource(mix(cfg.Seed, 0x9E3779B97F4A7C15, int64(id)))))
+		e.agentSrcs[id] = xrand.NewSource(mix(cfg.Seed, 0x9E3779B97F4A7C15, int64(id)))
+		e.agents[id] = cfg.New(id, rand.New(e.agentSrcs[id]))
 		if e.agents[id] == nil {
 			panic(fmt.Sprintf("population: Config.New returned nil for agent %d", id))
 		}
 	}
 	for s := range e.rngs {
-		e.rngs[s] = rand.New(rand.NewSource(mix(cfg.Seed, 0xBF58476D1CE4E5B9, int64(s))))
+		e.shardSrcs[s] = xrand.NewSource(mix(cfg.Seed, 0xBF58476D1CE4E5B9, int64(s)))
+		e.rngs[s] = rand.New(e.shardSrcs[s])
 	}
 	// Balanced contiguous partition: the first Agents%Shards shards hold
 	// one extra agent.
@@ -265,6 +275,14 @@ func (e *Engine) Tick() TickStats {
 	e.delivered += int64(ts.Delivered)
 	e.actions += int64(ts.Actions)
 	e.lastObserved = ts.Observed
+	// Bounded work history: compact to the last WorkWindow entries once the
+	// slice doubles. Amortised O(1), and the compaction points depend only
+	// on the tick count, so a resumed engine (which restores the slice
+	// verbatim) compacts at exactly the same ticks as the uninterrupted
+	// run — the history stays part of the byte-identical state.
+	if len(e.work) >= 2*WorkWindow {
+		e.work = append(e.work[:0], e.work[len(e.work)-(WorkWindow-1):]...)
+	}
 	e.work = append(e.work, ts.Work())
 	return ts
 }

@@ -1,0 +1,150 @@
+package population
+
+import (
+	"fmt"
+
+	"sacs/internal/core"
+	"sacs/internal/stats"
+)
+
+// Snapshot is the complete exported state of an Engine at a tick barrier:
+// the tick counter, run counters and work history, every RNG stream's
+// position, the pending (already routed, not yet delivered) mailboxes, and
+// every agent's exported state. It is plain data sharing no memory with the
+// engine — internal/checkpoint serialises it, and Restore rebuilds a live
+// engine from it.
+//
+// The determinism contract (DESIGN.md): for a population whose agents keep
+// their mutable state in the captured components — knowledge store, goal
+// switcher, built-in awareness processes, and the RNG streams the engine
+// hands out — Restore(cfg, e.Snapshot()) continues byte-identically to the
+// uninterrupted run, at any worker count and across process restarts.
+type Snapshot struct {
+	// Name, Agents, Shards and Seed echo the exporting Config; Restore
+	// validates them against the rebuilding Config so a snapshot cannot be
+	// silently resumed into a differently shaped population.
+	Name   string
+	Agents int
+	Shards int
+	Seed   int64
+
+	Tick                                int
+	Steps, Messages, Delivered, Actions int64
+	Observed                            stats.OnlineState
+	Work                                []float64 // recent per-tick work proxy (see WorkWindow)
+
+	ShardRNG []uint64 // xrand stream positions, one per shard
+	AgentRNG []uint64 // xrand stream positions, one per agent
+
+	// Mail holds each agent's pending inbox: stimuli routed (or enqueued
+	// externally) before the snapshot, to be injected at the next tick.
+	Mail [][]core.Stimulus
+
+	AgentStates []core.AgentState
+}
+
+// Snapshot exports the engine's complete state. It must be called between
+// ticks (never while a Tick is in flight) and fails only when an agent
+// carries state the checkpoint layer cannot serialise — see
+// core.Agent.State.
+func (e *Engine) Snapshot() (*Snapshot, error) {
+	s := &Snapshot{
+		Name:      e.cfg.Name,
+		Agents:    len(e.agents),
+		Shards:    len(e.rngs),
+		Seed:      e.cfg.Seed,
+		Tick:      e.tick,
+		Steps:     e.steps,
+		Messages:  e.messages,
+		Delivered: e.delivered,
+		Actions:   e.actions,
+		Observed:  e.lastObserved.State(),
+		Work:      append([]float64(nil), e.work...),
+		ShardRNG:  make([]uint64, len(e.shardSrcs)),
+		AgentRNG:  make([]uint64, len(e.agentSrcs)),
+		Mail:      make([][]core.Stimulus, len(e.agents)),
+	}
+	for i, src := range e.shardSrcs {
+		s.ShardRNG[i] = src.State()
+	}
+	for i, src := range e.agentSrcs {
+		s.AgentRNG[i] = src.State()
+	}
+	for i, inbox := range e.cur {
+		if len(inbox) > 0 {
+			s.Mail[i] = append([]core.Stimulus(nil), inbox...)
+		}
+	}
+	s.AgentStates = make([]core.AgentState, len(e.agents))
+	for i, a := range e.agents {
+		st, err := a.State()
+		if err != nil {
+			return nil, fmt.Errorf("population: snapshot at tick %d: %w", e.tick, err)
+		}
+		s.AgentStates[i] = st
+	}
+	return s, nil
+}
+
+// Restore builds an engine from cfg exactly as New does, then reinstalls
+// the snapshot: RNG stream positions, agent states, pending mailboxes, tick
+// and counters. cfg must describe the same population the snapshot was
+// exported from (same workload builder, agent count, shard count and seed);
+// shape mismatches are errors before any state is touched.
+//
+// Construction runs cfg.New with each agent's stream at its seed position —
+// identical to the original construction — and only afterwards repositions
+// the streams to their snapshot state. Agent factories therefore need no
+// special resume mode, but any mutable state a factory hides in closures
+// (rather than in the store or behind the handed-out RNG) will silently
+// reset; DESIGN.md spells out this caller obligation.
+func Restore(cfg Config, s *Snapshot) (*Engine, error) {
+	e := New(cfg)
+	if e.cfg.Name != s.Name {
+		return nil, fmt.Errorf("population: restore: config name %q, snapshot of %q", e.cfg.Name, s.Name)
+	}
+	if len(e.agents) != s.Agents || len(e.rngs) != s.Shards || e.cfg.Seed != s.Seed {
+		return nil, fmt.Errorf(
+			"population: restore: config (agents=%d shards=%d seed=%d) does not match snapshot (agents=%d shards=%d seed=%d)",
+			len(e.agents), len(e.rngs), e.cfg.Seed, s.Agents, s.Shards, s.Seed)
+	}
+	if len(s.ShardRNG) != s.Shards || len(s.AgentRNG) != s.Agents ||
+		len(s.Mail) != s.Agents || len(s.AgentStates) != s.Agents {
+		return nil, fmt.Errorf("population: restore: snapshot internally inconsistent "+
+			"(%d shard streams, %d agent streams, %d mailboxes, %d agent states for agents=%d shards=%d)",
+			len(s.ShardRNG), len(s.AgentRNG), len(s.Mail), len(s.AgentStates), s.Agents, s.Shards)
+	}
+	for i, st := range s.ShardRNG {
+		e.shardSrcs[i].SetState(st)
+	}
+	for i, st := range s.AgentRNG {
+		e.agentSrcs[i].SetState(st)
+	}
+	for i := range e.agents {
+		if err := e.agents[i].SetState(s.AgentStates[i]); err != nil {
+			return nil, fmt.Errorf("population: restore: %w", err)
+		}
+	}
+	for i, inbox := range s.Mail {
+		e.cur[i] = append(e.cur[i][:0], inbox...)
+	}
+	e.tick = s.Tick
+	e.steps, e.messages, e.delivered, e.actions = s.Steps, s.Messages, s.Delivered, s.Actions
+	e.lastObserved.SetState(s.Observed)
+	e.work = append(e.work[:0], s.Work...)
+	return e, nil
+}
+
+// Enqueue queues an externally produced stimulus for delivery to agent `to`
+// at the start of the next Tick, exactly as if a peer had sent it at the
+// previous tick's barrier. It is how a hosting service (internal/serve)
+// ingests outside traffic into a running population. Enqueue must be called
+// from the engine's goroutine (never while a Tick is in flight); pending
+// stimuli are part of the engine's Snapshot.
+func (e *Engine) Enqueue(to int, s core.Stimulus) error {
+	if to < 0 || to >= len(e.agents) {
+		return fmt.Errorf("population: enqueue to out-of-range agent %d (population %d)", to, len(e.agents))
+	}
+	e.cur[to] = append(e.cur[to], s)
+	return nil
+}

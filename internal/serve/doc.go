@@ -1,0 +1,21 @@
+// Package serve hosts long-lived agent populations behind an HTTP API: the
+// service layer under cmd/sawd. Where cmd/sawbench is batch-shaped — run an
+// experiment grid, print tables, exit, discard everything learned — a
+// Server keeps populations alive indefinitely: it advances them on a
+// wall-clock cadence or on demand, ingests external stimuli into their
+// mailboxes, serves live metrics and per-agent self-explanations, and
+// checkpoints them (internal/checkpoint) on an interval and on graceful
+// shutdown so that accumulated self-models survive process restarts.
+//
+// Populations are identified by an id and described by a Spec naming a
+// registered Workload — a named Config builder. The workload name travels
+// inside every checkpoint's metadata, which is what lets a fresh process
+// rebuild the identical Config and resume byte-identically (the
+// resume-determinism contract in DESIGN.md; workloads must be
+// checkpoint-friendly in the sense documented there).
+//
+// All populations share one runner pool; each population's engine is
+// guarded by its own mutex, so distinct populations tick concurrently
+// while every engine still sees the single-goroutine discipline it
+// requires.
+package serve

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"sacs/internal/core"
+	"sacs/internal/knowledge"
+)
+
+// The HTTP surface of a Server. Errors are returned as JSON
+// {"error": "..."} with 400 for caller mistakes (unknown population,
+// out-of-range agent, malformed body) and 500 for host-side failures
+// (checkpoint I/O). All handlers are safe for concurrent use: they go
+// through the Server methods, which serialise per population.
+
+// StimulusRequest is the POST /populations/{id}/stimuli body: one external
+// observation to deliver to agent To at the next tick. Scope is "public"
+// (default) or "private"; Time defaults to the population's current tick.
+type StimulusRequest struct {
+	To     int      `json:"to"`
+	Name   string   `json:"name"`
+	Value  float64  `json:"value"`
+	Source string   `json:"source,omitempty"`
+	Scope  string   `json:"scope,omitempty"`
+	Time   *float64 `json:"time,omitempty"`
+}
+
+// Handler returns the Server's HTTP API:
+//
+//	GET  /healthz                              liveness + uptime + population count
+//	GET  /populations                          all populations' status
+//	GET  /populations/{id}                     one population's status
+//	POST /populations/{id}/ticks?n=K           advance K ticks (default 1)
+//	POST /populations/{id}/stimuli             ingest one StimulusRequest
+//	GET  /populations/{id}/agents/{n}/explain  per-agent self-explanation (text)
+//	POST /populations/{id}/checkpoint          snapshot to disk now
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ok":          true,
+			"uptime_sec":  time.Since(s.started).Seconds(),
+			"populations": len(s.IDs()),
+		})
+	})
+
+	mux.HandleFunc("GET /populations", func(w http.ResponseWriter, r *http.Request) {
+		out := make([]Status, 0)
+		for _, id := range s.IDs() {
+			st, err := s.Status(id)
+			if err != nil {
+				writeErr(w, http.StatusInternalServerError, err)
+				return
+			}
+			out = append(out, st)
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /populations/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Status(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("POST /populations/{id}/ticks", func(w http.ResponseWriter, r *http.Request) {
+		n := 1
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("bad n %q: %w", q, err))
+				return
+			}
+			n = v
+		}
+		const maxTicksPerRequest = 100000 // backpressure: bound one request's work
+		if n < 1 || n > maxTicksPerRequest {
+			writeErr(w, http.StatusBadRequest,
+				fmt.Errorf("n must be in [1, %d], got %d", maxTicksPerRequest, n))
+			return
+		}
+		last, err := s.Advance(r.PathValue("id"), n)
+		if err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, ErrHost) {
+				code = http.StatusInternalServerError
+			}
+			writeErr(w, code, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ticked":    n,
+			"tick":      last.Tick + 1, // ticks completed after this request
+			"steps":     last.Steps,
+			"messages":  last.Messages,
+			"delivered": last.Delivered,
+			"actions":   last.Actions,
+		})
+	})
+
+	mux.HandleFunc("POST /populations/{id}/stimuli", func(w http.ResponseWriter, r *http.Request) {
+		var req StimulusRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad stimulus body: %w", err))
+			return
+		}
+		if req.Name == "" {
+			writeErr(w, http.StatusBadRequest, errors.New("stimulus needs a name"))
+			return
+		}
+		scope := knowledge.Public
+		switch req.Scope {
+		case "", "public":
+		case "private":
+			scope = knowledge.Private
+		default:
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad scope %q (public|private)", req.Scope))
+			return
+		}
+		stim := core.Stimulus{Name: req.Name, Source: req.Source, Scope: scope, Value: req.Value}
+		if req.Time != nil {
+			stim.Time = *req.Time
+		}
+		deliverAt, err := s.Ingest(r.PathValue("id"), req.To, stim, req.Time != nil)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]any{"queued": true, "deliver_at_tick": deliverAt})
+	})
+
+	mux.HandleFunc("GET /populations/{id}/agents/{n}/explain", func(w http.ResponseWriter, r *http.Request) {
+		n, err := strconv.Atoi(r.PathValue("n"))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad agent index %q", r.PathValue("n")))
+			return
+		}
+		text, err := s.Explain(r.PathValue("id"), n)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, text)
+	})
+
+	mux.HandleFunc("POST /populations/{id}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		path, err := s.Checkpoint(r.PathValue("id"))
+		if err != nil {
+			code := http.StatusInternalServerError
+			if _, hostErr := s.hosted(r.PathValue("id")); hostErr != nil {
+				code = http.StatusBadRequest
+			}
+			writeErr(w, code, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"path": path})
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,441 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"sacs/internal/checkpoint"
+	"sacs/internal/core"
+	"sacs/internal/population"
+	"sacs/internal/runner"
+)
+
+// Workload is a named, rebuildable population configuration. Build must be
+// a pure function of its arguments: resuming runs it again in a fresh
+// process and relies on getting the identical Config (same goal schedules,
+// same sensors, mutable state confined to the checkpointable components).
+type Workload struct {
+	Name  string
+	Build func(agents, shards int, seed int64, pool *runner.Pool) population.Config
+}
+
+// Spec describes one population to host.
+type Spec struct {
+	ID       string
+	Workload string
+	Agents   int
+	Shards   int
+	Seed     int64
+}
+
+// Options configures a Server.
+type Options struct {
+	// Pool executes every population's shard fan-out; nil steps inline.
+	Pool *runner.Pool
+	// Dir is the checkpoint directory; empty disables persistence (Add
+	// still works, Checkpoint and Resume fail).
+	Dir string
+	// CheckpointEvery checkpoints a population every that-many ticks as it
+	// advances (0 = only explicit and shutdown checkpoints).
+	CheckpointEvery int
+	// Keep is how many snapshot files to retain per population when
+	// auto-checkpointing (default 3; the newest is never pruned).
+	Keep int
+	// Workloads is the registry of population builders, keyed by
+	// Workload.Name.
+	Workloads []Workload
+}
+
+// ErrHost marks failures on the service's side (checkpoint I/O, engine
+// faults) as opposed to caller mistakes (unknown population, bad agent
+// index). The HTTP layer maps ErrHost to 500 and everything else to 400.
+var ErrHost = errors.New("host-side failure")
+
+// hosted is one live population and its durability bookkeeping.
+type hosted struct {
+	mu       sync.Mutex
+	spec     Spec
+	eng      *population.Engine
+	lastCkpt int    // tick of the most recent checkpoint
+	lastPath string // file it was written to
+	ingested int64  // external stimuli accepted over the population's life
+}
+
+// Server hosts populations. Create with New, add or resume populations,
+// then serve Handler over HTTP and/or drive Run for wall-clock ticking.
+type Server struct {
+	opts      Options
+	workloads map[string]Workload
+	started   time.Time
+
+	mu   sync.RWMutex
+	pops map[string]*hosted
+}
+
+// New builds a Server. Workload names must be unique.
+func New(opts Options) (*Server, error) {
+	if opts.Keep <= 0 {
+		opts.Keep = 3
+	}
+	s := &Server{
+		opts:      opts,
+		workloads: make(map[string]Workload, len(opts.Workloads)),
+		started:   time.Now(),
+		pops:      make(map[string]*hosted),
+	}
+	for _, w := range opts.Workloads {
+		if w.Name == "" || w.Build == nil {
+			return nil, fmt.Errorf("serve: workload with empty name or nil builder")
+		}
+		if _, dup := s.workloads[w.Name]; dup {
+			return nil, fmt.Errorf("serve: duplicate workload %q", w.Name)
+		}
+		s.workloads[w.Name] = w
+	}
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: checkpoint dir: %w", err)
+		}
+		// A crash mid-checkpoint leaves a temp file behind; clean orphans
+		// up front so interrupted runs cannot leak disk space forever.
+		if _, err := checkpoint.RemoveTemp(opts.Dir); err != nil {
+			return nil, fmt.Errorf("serve: checkpoint dir cleanup: %w", err)
+		}
+	}
+	return s, nil
+}
+
+func (s *Server) build(spec Spec) (population.Config, error) {
+	w, ok := s.workloads[spec.Workload]
+	if !ok {
+		return population.Config{}, fmt.Errorf("serve: unknown workload %q", spec.Workload)
+	}
+	if spec.Agents <= 0 || spec.ID == "" {
+		return population.Config{}, fmt.Errorf("serve: spec needs an id and a positive agent count")
+	}
+	return w.Build(spec.Agents, spec.Shards, spec.Seed, s.opts.Pool), nil
+}
+
+// register publishes a fully initialised hosted population; h must not be
+// mutated by the caller afterwards except under h.mu.
+func (s *Server) register(h *hosted) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.pops[h.spec.ID]; dup {
+		return fmt.Errorf("serve: population %q already hosted", h.spec.ID)
+	}
+	s.pops[h.spec.ID] = h
+	return nil
+}
+
+// Add builds a fresh population from spec and hosts it. When snapshots for
+// spec.ID already exist in the checkpoint directory, Add refuses: file
+// names carry the tick, so a fresh run starting at tick 0 would be
+// silently shadowed by the abandoned run's higher-tick files on the next
+// resume (and pruned first). The caller must either Resume the population
+// or delete its snapshot files before starting it fresh.
+func (s *Server) Add(spec Spec) error {
+	cfg, err := s.build(spec)
+	if err != nil {
+		return err
+	}
+	if s.opts.Dir != "" {
+		if latest, err := checkpoint.Latest(s.opts.Dir, spec.ID); err == nil {
+			return fmt.Errorf("serve: population %q has existing snapshots in %s (latest %s): "+
+				"resume it, or remove its snapshot files to start fresh", spec.ID, s.opts.Dir, latest)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+	eng := population.New(cfg)
+	return s.register(&hosted{spec: spec, eng: eng, lastCkpt: eng.Ticks()})
+}
+
+// Resume hosts the population whose latest checkpoint for spec.ID sits in
+// Options.Dir, validating that the snapshot's recorded workload and shape
+// match spec. The restored engine continues byte-identically to the run
+// that wrote the snapshot.
+func (s *Server) Resume(spec Spec) error {
+	if s.opts.Dir == "" {
+		return errors.New("serve: resume requires a checkpoint directory")
+	}
+	path, err := checkpoint.Latest(s.opts.Dir, spec.ID)
+	if err != nil {
+		return err
+	}
+	snap, meta, err := checkpoint.Read(path)
+	if err != nil {
+		return err
+	}
+	if got := meta["workload"]; got != spec.Workload {
+		return fmt.Errorf("serve: snapshot %s was written by workload %q, spec says %q", path, got, spec.Workload)
+	}
+	cfg, err := s.build(spec)
+	if err != nil {
+		return err
+	}
+	eng, err := population.Restore(cfg, snap)
+	if err != nil {
+		return err
+	}
+	h := &hosted{spec: spec, eng: eng, lastCkpt: eng.Ticks(), lastPath: path}
+	if n, err := strconv.ParseInt(meta["ingested"], 10, 64); err == nil {
+		h.ingested = n
+	}
+	return s.register(h)
+}
+
+// AddOrResume resumes spec.ID when a checkpoint exists for it, and builds
+// it fresh otherwise. resumed reports which happened.
+func (s *Server) AddOrResume(spec Spec) (resumed bool, err error) {
+	if s.opts.Dir != "" {
+		if _, err := checkpoint.Latest(s.opts.Dir, spec.ID); err == nil {
+			return true, s.Resume(spec)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return false, err
+		}
+	}
+	return false, s.Add(spec)
+}
+
+func (s *Server) hosted(id string) (*hosted, error) {
+	s.mu.RLock()
+	h := s.pops[id]
+	s.mu.RUnlock()
+	if h == nil {
+		return nil, fmt.Errorf("serve: no population %q", id)
+	}
+	return h, nil
+}
+
+// IDs lists hosted population ids, sorted.
+func (s *Server) IDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]string, 0, len(s.pops))
+	for id := range s.pops {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Advance ticks population id n times (n >= 1), honouring the automatic
+// checkpoint interval along the way, and returns the stats of the last
+// tick.
+func (s *Server) Advance(id string, n int) (population.TickStats, error) {
+	h, err := s.hosted(id)
+	if err != nil {
+		return population.TickStats{}, err
+	}
+	if n < 1 {
+		return population.TickStats{}, fmt.Errorf("serve: advance needs n >= 1, got %d", n)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var last population.TickStats
+	for i := 0; i < n; i++ {
+		last = h.eng.Tick()
+		if s.opts.Dir != "" && s.opts.CheckpointEvery > 0 &&
+			h.eng.Ticks()-h.lastCkpt >= s.opts.CheckpointEvery {
+			if _, err := s.checkpointLocked(h); err != nil {
+				return last, fmt.Errorf("serve: interval checkpoint (%w): %w", ErrHost, err)
+			}
+		}
+	}
+	return last, nil
+}
+
+// Ingest queues an external stimulus for agent `to` of population id; it
+// is injected at the start of the population's next tick. When hasTime is
+// false the stimulus is stamped with the population's current tick,
+// atomically with the enqueue. It returns the tick at which delivery will
+// happen.
+func (s *Server) Ingest(id string, to int, stim core.Stimulus, hasTime bool) (deliverAt int, err error) {
+	h, err := s.hosted(id)
+	if err != nil {
+		return 0, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !hasTime {
+		stim.Time = float64(h.eng.Ticks())
+	}
+	if err := h.eng.Enqueue(to, stim); err != nil {
+		return 0, err
+	}
+	h.ingested++
+	return h.eng.Ticks(), nil
+}
+
+// Checkpoint snapshots population id to Options.Dir now and returns the
+// file path.
+func (s *Server) Checkpoint(id string) (string, error) {
+	h, err := s.hosted(id)
+	if err != nil {
+		return "", err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return s.checkpointLocked(h)
+}
+
+func (s *Server) checkpointLocked(h *hosted) (string, error) {
+	if s.opts.Dir == "" {
+		return "", errors.New("serve: no checkpoint directory configured")
+	}
+	snap, err := h.eng.Snapshot()
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(s.opts.Dir, checkpoint.FileName(h.spec.ID, snap.Tick))
+	meta := map[string]string{
+		"workload": h.spec.Workload,
+		"id":       h.spec.ID,
+		"ingested": strconv.FormatInt(h.ingested, 10),
+	}
+	if err := checkpoint.Write(path, snap, meta); err != nil {
+		return "", err
+	}
+	h.lastCkpt = snap.Tick
+	h.lastPath = path
+	if _, err := checkpoint.Prune(s.opts.Dir, h.spec.ID, s.opts.Keep); err != nil {
+		return path, fmt.Errorf("serve: prune after checkpoint: %w", err)
+	}
+	return path, nil
+}
+
+// CheckpointAll snapshots every hosted population (graceful-shutdown
+// path), returning the first error but attempting all.
+func (s *Server) CheckpointAll() error {
+	var first error
+	for _, id := range s.IDs() {
+		if _, err := s.Checkpoint(id); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Explain renders agent `agent` of population id: its self-description,
+// meta report when the meta level is present, recent decision explanations
+// and the knowledge-store inventory — the paper's self-explanation, served
+// over HTTP.
+func (s *Server) Explain(id string, agent int) (string, error) {
+	h, err := s.hosted(id)
+	if err != nil {
+		return "", err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if agent < 0 || agent >= h.eng.Agents() {
+		return "", fmt.Errorf("serve: agent %d out of range (population %d)", agent, h.eng.Agents())
+	}
+	a := h.eng.Agent(agent)
+	now := float64(h.eng.Ticks())
+	out := a.Describe(now) + "\n"
+	if m := a.Meta(); m != nil {
+		out += m.Report() + "\n"
+	}
+	if ex := a.Explainer(); ex != nil {
+		if t := ex.Transcript(5); t != "" {
+			out += "recent decisions:\n" + t
+		} else {
+			out += "recent decisions: none recorded\n"
+		}
+	}
+	out += "models:\n" + a.Store().Inventory(now)
+	return out, nil
+}
+
+// Status is one population's live metrics, JSON-shaped.
+type Status struct {
+	ID        string  `json:"id"`
+	Workload  string  `json:"workload"`
+	Agents    int     `json:"agents"`
+	Shards    int     `json:"shards"`
+	Seed      int64   `json:"seed"`
+	Tick      int     `json:"tick"`
+	Steps     int64   `json:"steps"`
+	Messages  int64   `json:"messages"`
+	Delivered int64   `json:"delivered"`
+	Actions   int64   `json:"actions"`
+	Ingested  int64   `json:"ingested"`
+	ModelMean float64 `json:"model_mean"`
+	WorkP50   float64 `json:"work_p50"`
+	WorkP99   float64 `json:"work_p99"`
+	LastCkpt  int     `json:"last_checkpoint_tick"`
+	CkptPath  string  `json:"last_checkpoint_path,omitempty"`
+}
+
+// Status reports population id's live metrics.
+func (s *Server) Status(id string) (Status, error) {
+	h, err := s.hosted(id)
+	if err != nil {
+		return Status{}, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	rs := h.eng.Run(0) // zero ticks: aggregate counters only
+	return Status{
+		ID:        h.spec.ID,
+		Workload:  h.spec.Workload,
+		Agents:    h.eng.Agents(),
+		Shards:    h.eng.Shards(),
+		Seed:      h.spec.Seed,
+		Tick:      h.eng.Ticks(),
+		Steps:     rs.Steps,
+		Messages:  rs.Messages,
+		Delivered: rs.Delivered,
+		Actions:   rs.Actions,
+		Ingested:  h.ingested,
+		ModelMean: rs.Observed.Mean(),
+		WorkP50:   rs.WorkQuantile(0.50),
+		WorkP99:   rs.WorkQuantile(0.99),
+		LastCkpt:  h.lastCkpt,
+		CkptPath:  h.lastPath,
+	}, nil
+}
+
+// Run advances every hosted population by one tick each interval until ctx
+// is cancelled, then checkpoints everything and returns. interval <= 0
+// means on-demand only: Run blocks until cancellation and still performs
+// the shutdown checkpoint — callers get durability on SIGTERM for free.
+//
+// A tick failure ends the loop (the population may be mid-divergence;
+// blindly continuing would compound it), but Run still checkpoints every
+// population it can before returning, so the caller never loses durable
+// state to the error that stopped ticking. The returned error is never nil
+// on that path — callers that see Run finish before their own shutdown
+// know ticking has stopped.
+func (s *Server) Run(ctx context.Context, interval time.Duration) error {
+	if interval > 0 {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return s.CheckpointAll()
+			case <-t.C:
+				for _, id := range s.IDs() {
+					if _, err := s.Advance(id, 1); err != nil {
+						err = fmt.Errorf("serve: tick %s: %w", id, err)
+						if ckErr := s.CheckpointAll(); ckErr != nil {
+							err = errors.Join(err, ckErr)
+						}
+						return err
+					}
+				}
+			}
+		}
+	}
+	<-ctx.Done()
+	return s.CheckpointAll()
+}

@@ -1,13 +1,3 @@
-// Package sim provides a small deterministic discrete-event simulation
-// kernel used by every substrate in this repository.
-//
-// The kernel is intentionally minimal: a virtual clock, a binary-heap event
-// queue with stable FIFO ordering for simultaneous events, and seeded random
-// number streams so that every experiment is reproducible from a single
-// integer seed. Both event-driven simulation (Schedule/Run) and fixed-step
-// simulation (Ticker) are supported, because the camera-network and
-// multicore substrates are naturally tick-based while the cloud and network
-// substrates are naturally event-based.
 package sim
 
 import (

@@ -1,0 +1,6 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness needs: numerically stable online moments (Welford), quantiles,
+// normal-approximation confidence intervals, and plain-text rendering of
+// result tables and series so that every experiment can print the rows a
+// paper table or figure would contain.
+package stats

@@ -1,8 +1,3 @@
-// Package stats provides the small statistical toolkit the experiment
-// harness needs: numerically stable online moments (Welford), quantiles,
-// normal-approximation confidence intervals, and plain-text rendering of
-// result tables and series so that every experiment can print the rows a
-// paper table or figure would contain.
 package stats
 
 import (
@@ -71,6 +66,24 @@ func (o *Online) CI95() float64 {
 		return 0
 	}
 	return 1.96 * o.Std() / math.Sqrt(float64(o.n))
+}
+
+// OnlineState is the exported form of an Online accumulator: plain data
+// that snapshots (internal/checkpoint) can serialise and restore exactly.
+type OnlineState struct {
+	N                  int
+	Mean, M2, Min, Max float64
+}
+
+// State exports the accumulator's complete internal state.
+func (o *Online) State() OnlineState {
+	return OnlineState{N: o.n, Mean: o.mean, M2: o.m2, Min: o.min, Max: o.max}
+}
+
+// SetState overwrites the accumulator with a previously exported state, as
+// if it had Added the same observations.
+func (o *Online) SetState(s OnlineState) {
+	o.n, o.mean, o.m2, o.min, o.max = s.N, s.Mean, s.M2, s.Min, s.Max
 }
 
 // Merge folds other into o, as if every observation of other had been Added.

@@ -1,6 +1,3 @@
-// Package trace records time series produced during simulation runs and
-// exports them as CSV, so that any experiment's trajectory (not just its
-// summary table) can be inspected or re-plotted outside the harness.
 package trace
 
 import (

@@ -1,0 +1,13 @@
+// Package xrand provides the repository's checkpointable random number
+// source: a SplitMix64 generator whose entire state is one uint64 that can
+// be read and written at any point in the stream.
+//
+// The standard library's rand.NewSource hides its (large) internal state,
+// which makes a simulation built on it impossible to snapshot and resume
+// exactly. A Source from this package is a drop-in rand.Source64 for
+// rand.New, and Source.State/SetState let internal/checkpoint capture a
+// stream mid-flight and continue it byte-identically in a fresh process.
+// SplitMix64 (Steele, Lea & Flood, "Fast splittable pseudorandom number
+// generators", OOPSLA 2014) passes BigCrush and is the generator Java and
+// many simulation stacks use for exactly this seed-then-stream role.
+package xrand

@@ -1,0 +1,47 @@
+package xrand
+
+import "math/rand"
+
+// Source is a SplitMix64 pseudorandom source. It implements rand.Source64,
+// so rand.New(NewSource(seed)) yields a *rand.Rand whose whole stream
+// position is the single word returned by State. The zero value is a valid
+// source seeded with 0; it is not safe for concurrent use, matching the
+// standard library's unsynchronised sources.
+type Source struct {
+	state uint64
+}
+
+// NewSource returns a Source seeded with seed.
+func NewSource(seed int64) *Source {
+	s := &Source{}
+	s.Seed(seed)
+	return s
+}
+
+// New returns a *rand.Rand drawing from a fresh Source seeded with seed.
+// The underlying source is recoverable via rand.Rand's Src only through
+// the caller keeping its own reference, so callers that need to checkpoint
+// should create the Source explicitly and keep it.
+func New(seed int64) *rand.Rand { return rand.New(NewSource(seed)) }
+
+// Seed implements rand.Source.
+func (s *Source) Seed(seed int64) { s.state = uint64(seed) }
+
+// State returns the stream position: everything there is to know about the
+// source. SetState(State()) on any Source resumes this exact stream.
+func (s *Source) State() uint64 { return s.state }
+
+// SetState repositions the source to a state previously returned by State.
+func (s *Source) SetState(state uint64) { s.state = state }
+
+// Uint64 implements rand.Source64 with the SplitMix64 output function.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Int63 implements rand.Source.
+func (s *Source) Int63() int64 { return int64(s.Uint64() >> 1) }

@@ -1,0 +1,53 @@
+package xrand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDeterministicStream(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	src := NewSource(7)
+	r := rand.New(src)
+	for i := 0; i < 137; i++ {
+		r.Float64()
+	}
+	saved := src.State()
+	want := make([]float64, 64)
+	for i := range want {
+		want[i] = r.Float64()
+	}
+
+	// A fresh source repositioned to the saved state must continue the
+	// stream exactly — this is the property checkpointing rests on.
+	src2 := NewSource(0)
+	src2.SetState(saved)
+	r2 := rand.New(src2)
+	for i, w := range want {
+		if got := r2.Float64(); got != w {
+			t.Fatalf("resumed stream diverged at draw %d: got %v want %v", i, got, w)
+		}
+	}
+}
+
+func TestSeedsSeparate(t *testing.T) {
+	// Adjacent seeds must not produce overlapping prefixes.
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/100 identical draws across adjacent seeds", same)
+	}
+}

@@ -1,0 +1,32 @@
+// Package selfaware is the public API of the SACS library: a framework for
+// building computationally self-aware systems, reproducing Lewis,
+// "Self-aware computing systems: from psychology to engineering" (DATE
+// 2017).
+//
+// A self-aware agent senses stimuli, maintains self-models at up to five
+// levels of self-awareness (stimulus, interaction, time, goal, meta),
+// reasons over those models against run-time-switchable multi-objective
+// goals, acts through effectors, and can explain every decision it makes
+// from the models it consulted.
+//
+// Quick start:
+//
+//	agent := selfaware.New(selfaware.Config{
+//	    Name: "thermostat",
+//	    Sensors: []selfaware.Sensor{
+//	        selfaware.ScalarSensor("temp", selfaware.Public, readTemp),
+//	    },
+//	    Goals: selfaware.NewSwitcher(selfaware.NewGoalSet("comfort",
+//	        selfaware.Objective{Name: "temp-error", Direction: selfaware.Minimize, Weight: 1},
+//	    )),
+//	    Reasoner: selfaware.ReasonerFunc{ReasonerName: "bang-bang", Fn: decide},
+//	    Effectors: []selfaware.Effector{heater},
+//	})
+//	for t := 0.0; ; t++ {
+//	    agent.Step(t, map[string]float64{"temp-error": errNow()})
+//	}
+//
+// The package re-exports the framework types from the internal
+// implementation packages; see the examples directory for complete
+// programs, and DESIGN.md for how the pieces map onto the paper.
+package selfaware

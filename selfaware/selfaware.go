@@ -1,41 +1,12 @@
-// Package selfaware is the public API of the SACS library: a framework for
-// building computationally self-aware systems, reproducing Lewis,
-// "Self-aware computing systems: from psychology to engineering" (DATE
-// 2017).
-//
-// A self-aware agent senses stimuli, maintains self-models at up to five
-// levels of self-awareness (stimulus, interaction, time, goal, meta),
-// reasons over those models against run-time-switchable multi-objective
-// goals, acts through effectors, and can explain every decision it makes
-// from the models it consulted.
-//
-// Quick start:
-//
-//	agent := selfaware.New(selfaware.Config{
-//	    Name: "thermostat",
-//	    Sensors: []selfaware.Sensor{
-//	        selfaware.ScalarSensor("temp", selfaware.Public, readTemp),
-//	    },
-//	    Goals: selfaware.NewSwitcher(selfaware.NewGoalSet("comfort",
-//	        selfaware.Objective{Name: "temp-error", Direction: selfaware.Minimize, Weight: 1},
-//	    )),
-//	    Reasoner: selfaware.ReasonerFunc{ReasonerName: "bang-bang", Fn: decide},
-//	    Effectors: []selfaware.Effector{heater},
-//	})
-//	for t := 0.0; ; t++ {
-//	    agent.Step(t, map[string]float64{"temp-error": errNow()})
-//	}
-//
-// The package re-exports the framework types from the internal
-// implementation packages; see the examples directory for complete
-// programs, and DESIGN.md for how the pieces map onto the paper.
 package selfaware
 
 import (
+	"sacs/internal/checkpoint"
 	"sacs/internal/core"
 	"sacs/internal/goals"
 	"sacs/internal/knowledge"
 	"sacs/internal/population"
+	"sacs/internal/serve"
 )
 
 // Level enumerates the levels of computational self-awareness.
@@ -173,6 +144,65 @@ type (
 
 // NewPopulation builds a sharded population engine.
 var NewPopulation = population.New
+
+// Checkpointing: a Population can be snapshotted at any tick barrier and
+// restored — in the same process or a fresh one — continuing
+// byte-identically at any worker count, provided the workload is
+// checkpoint-friendly (mutable agent state confined to the knowledge
+// store, goal switcher, built-in processes and engine-owned RNG streams;
+// see DESIGN.md "Checkpointable populations").
+type (
+	// PopulationSnapshot is the complete exported state of a Population.
+	PopulationSnapshot = population.Snapshot
+	// AgentState is one agent's exported run-time state inside a snapshot.
+	AgentState = core.AgentState
+)
+
+// SnapshotPopulation exports a population's complete state; equivalent to
+// the Population's own Snapshot method, exported here so the whole
+// checkpoint surface is visible in one place.
+func SnapshotPopulation(p *Population) (*PopulationSnapshot, error) { return p.Snapshot() }
+
+// RestorePopulation rebuilds a live Population from a snapshot; cfg must
+// describe the same workload the snapshot was exported from.
+var RestorePopulation = population.Restore
+
+// Snapshot (de)serialisation: the versioned, CRC-checked binary format of
+// internal/checkpoint (wire format documented in DESIGN.md).
+var (
+	// EncodeSnapshot writes a snapshot plus caller metadata to a writer.
+	EncodeSnapshot = checkpoint.Encode
+	// DecodeSnapshot reads one back, verifying magic, version and checksum.
+	DecodeSnapshot = checkpoint.Decode
+	// WriteSnapshot atomically writes a snapshot file (temp + rename).
+	WriteSnapshot = checkpoint.Write
+	// ReadSnapshot reads a snapshot file.
+	ReadSnapshot = checkpoint.Read
+	// LatestSnapshot finds the newest snapshot file for a population id.
+	LatestSnapshot = checkpoint.Latest
+	// ErrCorruptSnapshot wraps every decode failure caused by a damaged or
+	// truncated snapshot.
+	ErrCorruptSnapshot = checkpoint.ErrCorrupt
+)
+
+// Serving: the long-run daemon layer (cmd/sawd) that hosts populations
+// behind HTTP — tick cadence, stimulus ingest, explanations, interval and
+// shutdown checkpointing.
+type (
+	// Server hosts live populations; see internal/serve.
+	Server = serve.Server
+	// ServeOptions configures a Server.
+	ServeOptions = serve.Options
+	// ServeWorkload is a named, rebuildable population configuration.
+	ServeWorkload = serve.Workload
+	// PopulationSpec names one population a Server should host.
+	PopulationSpec = serve.Spec
+	// PopulationStatus is a hosted population's live metrics.
+	PopulationStatus = serve.Status
+)
+
+// NewServer builds a population-hosting service.
+var NewServer = serve.New
 
 // MAPEK is the classic autonomic-computing baseline loop.
 type MAPEK = core.MAPEK

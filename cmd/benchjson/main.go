@@ -1,0 +1,74 @@
+// Command benchjson reads `go test -bench` output on stdin, writes the
+// parsed results as a BENCH_*.json trajectory file, and (optionally) gates
+// allocs/op against a committed baseline. tools/bench.sh is the canonical
+// caller; CI runs it on every PR.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... -benchmem . | \
+//	  go run ./cmd/benchjson -out BENCH_ci.json \
+//	    -baseline BENCH_PR4.json -check AgentStepFullStack,PopulationTick
+//
+// Exit status is 1 when any checked benchmark regressed (or vanished).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"sacs/internal/benchjson"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "", "write parsed results to this BENCH_*.json file")
+		baseline  = flag.String("baseline", "", "committed BENCH_*.json to gate against")
+		check     = flag.String("check", "", "comma-separated benchmark name prefixes to gate on allocs/op")
+		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional allocs/op growth over the baseline")
+		note      = flag.String("note", "", "free-form note recorded in -out")
+	)
+	flag.Parse()
+
+	results, err := benchjson.Parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: parsed %d benchmarks\n", len(results))
+
+	if *out != "" {
+		f := &benchjson.File{Note: *note, Go: runtime.Version(),
+			Benchmarks: make(map[string]benchjson.Entry, len(results))}
+		for name, r := range results {
+			f.Benchmarks[name] = benchjson.Entry{After: r}
+		}
+		if err := f.Write(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %s\n", *out)
+	}
+
+	if *baseline != "" && *check != "" {
+		base, err := benchjson.Load(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		prefixes := strings.Split(*check, ",")
+		errs := benchjson.Compare(base, results, prefixes, *tolerance)
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "FAIL:", e)
+		}
+		if len(errs) > 0 {
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: allocs/op within %.0f%% of %s for %v\n",
+			*tolerance*100, *baseline, prefixes)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,179 @@
+package benchjson
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measured numbers. Ns/B/Allocs are the standard
+// testing.B columns; Metrics carries custom b.ReportMetric units
+// (steps/sec, snapshot-bytes, ...).
+type Result struct {
+	NsOp     float64            `json:"ns_op"`
+	BOp      float64            `json:"b_op"`
+	AllocsOp float64            `json:"allocs_op"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Entry is one benchmark's trajectory record: the current (after) numbers,
+// plus optionally the numbers from before the change that the file
+// documents.
+type Entry struct {
+	Before *Result `json:"before,omitempty"`
+	After  Result  `json:"after"`
+}
+
+// File is the BENCH_*.json schema.
+type File struct {
+	Note       string           `json:"note,omitempty"`
+	Go         string           `json:"go,omitempty"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// Normalize strips the "Benchmark" prefix and the trailing -GOMAXPROCS
+// suffix from a benchmark name, so names are stable across machines:
+// "BenchmarkPopulationTick/agents=1000/workers=1-8" becomes
+// "PopulationTick/agents=1000/workers=1".
+func Normalize(name string) string {
+	name = strings.TrimPrefix(name, "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		digits := name[i+1:]
+		if len(digits) > 0 && strings.TrimLeft(digits, "0123456789") == "" {
+			name = name[:i]
+		}
+	}
+	return name
+}
+
+// Parse reads `go test -bench` output and returns the per-benchmark
+// results, keyed by normalized name. Non-benchmark lines are ignored, so
+// the full test output (headers, PASS, custom logs) can be piped through
+// unfiltered.
+func Parse(r io.Reader) (map[string]Result, error) {
+	out := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 { // name, iterations, value, unit
+			continue
+		}
+		if _, err := strconv.Atoi(f[1]); err != nil {
+			continue // "BenchmarkX ... --- FAIL" and similar
+		}
+		res := Result{}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value %q in %q", f[i], line)
+			}
+			switch unit := f[i+1]; unit {
+			case "ns/op":
+				res.NsOp = v
+			case "B/op":
+				res.BOp = v
+			case "allocs/op":
+				res.AllocsOp = v
+			default:
+				if res.Metrics == nil {
+					res.Metrics = make(map[string]float64)
+				}
+				res.Metrics[unit] = v
+			}
+		}
+		out[Normalize(f[0])] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchjson: no benchmark lines found")
+	}
+	return out, nil
+}
+
+// Load reads a BENCH_*.json file.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// Write writes a BENCH_*.json file with stable formatting (sorted keys via
+// encoding/json's map ordering, two-space indent, trailing newline).
+func (f *File) Write(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Compare checks current results against the baseline's After numbers for
+// every benchmark whose normalized name starts with one of the given
+// prefixes (a prefix matches the whole top-level name or any sub-benchmark
+// of it). A regression is allocs/op exceeding baseline·(1+tolerance)+1 —
+// the +1 absolute slack keeps 0-alloc baselines from failing on a single
+// stray allocation. Benchmarks selected by a prefix but missing from
+// either side are reported as errors too: a silently dropped benchmark
+// must not pass the gate.
+func Compare(baseline *File, current map[string]Result, prefixes []string, tolerance float64) []error {
+	var errs []error
+	matches := func(name string) bool {
+		for _, p := range prefixes {
+			if name == p || strings.HasPrefix(name, p+"/") {
+				return true
+			}
+		}
+		return false
+	}
+	var names []string
+	for name := range baseline.Benchmarks {
+		if matches(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return []error{fmt.Errorf("benchjson: no baseline benchmarks match %v", prefixes)}
+	}
+	for _, name := range names {
+		base := baseline.Benchmarks[name].After
+		cur, ok := current[name]
+		if !ok {
+			errs = append(errs, fmt.Errorf("benchjson: %s: in baseline but not in this run", name))
+			continue
+		}
+		limit := base.AllocsOp*(1+tolerance) + 1
+		if cur.AllocsOp > limit {
+			errs = append(errs, fmt.Errorf(
+				"benchjson: %s: allocs/op regressed: %.0f > limit %.1f (baseline %.0f, tolerance %.0f%%)",
+				name, cur.AllocsOp, limit, base.AllocsOp, tolerance*100))
+		}
+	}
+	for name := range current {
+		if matches(name) {
+			if _, ok := baseline.Benchmarks[name]; !ok {
+				errs = append(errs, fmt.Errorf(
+					"benchjson: %s: measured but missing from the committed baseline — add it", name))
+			}
+		}
+	}
+	return errs
+}

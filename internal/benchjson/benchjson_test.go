@@ -1,0 +1,139 @@
+package benchjson
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: sacs
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkAgentStepFullStack 	  100000	      1665 ns/op	     128 B/op	       3 allocs/op
+BenchmarkAgentStepStimulusOnly-8 	 2938396	       121.6 ns/op	      72 B/op	       0 allocs/op
+BenchmarkPopulationTick/agents=1000/workers=1-8         	      50	   1561576 ns/op	    640379 steps/sec	  516800 B/op	    2653 allocs/op
+BenchmarkBanditSelectUpdate/eps-greedy-8   	1000000	 52.1 ns/op	 0 B/op	 0 allocs/op
+PASS
+ok  	sacs	1.838s
+`
+
+func TestParse(t *testing.T) {
+	got, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, ok := got["AgentStepFullStack"]
+	if !ok || full.NsOp != 1665 || full.BOp != 128 || full.AllocsOp != 3 {
+		t.Fatalf("AgentStepFullStack = %+v ok=%v", full, ok)
+	}
+	stim, ok := got["AgentStepStimulusOnly"]
+	if !ok || stim.NsOp != 121.6 {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %+v ok=%v", stim, ok)
+	}
+	tick, ok := got["PopulationTick/agents=1000/workers=1"]
+	if !ok || tick.AllocsOp != 2653 || tick.Metrics["steps/sec"] != 640379 {
+		t.Fatalf("sub-benchmark with custom metric = %+v ok=%v", tick, ok)
+	}
+	if _, ok := got["BanditSelectUpdate/eps-greedy"]; !ok {
+		t.Fatalf("hyphenated sub-benchmark mangled: %v", got)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok sacs 1s\n")); err == nil {
+		t.Fatal("no-benchmark input accepted")
+	}
+}
+
+func baselineFor(allocs float64) *File {
+	return &File{Benchmarks: map[string]Entry{
+		"AgentStepFullStack":                    {After: Result{AllocsOp: allocs}},
+		"PopulationTick/agents=1000/workers=1":  {After: Result{AllocsOp: 2653}},
+		"PopulationTick/agents=10000/workers=1": {After: Result{AllocsOp: 25796}},
+	}}
+}
+
+func TestCompareAllowsWithinTolerance(t *testing.T) {
+	cur := map[string]Result{
+		"AgentStepFullStack":                    {AllocsOp: 3},
+		"PopulationTick/agents=1000/workers=1":  {AllocsOp: 2700}, // < 2653*1.1+1
+		"PopulationTick/agents=10000/workers=1": {AllocsOp: 25796},
+	}
+	if errs := Compare(baselineFor(3), cur, []string{"AgentStepFullStack", "PopulationTick"}, 0.10); len(errs) != 0 {
+		t.Fatalf("within-tolerance run rejected: %v", errs)
+	}
+}
+
+func TestCompareZeroAllocSlack(t *testing.T) {
+	cur := map[string]Result{
+		"AgentStepFullStack":                    {AllocsOp: 1}, // 0-baseline + 1 slack
+		"PopulationTick/agents=1000/workers=1":  {AllocsOp: 2653},
+		"PopulationTick/agents=10000/workers=1": {AllocsOp: 25796},
+	}
+	if errs := Compare(baselineFor(0), cur, []string{"AgentStepFullStack", "PopulationTick"}, 0.10); len(errs) != 0 {
+		t.Fatalf("one stray alloc over a 0 baseline must pass: %v", errs)
+	}
+	cur["AgentStepFullStack"] = Result{AllocsOp: 2}
+	if errs := Compare(baselineFor(0), cur, []string{"AgentStepFullStack"}, 0.10); len(errs) != 1 {
+		t.Fatalf("2 allocs over a 0 baseline must fail: %v", errs)
+	}
+}
+
+func TestCompareCatchesRegressionAndDrift(t *testing.T) {
+	base := baselineFor(3)
+	// Regression.
+	cur := map[string]Result{
+		"AgentStepFullStack":                    {AllocsOp: 20},
+		"PopulationTick/agents=1000/workers=1":  {AllocsOp: 2653},
+		"PopulationTick/agents=10000/workers=1": {AllocsOp: 25796},
+	}
+	errs := Compare(base, cur, []string{"AgentStepFullStack", "PopulationTick"}, 0.10)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "regressed") {
+		t.Fatalf("regression not caught: %v", errs)
+	}
+	// A benchmark vanishing from the run must fail the gate.
+	delete(cur, "PopulationTick/agents=10000/workers=1")
+	if errs := Compare(base, cur, []string{"PopulationTick"}, 0.10); len(errs) != 1 {
+		t.Fatalf("dropped benchmark not caught: %v", errs)
+	}
+	// A new sub-benchmark missing from the baseline must fail too.
+	cur["PopulationTick/agents=10000/workers=1"] = Result{AllocsOp: 1}
+	cur["PopulationTick/agents=99999/workers=1"] = Result{AllocsOp: 1}
+	found := false
+	for _, e := range Compare(base, cur, []string{"PopulationTick"}, 0.10) {
+		if strings.Contains(e.Error(), "missing from the committed baseline") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("unknown benchmark not flagged")
+	}
+	// No baseline match at all.
+	if errs := Compare(base, cur, []string{"Nonexistent"}, 0.10); len(errs) != 1 {
+		t.Fatalf("empty prefix match not flagged: %v", errs)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	before := &Result{NsOp: 2439, BOp: 854, AllocsOp: 20}
+	f := &File{
+		Note: "test",
+		Go:   "go1.24.0",
+		Benchmarks: map[string]Entry{
+			"AgentStepFullStack": {Before: before, After: Result{NsOp: 1665, BOp: 128, AllocsOp: 3}},
+		},
+	}
+	if err := f.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := g.Benchmarks["AgentStepFullStack"]
+	if e.Before == nil || e.Before.AllocsOp != 20 || e.After.AllocsOp != 3 || g.Note != "test" {
+		t.Fatalf("round trip lost data: %+v", g)
+	}
+}

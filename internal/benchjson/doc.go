@@ -1,0 +1,9 @@
+// Package benchjson turns `go test -bench` text output into the stable
+// JSON shape committed as the repo's benchmark trajectory (BENCH_*.json)
+// and gates allocation regressions against it. The trajectory records, per
+// tracked benchmark, ns/op, B/op, allocs/op and any custom metrics; CI
+// regenerates the numbers on every PR (tools/bench.sh), uploads them as an
+// artifact, and fails when allocs/op — the machine-independent column —
+// regresses more than the configured tolerance against the committed
+// baseline.
+package benchjson

@@ -73,13 +73,15 @@ type Agent struct {
 	meta      *MetaMonitor
 
 	processes   []Process
+	active      []Process // capability-filtered processes, precomputed in New
 	stimProc    *StimulusProcess
 	interProc   *InteractionProcess
 	timeProc    *TimeProcess
 	goalProc    *GoalProcess
 	stepCount   int
 	lastMetrics map[string]float64
-	stimBuf     []Stimulus // Step's sensed-stimulus batch, reused across ticks
+	stimBuf     []Stimulus  // Step's sensed-stimulus batch, reused across ticks
+	decFree     []*Decision // recycled Decision contexts (see Step)
 }
 
 // New builds an agent from cfg.
@@ -135,6 +137,13 @@ func New(cfg Config) *Agent {
 		a.meta = NewMetaMonitor(a)
 	}
 	a.processes = append(a.processes, cfg.ExtraProcesses...)
+	// Capabilities are immutable after construction, so the per-level gate
+	// is applied once here instead of per process per tick.
+	for _, p := range a.processes {
+		if caps.Has(p.Level()) {
+			a.active = append(a.active, p)
+		}
+	}
 	return a
 }
 
@@ -170,10 +179,8 @@ func (a *Agent) AddSensor(s Sensor) { a.sensors = append(a.sensors, s) }
 // Inject delivers externally produced stimuli (e.g. messages from peers in
 // a collective) into the agent's awareness processes immediately.
 func (a *Agent) Inject(now float64, batch []Stimulus) {
-	for _, p := range a.processes {
-		if a.caps.Has(p.Level()) {
-			p.Observe(now, batch)
-		}
+	for _, p := range a.active {
+		p.Observe(now, batch)
 	}
 }
 
@@ -182,31 +189,39 @@ func (a *Agent) Inject(now float64, batch []Stimulus) {
 // (effectors). metrics is the substrate's current metric snapshot used for
 // goal evaluation; it may be nil. The chosen actions are returned after
 // being executed.
+//
+// Hot-path contract: the returned slice is backed by a pooled Decision and
+// stays valid only until the agent's next Step; callers that retain actions
+// across ticks must copy them (the population engine's EmitContext already
+// documents the same rule).
 func (a *Agent) Step(now float64, metrics map[string]float64) []Action {
 	a.stepCount++
 	a.lastMetrics = metrics
 
 	// Sense, optionally limited by attention. The batch buffer is owned by
 	// the agent and reused every tick; processes consume it synchronously
-	// and must not retain it.
+	// and must not retain it. Sensors implementing BatchSensor append in
+	// place; plain Sensors go through the allocating compatibility path.
 	sensors := a.sensors
 	if a.attention != nil {
 		sensors = a.attention.Pick(now, a.sensors, a.store)
 	}
 	batch := a.stimBuf[:0]
 	for _, s := range sensors {
-		batch = append(batch, s.Sense(now)...)
+		if bs, ok := s.(BatchSensor); ok {
+			batch = bs.SenseInto(now, batch)
+		} else {
+			batch = append(batch, s.Sense(now)...)
+		}
 	}
 	a.stimBuf = batch
 
-	// Learn: feed every capability-enabled process.
+	// Learn: feed every capability-enabled process (precomputed in New).
 	if a.goalProc != nil {
 		a.goalProc.SetMetrics(metrics)
 	}
-	for _, p := range a.processes {
-		if a.caps.Has(p.Level()) {
-			p.Observe(now, batch)
-		}
+	for _, p := range a.active {
+		p.Observe(now, batch)
 	}
 
 	// Meta: observe own awareness quality, maybe adapt it.
@@ -218,10 +233,12 @@ func (a *Agent) Step(now float64, metrics map[string]float64) []Action {
 	if a.reasoner == nil {
 		return nil
 	}
-	d := &Decision{Now: now, agent: a, Goal: a.activeGoal(), Metrics: metrics}
+	d := a.takeDecision(now, metrics)
 	a.reasoner.Decide(d)
 	if a.explainer != nil {
-		a.explainer.Record(d)
+		if evicted := a.explainer.Record(d); evicted != nil {
+			a.decFree = append(a.decFree, evicted)
+		}
 	}
 
 	// Act (self-expression).
@@ -234,7 +251,29 @@ func (a *Agent) Step(now float64, metrics map[string]float64) []Action {
 			d.failures = append(d.failures, fmt.Sprintf("%s: no effector", act))
 		}
 	}
+	if a.explainer == nil {
+		// Not retained for explanation: the context goes straight back to
+		// the pool (its chosen slice stays valid until the next Step).
+		a.decFree = append(a.decFree, d)
+	}
 	return d.chosen
+}
+
+// takeDecision returns a cleared Decision context, recycled from the
+// agent's pool when one is free. Decisions cycle agent-locally: fresh →
+// explainer ring (when explanation is on) → pool on eviction → reuse, so a
+// steady-state step heap-allocates no decision state at all.
+func (a *Agent) takeDecision(now float64, metrics map[string]float64) *Decision {
+	var d *Decision
+	if n := len(a.decFree); n > 0 {
+		d = a.decFree[n-1]
+		a.decFree = a.decFree[:n-1]
+		d.reset()
+	} else {
+		d = &Decision{}
+	}
+	d.Now, d.agent, d.Goal, d.Metrics = now, a, a.activeGoal(), metrics
+	return d
 }
 
 func (a *Agent) activeGoal() *goals.Set {
@@ -244,15 +283,19 @@ func (a *Agent) activeGoal() *goals.Set {
 	return a.goals.Active()
 }
 
-// Describe renders a one-paragraph self-description: name, capabilities,
-// goal, model inventory size. A minimal form of self-reporting.
+// Describe renders a one-paragraph self-description at virtual time now:
+// name, the report's time context, capabilities, goal, model inventory
+// size. A minimal form of self-reporting. now anchors the report — the
+// same agent describes itself differently as time passes (steps fall
+// behind the clock when the agent idles), which is what makes the
+// self-report a statement about the present rather than a static label.
 func (a *Agent) Describe(now float64) string {
 	goal := "none"
 	if g := a.activeGoal(); g != nil {
 		goal = g.String()
 	}
-	return fmt.Sprintf("agent %s: levels=%s goal=%s models=%d steps=%d",
-		a.name, a.caps, goal, a.store.Len(), a.stepCount)
+	return fmt.Sprintf("agent %s at t=%.4g: levels=%s goal=%s models=%d steps=%d",
+		a.name, now, a.caps, goal, a.store.Len(), a.stepCount)
 }
 
 // ModelNames lists the agent's current self-model names, sorted.

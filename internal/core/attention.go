@@ -24,22 +24,26 @@ type Attention struct {
 
 	// Sampled counts total sensor samples taken, for cost accounting.
 	Sampled int
+
+	picked []Sensor // Pick's result buffer, reused across steps
 }
 
 // Pick applies the policy; with a zero/negative budget or nil policy every
-// sensor is sampled.
+// sensor is sampled. The returned slice is reused by the next Pick and
+// must not be retained across steps.
 func (a *Attention) Pick(now float64, sensors []Sensor, store *knowledge.Store) []Sensor {
 	if a.Budget <= 0 || a.Policy == nil || a.Budget >= len(sensors) {
 		a.Sampled += len(sensors)
 		return sensors
 	}
 	idx := a.Policy.Pick(now, sensors, a.Budget, store)
-	picked := make([]Sensor, 0, len(idx))
+	picked := a.picked[:0]
 	for _, i := range idx {
 		if i >= 0 && i < len(sensors) {
 			picked = append(picked, sensors[i])
 		}
 	}
+	a.picked = picked
 	a.Sampled += len(picked)
 	return picked
 }
@@ -48,6 +52,7 @@ func (a *Attention) Pick(now float64, sensors []Sensor, store *knowledge.Store) 
 // baseline.
 type RoundRobinAttention struct {
 	next int
+	buf  []int // Pick's result buffer, reused across steps
 }
 
 // Name implements AttentionPolicy.
@@ -64,10 +69,11 @@ func (r *RoundRobinAttention) Pick(_ float64, sensors []Sensor, budget int, _ *k
 	if budget > n {
 		budget = n
 	}
-	idx := make([]int, 0, budget)
+	idx := r.buf[:0]
 	for i := 0; i < budget; i++ {
 		idx = append(idx, (r.next+i)%n)
 	}
+	r.buf = idx
 	r.next = (r.next + budget) % n
 	return idx
 }

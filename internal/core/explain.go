@@ -36,6 +36,17 @@ type candidate struct {
 	score float64
 }
 
+// reset clears the decision for reuse from the agent's pool, keeping the
+// slice capacity the previous cycles grew.
+func (d *Decision) reset() {
+	d.Now, d.Goal, d.Metrics, d.agent = 0, nil, nil, nil
+	d.consulted = d.consulted[:0]
+	d.candidates = d.candidates[:0]
+	d.chosen = d.chosen[:0]
+	d.rationale = d.rationale[:0]
+	d.failures = d.failures[:0]
+}
+
 // Consult reads model name from the agent's knowledge base (def when
 // absent) and records the consultation for explanation.
 func (d *Decision) Consult(name string, def float64) float64 {
@@ -66,10 +77,16 @@ func (d *Decision) BestCandidate() (label string, score float64, ok bool) {
 	return best.label, best.score, true
 }
 
-// Choose commits an action with a human-readable reason.
+// Choose commits an action with a human-readable reason. With no args the
+// reason string is recorded as-is (no formatting pass), so constant-reason
+// choices stay allocation-free on the hot path.
 func (d *Decision) Choose(a Action, because string, args ...interface{}) {
 	d.chosen = append(d.chosen, a)
-	d.rationale = append(d.rationale, fmt.Sprintf(because, args...))
+	if len(args) == 0 {
+		d.rationale = append(d.rationale, because)
+	} else {
+		d.rationale = append(d.rationale, fmt.Sprintf(because, args...))
+	}
 }
 
 // Chosen returns the committed actions.
@@ -159,7 +176,10 @@ func (d *Decision) WhyNot(label string) string {
 }
 
 // Explainer keeps a bounded window of recent decisions and answers
-// "why"-questions from them.
+// "why"-questions from them. Recorded decisions are pooled by the owning
+// agent: a *Decision obtained from Last/Recent is valid until the agent
+// has stepped enough times to evict it from the window (depth steps) —
+// render explanations before stepping on, or copy the rendered text.
 type Explainer struct {
 	depth    int
 	ring     []*Decision
@@ -176,14 +196,18 @@ func NewExplainer(depth int) *Explainer {
 	return &Explainer{depth: depth, ring: make([]*Decision, depth)}
 }
 
-// Record stores a decision.
-func (e *Explainer) Record(d *Decision) {
+// Record stores a decision and returns the one it evicted from the window
+// (nil while the ring is still filling). The agent recycles the evicted
+// context through its decision pool.
+func (e *Explainer) Record(d *Decision) (evicted *Decision) {
+	evicted = e.ring[e.head]
 	e.ring[e.head] = d
 	e.head = (e.head + 1) % e.depth
 	if e.size < e.depth {
 		e.size++
 	}
 	e.Recorded++
+	return evicted
 }
 
 // Len reports how many decisions are retained.

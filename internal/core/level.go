@@ -112,6 +112,18 @@ type Sensor interface {
 	Sense(now float64) []Stimulus
 }
 
+// BatchSensor is an optional extension of Sensor for the tick hot path:
+// SenseInto appends the stimuli observable now to buf and returns the
+// extended slice, so steady-state sensing allocates nothing. Agent.Step
+// uses SenseInto when a sensor provides it and falls back to Sense (one
+// fresh slice per call) otherwise — existing Sensor implementations keep
+// working unchanged. Implementations must not retain buf.
+type BatchSensor interface {
+	Sensor
+	// SenseInto appends the stimuli observable now to buf.
+	SenseInto(now float64, buf []Stimulus) []Stimulus
+}
+
 // SensorFunc adapts a function to the Sensor interface.
 type SensorFunc struct {
 	SensorName string
@@ -125,11 +137,31 @@ func (s SensorFunc) Name() string { return s.SensorName }
 func (s SensorFunc) Sense(now float64) []Stimulus { return s.Fn(now) }
 
 // ScalarSensor adapts a scalar-returning function to Sensor, producing one
-// stimulus named after the sensor.
+// stimulus named after the sensor. The returned sensor implements
+// BatchSensor, so agents sense it without allocating.
 func ScalarSensor(name string, scope Scope, fn func(now float64) float64) Sensor {
-	return SensorFunc{SensorName: name, Fn: func(now float64) []Stimulus {
-		return []Stimulus{{Name: name, Scope: scope, Value: fn(now), Time: now}}
-	}}
+	return &scalarSensor{name: name, scope: scope, fn: fn}
+}
+
+// scalarSensor is ScalarSensor's concrete type: one stimulus per sample,
+// appended in place on the hot path.
+type scalarSensor struct {
+	name  string
+	scope Scope
+	fn    func(now float64) float64
+}
+
+// Name implements Sensor.
+func (s *scalarSensor) Name() string { return s.name }
+
+// Sense implements Sensor.
+func (s *scalarSensor) Sense(now float64) []Stimulus {
+	return s.SenseInto(now, nil)
+}
+
+// SenseInto implements BatchSensor.
+func (s *scalarSensor) SenseInto(now float64, buf []Stimulus) []Stimulus {
+	return append(buf, Stimulus{Name: s.name, Scope: s.scope, Value: s.fn(now), Time: now})
 }
 
 // Action is one self-expressive act: a named command with a scalar argument

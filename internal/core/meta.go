@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"sacs/internal/knowledge"
 	"sacs/internal/learning"
 )
 
@@ -24,6 +25,10 @@ type MetaMonitor struct {
 	// Adaptations counts strategy switches performed.
 	Adaptations int
 	lastErr     float64
+
+	// Interned store keys for the monitor's three models, resolved once at
+	// construction so the per-step write path never hashes a name.
+	rmseKey, stratKey, adaptKey knowledge.Key
 }
 
 type namedPredictorFactory struct {
@@ -37,6 +42,9 @@ func NewMetaMonitor(a *Agent) *MetaMonitor {
 	return &MetaMonitor{
 		agent:    a,
 		detector: learning.NewPageHinkley(0.005, 0.5),
+		rmseKey:  a.store.Intern("meta/forecast-rmse", Private),
+		stratKey: a.store.Intern("meta/strategy", Private),
+		adaptKey: a.store.Intern("meta/adaptations", Private),
 		pool: []namedPredictorFactory{
 			{"ewma", func() learning.Predictor { return learning.NewEWMA(0.3) }},
 			{"holt", func() learning.Predictor { return learning.NewHolt(0.4, 0.2) }},
@@ -59,9 +67,9 @@ func (m *MetaMonitor) Observe(now float64) {
 	err := tp.MeanForecastError()
 	m.lastErr = err
 	store := m.agent.Store()
-	store.Ensure("meta/forecast-rmse", Private).Set(err, now)
-	store.Ensure("meta/strategy", Private).Set(float64(m.poolIdx), now)
-	store.Ensure("meta/adaptations", Private).Set(float64(m.Adaptations), now)
+	store.SetKey(m.rmseKey, err, now)
+	store.SetKey(m.stratKey, float64(m.poolIdx), now)
+	store.SetKey(m.adaptKey, float64(m.Adaptations), now)
 
 	if m.detector.Observe(err) {
 		// Our own awareness has degraded: switch strategy and relearn.

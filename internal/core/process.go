@@ -13,6 +13,10 @@ import (
 // models at a particular level. An agent runs only the processes whose level
 // its Capabilities include — this gating is what makes the E5 levels
 // ablation meaningful.
+//
+// Hot-path contract: Observe receives the agent's reused stimulus batch; a
+// process must consume it synchronously and never retain the slice (or
+// pointers into it) across calls.
 type Process interface {
 	// Name identifies the process.
 	Name() string
@@ -24,9 +28,13 @@ type Process interface {
 
 // StimulusProcess realises stimulus-awareness: it records the latest value
 // of every stimulus into the knowledge store under "stim/<name>". This is
-// the minimal awareness every agent has.
+// the minimal awareness every agent has. Per stimulus name, the store key
+// is resolved once and cached, so the steady-state tick neither
+// concatenates nor hashes the model name.
 type StimulusProcess struct {
 	Store *knowledge.Store
+
+	keys map[string]knowledge.Key // stimulus name -> interned "stim/<name>"
 }
 
 // Name implements Process.
@@ -37,20 +45,39 @@ func (p *StimulusProcess) Level() Level { return LevelStimulus }
 
 // Observe implements Process.
 func (p *StimulusProcess) Observe(now float64, batch []Stimulus) {
-	for _, s := range batch {
-		p.Store.Observe("stim/"+s.Name, s.Scope, s.Value, now)
+	for i := range batch {
+		s := &batch[i]
+		k, ok := p.keys[s.Name]
+		if !ok {
+			k = p.Store.Intern("stim/"+s.Name, s.Scope)
+			if p.keys == nil {
+				p.keys = make(map[string]knowledge.Key)
+			}
+			p.keys[s.Name] = k
+		}
+		p.Store.ObserveKey(k, s.Value, now)
 	}
+}
+
+// peerStim identifies one (source, stimulus) pair modelled by
+// interaction-awareness; used as a map key so cached store keys need no
+// string concatenation on lookup.
+type peerStim struct {
+	source, name string
 }
 
 // InteractionProcess realises interaction-awareness: it separates stimuli
 // originating from peers (Source set and different from Self) and models
 // per-peer behaviour under "peer/<source>/<name>", plus an interaction
-// count under "interactions".
+// count under "interactions". Per (peer, stimulus) pair the store key is
+// resolved once and cached.
 type InteractionProcess struct {
 	Self  string
 	Store *knowledge.Store
 
-	count float64
+	count    float64
+	keys     map[peerStim]knowledge.Key
+	countKey knowledge.Key // interned "interactions"; zero until first use
 }
 
 // Name implements Process.
@@ -61,27 +88,57 @@ func (p *InteractionProcess) Level() Level { return LevelInteraction }
 
 // Observe implements Process.
 func (p *InteractionProcess) Observe(now float64, batch []Stimulus) {
-	for _, s := range batch {
+	for i := range batch {
+		s := &batch[i]
 		if s.Source == "" || s.Source == p.Self {
 			continue
 		}
 		p.count++
-		p.Store.Observe(fmt.Sprintf("peer/%s/%s", s.Source, s.Name), Public, s.Value, now)
+		id := peerStim{source: s.Source, name: s.Name}
+		k, ok := p.keys[id]
+		if !ok {
+			k = p.Store.Intern(fmt.Sprintf("peer/%s/%s", s.Source, s.Name), knowledge.Public)
+			if p.keys == nil {
+				p.keys = make(map[peerStim]knowledge.Key)
+			}
+			p.keys[id] = k
+		}
+		p.Store.ObserveKey(k, s.Value, now)
 	}
-	p.Store.Ensure("interactions", Private).Set(p.count, now)
+	if p.countKey == 0 {
+		p.countKey = p.Store.Intern("interactions", knowledge.Private)
+	}
+	p.Store.SetKey(p.countKey, p.count, now)
+}
+
+// timeModel is the per-stimulus state of time-awareness: the forecaster,
+// its out-of-sample error tracker, and the interned store keys the hot loop
+// writes through. stimKey stays zero until the "stim/<name>" model exists
+// (it is owned by stimulus-awareness and may be absent in ablated agents).
+// pred == nil marks a model discarded by Reset: the table entry, its
+// interned keys and its slot in the sorted name index are kept so that
+// re-learning after a strategy swap rebuilds none of them.
+type timeModel struct {
+	pred     learning.Predictor
+	errs     learning.MSETracker
+	predKey  knowledge.Key // "pred/<name>"
+	trendKey knowledge.Key // "trend/<name>"
+	stimKey  knowledge.Key // "stim/<name>", resolved lazily
 }
 
 // TimeProcess realises time-awareness: for every stimulus name it maintains
 // a one-step-ahead prediction under "pred/<name>" and a recent trend under
 // "trend/<name>". The predictor factory is pluggable so the meta level can
-// swap forecasting strategies at run time.
+// swap forecasting strategies at run time. All per-model store keys are
+// resolved once, when the model is first seen, and reused every tick — and
+// across Reset/SwapPredictor, which discard only the forecasters.
 type TimeProcess struct {
 	Store      *knowledge.Store
 	NewPredict func() learning.Predictor
 
-	preds  map[string]learning.Predictor
-	errors map[string]*learning.MSETracker
-	names  []string // sorted keys of preds, maintained on insert
+	models map[string]*timeModel
+	names  []string // sorted keys of models, maintained on insert
+	live   int      // models with a current predictor (pred != nil)
 }
 
 // Name implements Process.
@@ -92,40 +149,59 @@ func (p *TimeProcess) Level() Level { return LevelTime }
 
 // Observe implements Process.
 func (p *TimeProcess) Observe(now float64, batch []Stimulus) {
-	if p.preds == nil {
-		p.preds = make(map[string]learning.Predictor)
-		p.errors = make(map[string]*learning.MSETracker)
+	if p.models == nil {
+		p.models = make(map[string]*timeModel)
 	}
 	if p.NewPredict == nil {
 		p.NewPredict = func() learning.Predictor { return learning.NewEWMA(0.3) }
 	}
-	for _, s := range batch {
-		pr, ok := p.preds[s.Name]
+	for i := range batch {
+		s := &batch[i]
+		m, ok := p.models[s.Name]
 		if !ok {
-			pr = p.NewPredict()
-			p.preds[s.Name] = pr
-			p.errors[s.Name] = &learning.MSETracker{}
+			m = &timeModel{
+				predKey:  p.Store.Intern("pred/"+s.Name, s.Scope),
+				trendKey: p.Store.Intern("trend/"+s.Name, s.Scope),
+			}
+			p.models[s.Name] = m
 			p.insertName(s.Name)
+		}
+		if m.pred == nil {
+			// First observation, or first after a Reset: a fresh forecaster
+			// and error tracker, exactly as if the model were new.
+			m.pred = p.NewPredict()
+			m.errs = learning.MSETracker{}
+			p.live++
 		} else {
 			// Score yesterday's forecast against today's truth before
 			// updating: honest out-of-sample error for the meta level.
-			p.errors[s.Name].Record(pr.Predict(), s.Value)
+			m.errs.Record(m.pred.Predict(), s.Value)
 		}
-		pr.Observe(s.Value)
-		p.Store.Ensure("pred/"+s.Name, s.Scope).Set(pr.Predict(), now)
-		if e := p.Store.Get("stim/" + s.Name); e != nil {
+		m.pred.Observe(s.Value)
+		p.Store.SetKey(m.predKey, m.pred.Predict(), now)
+		// One model consultation per stimulus per tick, exactly like the
+		// string path: LookupKey while the stimulus model is still absent,
+		// GetKey once its key is known.
+		var e *knowledge.Entry
+		if m.stimKey == 0 {
+			m.stimKey, e = p.Store.LookupKey("stim/" + s.Name)
+		} else {
+			e = p.Store.GetKey(m.stimKey)
+		}
+		if e != nil {
 			if tr, ok := e.Trend(); ok {
-				p.Store.Ensure("trend/"+s.Name, s.Scope).Set(tr, now)
+				p.Store.SetKey(m.trendKey, tr, now)
 			}
 		}
 	}
 }
 
 // ForecastError returns the running RMSE of the process's forecasts for the
-// named stimulus (0 if unknown). The meta level reads this.
+// named stimulus (0 if unknown or discarded by Reset). The meta level reads
+// this.
 func (p *TimeProcess) ForecastError(name string) float64 {
-	if t, ok := p.errors[name]; ok {
-		return t.RMSE()
+	if m, ok := p.models[name]; ok && m.pred != nil {
+		return m.errs.RMSE()
 	}
 	return 0
 }
@@ -146,22 +222,28 @@ func (p *TimeProcess) insertName(name string) {
 // map-iteration order must not leak into checkpointed state (and the hot
 // path must not allocate — hence the maintained name index).
 func (p *TimeProcess) MeanForecastError() float64 {
-	if len(p.errors) == 0 {
+	if p.live == 0 {
 		return 0
 	}
 	s := 0.0
 	for _, n := range p.names {
-		s += p.errors[n].RMSE()
+		if m := p.models[n]; m.pred != nil {
+			s += m.errs.RMSE()
+		}
 	}
-	return s / float64(len(p.errors))
+	return s / float64(p.live)
 }
 
 // Reset discards all predictors, forcing re-learning; the meta level calls
-// this when drift is detected.
+// this when drift is detected. The model table, its interned store keys and
+// the sorted name index survive: only the forecasters and their error
+// trackers are dropped, so re-learning allocates nothing but the new
+// predictors themselves.
 func (p *TimeProcess) Reset() {
-	p.preds = nil
-	p.errors = nil
-	p.names = nil
+	for _, m := range p.models {
+		m.pred = nil
+	}
+	p.live = 0
 }
 
 // SwapPredictor replaces the predictor factory and resets state.
@@ -181,6 +263,9 @@ type GoalProcess struct {
 
 	metrics  map[string]float64
 	switches float64
+	scratch  map[string]float64 // reused fallback metric map (metrics == nil)
+
+	utilKey, violKey, switchKey knowledge.Key // interned on first Observe
 }
 
 // SetMetrics provides the substrate's current metric snapshot for the next
@@ -198,6 +283,11 @@ func (p *GoalProcess) Observe(now float64, batch []Stimulus) {
 	if p.Switcher == nil {
 		return
 	}
+	if p.utilKey == 0 {
+		p.utilKey = p.Store.Intern("goal/utility", knowledge.Private)
+		p.violKey = p.Store.Intern("goal/violations", knowledge.Private)
+		p.switchKey = p.Store.Intern("goal/switches", knowledge.Private)
+	}
 	active, changed := p.Switcher.Tick(now)
 	if changed {
 		p.switches++
@@ -205,13 +295,19 @@ func (p *GoalProcess) Observe(now float64, batch []Stimulus) {
 	m := p.metrics
 	if m == nil {
 		// Fall back to raw stimulus values so goal evaluation degrades
-		// gracefully when the substrate provides no explicit metrics.
-		m = make(map[string]float64, len(batch))
-		for _, s := range batch {
-			m[s.Name] = s.Value
+		// gracefully when the substrate provides no explicit metrics. The
+		// scratch map is reused across ticks.
+		if p.scratch == nil {
+			p.scratch = make(map[string]float64, len(batch))
+		} else {
+			clear(p.scratch)
 		}
+		for i := range batch {
+			p.scratch[batch[i].Name] = batch[i].Value
+		}
+		m = p.scratch
 	}
-	p.Store.Ensure("goal/utility", Private).Set(active.Utility(m), now)
-	p.Store.Ensure("goal/violations", Private).Set(float64(len(active.Violations(m))), now)
-	p.Store.Ensure("goal/switches", Private).Set(p.switches, now)
+	p.Store.SetKey(p.utilKey, active.Utility(m), now)
+	p.Store.SetKey(p.violKey, float64(len(active.Violations(m))), now)
+	p.Store.SetKey(p.switchKey, p.switches, now)
 }

@@ -96,25 +96,27 @@ func (a *Agent) State() (AgentState, error) {
 	if a.interProc != nil {
 		st.Interactions = a.interProc.count
 	}
-	if a.timeProc != nil && len(a.timeProc.preds) > 0 {
-		names := make([]string, 0, len(a.timeProc.preds))
-		for n := range a.timeProc.preds {
-			names = append(names, n)
+	if a.timeProc != nil && a.timeProc.live > 0 {
+		names := make([]string, 0, len(a.timeProc.models))
+		for n, m := range a.timeProc.models {
+			if m.pred != nil { // Reset-discarded models carry no state
+				names = append(names, n)
+			}
 		}
 		sort.Strings(names)
 		ts := &TimeState{Preds: make([]PredictorState, 0, len(names))}
 		for _, n := range names {
-			pr := a.timeProc.preds[n]
-			sf, ok := pr.(learning.Stateful)
+			m := a.timeProc.models[n]
+			sf, ok := m.pred.(learning.Stateful)
 			if !ok {
 				return AgentState{}, fmt.Errorf(
-					"core: agent %s predictor %q (%s) does not support checkpointing", a.name, n, pr.Name())
+					"core: agent %s predictor %q (%s) does not support checkpointing", a.name, n, m.pred.Name())
 			}
 			ts.Preds = append(ts.Preds, PredictorState{
 				Stim:  n,
-				Kind:  pr.Name(),
+				Kind:  m.pred.Name(),
 				State: sf.State(),
-				Err:   a.timeProc.errors[n].State(),
+				Err:   m.errs.State(),
 			})
 		}
 		st.Time = ts
@@ -183,9 +185,9 @@ func (a *Agent) SetState(st AgentState) error {
 			factory = func() learning.Predictor { return learning.NewEWMA(0.3) }
 			a.timeProc.NewPredict = factory
 		}
-		a.timeProc.preds = make(map[string]learning.Predictor, len(st.Time.Preds))
-		a.timeProc.errors = make(map[string]*learning.MSETracker, len(st.Time.Preds))
+		a.timeProc.models = make(map[string]*timeModel, len(st.Time.Preds))
 		a.timeProc.names = nil
+		a.timeProc.live = 0
 		for _, ps := range st.Time.Preds {
 			pr := factory()
 			if pr.Name() != ps.Kind {
@@ -200,16 +202,23 @@ func (a *Agent) SetState(st AgentState) error {
 			if err := sf.SetState(ps.State); err != nil {
 				return fmt.Errorf("agent %s predictor %q: %w", a.name, ps.Stim, err)
 			}
-			tr := &learning.MSETracker{}
-			if err := tr.SetState(ps.Err); err != nil {
-				return fmt.Errorf("agent %s predictor %q: %w", a.name, ps.Stim, err)
-			}
-			if _, dup := a.timeProc.preds[ps.Stim]; dup {
+			if _, dup := a.timeProc.models[ps.Stim]; dup {
 				return fmt.Errorf("core: agent %s has duplicate predictor state for %q", a.name, ps.Stim)
 			}
-			a.timeProc.preds[ps.Stim] = pr
-			a.timeProc.errors[ps.Stim] = tr
+			// Intern binds against the just-restored entries, whose scope
+			// wins over the argument (the Private here is only a fallback
+			// for the never-written case).
+			m := &timeModel{
+				pred:     pr,
+				predKey:  a.store.Intern("pred/"+ps.Stim, knowledge.Private),
+				trendKey: a.store.Intern("trend/"+ps.Stim, knowledge.Private),
+			}
+			if err := m.errs.SetState(ps.Err); err != nil {
+				return fmt.Errorf("agent %s predictor %q: %w", a.name, ps.Stim, err)
+			}
+			a.timeProc.models[ps.Stim] = m
 			a.timeProc.insertName(ps.Stim)
+			a.timeProc.live++
 		}
 	}
 	return nil

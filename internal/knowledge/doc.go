@@ -4,4 +4,11 @@
 // state, history, environment and goals — is realised as entries in this
 // store, which the reasoner reads, the learners write, and the explainer
 // cites.
+//
+// Two hot-path facilities keep per-tick model access cheap (see DESIGN.md
+// "Hot-path performance"): names can be interned into dense Key handles so
+// steady-state loops never hash or concatenate strings, and a store with a
+// single owning goroutine can be marked Unshared to elide the registry
+// lock, the per-entry locks and the atomic instrumentation counters that
+// shared (collective) stores keep.
 package knowledge

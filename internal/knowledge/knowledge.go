@@ -31,12 +31,14 @@ func (s Scope) String() string {
 
 // Entry is one model in the store: a scalar estimate with uncertainty,
 // bounded history, and bookkeeping for explanation. All methods are safe
-// for concurrent use; Name and Scope are immutable after creation.
+// for concurrent use unless the owning store has been marked Unshared;
+// Name and Scope are immutable after creation.
 type Entry struct {
 	Name  string
 	Scope Scope
 
 	mu         sync.RWMutex
+	noLock     bool // single-owner store: locking elided (see Store.Unshared)
 	value      float64
 	variance   float64
 	alpha      float64 // EWMA factor for value/variance tracking; immutable
@@ -47,6 +49,9 @@ type Entry struct {
 
 // Value returns the current estimate.
 func (e *Entry) Value() float64 {
+	if e.noLock {
+		return e.value
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.value
@@ -55,6 +60,9 @@ func (e *Entry) Value() float64 {
 // Variance returns the EWMA-tracked variance of observations around the
 // estimate, a cheap volatility signal used by attention and meta levels.
 func (e *Entry) Variance() float64 {
+	if e.noLock {
+		return e.variance
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.variance
@@ -62,6 +70,9 @@ func (e *Entry) Variance() float64 {
 
 // Updates returns how many observations the entry has absorbed.
 func (e *Entry) Updates() int {
+	if e.noLock {
+		return e.n
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.n
@@ -69,6 +80,9 @@ func (e *Entry) Updates() int {
 
 // LastUpdate returns the virtual time of the last observation.
 func (e *Entry) LastUpdate() float64 {
+	if e.noLock {
+		return e.lastUpdate
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.lastUpdate
@@ -77,6 +91,9 @@ func (e *Entry) LastUpdate() float64 {
 // Confidence maps freshness and sample count to [0, 1]: zero observations
 // give 0; confidence grows with n and is discounted by staleness.
 func (e *Entry) Confidence(now float64) float64 {
+	if e.noLock {
+		return e.confidenceLocked(now)
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.confidenceLocked(now)
@@ -97,8 +114,10 @@ func (e *Entry) confidenceLocked(now float64) float64 {
 // caller, so it stays consistent under concurrent Observe/Set; hot paths
 // that only need the slope should call Trend, which allocates nothing.
 func (e *Entry) History() *Ring {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	if !e.noLock {
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+	}
 	if e.hist == nil {
 		return nil
 	}
@@ -114,18 +133,29 @@ func (e *Entry) History() *Ring {
 // Trend returns the least-squares slope over the entry's history window
 // without copying it; ok is false when the store keeps no history.
 func (e *Entry) Trend() (slope float64, ok bool) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
 	if e.hist == nil {
 		return 0, false
 	}
+	if e.noLock {
+		return e.hist.Trend(), true
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.hist.Trend(), true
 }
 
 // Observe folds a new observation in at virtual time now.
 func (e *Entry) Observe(x, now float64) {
+	if e.noLock {
+		e.observeLocked(x, now)
+		return
+	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.observeLocked(x, now)
+	e.mu.Unlock()
+}
+
+func (e *Entry) observeLocked(x, now float64) {
 	if e.n == 0 {
 		e.value = x
 	} else {
@@ -140,11 +170,32 @@ func (e *Entry) Observe(x, now float64) {
 	}
 }
 
+// valueOr returns the entry's estimate, or def when it has never been
+// updated: the shared core of Store.Value and Store.ValueKey.
+func (e *Entry) valueOr(def float64) float64 {
+	if !e.noLock {
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+	}
+	if e.n == 0 {
+		return def
+	}
+	return e.value
+}
+
 // Set overwrites the estimate without EWMA smoothing (for derived
 // quantities computed by reasoning rather than sensed).
 func (e *Entry) Set(x, now float64) {
+	if e.noLock {
+		e.setLocked(x, now)
+		return
+	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.setLocked(x, now)
+	e.mu.Unlock()
+}
+
+func (e *Entry) setLocked(x, now float64) {
 	e.value = x
 	e.n++
 	e.lastUpdate = now
@@ -153,18 +204,47 @@ func (e *Entry) Set(x, now float64) {
 	}
 }
 
+// Key is a dense handle for a model name interned in one Store's symbol
+// table: the per-tick loop resolves each name to a Key once (Intern or
+// LookupKey) and thereafter reads and writes the model by slice index —
+// no string concatenation, no map hashing. The zero Key is "not interned";
+// valid keys are positive. Keys are permanent for the life of the store:
+// deleting the model (Store.Delete) clears the entry behind the key, and a
+// later ObserveKey/EnsureKey recreates it fresh, exactly as the string path
+// would. Keys are store-local — never use a Key against a different Store.
+type Key int32
+
+// slot is what a Key indexes: the interned identity plus the live entry
+// (nil when the model does not currently exist).
+type slot struct {
+	name  string
+	scope Scope
+	e     *Entry
+}
+
 // Store is a threadsafe registry of model entries keyed by name. The store
-// lock guards the registry map only; each Entry carries its own lock, so
-// concurrent observations of different models never contend and a single
-// Observe acquires the registry lock at most once.
+// lock guards the registry map and the symbol table only; each Entry
+// carries its own lock, so concurrent observations of different models
+// never contend and a single Observe acquires the registry lock at most
+// once. Stores with exactly one owning goroutine can elide all of that —
+// see Unshared.
 type Store struct {
 	mu      sync.RWMutex
 	entries map[string]*Entry
+	keys    map[string]Key // symbol table: name -> Key (see Intern)
+	slots   []slot         // Key k lives at slots[k-1]
 	alpha   float64
 	histLen int
 
+	// unshared elides the registry lock, per-entry locks and atomic
+	// counters; set only through Unshared, only while single-owner.
+	unshared bool
+
 	reads  atomic.Int64 // instrumentation: model consultations (for E9 overhead)
 	writes atomic.Int64
+	// Unshared-mode instrumentation: plain counters, folded into
+	// ReadCount/WriteCount alongside the atomics.
+	readsU, writesU int64
 }
 
 // NewStore returns a store whose entries smooth with factor alpha and keep
@@ -176,9 +256,61 @@ func NewStore(alpha float64, histLen int) *Store {
 	return &Store{entries: make(map[string]*Entry), alpha: alpha, histLen: histLen}
 }
 
+// Unshared marks the store single-owner: the registry lock, the per-entry
+// locks and the atomic instrumentation counters are elided from every
+// subsequent operation. The population engine sets this on each agent's
+// private store (never on a store shared between agents), which removes
+// all synchronization from the tick hot path. It must be called while no
+// other goroutine can touch the store, and is irreversible; concurrent use
+// of an unshared store is a data race by contract (the -race tests assert
+// that shared stores keep today's locked behavior).
+func (s *Store) Unshared() {
+	s.mu.Lock()
+	s.unshared = true
+	for _, e := range s.entries {
+		e.noLock = true
+	}
+	s.mu.Unlock()
+}
+
+func (s *Store) countRead() {
+	if s.unshared {
+		s.readsU++
+	} else {
+		s.reads.Add(1)
+	}
+}
+
+func (s *Store) countWrite() {
+	if s.unshared {
+		s.writesU++
+	} else {
+		s.writes.Add(1)
+	}
+}
+
+// newEntry builds an entry with the store's parameters; callers must hold
+// the registry write lock (or own the store exclusively when unshared).
+func (s *Store) newEntry(name string, scope Scope) *Entry {
+	e := &Entry{Name: name, Scope: scope, alpha: s.alpha, noLock: s.unshared}
+	if s.histLen > 0 {
+		e.hist = NewRing(s.histLen)
+	}
+	return e
+}
+
 // Ensure returns the entry named name, creating it with the given scope on
 // first use.
 func (s *Store) Ensure(name string, scope Scope) *Entry {
+	if s.unshared {
+		e := s.entries[name]
+		if e == nil {
+			e = s.newEntry(name, scope)
+			s.entries[name] = e
+			s.bindSlot(name, e)
+		}
+		return e
+	}
 	s.mu.RLock()
 	e := s.entries[name]
 	s.mu.RUnlock()
@@ -189,25 +321,178 @@ func (s *Store) Ensure(name string, scope Scope) *Entry {
 	defer s.mu.Unlock()
 	e, ok := s.entries[name]
 	if !ok {
-		e = &Entry{Name: name, Scope: scope, alpha: s.alpha}
-		if s.histLen > 0 {
-			e.hist = NewRing(s.histLen)
-		}
+		e = s.newEntry(name, scope)
 		s.entries[name] = e
+		s.bindSlot(name, e)
 	}
 	return e
 }
 
+// bindSlot points an already-interned key's slot at e (no-op when name was
+// never interned). Callers must hold the write lock / own the store.
+func (s *Store) bindSlot(name string, e *Entry) {
+	if k, ok := s.keys[name]; ok {
+		s.slots[k-1].e = e
+	}
+}
+
+// Intern returns the permanent Key for name, adding it to the symbol table
+// on first use. Interning alone does not create the model: the entry comes
+// into existence on the first ObserveKey/SetKey/EnsureKey (or through the
+// string path), with the scope recorded here. Call once per name outside
+// the hot loop, then use the Key-based accessors per tick.
+func (s *Store) Intern(name string, scope Scope) Key {
+	if s.unshared {
+		if k, ok := s.keys[name]; ok {
+			return k
+		}
+		return s.internLocked(name, scope)
+	}
+	s.mu.RLock()
+	k, ok := s.keys[name]
+	s.mu.RUnlock()
+	if ok {
+		return k
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.internLocked(name, scope)
+}
+
+func (s *Store) internLocked(name string, scope Scope) Key {
+	if k, ok := s.keys[name]; ok {
+		return k
+	}
+	if s.keys == nil {
+		s.keys = make(map[string]Key)
+	}
+	e := s.entries[name]
+	if e != nil {
+		// The model already exists: its actual scope wins over the
+		// caller's argument, so a later delete-and-recreate through the
+		// key reproduces the model exactly (an agent restored from a
+		// checkpoint interns against restored entries, whose scope is
+		// authoritative).
+		scope = e.Scope
+	}
+	s.slots = append(s.slots, slot{name: name, scope: scope, e: e})
+	k := Key(len(s.slots))
+	s.keys[name] = k
+	return k
+}
+
+// LookupKey resolves name to its Key and current entry without ever
+// creating a model: it returns (0, nil) when no such model exists. When the
+// model exists but was created through the string path, it is interned here
+// so the caller can switch to the Key-based accessors. It counts as one
+// model consultation, exactly like Get.
+func (s *Store) LookupKey(name string) (Key, *Entry) {
+	s.countRead()
+	if s.unshared {
+		if k, ok := s.keys[name]; ok {
+			return k, s.slots[k-1].e
+		}
+		if e := s.entries[name]; e != nil {
+			return s.internLocked(name, e.Scope), e
+		}
+		return 0, nil
+	}
+	s.mu.RLock()
+	if k, ok := s.keys[name]; ok {
+		e := s.slots[k-1].e
+		s.mu.RUnlock()
+		return k, e
+	}
+	e := s.entries[name]
+	s.mu.RUnlock()
+	if e == nil {
+		return 0, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.internLocked(name, e.Scope), s.entries[name]
+}
+
+// entryForKey returns the entry behind k, creating it (with the interned
+// name and scope) when create is set and the model is currently absent.
+func (s *Store) entryForKey(k Key, create bool) *Entry {
+	if k <= 0 {
+		panic(fmt.Sprintf("knowledge: invalid key %d", k))
+	}
+	if s.unshared {
+		sl := &s.slots[k-1]
+		if sl.e == nil && create {
+			sl.e = s.newEntry(sl.name, sl.scope)
+			s.entries[sl.name] = sl.e
+		}
+		return sl.e
+	}
+	s.mu.RLock()
+	sl := s.slots[k-1]
+	s.mu.RUnlock()
+	if sl.e != nil || !create {
+		return sl.e
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := &s.slots[k-1]
+	if p.e == nil {
+		p.e = s.newEntry(p.name, p.scope)
+		s.entries[p.name] = p.e
+	}
+	return p.e
+}
+
+// ObserveKey records an observation for the interned model k (creating the
+// entry if needed): the hash-free equivalent of Observe.
+func (s *Store) ObserveKey(k Key, x, now float64) {
+	s.countWrite()
+	s.entryForKey(k, true).Observe(x, now)
+}
+
+// SetKey overwrites the interned model k's estimate without smoothing: the
+// hash-free equivalent of Ensure(...).Set(...).
+func (s *Store) SetKey(k Key, x, now float64) {
+	s.entryForKey(k, true).Set(x, now)
+}
+
+// EnsureKey returns the entry behind k, creating it if absent (like Ensure,
+// it does not count as a consultation).
+func (s *Store) EnsureKey(k Key) *Entry {
+	return s.entryForKey(k, true)
+}
+
+// GetKey returns the entry behind k, or nil when the model is currently
+// absent (never interned into existence or deleted). Like Get, it counts
+// as a model consultation.
+func (s *Store) GetKey(k Key) *Entry {
+	s.countRead()
+	return s.entryForKey(k, false)
+}
+
+// ValueKey returns the current estimate of the interned model k, or def
+// when the model is absent or has never been updated.
+func (s *Store) ValueKey(k Key, def float64) float64 {
+	e := s.GetKey(k)
+	if e == nil {
+		return def
+	}
+	return e.valueOr(def)
+}
+
 // Observe records an observation for name (creating the entry if needed).
 func (s *Store) Observe(name string, scope Scope, x, now float64) {
-	s.writes.Add(1)
+	s.countWrite()
 	s.Ensure(name, scope).Observe(x, now)
 }
 
 // Get returns the entry for name, or nil if absent. It counts as a model
 // consultation.
 func (s *Store) Get(name string) *Entry {
-	s.reads.Add(1)
+	s.countRead()
+	if s.unshared {
+		return s.entries[name]
+	}
 	s.mu.RLock()
 	e := s.entries[name]
 	s.mu.RUnlock()
@@ -221,34 +506,39 @@ func (s *Store) Value(name string, def float64) float64 {
 	if e == nil {
 		return def
 	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if e.n == 0 {
-		return def
-	}
-	return e.value
+	return e.valueOr(def)
 }
 
 // ReadCount reports how many model consultations the store has served.
-func (s *Store) ReadCount() int { return int(s.reads.Load()) }
+func (s *Store) ReadCount() int { return int(s.reads.Load() + s.readsU) }
 
 // WriteCount reports how many observations the store has absorbed.
-func (s *Store) WriteCount() int { return int(s.writes.Load()) }
+func (s *Store) WriteCount() int { return int(s.writes.Load() + s.writesU) }
 
-// Delete removes the named entry; a later Ensure/Observe recreates it
-// fresh (first observation re-seeds the value). Deleting a missing name is
-// a no-op. Meta-level processes use this to discard models that drift
-// detection has invalidated.
+// Delete removes the named entry; a later Ensure/Observe (or key-based
+// write through an interned Key) recreates it fresh (first observation
+// re-seeds the value). Deleting a missing name is a no-op. Meta-level
+// processes use this to discard models that drift detection has
+// invalidated. The name's Key, if interned, stays valid and simply points
+// at nothing until the model is recreated.
 func (s *Store) Delete(name string) {
+	if s.unshared {
+		delete(s.entries, name)
+		s.bindSlot(name, nil)
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.entries, name)
+	s.bindSlot(name, nil)
 }
 
 // Names returns all entry names, sorted, optionally filtered by scope.
 func (s *Store) Names(scope Scope, filter bool) []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	if !s.unshared {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
 	var names []string
 	for n, e := range s.entries {
 		if filter && e.Scope != scope {
@@ -262,6 +552,9 @@ func (s *Store) Names(scope Scope, filter bool) []string {
 
 // Len reports the number of entries.
 func (s *Store) Len() int {
+	if s.unshared {
+		return len(s.entries)
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.entries)
@@ -269,8 +562,10 @@ func (s *Store) Len() int {
 
 // Inventory renders a human-readable snapshot, used by self-explanation.
 func (s *Store) Inventory(now float64) string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	if !s.unshared {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
 	var names []string
 	for n := range s.entries {
 		names = append(names, n)
@@ -279,9 +574,13 @@ func (s *Store) Inventory(now float64) string {
 	var b strings.Builder
 	for _, n := range names {
 		e := s.entries[n]
-		e.mu.RLock()
+		if !e.noLock {
+			e.mu.RLock()
+		}
 		v, count, conf := e.value, e.n, e.confidenceLocked(now)
-		e.mu.RUnlock()
+		if !e.noLock {
+			e.mu.RUnlock()
+		}
 		fmt.Fprintf(&b, "%-28s %8.3f  conf=%.2f  scope=%s  n=%d\n",
 			n, v, conf, e.Scope, count)
 	}
@@ -304,11 +603,16 @@ func NewRing(capacity int) *Ring {
 	return &Ring{t: make([]float64, capacity), v: make([]float64, capacity)}
 }
 
-// Push appends a point, evicting the oldest when full.
+// Push appends a point, evicting the oldest when full. The wrap is a
+// compare, not a modulo: Push runs once per observation per model and the
+// integer division dominated tick profiles.
 func (r *Ring) Push(t, v float64) {
 	r.t[r.head] = t
 	r.v[r.head] = v
-	r.head = (r.head + 1) % len(r.t)
+	r.head++
+	if r.head == len(r.t) {
+		r.head = 0
+	}
 	if r.size < len(r.t) {
 		r.size++
 	}
@@ -368,19 +672,23 @@ func (r *Ring) Trend() float64 {
 		start += len(r.t)
 	}
 	var mt, mv float64
-	for i := 0; i < r.size; i++ {
-		j := (start + i) % len(r.t)
+	for i, j := 0, start; i < r.size; i++ {
 		mt += r.t[j]
 		mv += r.v[j]
+		if j++; j == len(r.t) {
+			j = 0
+		}
 	}
 	n := float64(r.size)
 	mt /= n
 	mv /= n
 	var num, den float64
-	for i := 0; i < r.size; i++ {
-		j := (start + i) % len(r.t)
+	for i, j := 0, start; i < r.size; i++ {
 		num += (r.t[j] - mt) * (r.v[j] - mv)
 		den += (r.t[j] - mt) * (r.t[j] - mt)
+		if j++; j == len(r.t) {
+			j = 0
+		}
 	}
 	if den == 0 {
 		return 0

@@ -40,8 +40,8 @@ func (s *Store) State() StoreState {
 	st := StoreState{
 		Alpha:   s.alpha,
 		HistLen: s.histLen,
-		Reads:   s.reads.Load(),
-		Writes:  s.writes.Load(),
+		Reads:   s.reads.Load() + s.readsU,
+		Writes:  s.writes.Load() + s.writesU,
 		Entries: make([]EntryState, 0, len(s.entries)),
 	}
 	for _, e := range s.entries {
@@ -67,7 +67,10 @@ func (s *Store) State() StoreState {
 
 // SetState replaces the store's contents with a previously exported state.
 // The store's smoothing factor and history length are overwritten too, so a
-// restored store behaves exactly like the one that was exported.
+// restored store behaves exactly like the one that was exported. The symbol
+// table survives: every interned Key is re-pointed at the restored entry of
+// the same name (or at nothing, when the state has no such model), so
+// processes that cached keys before the restore keep working.
 func (s *Store) SetState(st StoreState) error {
 	entries := make(map[string]*Entry, len(st.Entries))
 	for _, es := range st.Entries {
@@ -83,6 +86,7 @@ func (s *Store) SetState(st StoreState) error {
 			Name:       es.Name,
 			Scope:      es.Scope,
 			alpha:      st.Alpha,
+			noLock:     s.unshared,
 			value:      es.Value,
 			variance:   es.Variance,
 			n:          es.N,
@@ -104,7 +108,11 @@ func (s *Store) SetState(st StoreState) error {
 	s.alpha = st.Alpha
 	s.histLen = st.HistLen
 	s.entries = entries
+	for i := range s.slots {
+		s.slots[i].e = entries[s.slots[i].name]
+	}
 	s.reads.Store(st.Reads)
 	s.writes.Store(st.Writes)
+	s.readsU, s.writesU = 0, 0
 	return nil
 }

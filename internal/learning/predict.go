@@ -112,10 +112,14 @@ func (a *AR1) Predict() float64 {
 // Name implements Predictor.
 func (a *AR1) Name() string { return "ar1" }
 
-// WindowMean predicts the mean of the last W observations.
+// WindowMean predicts the mean of the last W observations. The window is a
+// ring: once full, each observation overwrites the oldest in place, so the
+// steady-state hot path allocates nothing (the former slide-by-reslicing
+// implementation reallocated the window roughly once per observation).
 type WindowMean struct {
 	W    int
-	hist []float64
+	hist []float64 // ring once len == W; hist[head] is then the oldest
+	head int
 }
 
 // NewWindowMean returns a sliding-window-mean predictor.
@@ -123,27 +127,32 @@ func NewWindowMean(w int) *WindowMean {
 	if w <= 0 {
 		panic("learning: WindowMean requires w > 0")
 	}
-	return &WindowMean{W: w}
+	return &WindowMean{W: w, hist: make([]float64, 0, w)}
 }
 
 // Observe implements Predictor.
 func (m *WindowMean) Observe(x float64) {
-	m.hist = append(m.hist, x)
-	if len(m.hist) > m.W {
-		m.hist = m.hist[1:]
+	if len(m.hist) < m.W {
+		m.hist = append(m.hist, x)
+		return
 	}
+	m.hist[m.head] = x
+	m.head = (m.head + 1) % m.W
 }
 
-// Predict implements Predictor.
+// Predict implements Predictor. Summation runs oldest-first — the same
+// order the pre-ring implementation used — because float addition is not
+// associative and predictions feed byte-compared checkpoint state.
 func (m *WindowMean) Predict() float64 {
-	if len(m.hist) == 0 {
+	n := len(m.hist)
+	if n == 0 {
 		return 0
 	}
 	s := 0.0
-	for _, x := range m.hist {
-		s += x
+	for i := 0; i < n; i++ {
+		s += m.hist[(m.head+i)%n]
 	}
-	return s / float64(len(m.hist))
+	return s / float64(n)
 }
 
 // Name implements Predictor.
@@ -157,6 +166,7 @@ type RLS struct {
 	lambda float64
 	w      []float64
 	p      [][]float64 // inverse covariance
+	px, k  []float64   // Observe's scratch vectors, reused every update
 }
 
 // NewRLS returns an RLS estimator with d features and forgetting factor
@@ -170,7 +180,8 @@ func NewRLS(d int, lambda float64) *RLS {
 		p[i] = make([]float64, d)
 		p[i][i] = 1000 // large initial covariance = uninformative prior
 	}
-	return &RLS{d: d, lambda: lambda, w: make([]float64, d), p: p}
+	return &RLS{d: d, lambda: lambda, w: make([]float64, d), p: p,
+		px: make([]float64, d), k: make([]float64, d)}
 }
 
 // Predict returns wᵀx.
@@ -189,11 +200,17 @@ func (r *RLS) Weights() []float64 {
 	return w
 }
 
-// Observe performs one RLS update with features x and target y.
+// Observe performs one RLS update with features x and target y. The
+// intermediate vectors live in the estimator (sized once at construction),
+// so the per-update path allocates nothing.
 func (r *RLS) Observe(x []float64, y float64) {
+	if r.px == nil { // zero-value construction: size scratch lazily
+		r.px, r.k = make([]float64, r.d), make([]float64, r.d)
+	}
 	// k = P x / (λ + xᵀ P x)
-	px := make([]float64, r.d)
+	px := r.px
 	for i := 0; i < r.d; i++ {
+		px[i] = 0
 		for j := 0; j < r.d; j++ {
 			px[i] += r.p[i][j] * x[j]
 		}
@@ -202,7 +219,7 @@ func (r *RLS) Observe(x []float64, y float64) {
 	for i := 0; i < r.d; i++ {
 		den += x[i] * px[i]
 	}
-	k := make([]float64, r.d)
+	k := r.k
 	for i := 0; i < r.d; i++ {
 		k[i] = px[i] / den
 	}

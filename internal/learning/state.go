@@ -75,8 +75,17 @@ func (a *AR1) SetState(v []float64) error {
 	return nil
 }
 
-// State implements Stateful: the retained window, oldest first.
-func (m *WindowMean) State() []float64 { return append([]float64(nil), m.hist...) }
+// State implements Stateful: the retained window, oldest first (ring
+// rotation is not preserved — every reader is rotation-invariant given the
+// oldest-first order).
+func (m *WindowMean) State() []float64 {
+	n := len(m.hist)
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, m.hist[(m.head+i)%n])
+	}
+	return out
+}
 
 // SetState implements Stateful.
 func (m *WindowMean) SetState(v []float64) error {
@@ -84,6 +93,7 @@ func (m *WindowMean) SetState(v []float64) error {
 		return fmt.Errorf("learning: window-mean state has %d values, window is %d", len(v), m.W)
 	}
 	m.hist = append(m.hist[:0], v...)
+	m.head = 0
 	return nil
 }
 

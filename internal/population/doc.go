@@ -13,4 +13,10 @@
 // completion order), so a population configured with S shards produces
 // byte-identical results whether the pool runs one worker or thirty-two;
 // only the wall time changes. See DESIGN.md for the full contract.
+//
+// The tick loop is engineered to be allocation-free at steady state:
+// single-owner knowledge stores are marked knowledge.Store.Unshared (no
+// locks, no atomics), shard results are pooled, mailbox slices recycle
+// through a coordinator free list, and the work-proxy history is a
+// fixed-size ring (DESIGN.md "Hot-path performance").
 package population

@@ -1,0 +1,212 @@
+package population
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"sacs/internal/core"
+	"sacs/internal/knowledge"
+	"sacs/internal/runner"
+)
+
+// tinyConfig is a minimal checkpoint-friendly population (store-backed
+// walk, one shard) cheap enough to run tens of thousands of ticks, for
+// exercising the work-history ring across its WorkWindow boundary.
+func tinyConfig(agents int) Config {
+	return Config{
+		Name:   "tiny",
+		Agents: agents,
+		Shards: 1,
+		Seed:   7,
+		New: func(id int, rng *rand.Rand) *core.Agent {
+			var a *core.Agent
+			a = core.New(core.Config{
+				Name: "t",
+				Caps: core.Caps(core.LevelStimulus),
+				Sensors: []core.Sensor{core.ScalarSensor("x", core.Private,
+					func(now float64) float64 {
+						return a.Store().Value("stim/x", 0) + rng.Float64() - 0.5
+					})},
+				ExplainDepth: -1,
+			})
+			return a
+		},
+		Emit: func(ctx *EmitContext) {
+			if ctx.Rng.Float64() < 0.5 {
+				ctx.Send(ctx.Rng.Intn(ctx.agents), core.Stimulus{
+					Name: "ping", Source: "peer", Scope: core.Public, Value: 1, Time: ctx.Now})
+			}
+		},
+	}
+}
+
+// TestWorkRingBoundsHistory drives an engine past 2·WorkWindow ticks and
+// checks the ring's invariants: the retained history never exceeds
+// WorkWindow, holds exactly the most recent ticks, and linearizes
+// oldest-first into snapshots.
+func TestWorkRingBoundsHistory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ring boundary needs >2·WorkWindow ticks")
+	}
+	e := New(tinyConfig(1))
+	ticks := 2*WorkWindow + 123
+	e.Run(ticks)
+	if len(e.work) != WorkWindow {
+		t.Fatalf("ring holds %d entries, want exactly %d", len(e.work), WorkWindow)
+	}
+	hist := e.workHistory()
+	if len(hist) != WorkWindow {
+		t.Fatalf("linearized history has %d entries, want %d", len(hist), WorkWindow)
+	}
+	// The work proxy is steps + delivered; with 1 agent it is 1 or 2. The
+	// history must equal an independently recorded tail.
+	e2 := New(tinyConfig(1))
+	var tail []float64
+	for i := 0; i < ticks; i++ {
+		ts := e2.Tick()
+		tail = append(tail, ts.Work())
+	}
+	tail = tail[len(tail)-WorkWindow:]
+	for i := range hist {
+		if hist[i] != tail[i] {
+			t.Fatalf("history[%d] = %v, want %v", i, hist[i], tail[i])
+		}
+	}
+}
+
+// TestRestoreMidRingByteIdentical snapshots an engine whose work ring has
+// already wrapped, restores it, continues both, and compares the final
+// snapshots structurally — Snapshot state is plain sorted data, so deep
+// equality is byte equality of the encoded form (S2 additionally proves
+// the bytes.Equal through the on-disk format). This is the resume contract
+// with the ring in rotated state.
+func TestRestoreMidRingByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ring boundary needs >WorkWindow ticks")
+	}
+	cfg := tinyConfig(2)
+	a := New(cfg)
+	a.Run(WorkWindow + 57) // ring full and rotated
+	snap, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Work) != WorkWindow {
+		t.Fatalf("snapshot carries %d work entries, want %d", len(snap.Work), WorkWindow)
+	}
+	b, err := Restore(tinyConfig(2), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Run(100)
+	b.Run(100)
+	sa, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sa, sb) {
+		t.Fatal("restored engine diverged from uninterrupted run after ring wrap")
+	}
+}
+
+// TestSingleOwnerStoresUnshared: the engine must mark each agent's private
+// store unshared, and must NOT mark a store two agents share.
+func TestSingleOwnerStoresUnshared(t *testing.T) {
+	sharedStore := knowledge.NewStore(0.3, 0)
+	e := New(Config{
+		Name:   "mixed",
+		Agents: 4,
+		Shards: 1, // sharing a store is only deterministic single-shard
+		Seed:   1,
+		New: func(id int, rng *rand.Rand) *core.Agent {
+			cfg := core.Config{
+				Name:         "m",
+				Caps:         core.Caps(core.LevelStimulus),
+				ExplainDepth: -1,
+			}
+			if id < 2 {
+				cfg.Store = sharedStore // a collective blackboard
+			}
+			return core.New(cfg)
+		},
+	})
+	e.Run(2)
+	// knowledge.Store has no public unshared getter; probe via the race
+	// detector instead — concurrent writes to the shared store must stay
+	// locked (this test is meaningful under -race, where an elided lock
+	// on a genuinely shared store would be reported).
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sharedStore.Observe("contended", knowledge.Private, float64(i), float64(i))
+				_ = sharedStore.Value("contended", 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if sharedStore.WriteCount() == 0 {
+		t.Fatal("shared store saw no writes")
+	}
+}
+
+// TestSharedStorePopulationStaysRaceFree steps a population whose agents
+// all write one collective store through multiple workers under -race: the
+// engine must not have elided that store's locks. (Interleaving across
+// shards is nondeterministic by contract, so only memory safety is
+// asserted.)
+func TestSharedStorePopulationStaysRaceFree(t *testing.T) {
+	shared := knowledge.NewStore(0.3, 8)
+	pool := runner.New(4)
+	defer pool.Close()
+	e := New(Config{
+		Name:   "collective",
+		Agents: 32,
+		Shards: 8,
+		Seed:   3,
+		Pool:   pool,
+		New: func(id int, rng *rand.Rand) *core.Agent {
+			return core.New(core.Config{
+				Name:  "c",
+				Caps:  core.Caps(core.LevelStimulus),
+				Store: shared,
+				Sensors: []core.Sensor{core.ScalarSensor("x", core.Private,
+					func(now float64) float64 { return float64(id) })},
+				ExplainDepth: -1,
+			})
+		},
+	})
+	e.Run(20)
+	if shared.WriteCount() == 0 {
+		t.Fatal("collective store saw no writes")
+	}
+}
+
+// TestMailboxFreeListRecycles: after ticks with traffic, consumed inboxes
+// return to the free list and agents without pending mail hold no slice.
+func TestMailboxFreeListRecycles(t *testing.T) {
+	e := New(tinyConfig(8))
+	e.Run(50)
+	// At a barrier, cur holds only pending mail; every consumed slice must
+	// have been recycled rather than left parked on its agent.
+	held := 0
+	for _, box := range e.cur {
+		if box != nil && len(box) == 0 {
+			held++
+		}
+	}
+	if held != 0 {
+		t.Fatalf("%d agents hold empty mailbox slices; they belong on the free list", held)
+	}
+	if len(e.free) == 0 {
+		t.Fatal("free list empty after 50 ticks of traffic")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"sacs/internal/core"
+	"sacs/internal/knowledge"
 	"sacs/internal/runner"
 	"sacs/internal/stats"
 	"sacs/internal/xrand"
@@ -109,14 +110,13 @@ type TickStats struct {
 func (t TickStats) Work() float64 { return float64(t.Steps + t.Delivered) }
 
 // WorkWindow bounds the per-tick work-proxy history the engine retains for
-// quantiles: compaction keeps between WorkWindow and 2·WorkWindow−1 of the
-// most recent ticks (amortised-O(1) truncation, so the retained count
-// oscillates with the compaction phase). The history is bounded because
-// engines now live arbitrarily long under sawd: an unbounded slice would
-// grow memory, snapshot size and Status cost linearly with uptime. The
-// bound is a constant (never wall-clock-derived), so retention — like
-// everything else — is a pure function of tick count and stays
-// deterministic.
+// quantiles: a fixed-capacity ring holding exactly the most recent
+// WorkWindow ticks (the whole run when shorter), overwritten in place with
+// no copying or reallocation ever. The history is bounded because engines
+// live arbitrarily long under sawd: an unbounded slice would grow memory,
+// snapshot size and Status cost linearly with uptime. The bound is a
+// constant (never wall-clock-derived), so retention — like everything else
+// — is a pure function of tick count and stays deterministic.
 const WorkWindow = 4096
 
 // RunStats aggregates a multi-tick run.
@@ -127,13 +127,12 @@ type RunStats struct {
 	// checksum of where the simulation ended up.
 	Observed stats.Online
 
-	work []float64 // recent per-tick Work values (WorkWindow..2·WorkWindow−1 ticks)
+	work []float64 // recent per-tick Work values (up to WorkWindow ticks, oldest first)
 }
 
 // WorkQuantile returns the q-quantile of the per-tick work proxy over the
-// retained history (the most recent WorkWindow to 2·WorkWindow−1 ticks; the
-// whole run when shorter) — the deterministic stand-in for per-tick latency
-// quantiles.
+// retained history (the most recent WorkWindow ticks; the whole run when
+// shorter) — the deterministic stand-in for per-tick latency quantiles.
 func (r RunStats) WorkQuantile(q float64) float64 { return stats.Quantile(r.work, q) }
 
 // Engine steps a sharded population. Create one with New; Tick and Run must
@@ -154,14 +153,23 @@ type Engine struct {
 	// Double-buffered mailboxes, one slot per agent. cur holds stimuli
 	// routed at the previous tick's barrier (read-only during a tick);
 	// next is filled by the coordinator at the barrier, then the buffers
-	// swap. Slices are truncated, not freed, so steady-state ticks do not
-	// reallocate mailboxes.
+	// swap. Only agents with pending mail hold a slice; consumed slices
+	// are recycled through the free list at the next barrier, so
+	// steady-state ticks reallocate no mailboxes and idle agents cost no
+	// memory.
 	cur, next [][]core.Stimulus
+	free      [][]core.Stimulus // spare mailbox slices (coordinator-only)
+
+	// results holds one reusable shardResult per shard; stepShard resets
+	// and refills results[s], so the per-tick fan-out allocates neither
+	// results nor (steady-state) outbox slices.
+	results []*shardResult
 
 	tick                                int
 	steps, messages, delivered, actions int64
 	lastObserved                        stats.Online
-	work                                []float64
+	work                                []float64 // work-proxy ring (see WorkWindow)
+	workHead                            int       // oldest element once the ring is full
 }
 
 // New builds the population: agents are constructed sequentially, each from
@@ -198,12 +206,30 @@ func New(cfg Config) *Engine {
 		agentSrcs: make([]*xrand.Source, cfg.Agents),
 		cur:       make([][]core.Stimulus, cfg.Agents),
 		next:      make([][]core.Stimulus, cfg.Agents),
+		results:   make([]*shardResult, cfg.Shards),
+	}
+	for s := range e.results {
+		e.results[s] = &shardResult{}
 	}
 	for id := range e.agents {
 		e.agentSrcs[id] = xrand.NewSource(mix(cfg.Seed, 0x9E3779B97F4A7C15, int64(id)))
 		e.agents[id] = cfg.New(id, rand.New(e.agentSrcs[id]))
 		if e.agents[id] == nil {
 			panic(fmt.Sprintf("population: Config.New returned nil for agent %d", id))
+		}
+	}
+	// Knowledge stores owned by exactly one agent never see concurrent
+	// access (a shard steps its agents sequentially; barriers order the
+	// ticks), so their locking and atomic counters are pure overhead:
+	// mark them unshared. A store given to several agents — a shared
+	// collective blackboard — keeps full locking.
+	owners := make(map[*knowledge.Store]int, cfg.Agents)
+	for _, a := range e.agents {
+		owners[a.Store()]++
+	}
+	for st, n := range owners {
+		if n == 1 {
+			st.Unshared()
 		}
 	}
 	for s := range e.rngs {
@@ -258,16 +284,24 @@ func (e *Engine) Tick() TickStats {
 		ts.Actions += o.actions
 		ts.Observed.Merge(&o.observed)
 		for _, m := range o.msgs {
-			e.next[m.to] = append(e.next[m.to], m.stim)
+			box := e.next[m.to]
+			if box == nil {
+				box = e.grabBox()
+			}
+			e.next[m.to] = append(box, m.stim)
 		}
 		ts.Messages += len(o.msgs)
 	}
-	// Swap mailbox buffers: what was routed just now becomes next tick's
-	// inbox; the consumed buffers are truncated for reuse.
-	e.cur, e.next = e.next, e.cur
-	for i := range e.next {
-		e.next[i] = e.next[i][:0]
+	// Recycle the inboxes this tick consumed (every shard job is done, so
+	// nothing reads them any more), then swap buffers: what was routed
+	// just now becomes next tick's inbox.
+	for i, box := range e.cur {
+		if box != nil {
+			e.free = append(e.free, box[:0])
+			e.cur[i] = nil
+		}
 	}
+	e.cur, e.next = e.next, e.cur
 
 	e.tick++
 	e.steps += int64(ts.Steps)
@@ -275,23 +309,54 @@ func (e *Engine) Tick() TickStats {
 	e.delivered += int64(ts.Delivered)
 	e.actions += int64(ts.Actions)
 	e.lastObserved = ts.Observed
-	// Bounded work history: compact to the last WorkWindow entries once the
-	// slice doubles. Amortised O(1), and the compaction points depend only
-	// on the tick count, so a resumed engine (which restores the slice
-	// verbatim) compacts at exactly the same ticks as the uninterrupted
-	// run — the history stays part of the byte-identical state.
-	if len(e.work) >= 2*WorkWindow {
-		e.work = append(e.work[:0], e.work[len(e.work)-(WorkWindow-1):]...)
-	}
-	e.work = append(e.work, ts.Work())
+	e.pushWork(ts.Work())
 	return ts
+}
+
+// grabBox returns a spare mailbox slice from the free list, or a fresh one.
+// Coordinator-only (tick barrier), like every mailbox mutation.
+func (e *Engine) grabBox() []core.Stimulus {
+	if n := len(e.free); n > 0 {
+		b := e.free[n-1]
+		e.free = e.free[:n-1]
+		return b
+	}
+	return make([]core.Stimulus, 0, 4)
+}
+
+// pushWork records one tick's work proxy in the bounded ring: appends while
+// filling, then overwrites the oldest in place. The retained set is a pure
+// function of the tick count, so restored runs keep byte-identical
+// quantiles and snapshots.
+func (e *Engine) pushWork(v float64) {
+	if len(e.work) < WorkWindow {
+		e.work = append(e.work, v)
+		return
+	}
+	e.work[e.workHead] = v
+	e.workHead = (e.workHead + 1) % WorkWindow
+}
+
+// workHistory linearizes the work ring oldest-first into a fresh slice (for
+// snapshots and RunStats, both cold paths).
+func (e *Engine) workHistory() []float64 {
+	n := len(e.work)
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, e.work[(e.workHead+i)%n])
+	}
+	return out
 }
 
 // stepShard runs shard s for one tick. It touches only shard-local state:
 // its own agents, its own RNG stream, the read-only cur mailboxes of its
-// own agents, and a private result.
+// own agents, and its own pooled result (reset here, read by the
+// coordinator at the barrier, never shared between shards).
 func (e *Engine) stepShard(s int, now float64) *shardResult {
-	res := &shardResult{}
+	res := e.results[s]
+	res.delivered, res.actions = 0, 0
+	res.msgs = res.msgs[:0]
+	res.observed = stats.Online{}
 	ctx := EmitContext{Tick: e.tick, Now: now, Rng: e.rngs[s], agents: len(e.agents), out: res}
 	for id := e.bounds[s]; id < e.bounds[s+1]; id++ {
 		a := e.agents[id]
@@ -323,6 +388,6 @@ func (e *Engine) Run(ticks int) RunStats {
 		Ticks: e.tick, Agents: e.Agents(), Shards: e.Shards(),
 		Steps: e.steps, Messages: e.messages, Delivered: e.delivered, Actions: e.actions,
 		Observed: e.lastObserved,
-		work:     e.work,
+		work:     e.workHistory(),
 	}
 }

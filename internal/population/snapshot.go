@@ -59,7 +59,7 @@ func (e *Engine) Snapshot() (*Snapshot, error) {
 		Delivered: e.delivered,
 		Actions:   e.actions,
 		Observed:  e.lastObserved.State(),
-		Work:      append([]float64(nil), e.work...),
+		Work:      e.workHistory(),
 		ShardRNG:  make([]uint64, len(e.shardSrcs)),
 		AgentRNG:  make([]uint64, len(e.agentSrcs)),
 		Mail:      make([][]core.Stimulus, len(e.agents)),
@@ -126,12 +126,22 @@ func Restore(cfg Config, s *Snapshot) (*Engine, error) {
 		}
 	}
 	for i, inbox := range s.Mail {
-		e.cur[i] = append(e.cur[i][:0], inbox...)
+		if len(inbox) > 0 {
+			e.cur[i] = append(e.cur[i][:0], inbox...)
+		}
 	}
 	e.tick = s.Tick
 	e.steps, e.messages, e.delivered, e.actions = s.Steps, s.Messages, s.Delivered, s.Actions
 	e.lastObserved.SetState(s.Observed)
-	e.work = append(e.work[:0], s.Work...)
+	// Refill the work ring oldest-first. Snapshots written by the current
+	// format hold at most WorkWindow entries; older formats could carry up
+	// to 2·WorkWindow−1, of which the most recent WorkWindow are kept.
+	w := s.Work
+	if len(w) > WorkWindow {
+		w = w[len(w)-WorkWindow:]
+	}
+	e.work = append(e.work[:0], w...)
+	e.workHead = 0
 	return e, nil
 }
 
@@ -145,6 +155,10 @@ func (e *Engine) Enqueue(to int, s core.Stimulus) error {
 	if to < 0 || to >= len(e.agents) {
 		return fmt.Errorf("population: enqueue to out-of-range agent %d (population %d)", to, len(e.agents))
 	}
-	e.cur[to] = append(e.cur[to], s)
+	box := e.cur[to]
+	if box == nil {
+		box = e.grabBox()
+	}
+	e.cur[to] = append(box, s)
 	return nil
 }

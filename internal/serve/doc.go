@@ -3,7 +3,8 @@
 // experiment grid, print tables, exit, discard everything learned — a
 // Server keeps populations alive indefinitely: it advances them on a
 // wall-clock cadence or on demand, ingests external stimuli into their
-// mailboxes, serves live metrics and per-agent self-explanations, and
+// mailboxes (one at a time or as ordered atomic batches, with a bounded
+// request body), serves live metrics and per-agent self-explanations, and
 // checkpoints them (internal/checkpoint) on an interval and on graceful
 // shutdown so that accumulated self-models survive process restarts.
 //

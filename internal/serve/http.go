@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
@@ -21,6 +23,8 @@ import (
 // StimulusRequest is the POST /populations/{id}/stimuli body: one external
 // observation to deliver to agent To at the next tick. Scope is "public"
 // (default) or "private"; Time defaults to the population's current tick.
+// The endpoint also accepts a JSON array of these, enqueued in order as
+// one atomic batch.
 type StimulusRequest struct {
 	To     int      `json:"to"`
 	Name   string   `json:"name"`
@@ -30,13 +34,41 @@ type StimulusRequest struct {
 	Time   *float64 `json:"time,omitempty"`
 }
 
+// maxStimuliBody bounds one ingest request's body (1 MiB ≈ tens of
+// thousands of stimuli): a first backpressure line so a hot client cannot
+// buffer unbounded JSON into the daemon.
+const maxStimuliBody = 1 << 20
+
+// item converts the wire form to the Server's ingest form, validating the
+// fields that the wire format cannot express as types.
+func (r *StimulusRequest) item() (IngestItem, error) {
+	if r.Name == "" {
+		return IngestItem{}, errors.New("stimulus needs a name")
+	}
+	scope := knowledge.Public
+	switch r.Scope {
+	case "", "public":
+	case "private":
+		scope = knowledge.Private
+	default:
+		return IngestItem{}, fmt.Errorf("bad scope %q (public|private)", r.Scope)
+	}
+	stim := core.Stimulus{Name: r.Name, Source: r.Source, Scope: scope, Value: r.Value}
+	if r.Time != nil {
+		stim.Time = *r.Time
+	}
+	return IngestItem{To: r.To, Stim: stim, HasTime: r.Time != nil}, nil
+}
+
 // Handler returns the Server's HTTP API:
 //
 //	GET  /healthz                              liveness + uptime + population count
 //	GET  /populations                          all populations' status
 //	GET  /populations/{id}                     one population's status
 //	POST /populations/{id}/ticks?n=K           advance K ticks (default 1)
-//	POST /populations/{id}/stimuli             ingest one StimulusRequest
+//	POST /populations/{id}/stimuli             ingest one StimulusRequest, or a
+//	                                           JSON array of them (atomic batch,
+//	                                           enqueued in order, one lock pass)
 //	GET  /populations/{id}/agents/{n}/explain  per-agent self-explanation (text)
 //	POST /populations/{id}/checkpoint          snapshot to disk now
 func (s *Server) Handler() http.Handler {
@@ -108,34 +140,50 @@ func (s *Server) Handler() http.Handler {
 	})
 
 	mux.HandleFunc("POST /populations/{id}/stimuli", func(w http.ResponseWriter, r *http.Request) {
-		var req StimulusRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad stimulus body: %w", err))
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxStimuliBody+1))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("reading stimulus body: %w", err))
 			return
 		}
-		if req.Name == "" {
-			writeErr(w, http.StatusBadRequest, errors.New("stimulus needs a name"))
+		if len(body) > maxStimuliBody {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("stimulus body exceeds %d bytes; split the batch", maxStimuliBody))
 			return
 		}
-		scope := knowledge.Public
-		switch req.Scope {
-		case "", "public":
-		case "private":
-			scope = knowledge.Private
-		default:
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad scope %q (public|private)", req.Scope))
-			return
+		var reqs []StimulusRequest
+		if trimmed := bytes.TrimLeft(body, " \t\r\n"); len(trimmed) > 0 && trimmed[0] == '[' {
+			if err := json.Unmarshal(body, &reqs); err != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("bad stimulus batch: %w", err))
+				return
+			}
+			if len(reqs) == 0 {
+				writeErr(w, http.StatusBadRequest, errors.New("empty stimulus batch"))
+				return
+			}
+		} else {
+			var one StimulusRequest
+			if err := json.Unmarshal(body, &one); err != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("bad stimulus body: %w", err))
+				return
+			}
+			reqs = append(reqs, one)
 		}
-		stim := core.Stimulus{Name: req.Name, Source: req.Source, Scope: scope, Value: req.Value}
-		if req.Time != nil {
-			stim.Time = *req.Time
+		items := make([]IngestItem, len(reqs))
+		for i := range reqs {
+			it, err := reqs[i].item()
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("stimulus %d: %w", i, err))
+				return
+			}
+			items[i] = it
 		}
-		deliverAt, err := s.Ingest(r.PathValue("id"), req.To, stim, req.Time != nil)
+		deliverAt, err := s.IngestBatch(r.PathValue("id"), items)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		writeJSON(w, http.StatusAccepted, map[string]any{"queued": true, "deliver_at_tick": deliverAt})
+		writeJSON(w, http.StatusAccepted, map[string]any{
+			"queued": len(items), "deliver_at_tick": deliverAt})
 	})
 
 	mux.HandleFunc("GET /populations/{id}/agents/{n}/explain", func(w http.ResponseWriter, r *http.Request) {

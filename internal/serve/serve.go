@@ -253,25 +253,60 @@ func (s *Server) Advance(id string, n int) (population.TickStats, error) {
 	return last, nil
 }
 
+// IngestItem is one stimulus of a batch ingest: the target agent, the
+// stimulus, and whether the caller supplied an explicit timestamp (when
+// false, the population's current tick is stamped at enqueue time).
+type IngestItem struct {
+	To      int
+	Stim    core.Stimulus
+	HasTime bool
+}
+
 // Ingest queues an external stimulus for agent `to` of population id; it
 // is injected at the start of the population's next tick. When hasTime is
 // false the stimulus is stamped with the population's current tick,
 // atomically with the enqueue. It returns the tick at which delivery will
 // happen.
 func (s *Server) Ingest(id string, to int, stim core.Stimulus, hasTime bool) (deliverAt int, err error) {
+	return s.IngestBatch(id, []IngestItem{{To: to, Stim: stim, HasTime: hasTime}})
+}
+
+// IngestBatch queues a batch of external stimuli in order, under one
+// population lock and through one mailbox pass — the batch equivalent of
+// Ingest, and the first step of the ROADMAP's ingest-backpressure work: a
+// client with N stimuli pays one request and one lock acquisition instead
+// of N. The batch is all-or-nothing: every target index is validated
+// before anything is enqueued, so a bad element cannot leave a partial
+// batch behind. All stimuli are delivered at the same next tick, which is
+// returned.
+func (s *Server) IngestBatch(id string, items []IngestItem) (deliverAt int, err error) {
 	h, err := s.hosted(id)
 	if err != nil {
 		return 0, err
 	}
+	if len(items) == 0 {
+		return 0, errors.New("serve: empty stimulus batch")
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if !hasTime {
-		stim.Time = float64(h.eng.Ticks())
+	agents := h.eng.Agents()
+	for i := range items {
+		if items[i].To < 0 || items[i].To >= agents {
+			return 0, fmt.Errorf("serve: stimulus %d of %d targets out-of-range agent %d (population %d)",
+				i, len(items), items[i].To, agents)
+		}
 	}
-	if err := h.eng.Enqueue(to, stim); err != nil {
-		return 0, err
+	now := float64(h.eng.Ticks())
+	for i := range items {
+		stim := items[i].Stim
+		if !items[i].HasTime {
+			stim.Time = now
+		}
+		if err := h.eng.Enqueue(items[i].To, stim); err != nil {
+			return 0, err // unreachable after validation; kept for safety
+		}
 	}
-	h.ingested++
+	h.ingested += int64(len(items))
 	return h.eng.Ticks(), nil
 }
 

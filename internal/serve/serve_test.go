@@ -312,12 +312,12 @@ func TestHTTPAPI(t *testing.T) {
 	// Ingest an external stimulus, tick once, and confirm the target agent
 	// absorbed it into its self-models.
 	var ing struct {
-		Queued    bool `json:"queued"`
-		DeliverAt int  `json:"deliver_at_tick"`
+		Queued    int `json:"queued"`
+		DeliverAt int `json:"deliver_at_tick"`
 	}
 	body := post("/populations/demo/stimuli",
 		`{"to": 7, "name": "pressure", "value": 42.5, "source": "sensor-9"}`, http.StatusAccepted)
-	if err := json.Unmarshal(body, &ing); err != nil || !ing.Queued || ing.DeliverAt != 4 {
+	if err := json.Unmarshal(body, &ing); err != nil || ing.Queued != 1 || ing.DeliverAt != 4 {
 		t.Fatalf("ingest = %+v err %v", ing, err)
 	}
 	post("/populations/demo/ticks", "", 200)
@@ -360,4 +360,90 @@ func snapTick(s *population.Snapshot) any {
 		return "<nil>"
 	}
 	return s.Tick
+}
+
+// TestHTTPBatchIngest covers the batch form of POST .../stimuli: a JSON
+// array is enqueued in order as one atomic pass, a bad element rejects the
+// whole batch, and the single-object form keeps working identically.
+func TestHTTPBatchIngest(t *testing.T) {
+	s := newTestServer(t, "", 0)
+	if err := s.Add(demoSpec()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(path, body string, want int) []byte {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != want {
+			t.Fatalf("POST %s = %d, want %d (%s)", path, resp.StatusCode, want, b)
+		}
+		return b
+	}
+	status := func() Status {
+		t.Helper()
+		st, err := s.Status("demo")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	var ing struct {
+		Queued    int `json:"queued"`
+		DeliverAt int `json:"deliver_at_tick"`
+	}
+	body := post("/populations/demo/stimuli", `[
+		{"to": 3, "name": "pressure", "value": 10},
+		{"to": 3, "name": "pressure", "value": 20},
+		{"to": 5, "name": "humidity", "value": 0.7, "scope": "private"}
+	]`, http.StatusAccepted)
+	if err := json.Unmarshal(body, &ing); err != nil || ing.Queued != 3 || ing.DeliverAt != 0 {
+		t.Fatalf("batch ingest = %+v err %v", ing, err)
+	}
+	if got := status().Ingested; got != 3 {
+		t.Fatalf("ingested = %d, want 3", got)
+	}
+	post("/populations/demo/ticks", "", 200)
+
+	// In-order delivery: the EWMA seeds on the first observation (10) and
+	// then folds the second (20) in, so order is observable in the value.
+	a3 := s.pops["demo"].eng.Agent(3)
+	e := a3.Store().Get("stim/pressure")
+	if e == nil || e.Updates() != 2 {
+		t.Fatalf("agent 3 absorbed %v updates, want 2", e)
+	}
+	if v := e.Value(); !(v > 10 && v < 20) {
+		t.Fatalf("stim/pressure = %v: EWMA of (10, 20) in order must land strictly between", v)
+	}
+	if got := s.pops["demo"].eng.Agent(5).Store().Value("stim/humidity", -1); got != 0.7 {
+		t.Fatalf("agent 5 stim/humidity = %v, want 0.7", got)
+	}
+
+	// Atomicity: one out-of-range element rejects the whole batch and
+	// leaves no partial state.
+	before := status().Ingested
+	post("/populations/demo/stimuli", `[
+		{"to": 1, "name": "ok", "value": 1},
+		{"to": 9999, "name": "bad", "value": 2}
+	]`, http.StatusBadRequest)
+	post("/populations/demo/stimuli", `[{"to": 1, "name": "ok"}, {"to": 2}]`, http.StatusBadRequest)
+	if got := status().Ingested; got != before {
+		t.Fatalf("failed batch leaked ingested count: %d -> %d", before, got)
+	}
+	post("/populations/demo/ticks", "", 200)
+	if got := s.pops["demo"].eng.Agent(1).Store().Value("stim/ok", -1); got != -1 {
+		t.Fatal("rejected batch still delivered its valid prefix")
+	}
+
+	// Degenerate bodies.
+	post("/populations/demo/stimuli", `[]`, http.StatusBadRequest)
+	post("/populations/demo/stimuli", `not json`, http.StatusBadRequest)
+	post("/populations/demo/stimuli", strings.Repeat(" ", maxStimuliBody+2), http.StatusRequestEntityTooLarge)
 }

@@ -30,7 +30,7 @@ func ExampleNew() {
 	fmt.Printf("temp=%.1f trend=%.2f/step\n",
 		agent.Store().Value("stim/temp", 0), agent.Store().Value("trend/temp", 0))
 	// Output:
-	// agent thermostat: levels=stimulus+time goal=none models=3 steps=5
+	// agent thermostat at t=4: levels=stimulus+time goal=none models=3 steps=5
 	// temp=21.6 trend=0.50/step
 }
 

@@ -46,6 +46,11 @@ type Stimulus = core.Stimulus
 // Sensor produces stimuli on demand.
 type Sensor = core.Sensor
 
+// BatchSensor is an optional Sensor extension for allocation-free sensing:
+// SenseInto appends stimuli to the agent's reused batch buffer. Sensors
+// that do not implement it keep working through Sense.
+type BatchSensor = core.BatchSensor
+
 // SensorFunc adapts a function to Sensor.
 type SensorFunc = core.SensorFunc
 
@@ -219,6 +224,10 @@ type (
 	Store = knowledge.Store
 	// Entry is one model in the store.
 	Entry = knowledge.Entry
+	// Key is a dense handle for a model name interned in one Store
+	// (Store.Intern): the hash-free hot path for per-tick model access.
+	// See DESIGN.md "Hot-path performance".
+	Key = knowledge.Key
 )
 
 // NewStore builds a knowledge store.

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# tools/bench.sh — run the tracked benchmark set and emit BENCH_<tag>.json.
+#
+# Usage: tools/bench.sh [tag]            (default tag: local)
+#
+# Runs the key hot-path benchmarks at fixed iteration counts (so allocs/op
+# is machine-independent and comparable across runs), converts the output
+# to JSON via cmd/benchjson, and gates allocs/op for the agent step and the
+# population tick against the committed baseline BENCH_PR4.json (±10%).
+# CI calls this on every PR and uploads the JSON as an artifact; to refresh
+# the committed baseline after an intentional change, merge the "after"
+# numbers from the generated file into BENCH_PR4.json (keeping "before"
+# for the trajectory).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tag="${1:-local}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+# Micro-benchmarks: high fixed iteration counts, warm-up dominated away.
+go test -run '^$' -bench \
+  '^(BenchmarkAgentStepFullStack|BenchmarkAgentStepStimulusOnly|BenchmarkKnowledgeStoreObserve)$' \
+  -benchmem -benchtime=20000x . | tee "$raw"
+
+# Macro-benchmarks: small fixed iteration counts (each op is a full tick,
+# checkpoint round trip, or S1 table build).
+go test -run '^$' -bench \
+  '^(BenchmarkPopulationTick|BenchmarkCheckpointRoundTrip|BenchmarkS1PopulationScaling)$' \
+  -benchmem -benchtime=10x -timeout 30m . | tee -a "$raw"
+
+go run ./cmd/benchjson \
+  -out "BENCH_${tag}.json" \
+  -baseline BENCH_PR4.json \
+  -check AgentStepFullStack,PopulationTick \
+  -tolerance 0.10 \
+  -note "tools/bench.sh ${tag}" < "$raw"

@@ -14,6 +14,20 @@
 //	sawd -dir /var/lib/sawd -every 500    # checkpoint every 500 ticks into -dir
 //	sawd -resume=false                    # start fresh (refuses while old snapshots exist)
 //
+// Multi-process topology (internal/cluster): workers host contiguous shard
+// ranges of the agents, the coordinator owns the tick barrier, mailbox
+// routing, ingest, checkpoints and the whole HTTP API — and its output is
+// byte-identical to a single-process run at the same shard count:
+//
+//	sawd -worker 127.0.0.1:9301           # shard host (no HTTP, no checkpoints)
+//	sawd -worker 127.0.0.1:9302
+//	sawd -cluster 127.0.0.1:9301,127.0.0.1:9302 -dir ckpt
+//
+// A worker failure poisons the affected population (ticks return 500); the
+// recovery path is restarting the worker and the coordinator, which
+// resumes from the latest checkpoint and pushes every worker its shard
+// range's slice of the snapshot.
+//
 // Drive it with curl:
 //
 //	curl localhost:8077/healthz
@@ -34,6 +48,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -43,12 +58,33 @@ import (
 	"syscall"
 	"time"
 
+	"sacs/internal/cluster"
 	"sacs/internal/experiments"
 	"sacs/internal/runner"
 	"sacs/internal/serve"
 )
 
 func main() { os.Exit(run()) }
+
+// workloads is the single registry every sawd role serves. Coordinators
+// resolve workload names through serve, workers through cluster; both
+// views derive from this one list, so the "registries must match"
+// invariant of the cluster protocol holds by construction.
+var workloads = []serve.Workload{
+	// The S2-validated checkpoint-friendly population: full-stack
+	// self-aware agents gossiping load models around a ring.
+	{Name: "gossip", Build: experiments.S2Config},
+}
+
+// clusterWorkloads is the same registry in the worker's type (serve.Workload
+// and cluster.Workload are structurally identical by design).
+func clusterWorkloads() []cluster.Workload {
+	out := make([]cluster.Workload, len(workloads))
+	for i, w := range workloads {
+		out[i] = cluster.Workload(w)
+	}
+	return out
+}
 
 // parseSpec turns "id=a,workload=gossip,agents=256,shards=16,seed=7" into a
 // serve.Spec; every key is optional except id when several -pop flags are
@@ -95,11 +131,21 @@ func run() int {
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for shard stepping")
 		resume   = flag.Bool("resume", true, "resume populations from their latest snapshot in -dir "+
 			"(with -resume=false, starting fresh refuses while old snapshots exist)")
+		workerAddr  = flag.String("worker", "", "run as a cluster worker on this TCP address (hosts shard ranges; no HTTP API)")
+		clusterList = flag.String("cluster", "", "comma-separated worker addresses; host populations on that cluster instead of in-process")
 	)
 	var specArgs []string
 	flag.Func("pop", "population spec: id=...,workload=...,agents=N,shards=N,seed=N (repeatable)",
 		func(v string) error { specArgs = append(specArgs, v); return nil })
 	flag.Parse()
+
+	if *workerAddr != "" && *clusterList != "" {
+		fmt.Fprintln(os.Stderr, "sawd: -worker and -cluster are mutually exclusive (a process is one role)")
+		return 2
+	}
+	if *workerAddr != "" {
+		return runWorker(*workerAddr, *parallel)
+	}
 
 	specs := make([]serve.Spec, 0, len(specArgs))
 	if len(specArgs) == 0 {
@@ -116,17 +162,24 @@ func run() int {
 
 	pool := runner.New(*parallel)
 	defer pool.Close()
-	s, err := serve.New(serve.Options{
+	opts := serve.Options{
 		Pool:            pool,
 		Dir:             *dir,
 		CheckpointEvery: *every,
 		Keep:            *keep,
-		Workloads: []serve.Workload{
-			// The S2-validated checkpoint-friendly population: full-stack
-			// self-aware agents gossiping load models around a ring.
-			{Name: "gossip", Build: experiments.S2Config},
-		},
-	})
+		Workloads:       workloads,
+	}
+	if *clusterList != "" {
+		cl, err := cluster.Dial(strings.Split(*clusterList, ","), 10*time.Second)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sawd: %v\n", err)
+			return 1
+		}
+		defer cl.Close()
+		opts.UseCluster(cl)
+		fmt.Printf("sawd: coordinating %d cluster workers (%s)\n", cl.Workers(), *clusterList)
+	}
+	s, err := serve.New(opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sawd: %v\n", err)
 		return 1
@@ -214,4 +267,40 @@ func run() int {
 		}
 	}
 	return exit
+}
+
+// runWorker hosts shard ranges for a coordinator until SIGINT/SIGTERM. The
+// worker is stateless from the operator's point of view: it keeps no
+// checkpoints and serves no HTTP — the coordinator owns durability, and a
+// restarted worker is re-initialised from the coordinator's snapshot.
+func runWorker(addr string, parallel int) int {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sawd: worker listen: %v\n", err)
+		return 1
+	}
+	pool := runner.New(parallel)
+	defer pool.Close()
+	w, err := cluster.NewWorker(ln, pool, clusterWorkloads())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sawd: worker: %v\n", err)
+		return 1
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- w.Serve() }()
+	fmt.Printf("sawd: cluster worker listening on %s (parallel=%d)\n", w.Addr(), parallel)
+	select {
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sawd: worker: %v\n", err)
+			return 1
+		}
+	case <-ctx.Done():
+		fmt.Println("sawd: worker shutting down")
+		w.Close()
+		<-done
+	}
+	return 0
 }

@@ -79,13 +79,13 @@ func Decode(r io.Reader) (*population.Snapshot, map[string]string, error) {
 	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(sum[:]); got != want {
 		return nil, nil, fmt.Errorf("%w: checksum mismatch (payload %08x, trailer %08x)", ErrCorrupt, got, want)
 	}
-	d := &decoder{buf: payload}
+	d := NewDecoder(payload)
 	s, meta := d.payload()
 	if d.err != nil {
 		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, d.err)
 	}
-	if d.pos != len(d.buf) {
-		return nil, nil, fmt.Errorf("%w: %d trailing bytes after payload", ErrCorrupt, len(d.buf)-d.pos)
+	if err := d.Finish(); err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	return s, meta, nil
 }
@@ -123,15 +123,38 @@ func readPayload(r io.Reader, n uint64) ([]byte, error) {
 
 // ---- payload encoding ----
 
-type encoder struct{ buf []byte }
+// Encoder appends the format's primitives — varints, length-prefixed
+// strings, IEEE-754 bit floats, and the shared composite shapes (stimuli,
+// store and agent states, shard range states) — to a growing buffer. The
+// snapshot payload is built from exactly these primitives, and
+// internal/cluster reuses them for its wire messages so the two formats can
+// never drift on how a stimulus or an agent state is spelled in bytes.
+type Encoder struct{ buf []byte }
 
-func (e *encoder) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
-func (e *encoder) varint(v int64)   { e.buf = binary.AppendVarint(e.buf, v) }
-func (e *encoder) int(v int)        { e.varint(int64(v)) }
-func (e *encoder) u64(v uint64)     { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
-func (e *encoder) f64(v float64)    { e.u64(math.Float64bits(v)) }
+// NewEncoder returns an Encoder with a modest pre-grown buffer.
+func NewEncoder() *Encoder { return &Encoder{buf: make([]byte, 0, 1<<12)} }
 
-func (e *encoder) bool(v bool) {
+// Bytes returns the encoded buffer (owned by the encoder; copy to retain
+// past the encoder's next use).
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Uvarint appends an unsigned varint.
+func (e *Encoder) Uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+
+// Varint appends a zig-zag signed varint.
+func (e *Encoder) Varint(v int64) { e.buf = binary.AppendVarint(e.buf, v) }
+
+// Int appends an int as a signed varint.
+func (e *Encoder) Int(v int) { e.Varint(int64(v)) }
+
+// U64 appends a fixed-width little-endian uint64.
+func (e *Encoder) U64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// F64 appends a float64 as its IEEE-754 bits.
+func (e *Encoder) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Bool appends one byte, 0 or 1.
+func (e *Encoder) Bool(v bool) {
 	b := byte(0)
 	if v {
 		b = 1
@@ -139,149 +162,198 @@ func (e *encoder) bool(v bool) {
 	e.buf = append(e.buf, b)
 }
 
-func (e *encoder) str(s string) {
-	e.uvarint(uint64(len(s)))
+// Str appends a length-prefixed string.
+func (e *Encoder) Str(s string) {
+	e.Uvarint(uint64(len(s)))
 	e.buf = append(e.buf, s...)
 }
 
-func (e *encoder) f64s(v []float64) {
-	e.uvarint(uint64(len(v)))
+// F64s appends a length-prefixed float64 slice.
+func (e *Encoder) F64s(v []float64) {
+	e.Uvarint(uint64(len(v)))
 	for _, x := range v {
-		e.f64(x)
+		e.F64(x)
 	}
 }
 
-func (e *encoder) online(o stats.OnlineState) {
-	e.int(o.N)
-	e.f64(o.Mean)
-	e.f64(o.M2)
-	e.f64(o.Min)
-	e.f64(o.Max)
+// Online appends a stats.Online state.
+func (e *Encoder) Online(o stats.OnlineState) {
+	e.Int(o.N)
+	e.F64(o.Mean)
+	e.F64(o.M2)
+	e.F64(o.Min)
+	e.F64(o.Max)
 }
 
-func (e *encoder) stimulus(s core.Stimulus) {
-	e.str(s.Name)
-	e.str(s.Source)
-	e.int(int(s.Scope))
-	e.f64(s.Value)
-	e.f64(s.Time)
+// Stimulus appends one core.Stimulus.
+func (e *Encoder) Stimulus(s core.Stimulus) {
+	e.Str(s.Name)
+	e.Str(s.Source)
+	e.Int(int(s.Scope))
+	e.F64(s.Value)
+	e.F64(s.Time)
 }
 
-func (e *encoder) store(st knowledge.StoreState) {
-	e.f64(st.Alpha)
-	e.int(st.HistLen)
-	e.varint(st.Reads)
-	e.varint(st.Writes)
-	e.uvarint(uint64(len(st.Entries)))
+// StoreState appends one knowledge store's exported state.
+func (e *Encoder) StoreState(st knowledge.StoreState) {
+	e.F64(st.Alpha)
+	e.Int(st.HistLen)
+	e.Varint(st.Reads)
+	e.Varint(st.Writes)
+	e.Uvarint(uint64(len(st.Entries)))
 	for _, en := range st.Entries {
-		e.str(en.Name)
-		e.int(int(en.Scope))
-		e.f64(en.Value)
-		e.f64(en.Variance)
-		e.int(en.N)
-		e.f64(en.LastUpdate)
-		e.f64s(en.HistT)
-		e.f64s(en.HistV)
+		e.Str(en.Name)
+		e.Int(int(en.Scope))
+		e.F64(en.Value)
+		e.F64(en.Variance)
+		e.Int(en.N)
+		e.F64(en.LastUpdate)
+		e.F64s(en.HistT)
+		e.F64s(en.HistV)
 	}
 }
 
-func (e *encoder) agent(a core.AgentState) {
-	e.str(a.Name)
-	e.int(a.Steps)
-	e.store(a.Store)
-	e.bool(a.Goals != nil)
+// AgentState appends one agent's exported state.
+func (e *Encoder) AgentState(a core.AgentState) {
+	e.Str(a.Name)
+	e.Int(a.Steps)
+	e.StoreState(a.Store)
+	e.Bool(a.Goals != nil)
 	if a.Goals != nil {
-		e.int(a.Goals.Next)
-		e.int(a.Goals.Switches)
+		e.Int(a.Goals.Next)
+		e.Int(a.Goals.Switches)
 	}
-	e.f64(a.GoalSwitches)
-	e.f64(a.Interactions)
-	e.bool(a.Time != nil)
+	e.F64(a.GoalSwitches)
+	e.F64(a.Interactions)
+	e.Bool(a.Time != nil)
 	if a.Time != nil {
-		e.uvarint(uint64(len(a.Time.Preds)))
+		e.Uvarint(uint64(len(a.Time.Preds)))
 		for _, p := range a.Time.Preds {
-			e.str(p.Stim)
-			e.str(p.Kind)
-			e.f64s(p.State)
-			e.f64s(p.Err)
+			e.Str(p.Stim)
+			e.Str(p.Kind)
+			e.F64s(p.State)
+			e.F64s(p.Err)
 		}
 	}
-	e.bool(a.Meta != nil)
+	e.Bool(a.Meta != nil)
 	if a.Meta != nil {
-		e.int(a.Meta.PoolIdx)
-		e.int(a.Meta.Adaptations)
-		e.f64(a.Meta.LastErr)
-		e.f64s(a.Meta.Detector)
+		e.Int(a.Meta.PoolIdx)
+		e.Int(a.Meta.Adaptations)
+		e.F64(a.Meta.LastErr)
+		e.F64s(a.Meta.Detector)
+	}
+}
+
+// RangeState appends a population shard-range state — the state-transfer
+// payload that initialises or rebalances a cluster worker, spelled with the
+// same primitives as the snapshot payload.
+func (e *Encoder) RangeState(rs *population.RangeState) {
+	e.Int(rs.LoShard)
+	e.Int(rs.HiShard)
+	e.Int(rs.LoAgent)
+	e.Int(rs.HiAgent)
+	e.Uvarint(uint64(len(rs.ShardRNG)))
+	for _, v := range rs.ShardRNG {
+		e.U64(v)
+	}
+	e.Uvarint(uint64(len(rs.AgentRNG)))
+	for _, v := range rs.AgentRNG {
+		e.U64(v)
+	}
+	e.Uvarint(uint64(len(rs.AgentStates)))
+	for _, a := range rs.AgentStates {
+		e.AgentState(a)
 	}
 }
 
 func encodePayload(s *population.Snapshot, meta map[string]string) []byte {
-	e := &encoder{buf: make([]byte, 0, 1<<16)}
+	e := &Encoder{buf: make([]byte, 0, 1<<16)}
 	keys := make([]string, 0, len(meta))
 	for k := range meta {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys) // maps encode sorted: equal metadata, equal bytes
-	e.uvarint(uint64(len(keys)))
+	e.Uvarint(uint64(len(keys)))
 	for _, k := range keys {
-		e.str(k)
-		e.str(meta[k])
+		e.Str(k)
+		e.Str(meta[k])
 	}
 
-	e.str(s.Name)
-	e.int(s.Agents)
-	e.int(s.Shards)
-	e.varint(s.Seed)
-	e.int(s.Tick)
-	e.varint(s.Steps)
-	e.varint(s.Messages)
-	e.varint(s.Delivered)
-	e.varint(s.Actions)
-	e.online(s.Observed)
-	e.f64s(s.Work)
-	e.uvarint(uint64(len(s.ShardRNG)))
+	e.Str(s.Name)
+	e.Int(s.Agents)
+	e.Int(s.Shards)
+	e.Varint(s.Seed)
+	e.Int(s.Tick)
+	e.Varint(s.Steps)
+	e.Varint(s.Messages)
+	e.Varint(s.Delivered)
+	e.Varint(s.Actions)
+	e.Online(s.Observed)
+	e.F64s(s.Work)
+	e.Uvarint(uint64(len(s.ShardRNG)))
 	for _, v := range s.ShardRNG {
-		e.u64(v)
+		e.U64(v)
 	}
-	e.uvarint(uint64(len(s.AgentRNG)))
+	e.Uvarint(uint64(len(s.AgentRNG)))
 	for _, v := range s.AgentRNG {
-		e.u64(v)
+		e.U64(v)
 	}
-	e.uvarint(uint64(len(s.Mail)))
+	e.Uvarint(uint64(len(s.Mail)))
 	for _, inbox := range s.Mail {
-		e.uvarint(uint64(len(inbox)))
+		e.Uvarint(uint64(len(inbox)))
 		for _, st := range inbox {
-			e.stimulus(st)
+			e.Stimulus(st)
 		}
 	}
-	e.uvarint(uint64(len(s.AgentStates)))
+	e.Uvarint(uint64(len(s.AgentStates)))
 	for _, a := range s.AgentStates {
-		e.agent(a)
+		e.AgentState(a)
 	}
 	return e.buf
 }
 
 // ---- payload decoding ----
 
-// decoder walks the payload with saturating error handling: the first
+// Decoder walks a payload with saturating error handling: the first
 // malformed field poisons the decoder and every later read returns zero
-// values, so call sites stay linear and the caller checks err once. The
-// checksum has already validated the bytes, so errors here mean a format
-// bug or version skew, not random corruption — but they are still errors,
-// never panics.
-type decoder struct {
+// values, so call sites stay linear and the caller checks Err once. In the
+// snapshot path the checksum has already validated the bytes, so errors
+// here mean a format bug or version skew; in the cluster wire path they
+// mean a framing bug or a peer speaking another version — but they are
+// always errors, never panics.
+type Decoder struct {
 	buf []byte
 	pos int
 	err error
 }
 
-func (d *decoder) fail(format string, args ...any) {
+// NewDecoder returns a Decoder over b (not copied).
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Err reports the first decoding failure, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Finish reports the first decoding failure, or an error when decoding
+// stopped short of the buffer's end — a well-formed message consumes
+// exactly its payload.
+func (d *Decoder) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.pos != len(d.buf) {
+		return fmt.Errorf("%d trailing bytes after payload", len(d.buf)-d.pos)
+	}
+	return nil
+}
+
+func (d *Decoder) fail(format string, args ...any) {
 	if d.err == nil {
 		d.err = fmt.Errorf(format, args...)
 	}
 }
 
-func (d *decoder) uvarint() uint64 {
+// Uvarint reads an unsigned varint.
+func (d *Decoder) Uvarint() uint64 {
 	if d.err != nil {
 		return 0
 	}
@@ -294,7 +366,8 @@ func (d *decoder) uvarint() uint64 {
 	return v
 }
 
-func (d *decoder) varint() int64 {
+// Varint reads a zig-zag signed varint.
+func (d *Decoder) Varint() int64 {
 	if d.err != nil {
 		return 0
 	}
@@ -307,9 +380,11 @@ func (d *decoder) varint() int64 {
 	return v
 }
 
-func (d *decoder) int() int { return int(d.varint()) }
+// Int reads a signed varint as an int.
+func (d *Decoder) Int() int { return int(d.Varint()) }
 
-func (d *decoder) u64() uint64 {
+// U64 reads a fixed-width little-endian uint64.
+func (d *Decoder) U64() uint64 {
 	if d.err != nil {
 		return 0
 	}
@@ -322,9 +397,11 @@ func (d *decoder) u64() uint64 {
 	return v
 }
 
-func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+// F64 reads a float64 from its IEEE-754 bits.
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
 
-func (d *decoder) bool() bool {
+// Bool reads one 0/1 byte.
+func (d *Decoder) Bool() bool {
 	if d.err != nil {
 		return false
 	}
@@ -341,8 +418,9 @@ func (d *decoder) bool() bool {
 	return b == 1
 }
 
-func (d *decoder) str() string {
-	n := d.uvarint()
+// Str reads a length-prefixed string.
+func (d *Decoder) Str() string {
+	n := d.Uvarint()
 	if d.err != nil {
 		return ""
 	}
@@ -355,11 +433,11 @@ func (d *decoder) str() string {
 	return s
 }
 
-// count reads a length prefix for elements of at least elemSize bytes and
+// Count reads a length prefix for elements of at least elemSize bytes and
 // rejects counts the remaining payload cannot possibly hold, bounding
 // allocation even for adversarial inputs that happen to pass the CRC.
-func (d *decoder) count(elemSize int) int {
-	n := d.uvarint()
+func (d *Decoder) Count(elemSize int) int {
+	n := d.Uvarint()
 	if d.err != nil {
 		return 0
 	}
@@ -375,145 +453,179 @@ func (d *decoder) count(elemSize int) int {
 
 func uint64asInt(v uint64) int { return int(v) }
 
-func (d *decoder) f64s() []float64 {
-	n := d.count(8)
+// F64s reads a length-prefixed float64 slice.
+func (d *Decoder) F64s() []float64 {
+	n := d.Count(8)
 	if n == 0 {
 		return nil
 	}
 	out := make([]float64, n)
 	for i := range out {
-		out[i] = d.f64()
+		out[i] = d.F64()
 	}
 	return out
 }
 
-func (d *decoder) online() stats.OnlineState {
-	return stats.OnlineState{N: d.int(), Mean: d.f64(), M2: d.f64(), Min: d.f64(), Max: d.f64()}
+// Online reads a stats.Online state.
+func (d *Decoder) Online() stats.OnlineState {
+	return stats.OnlineState{N: d.Int(), Mean: d.F64(), M2: d.F64(), Min: d.F64(), Max: d.F64()}
 }
 
-func (d *decoder) stimulus() core.Stimulus {
+// Stimulus reads one core.Stimulus.
+func (d *Decoder) Stimulus() core.Stimulus {
 	return core.Stimulus{
-		Name:   d.str(),
-		Source: d.str(),
-		Scope:  knowledge.Scope(d.int()),
-		Value:  d.f64(),
-		Time:   d.f64(),
+		Name:   d.Str(),
+		Source: d.Str(),
+		Scope:  knowledge.Scope(d.Int()),
+		Value:  d.F64(),
+		Time:   d.F64(),
 	}
 }
 
-func (d *decoder) store() knowledge.StoreState {
+// StoreState reads one knowledge store's exported state.
+func (d *Decoder) StoreState() knowledge.StoreState {
 	st := knowledge.StoreState{
-		Alpha:   d.f64(),
-		HistLen: d.int(),
-		Reads:   d.varint(),
-		Writes:  d.varint(),
+		Alpha:   d.F64(),
+		HistLen: d.Int(),
+		Reads:   d.Varint(),
+		Writes:  d.Varint(),
 	}
-	n := d.count(1)
+	n := d.Count(1)
 	if n > 0 {
 		st.Entries = make([]knowledge.EntryState, n)
 	}
 	for i := 0; i < n && d.err == nil; i++ {
 		st.Entries[i] = knowledge.EntryState{
-			Name:       d.str(),
-			Scope:      knowledge.Scope(d.int()),
-			Value:      d.f64(),
-			Variance:   d.f64(),
-			N:          d.int(),
-			LastUpdate: d.f64(),
-			HistT:      d.f64s(),
-			HistV:      d.f64s(),
+			Name:       d.Str(),
+			Scope:      knowledge.Scope(d.Int()),
+			Value:      d.F64(),
+			Variance:   d.F64(),
+			N:          d.Int(),
+			LastUpdate: d.F64(),
+			HistT:      d.F64s(),
+			HistV:      d.F64s(),
 		}
 	}
 	return st
 }
 
-func (d *decoder) agent() core.AgentState {
+// AgentState reads one agent's exported state.
+func (d *Decoder) AgentState() core.AgentState {
 	a := core.AgentState{
-		Name:  d.str(),
-		Steps: d.int(),
-		Store: d.store(),
+		Name:  d.Str(),
+		Steps: d.Int(),
+		Store: d.StoreState(),
 	}
-	if d.bool() {
-		a.Goals = &core.SwitcherStateRef{Next: d.int(), Switches: d.int()}
+	if d.Bool() {
+		a.Goals = &core.SwitcherStateRef{Next: d.Int(), Switches: d.Int()}
 	}
-	a.GoalSwitches = d.f64()
-	a.Interactions = d.f64()
-	if d.bool() {
-		n := d.count(1)
+	a.GoalSwitches = d.F64()
+	a.Interactions = d.F64()
+	if d.Bool() {
+		n := d.Count(1)
 		t := &core.TimeState{}
 		if n > 0 {
 			t.Preds = make([]core.PredictorState, n)
 		}
 		for i := 0; i < n && d.err == nil; i++ {
 			t.Preds[i] = core.PredictorState{
-				Stim:  d.str(),
-				Kind:  d.str(),
-				State: d.f64s(),
-				Err:   d.f64s(),
+				Stim:  d.Str(),
+				Kind:  d.Str(),
+				State: d.F64s(),
+				Err:   d.F64s(),
 			}
 		}
 		a.Time = t
 	}
-	if d.bool() {
+	if d.Bool() {
 		a.Meta = &core.MetaState{
-			PoolIdx:     d.int(),
-			Adaptations: d.int(),
-			LastErr:     d.f64(),
-			Detector:    d.f64s(),
+			PoolIdx:     d.Int(),
+			Adaptations: d.Int(),
+			LastErr:     d.F64(),
+			Detector:    d.F64s(),
 		}
 	}
 	return a
 }
 
-func (d *decoder) payload() (*population.Snapshot, map[string]string) {
-	nm := d.count(2)
+// RangeState reads a population shard-range state.
+func (d *Decoder) RangeState() *population.RangeState {
+	rs := &population.RangeState{
+		LoShard: d.Int(),
+		HiShard: d.Int(),
+		LoAgent: d.Int(),
+		HiAgent: d.Int(),
+	}
+	if n := d.Count(8); n > 0 {
+		rs.ShardRNG = make([]uint64, n)
+		for i := range rs.ShardRNG {
+			rs.ShardRNG[i] = d.U64()
+		}
+	}
+	if n := d.Count(8); n > 0 {
+		rs.AgentRNG = make([]uint64, n)
+		for i := range rs.AgentRNG {
+			rs.AgentRNG[i] = d.U64()
+		}
+	}
+	if n := d.Count(1); n > 0 {
+		rs.AgentStates = make([]core.AgentState, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			rs.AgentStates[i] = d.AgentState()
+		}
+	}
+	return rs
+}
+
+func (d *Decoder) payload() (*population.Snapshot, map[string]string) {
+	nm := d.Count(2)
 	meta := make(map[string]string, nm)
 	for i := 0; i < nm && d.err == nil; i++ {
-		k := d.str()
-		meta[k] = d.str()
+		k := d.Str()
+		meta[k] = d.Str()
 	}
 
 	s := &population.Snapshot{
-		Name:      d.str(),
-		Agents:    d.int(),
-		Shards:    d.int(),
-		Seed:      d.varint(),
-		Tick:      d.int(),
-		Steps:     d.varint(),
-		Messages:  d.varint(),
-		Delivered: d.varint(),
-		Actions:   d.varint(),
-		Observed:  d.online(),
-		Work:      d.f64s(),
+		Name:      d.Str(),
+		Agents:    d.Int(),
+		Shards:    d.Int(),
+		Seed:      d.Varint(),
+		Tick:      d.Int(),
+		Steps:     d.Varint(),
+		Messages:  d.Varint(),
+		Delivered: d.Varint(),
+		Actions:   d.Varint(),
+		Observed:  d.Online(),
+		Work:      d.F64s(),
 	}
-	if n := d.count(8); n > 0 {
+	if n := d.Count(8); n > 0 {
 		s.ShardRNG = make([]uint64, n)
 		for i := range s.ShardRNG {
-			s.ShardRNG[i] = d.u64()
+			s.ShardRNG[i] = d.U64()
 		}
 	}
-	if n := d.count(8); n > 0 {
+	if n := d.Count(8); n > 0 {
 		s.AgentRNG = make([]uint64, n)
 		for i := range s.AgentRNG {
-			s.AgentRNG[i] = d.u64()
+			s.AgentRNG[i] = d.U64()
 		}
 	}
-	if n := d.count(1); n > 0 {
+	if n := d.Count(1); n > 0 {
 		s.Mail = make([][]core.Stimulus, n)
 		for i := 0; i < n && d.err == nil; i++ {
-			m := d.count(1)
+			m := d.Count(1)
 			if m > 0 {
 				s.Mail[i] = make([]core.Stimulus, m)
 				for j := 0; j < m && d.err == nil; j++ {
-					s.Mail[i][j] = d.stimulus()
+					s.Mail[i][j] = d.Stimulus()
 				}
 			}
 		}
 	}
-	if n := d.count(1); n > 0 {
+	if n := d.Count(1); n > 0 {
 		s.AgentStates = make([]core.AgentState, n)
 		for i := 0; i < n && d.err == nil; i++ {
-			s.AgentStates[i] = d.agent()
+			s.AgentStates[i] = d.AgentState()
 		}
 	}
 	return s, meta

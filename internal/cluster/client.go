@@ -1,0 +1,339 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"sacs/internal/checkpoint"
+	"sacs/internal/core"
+	"sacs/internal/population"
+)
+
+// conn is one coordinator→worker connection. The barrier protocol is
+// strictly request/reply, so a mutex around each round trip is the whole
+// concurrency story; distinct workers run their round trips in parallel on
+// distinct conns.
+type conn struct {
+	addr string
+	mu   sync.Mutex
+	c    net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+func (c *conn) roundTrip(t msgType, body []byte) (msgType, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.w, t, body); err != nil {
+		return 0, nil, fmt.Errorf("cluster: worker %s: %w", c.addr, err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return 0, nil, fmt.Errorf("cluster: worker %s: %w", c.addr, err)
+	}
+	rt, rbody, err := readFrame(c.r)
+	if err != nil {
+		return 0, nil, fmt.Errorf("cluster: worker %s: %w", c.addr, err)
+	}
+	return rt, rbody, nil
+}
+
+// call is roundTrip with msgErr unwrapped and the reply type checked.
+func (c *conn) call(t msgType, body []byte, want msgType) ([]byte, error) {
+	rt, rbody, err := c.roundTrip(t, body)
+	if err != nil {
+		return nil, err
+	}
+	if rt == msgErr {
+		d := checkpoint.NewDecoder(rbody)
+		return nil, fmt.Errorf("cluster: worker %s: %s", c.addr, d.Str())
+	}
+	if rt != want {
+		return nil, fmt.Errorf("cluster: worker %s: reply type %d, want %d", c.addr, rt, want)
+	}
+	return rbody, nil
+}
+
+// Client is a coordinator's view of a fixed, ordered worker list. The
+// order is part of the deterministic contract: shard ranges are assigned
+// to workers by contiguous partition in list order, so the same list
+// always yields the same placement.
+type Client struct {
+	conns []*conn
+}
+
+// Dial connects to every worker, retrying each address with backoff until
+// wait elapses (workers and coordinator typically start together; a few
+// seconds of patience replaces external orchestration in scripts and CI).
+func Dial(addrs []string, wait time.Duration) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("cluster: no worker addresses")
+	}
+	deadline := time.Now().Add(wait)
+	cl := &Client{}
+	for _, addr := range addrs {
+		var nc net.Conn
+		var err error
+		for {
+			nc, err = net.DialTimeout("tcp", addr, time.Second)
+			if err == nil || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		if err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("cluster: dial worker %s: %w", addr, err)
+		}
+		cl.conns = append(cl.conns, &conn{
+			addr: addr, c: nc,
+			r: bufio.NewReaderSize(nc, 1<<16),
+			w: bufio.NewWriterSize(nc, 1<<16),
+		})
+	}
+	// One ping per worker so a half-started worker fails here, at attach
+	// time, with a clear address — not mid-tick.
+	for _, c := range cl.conns {
+		if _, err := c.call(msgPing, nil, msgOK); err != nil {
+			cl.Close()
+			return nil, err
+		}
+	}
+	return cl, nil
+}
+
+// Workers reports how many workers the client is attached to.
+func (cl *Client) Workers() int { return len(cl.conns) }
+
+// Close closes every worker connection.
+func (cl *Client) Close() error {
+	var first error
+	for _, c := range cl.conns {
+		if err := c.c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Transport implements population.Transport over a Client: the data plane
+// of one clustered population. Create with NewTransport (fresh agents on
+// every worker) and hand it to population.NewWithTransport or
+// population.RestoreWithTransport.
+type Transport struct {
+	client *Client
+	spec   Spec
+
+	wbounds []int    // shard partition across workers, in client list order
+	abounds []int    // agent partition across shards (population.Partition)
+	epochs  []uint64 // each worker's attach epoch for this population
+	outs    []*population.ShardExchange
+}
+
+// popHeader starts a request body with the population id and the attach
+// epoch worker wi handed out at init.
+func (t *Transport) popHeader(wi int) *checkpoint.Encoder {
+	e := checkpoint.NewEncoder()
+	e.Str(t.spec.ID)
+	e.Uvarint(t.epochs[wi])
+	return e
+}
+
+// NewTransport registers population spec on every worker (each builds its
+// shard range's agents fresh from the named workload) and returns the
+// coordinator-side transport. spec.Shards may be unnormalized; the
+// normalized shape is what crosses the wire.
+func (cl *Client) NewTransport(spec Spec) (*Transport, error) {
+	if spec.ID == "" || spec.Agents <= 0 {
+		return nil, errors.New("cluster: spec needs an id and a positive agent count")
+	}
+	norm := population.Config{Agents: spec.Agents, Shards: spec.Shards}.Normalized()
+	spec.Shards = norm.Shards
+	if spec.Shards < len(cl.conns) {
+		return nil, fmt.Errorf("cluster: %d workers for %d shards; every worker must own at least one shard",
+			len(cl.conns), spec.Shards)
+	}
+	t := &Transport{
+		client:  cl,
+		spec:    spec,
+		wbounds: population.Partition(spec.Shards, len(cl.conns)),
+		abounds: population.Partition(spec.Agents, spec.Shards),
+		epochs:  make([]uint64, len(cl.conns)),
+		outs:    make([]*population.ShardExchange, spec.Shards),
+	}
+	for i := range t.outs {
+		t.outs[i] = &population.ShardExchange{}
+	}
+	for wi, c := range cl.conns {
+		e := checkpoint.NewEncoder()
+		e.Uvarint(protocolVersion)
+		encodeSpec(e, spec)
+		e.Int(t.wbounds[wi])
+		e.Int(t.wbounds[wi+1])
+		body, err := c.call(msgInit, e.Bytes(), msgOK)
+		if err == nil {
+			d := checkpoint.NewDecoder(body)
+			t.epochs[wi] = d.Uvarint()
+			if ferr := d.Finish(); ferr != nil {
+				err = fmt.Errorf("cluster: worker %s: bad init reply: %w", c.addr, ferr)
+			}
+		}
+		if err != nil {
+			// Workers already initialised hold full shard ranges for an
+			// attach that will never tick; drop them (best-effort) so a
+			// failed attach does not pin agent memory for their lifetime.
+			t.drop(wi)
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// drop releases this attach's ranges from the first n workers,
+// best-effort (a worker that is already gone has nothing to release).
+func (t *Transport) drop(n int) {
+	for wi := 0; wi < n; wi++ {
+		_, _ = t.client.conns[wi].call(msgDrop, t.popHeader(wi).Bytes(), msgOK)
+	}
+}
+
+// workerRange returns worker wi's shard and agent intervals.
+func (t *Transport) workerRange(wi int) (loS, hiS, loA, hiA int) {
+	loS, hiS = t.wbounds[wi], t.wbounds[wi+1]
+	return loS, hiS, t.abounds[loS], t.abounds[hiS]
+}
+
+// Step fans the tick out to every worker in parallel and splices the
+// replies back together in worker (= shard index) order.
+func (t *Transport) Step(tick int, mail [][]core.Stimulus) ([]*population.ShardExchange, error) {
+	errs := make([]error, len(t.client.conns))
+	var wg sync.WaitGroup
+	for wi, c := range t.client.conns {
+		wi, c := wi, c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			loS, hiS, loA, hiA := t.workerRange(wi)
+			e := t.popHeader(wi)
+			e.Int(tick)
+			encodeMail(e, mail, loA, hiA)
+			body, err := c.call(msgTick, e.Bytes(), msgTickOK)
+			if err != nil {
+				errs[wi] = err
+				return
+			}
+			d := checkpoint.NewDecoder(body)
+			if err := decodeExchangesInto(d, t.outs[loS:hiS], hiS-loS); err != nil {
+				errs[wi] = fmt.Errorf("cluster: worker %s: %w", c.addr, err)
+				return
+			}
+			errs[wi] = d.Finish()
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return t.outs, nil
+}
+
+// Export gathers every worker's range state in parallel and stitches the
+// full population state together in shard index order.
+func (t *Transport) Export() (*population.RangeState, error) {
+	parts := make([]*population.RangeState, len(t.client.conns))
+	errs := make([]error, len(t.client.conns))
+	var wg sync.WaitGroup
+	for wi, c := range t.client.conns {
+		wi, c := wi, c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, err := c.call(msgExport, t.popHeader(wi).Bytes(), msgRange)
+			if err != nil {
+				errs[wi] = err
+				return
+			}
+			d := checkpoint.NewDecoder(body)
+			parts[wi] = d.RangeState()
+			errs[wi] = d.Finish()
+		}()
+	}
+	wg.Wait()
+	full := &population.RangeState{LoShard: 0, HiShard: t.spec.Shards, LoAgent: 0, HiAgent: t.spec.Agents}
+	for wi, part := range parts {
+		if errs[wi] != nil {
+			return nil, errs[wi]
+		}
+		loS, hiS, loA, hiA := t.workerRange(wi)
+		if part.LoShard != loS || part.HiShard != hiS || part.LoAgent != loA || part.HiAgent != hiA {
+			return nil, fmt.Errorf("cluster: worker %s exported shards [%d, %d) agents [%d, %d), owns [%d, %d)/[%d, %d)",
+				t.client.conns[wi].addr, part.LoShard, part.HiShard, part.LoAgent, part.HiAgent, loS, hiS, loA, hiA)
+		}
+		full.ShardRNG = append(full.ShardRNG, part.ShardRNG...)
+		full.AgentRNG = append(full.AgentRNG, part.AgentRNG...)
+		full.AgentStates = append(full.AgentStates, part.AgentStates...)
+	}
+	return full, nil
+}
+
+// Install pushes each worker its shard range's slice of rs — the
+// state-transfer path behind RestoreWithTransport and worker replacement.
+func (t *Transport) Install(rs *population.RangeState) error {
+	if rs.LoShard != 0 || rs.HiShard != t.spec.Shards {
+		return fmt.Errorf("cluster: install state covers shards [%d, %d), population has %d",
+			rs.LoShard, rs.HiShard, t.spec.Shards)
+	}
+	for wi, c := range t.client.conns {
+		loS, hiS, loA, hiA := t.workerRange(wi)
+		part := &population.RangeState{
+			LoShard: loS, HiShard: hiS, LoAgent: loA, HiAgent: hiA,
+			ShardRNG:    rs.ShardRNG[loS:hiS],
+			AgentRNG:    rs.AgentRNG[loA:hiA],
+			AgentStates: rs.AgentStates[loA:hiA],
+		}
+		e := t.popHeader(wi)
+		e.RangeState(part)
+		if _, err := c.call(msgInstall, e.Bytes(), msgOK); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Explain routes the explanation request to the worker hosting agent id.
+func (t *Transport) Explain(id int, now float64) (string, error) {
+	if id < 0 || id >= t.spec.Agents {
+		return "", fmt.Errorf("cluster: agent %d out of range (population %d)", id, t.spec.Agents)
+	}
+	// The shard owning id, then the worker owning that shard.
+	s := sort.SearchInts(t.abounds[1:], id+1)
+	wi := sort.SearchInts(t.wbounds[1:], s+1)
+	e := t.popHeader(wi)
+	e.Int(id)
+	e.F64(now)
+	body, err := t.client.conns[wi].call(msgExplain, e.Bytes(), msgText)
+	if err != nil {
+		return "", err
+	}
+	d := checkpoint.NewDecoder(body)
+	text := d.Str()
+	if err := d.Finish(); err != nil {
+		return "", fmt.Errorf("cluster: worker %s: %w", t.client.conns[wi].addr, err)
+	}
+	return text, nil
+}
+
+// Close drops this attach's population from every worker (best-effort; a
+// worker that is already gone is not an error on shutdown, and a range
+// re-attached by a newer coordinator is left alone — the epoch no longer
+// matches). The shared Client stays open for other populations.
+func (t *Transport) Close() error {
+	t.drop(len(t.client.conns))
+	return nil
+}

@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"sacs/internal/checkpoint"
+	"sacs/internal/core"
+	"sacs/internal/population"
+)
+
+// The wire protocol is deliberately minimal: every message is one frame —
+//
+//	offset  size  field
+//	0       4     frame length N, uint32 little-endian (type byte + body)
+//	4       1     message type
+//	5       N-1   body, spelled with the checkpoint codec's primitives
+//
+// — and every request is answered by exactly one reply frame on the same
+// connection (msgErr is a valid reply to anything). The barrier protocol is
+// lock-step per population, so there is no pipelining to manage; one
+// in-flight request per connection, guarded by the caller.
+//
+// Integrity: TCP already guarantees ordered, checksummed delivery, so
+// frames carry no CRC (unlike snapshot files, which must survive disks).
+// Length and per-field bounds are still validated — a confused peer fails
+// with an error, never an OOM or a panic.
+
+// maxFrame bounds one frame (1 GiB): far above any real tick exchange or
+// range state, far below a length-field attack.
+const maxFrame = 1 << 30
+
+// protocolVersion is negotiated implicitly: it is the first body byte of
+// every init message, and a worker refuses versions it does not speak.
+const protocolVersion = 1
+
+type msgType byte
+
+// Every post-init request names the population and carries the attach
+// epoch the worker returned from msgInit. The epoch is the split-brain
+// guard: a second coordinator initialising the same id bumps it, and the
+// first coordinator's next request fails loudly instead of silently
+// stepping replaced state.
+const (
+	msgErr msgType = iota // body: error string
+	msgOK                 // empty, except init's reply: attach epoch
+	msgInit               // version, population spec + owned shard range
+	msgInstall            // id, epoch, RangeState (state transfer)
+	msgTick               // id, epoch, tick, owned agents' mailboxes
+	msgTickOK             // per-owned-shard exchanges
+	msgExport             // id, epoch
+	msgRange              // RangeState
+	msgExplain            // id, epoch, agent, now
+	msgText               // rendered explanation
+	msgDrop               // id, epoch (dropped only if the epoch still owns it)
+	msgPing               // empty body (readiness probe)
+)
+
+var errFrameTooLarge = errors.New("cluster: frame exceeds size limit")
+
+// writeFrame writes one frame. The caller flushes.
+func writeFrame(w io.Writer, t msgType, body []byte) error {
+	n := len(body) + 1
+	if n > maxFrame {
+		return fmt.Errorf("%w (%d bytes)", errFrameTooLarge, n)
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(n))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame reads one frame, bounding the allocation by maxFrame.
+func readFrame(r io.Reader) (msgType, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 1 || n > maxFrame {
+		return 0, nil, fmt.Errorf("%w (declared %d bytes)", errFrameTooLarge, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return msgType(buf[0]), buf[1:], nil
+}
+
+// Spec identifies one population a cluster hosts: the shape every process
+// must agree on. Shards must already be normalized
+// (population.Config.Normalized); the coordinator's transport takes care of
+// that before any spec crosses the wire.
+type Spec struct {
+	ID       string
+	Workload string
+	Agents   int
+	Shards   int
+	Seed     int64
+}
+
+func encodeSpec(e *checkpoint.Encoder, s Spec) {
+	e.Str(s.ID)
+	e.Str(s.Workload)
+	e.Int(s.Agents)
+	e.Int(s.Shards)
+	e.Varint(s.Seed)
+}
+
+func decodeSpec(d *checkpoint.Decoder) Spec {
+	return Spec{
+		ID:       d.Str(),
+		Workload: d.Str(),
+		Agents:   d.Int(),
+		Shards:   d.Int(),
+		Seed:     d.Varint(),
+	}
+}
+
+// encodeMail appends the non-empty mailboxes of agents [lo, hi) as
+// (agent id, stimuli) pairs.
+func encodeMail(e *checkpoint.Encoder, mail [][]core.Stimulus, lo, hi int) {
+	boxes := 0
+	for id := lo; id < hi; id++ {
+		if len(mail[id]) > 0 {
+			boxes++
+		}
+	}
+	e.Uvarint(uint64(boxes))
+	for id := lo; id < hi; id++ {
+		if len(mail[id]) == 0 {
+			continue
+		}
+		e.Int(id)
+		e.Uvarint(uint64(len(mail[id])))
+		for _, st := range mail[id] {
+			e.Stimulus(st)
+		}
+	}
+}
+
+// decodeMailInto fills the non-empty boxes into mail (global-indexed,
+// len agents) and returns the ids it touched so the caller can clear them
+// cheaply after the tick.
+func decodeMailInto(d *checkpoint.Decoder, mail [][]core.Stimulus, lo, hi int, touched []int) ([]int, error) {
+	boxes := d.Count(2)
+	for i := 0; i < boxes; i++ {
+		id := d.Int()
+		n := d.Count(1)
+		if err := d.Err(); err != nil {
+			return touched, err
+		}
+		if id < lo || id >= hi {
+			return touched, fmt.Errorf("cluster: mailbox for agent %d outside owned range [%d, %d)", id, lo, hi)
+		}
+		box := mail[id][:0]
+		for j := 0; j < n; j++ {
+			box = append(box, d.Stimulus())
+		}
+		mail[id] = box
+		touched = append(touched, id)
+	}
+	return touched, d.Err()
+}
+
+// encodeExchanges appends per-shard tick results in shard index order.
+func encodeExchanges(e *checkpoint.Encoder, outs []*population.ShardExchange) {
+	e.Uvarint(uint64(len(outs)))
+	for _, o := range outs {
+		e.Int(o.Delivered)
+		e.Int(o.Actions)
+		e.Online(o.Observed.State())
+		e.Uvarint(uint64(len(o.Msgs)))
+		for _, m := range o.Msgs {
+			e.Int(m.To)
+			e.Stimulus(m.Stim)
+		}
+	}
+}
+
+// decodeExchangesInto decodes exactly want per-shard exchanges into the
+// pooled outs slice (reusing Msgs capacity between ticks).
+func decodeExchangesInto(d *checkpoint.Decoder, outs []*population.ShardExchange, want int) error {
+	n := d.Count(1)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if n != want {
+		return fmt.Errorf("cluster: tick reply carries %d shard exchanges, want %d", n, want)
+	}
+	for i := 0; i < n; i++ {
+		o := outs[i]
+		o.Delivered = d.Int()
+		o.Actions = d.Int()
+		o.Observed.SetState(d.Online())
+		msgs := d.Count(2)
+		if err := d.Err(); err != nil {
+			return err
+		}
+		o.Msgs = o.Msgs[:0]
+		for j := 0; j < msgs; j++ {
+			to := d.Int()
+			o.Msgs = append(o.Msgs, population.Routed{To: to, Stim: d.Stimulus()})
+		}
+	}
+	return d.Err()
+}

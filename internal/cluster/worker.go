@@ -1,0 +1,364 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"sacs/internal/checkpoint"
+	"sacs/internal/core"
+	"sacs/internal/population"
+	"sacs/internal/runner"
+)
+
+// Workload is a named, rebuildable population configuration — the worker
+// side of serve.Workload. Build must be a pure function of its arguments:
+// the coordinator sends only (workload, agents, shards, seed) over the
+// wire, and determinism across the cluster relies on every worker
+// rebuilding the identical Config.
+type Workload struct {
+	Name  string
+	Build func(agents, shards int, seed int64, pool *runner.Pool) population.Config
+}
+
+// Worker hosts contiguous shard ranges of populations on behalf of a
+// coordinator. Create with NewWorker, then Serve; one worker can host
+// ranges of any number of populations (keyed by population id).
+type Worker struct {
+	ln        net.Listener
+	pool      *runner.Pool
+	workloads map[string]Workload
+
+	mu     sync.Mutex
+	pops   map[string]*workerPop
+	conns  map[net.Conn]struct{}
+	epochs uint64 // attach-epoch counter, incremented per successful init
+}
+
+// workerPop is one hosted shard range and its reusable tick scratch.
+type workerPop struct {
+	mu        sync.Mutex
+	epoch     uint64 // the attach that owns this range (split-brain guard)
+	transport *population.LocalTransport
+	loAgent   int
+	hiAgent   int
+	mail      [][]core.Stimulus // global-indexed scratch inboxes, owned range only
+	touched   []int             // ids filled this tick, cleared after the step
+}
+
+// NewWorker wraps an existing listener (so tests and cmd/sawd can bind
+// ":0" or a flag-chosen address themselves). pool steps the hosted shards;
+// nil steps them inline.
+func NewWorker(ln net.Listener, pool *runner.Pool, workloads []Workload) (*Worker, error) {
+	w := &Worker{
+		ln:        ln,
+		pool:      pool,
+		workloads: make(map[string]Workload, len(workloads)),
+		pops:      make(map[string]*workerPop),
+		conns:     make(map[net.Conn]struct{}),
+	}
+	for _, wl := range workloads {
+		if wl.Name == "" || wl.Build == nil {
+			return nil, errors.New("cluster: workload with empty name or nil builder")
+		}
+		if _, dup := w.workloads[wl.Name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate workload %q", wl.Name)
+		}
+		w.workloads[wl.Name] = wl
+	}
+	return w, nil
+}
+
+// Addr reports the listener's address (useful with ":0").
+func (w *Worker) Addr() string { return w.ln.Addr().String() }
+
+// Close stops the worker: the listener and every live coordinator
+// connection are closed, so to an attached coordinator Close is
+// indistinguishable from the worker process dying — which is exactly what
+// tests use it for.
+func (w *Worker) Close() error {
+	err := w.ln.Close()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for c := range w.conns {
+		c.Close()
+	}
+	w.conns = make(map[net.Conn]struct{})
+	return err
+}
+
+// Serve accepts coordinator connections until Close; each connection is
+// handled serially on its own goroutine (the barrier protocol is lock-step,
+// so there is nothing to pipeline). It returns nil after Close.
+func (w *Worker) Serve() error {
+	for {
+		c, err := w.ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go w.handleConn(c)
+	}
+}
+
+func (w *Worker) handleConn(c net.Conn) {
+	w.mu.Lock()
+	w.conns[c] = struct{}{}
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		delete(w.conns, c)
+		w.mu.Unlock()
+		c.Close()
+	}()
+	r := bufio.NewReaderSize(c, 1<<16)
+	bw := bufio.NewWriterSize(c, 1<<16)
+	for {
+		t, body, err := readFrame(r)
+		if err != nil {
+			return // connection gone or garbage framing: nothing to reply to
+		}
+		rt, rbody := w.handle(t, body)
+		if err := writeFrame(bw, rt, rbody); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// handle dispatches one request and never panics: a handler panic (e.g. a
+// workload builder rejecting its arguments) is converted into an msgErr
+// reply so the coordinator gets a diagnosable error instead of a dead
+// connection.
+func (w *Worker) handle(t msgType, body []byte) (rt msgType, rbody []byte) {
+	defer func() {
+		if r := recover(); r != nil {
+			rt, rbody = errReply(fmt.Errorf("worker panic: %v", r))
+		}
+	}()
+	switch t {
+	case msgPing:
+		return msgOK, nil
+	case msgInit:
+		return w.handleInit(body)
+	case msgInstall:
+		return w.handleInstall(body)
+	case msgTick:
+		return w.handleTick(body)
+	case msgExport:
+		return w.handleExport(body)
+	case msgExplain:
+		return w.handleExplain(body)
+	case msgDrop:
+		return w.handleDrop(body)
+	default:
+		return errReply(fmt.Errorf("unknown message type %d", t))
+	}
+}
+
+func errReply(err error) (msgType, []byte) {
+	e := checkpoint.NewEncoder()
+	e.Str(err.Error())
+	return msgErr, append([]byte(nil), e.Bytes()...)
+}
+
+// pop resolves a population and checks the caller's attach epoch. A stale
+// epoch means another coordinator has re-initialised the range since this
+// caller attached: its state is gone, and silently serving it would mean
+// undetected divergence — the one thing the failure model forbids. The
+// stale coordinator gets a loud error instead (serve maps it to 500).
+func (w *Worker) pop(id string, epoch uint64) (*workerPop, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	p := w.pops[id]
+	if p == nil {
+		return nil, fmt.Errorf("no population %q hosted here", id)
+	}
+	if p.epoch != epoch {
+		return nil, fmt.Errorf("stale attach epoch %d for population %q (current %d): "+
+			"another coordinator re-initialised this range", epoch, id, p.epoch)
+	}
+	return p, nil
+}
+
+func (w *Worker) handleInit(body []byte) (msgType, []byte) {
+	d := checkpoint.NewDecoder(body)
+	if v := d.Uvarint(); v != protocolVersion {
+		return errReply(fmt.Errorf("protocol version %d not supported (worker speaks %d)", v, protocolVersion))
+	}
+	spec := decodeSpec(d)
+	lo, hi := d.Int(), d.Int()
+	if err := d.Finish(); err != nil {
+		return errReply(fmt.Errorf("bad init: %w", err))
+	}
+	wl, ok := w.workloads[spec.Workload]
+	if !ok {
+		return errReply(fmt.Errorf("unknown workload %q", spec.Workload))
+	}
+	cfg := wl.Build(spec.Agents, spec.Shards, spec.Seed, w.pool)
+	if got := cfg.Normalized(); got.Shards != spec.Shards || got.Agents != spec.Agents {
+		return errReply(fmt.Errorf("workload %q built shape (agents=%d shards=%d), coordinator expects (agents=%d shards=%d)",
+			spec.Workload, got.Agents, got.Shards, spec.Agents, spec.Shards))
+	}
+	transport := population.NewLocalTransport(cfg, lo, hi)
+	loA, hiA := transport.AgentRange()
+	p := &workerPop{
+		transport: transport,
+		loAgent:   loA,
+		hiAgent:   hiA,
+		mail:      make([][]core.Stimulus, spec.Agents),
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	// Re-init replaces: a restarted coordinator re-attaches to a live
+	// worker by building the population fresh (and then installing state),
+	// exactly as it would on a fresh worker process. The fresh epoch makes
+	// any coordinator still holding the previous attach fail loudly
+	// instead of silently stepping replaced state.
+	w.epochs++
+	p.epoch = w.epochs
+	w.pops[spec.ID] = p
+	e := checkpoint.NewEncoder()
+	e.Uvarint(p.epoch)
+	return msgOK, e.Bytes()
+}
+
+func (w *Worker) handleInstall(body []byte) (msgType, []byte) {
+	d := checkpoint.NewDecoder(body)
+	id := d.Str()
+	epoch := d.Uvarint()
+	rs := d.RangeState()
+	if err := d.Finish(); err != nil {
+		return errReply(fmt.Errorf("bad install: %w", err))
+	}
+	p, err := w.pop(id, epoch)
+	if err != nil {
+		return errReply(err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.transport.Install(rs); err != nil {
+		return errReply(err)
+	}
+	return msgOK, nil
+}
+
+func (w *Worker) handleTick(body []byte) (msgType, []byte) {
+	d := checkpoint.NewDecoder(body)
+	id := d.Str()
+	epoch := d.Uvarint()
+	tick := d.Int()
+	if err := d.Err(); err != nil {
+		return errReply(fmt.Errorf("bad tick: %w", err))
+	}
+	p, err := w.pop(id, epoch)
+	if err != nil {
+		return errReply(err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Clear the scratch inboxes on every exit — a failed decode has
+	// already filled some of them, and leaked mail would be injected
+	// twice if the population is ever ticked again.
+	defer p.clearMail()
+	p.touched, err = decodeMailInto(d, p.mail, p.loAgent, p.hiAgent, p.touched[:0])
+	if err == nil {
+		err = d.Finish()
+	}
+	if err != nil {
+		return errReply(fmt.Errorf("bad tick mail: %w", err))
+	}
+	outs, err := p.transport.Step(tick, p.mail)
+	if err != nil {
+		return errReply(err)
+	}
+	e := checkpoint.NewEncoder()
+	encodeExchanges(e, outs)
+	return msgTickOK, e.Bytes()
+}
+
+// maxMailScratchCap mirrors the engine-side mailbox retention policy: a
+// scratch inbox one burst grew huge is released to the garbage collector
+// instead of staying pinned at peak capacity for the worker's lifetime.
+const maxMailScratchCap = 256
+
+// clearMail empties every scratch inbox this tick touched, dropping
+// over-grown slices entirely. Callers hold p.mu.
+func (p *workerPop) clearMail() {
+	for _, id := range p.touched {
+		if cap(p.mail[id]) > maxMailScratchCap {
+			p.mail[id] = nil
+		} else {
+			p.mail[id] = p.mail[id][:0]
+		}
+	}
+}
+
+func (w *Worker) handleExport(body []byte) (msgType, []byte) {
+	d := checkpoint.NewDecoder(body)
+	id := d.Str()
+	epoch := d.Uvarint()
+	if err := d.Finish(); err != nil {
+		return errReply(fmt.Errorf("bad export: %w", err))
+	}
+	p, err := w.pop(id, epoch)
+	if err != nil {
+		return errReply(err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rs, err := p.transport.Export()
+	if err != nil {
+		return errReply(err)
+	}
+	e := checkpoint.NewEncoder()
+	e.RangeState(rs)
+	return msgRange, e.Bytes()
+}
+
+func (w *Worker) handleExplain(body []byte) (msgType, []byte) {
+	d := checkpoint.NewDecoder(body)
+	id := d.Str()
+	epoch := d.Uvarint()
+	agent := d.Int()
+	now := d.F64()
+	if err := d.Finish(); err != nil {
+		return errReply(fmt.Errorf("bad explain: %w", err))
+	}
+	p, err := w.pop(id, epoch)
+	if err != nil {
+		return errReply(err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	text, err := p.transport.Explain(agent, now)
+	if err != nil {
+		return errReply(err)
+	}
+	e := checkpoint.NewEncoder()
+	e.Str(text)
+	return msgText, e.Bytes()
+}
+
+func (w *Worker) handleDrop(body []byte) (msgType, []byte) {
+	d := checkpoint.NewDecoder(body)
+	id := d.Str()
+	epoch := d.Uvarint()
+	if err := d.Finish(); err != nil {
+		return errReply(fmt.Errorf("bad drop: %w", err))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	// Only the attach that owns the range may drop it; a stale
+	// coordinator's shutdown must not tear down its successor's state.
+	if p := w.pops[id]; p != nil && p.epoch == epoch {
+		delete(w.pops, id)
+	}
+	return msgOK, nil
+}

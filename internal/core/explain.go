@@ -175,6 +175,27 @@ func (d *Decision) WhyNot(label string) string {
 		label, target.score, best, bestScore)
 }
 
+// ExplainAgent renders an agent's full self-explanation at simulation time
+// now: its self-description, the meta report when the meta level is
+// present, recent decision explanations and the knowledge-store inventory —
+// the paper's self-explanation (§III, §VI) as one text block. It is the
+// single rendering used by the serve layer and by cluster workers, so an
+// explanation reads identically wherever the agent happens to be hosted.
+func ExplainAgent(a *Agent, now float64) string {
+	out := a.Describe(now) + "\n"
+	if m := a.Meta(); m != nil {
+		out += m.Report() + "\n"
+	}
+	if ex := a.Explainer(); ex != nil {
+		if t := ex.Transcript(5); t != "" {
+			out += "recent decisions:\n" + t
+		} else {
+			out += "recent decisions: none recorded\n"
+		}
+	}
+	return out + "models:\n" + a.Store().Inventory(now)
+}
+
 // Explainer keeps a bounded window of recent decisions and answers
 // "why"-questions from them. Recorded decisions are pooled by the owning
 // agent: a *Decision obtained from Last/Recent is valid until the agent

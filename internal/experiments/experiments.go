@@ -205,6 +205,16 @@ func init() {
 				`durable state is what makes the accumulation survive restarts)`,
 			Run: S2CheckpointResume,
 		},
+		{
+			ID:    "S3",
+			Title: "distribution: multi-process cluster equivalence over the shard transport",
+			Claim: `distribution contract: a population whose shards are hosted by worker processes ` +
+				`behind the TCP shard transport (internal/cluster) ticks byte-identically to the ` +
+				`single-process engine at the same shard count — TickStats, snapshot bytes, and ` +
+				`resume from a shard-granular state transfer (ROADMAP north star: production-scale ` +
+				`collectives of self-aware entities spanning hosts, §IV at data-center scale)`,
+			Run: S3ClusterEquivalence,
+		},
 	}
 }
 

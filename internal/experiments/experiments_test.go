@@ -32,8 +32,8 @@ func TestSpecsStaticMetadata(t *testing.T) {
 	// Listing must be possible without running anything, and the static
 	// metadata must agree with what the runners stamp on their results.
 	specs := Specs()
-	if len(specs) != 17 {
-		t.Fatalf("specs = %d, want 17", len(specs))
+	if len(specs) != 18 {
+		t.Fatalf("specs = %d, want 18", len(specs))
 	}
 	for _, sp := range specs {
 		if sp.ID == "" || sp.Title == "" || sp.Claim == "" || sp.Run == nil {
@@ -50,7 +50,7 @@ func TestSpecsStaticMetadata(t *testing.T) {
 // subsystem: the same experiment config must yield bit-identical tables
 // and figures whether the fan-out runs serially or on many workers.
 func TestParallelDeterminism(t *testing.T) {
-	for _, id := range []string{"E1", "E6", "E4", "X5", "S1", "S2"} {
+	for _, id := range []string{"E1", "E6", "E4", "X5", "S1", "S2", "S3"} {
 		spec := Registry()[id]
 		cfg := Config{Seeds: 2, Scale: 0.05}
 		serial := spec.Run(cfg)
@@ -242,7 +242,7 @@ func TestS1ScalingShape(t *testing.T) {
 	if r.Table.NumRows() != 3 {
 		t.Fatalf("rows = %d, want 3 population sizes", r.Table.NumRows())
 	}
-	if got := ScalingIDs(); len(got) != 2 || got[0] != "S1" || got[1] != "S2" {
+	if got := ScalingIDs(); len(got) != 3 || got[0] != "S1" || got[1] != "S2" || got[2] != "S3" {
 		t.Fatalf("ScalingIDs = %v", got)
 	}
 	for i := 0; i < r.Table.NumRows(); i++ {
@@ -286,6 +286,28 @@ func TestS2ResumeDeterminism(t *testing.T) {
 		}
 		kib, _ := r.Table.Lookup(row, "snap-KiB")
 		if kib <= 0 {
+			t.Fatalf("%s: snapshot size %v", row, kib)
+		}
+	}
+}
+
+// TestS3ClusterEquivalence is the acceptance check for the multi-process
+// shard transport: every S3 row — every cluster size — must report perfect
+// per-tick, snapshot-byte and resume matches against the single-process
+// engine.
+func TestS3ClusterEquivalence(t *testing.T) {
+	r := S3ClusterEquivalence(Config{Seeds: 1, Scale: 0.25})
+	if r.Table.NumRows() != 3 {
+		t.Fatalf("rows = %d, want workers=1, 2 and 4", r.Table.NumRows())
+	}
+	for _, row := range []string{"workers=1", "workers=2", "workers=4"} {
+		for _, col := range []string{"ticks-match", "snap-match", "resume-match"} {
+			v, ok := r.Table.Lookup(row, col)
+			if !ok || v != 1 {
+				t.Fatalf("%s: %s = %v, want 1 (cluster diverged from single-process run)", row, col, v)
+			}
+		}
+		if kib, _ := r.Table.Lookup(row, "snap-KiB"); kib <= 0 {
 			t.Fatalf("%s: snapshot size %v", row, kib)
 		}
 	}

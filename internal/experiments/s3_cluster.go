@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"reflect"
+	"time"
+
+	"sacs/internal/checkpoint"
+	"sacs/internal/cluster"
+	"sacs/internal/core"
+	"sacs/internal/population"
+	"sacs/internal/runner"
+	"sacs/internal/stats"
+)
+
+// S3ClusterEquivalence proves the multi-process sharding contract end to
+// end: a population whose shards are hosted by cluster workers behind the
+// TCP transport (internal/cluster) — external ingest included — must
+// produce, tick for tick, exactly the TickStats of the single-process
+// engine, and its snapshot must encode to the identical bytes
+// (bytes.Equal, through the real wire codec). A resume leg additionally
+// cuts the cluster run at an interior tick, restores a *fresh* cluster
+// from the encoded snapshot (each worker re-initialised through the
+// shard-granular Install path), and requires the continuation to end in
+// the reference's exact bytes.
+//
+// The workers here run in-process over real loopback TCP sockets — the
+// identical codec, framing and worker code that `sawd -worker` processes
+// execute; the CI cluster-e2e job repeats the check across genuine process
+// boundaries and diffs the checkpoint files with cmp. Every cell is
+// deterministic; like all suite tables the output is byte-identical at any
+// -parallel value.
+func S3ClusterEquivalence(cfg Config) *Result {
+	cfg = cfg.defaults()
+	ticks := int(60 * cfg.Scale)
+	if ticks < 16 {
+		ticks = 16
+	}
+	agents := int(256 * cfg.Scale)
+	if agents < 64 {
+		agents = 64
+	}
+	const shards = 16
+
+	table := stats.NewTable(
+		fmt.Sprintf("S3 multi-process cluster equivalence: %d agents, %d shards, %d ticks, %d seeds",
+			agents, shards, ticks, cfg.Seeds),
+		"workers", "ticks-match", "snap-match", "resume-match", "snap-KiB", "model-mean")
+
+	for _, workers := range []int{1, 2, 4} {
+		workers := workers
+		row := runner.SeedAvg(cfg.Pool, "S3", fmt.Sprintf("workers=%d", workers), cfg.Seeds,
+			func(seed int) []float64 {
+				sseed := int64(307 + seed)
+				build := func() population.Config { return S2Config(agents, shards, sseed, nil) }
+				ingest := func(e *population.Engine, tick int) {
+					if tick%5 != 0 {
+						return
+					}
+					st := core.Stimulus{Name: "ext", Source: "client", Scope: core.Public,
+						Value: float64(tick) * 1.5, Time: float64(tick)}
+					if err := e.Enqueue((tick*13)%agents, st); err != nil {
+						panic(fmt.Sprintf("S3: enqueue: %v", err))
+					}
+				}
+
+				ref := population.New(build())
+				eng, shutdown := s3Cluster(workers, build, nil)
+
+				cut := ticks / 2
+				var midSnap *population.Snapshot
+				ticksMatch := 1.0
+				for i := 0; i < ticks; i++ {
+					if i == cut {
+						snap, err := eng.Snapshot()
+						if err != nil {
+							panic(fmt.Sprintf("S3: mid-run snapshot: %v", err))
+						}
+						midSnap = snap
+					}
+					ingest(ref, i)
+					ingest(eng, i)
+					want := ref.Tick()
+					got, err := eng.TickErr()
+					if err != nil {
+						panic(fmt.Sprintf("S3: cluster tick %d: %v", i, err))
+					}
+					if !reflect.DeepEqual(want, got) {
+						ticksMatch = 0
+					}
+				}
+				refEnc := mustEncode(ref)
+				cluEnc := mustEncode(eng)
+				snapMatch := 0.0
+				if bytes.Equal(refEnc, cluEnc) {
+					snapMatch = 1
+				}
+				shutdown()
+
+				// Resume leg: a brand-new cluster (fresh worker "processes",
+				// fresh agents) restored from the mid-run snapshot must end
+				// in the reference's exact bytes.
+				resumed, shutdown2 := s3Cluster(workers, build, midSnap)
+				for i := cut; i < ticks; i++ {
+					ingest(resumed, i)
+					if _, err := resumed.TickErr(); err != nil {
+						panic(fmt.Sprintf("S3: resumed tick %d: %v", i, err))
+					}
+				}
+				resEnc := mustEncode(resumed)
+				resumeMatch := 0.0
+				if bytes.Equal(refEnc, resEnc) {
+					resumeMatch = 1
+				}
+				shutdown2()
+
+				rs := eng.Run(0)
+				return []float64{ticksMatch, snapMatch, resumeMatch,
+					float64(len(cluEnc)) / 1024, rs.Observed.Mean()}
+			})
+		table.AddRow(fmt.Sprintf("workers=%d", workers),
+			append([]float64{float64(workers)}, row...)...)
+	}
+
+	table.AddNote("ticks-match: 1 when every tick's TickStats over the TCP cluster transport equal " +
+		"the single-process engine's, external ingest included")
+	table.AddNote("snap-match: 1 when the cluster engine's final snapshot encodes to bytes.Equal " +
+		"with the single-process snapshot (gathered from workers through Transport.Export)")
+	table.AddNote("resume-match: 1 when a fresh cluster restored from the mid-run snapshot " +
+		"(shard-granular Install to every worker) ends in the reference's exact bytes")
+	table.AddNote("workers run in-process over real loopback TCP — the identical wire path " +
+		"`sawd -worker` processes speak; CI's cluster-e2e job repeats this across real processes")
+	return resultFor("S3", table)
+}
+
+// s3Cluster brings up `workers` cluster workers on loopback TCP, attaches a
+// coordinator engine for the S2 workload (restored from snap when non-nil),
+// and returns the engine plus a shutdown function. Failures panic: the
+// runner pool's per-job recovery reports them as the job's failure.
+func s3Cluster(workers int, build func() population.Config,
+	snap *population.Snapshot) (*population.Engine, func()) {
+	cfg := build().Normalized()
+	addrs := make([]string, workers)
+	ws := make([]*cluster.Worker, workers)
+	for i := range ws {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			panic(fmt.Sprintf("S3: listen: %v", err))
+		}
+		w, err := cluster.NewWorker(ln, nil, []cluster.Workload{{Name: "gossip", Build: S2Config}})
+		if err != nil {
+			panic(fmt.Sprintf("S3: worker: %v", err))
+		}
+		go w.Serve()
+		addrs[i] = w.Addr()
+		ws[i] = w
+	}
+	cl, err := cluster.Dial(addrs, 5*time.Second)
+	if err != nil {
+		panic(fmt.Sprintf("S3: dial: %v", err))
+	}
+	tr, err := cl.NewTransport(cluster.Spec{
+		ID: "s3", Workload: "gossip", Agents: cfg.Agents, Shards: cfg.Shards, Seed: cfg.Seed,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("S3: transport: %v", err))
+	}
+	var eng *population.Engine
+	if snap == nil {
+		eng, err = population.NewWithTransport(cfg, tr)
+	} else {
+		// Travel the real codec: what Install pushes to the workers is
+		// decoded from the same bytes a checkpoint file would hold.
+		enc, encErr := checkpoint.EncodeBytes(snap, nil)
+		if encErr != nil {
+			panic(fmt.Sprintf("S3: encode mid snapshot: %v", encErr))
+		}
+		decoded, _, decErr := checkpoint.DecodeBytes(enc)
+		if decErr != nil {
+			panic(fmt.Sprintf("S3: decode mid snapshot: %v", decErr))
+		}
+		eng, err = population.RestoreWithTransport(cfg, tr, decoded)
+	}
+	if err != nil {
+		panic(fmt.Sprintf("S3: engine: %v", err))
+	}
+	return eng, func() {
+		eng.Close()
+		cl.Close()
+		for _, w := range ws {
+			w.Close()
+		}
+	}
+}

@@ -190,6 +190,44 @@ func TestSharedStorePopulationStaysRaceFree(t *testing.T) {
 	}
 }
 
+// TestMailboxFreeListBounded is the regression for one bursty tick pinning
+// peak mailbox memory for the engine's whole lifetime: after a burst into
+// every agent (one inbox grown huge), a single quiet tick must trim the
+// free list to the demand-adaptive bound, and over-capacity slices must
+// never be recycled at all. The workload sends no messages of its own so
+// the demand after the burst is exactly zero — the retained count is
+// deterministic.
+func TestMailboxFreeListBounded(t *testing.T) {
+	const agents = 1200
+	cfg := tinyConfig(agents)
+	cfg.Emit = nil // quiet population: mailbox demand comes only from ingest
+	e := New(cfg)
+	e.Run(2)
+	// The burst: external ingest into every agent, one inbox far past
+	// maxFreeBoxCap stimuli.
+	for id := 0; id < agents; id++ {
+		if err := e.Enqueue(id, core.Stimulus{Name: "burst", Value: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < maxFreeBoxCap+100; i++ {
+		if err := e.Enqueue(0, core.Stimulus{Name: "burst", Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Tick() // delivers the burst; the free list briefly holds ~agents slices
+	e.Tick() // quiet tick: zero demand, so the list must shrink to the slack
+	if got := len(e.free); got > freeBoxSlack {
+		t.Fatalf("free list retains %d slices after a burst/quiet cycle, want <= %d", got, freeBoxSlack)
+	}
+	for i, box := range e.free {
+		if cap(box) > maxFreeBoxCap {
+			t.Fatalf("free list slot %d retains a %d-cap slice (limit %d): burst memory pinned",
+				i, cap(box), maxFreeBoxCap)
+		}
+	}
+}
+
 // TestMailboxFreeListRecycles: after ticks with traffic, consumed inboxes
 // return to the free list and agents without pending mail hold no slice.
 func TestMailboxFreeListRecycles(t *testing.T) {

@@ -5,10 +5,8 @@ import (
 	"math/rand"
 
 	"sacs/internal/core"
-	"sacs/internal/knowledge"
 	"sacs/internal/runner"
 	"sacs/internal/stats"
-	"sacs/internal/xrand"
 )
 
 // DefaultShards is the shard count used when Config.Shards is zero. It is a
@@ -30,7 +28,7 @@ type EmitContext struct {
 	Rng     *rand.Rand    // the owning shard's RNG stream
 
 	agents int
-	out    *shardResult
+	out    *ShardExchange
 }
 
 // Send queues a stimulus for agent `to`, to be injected before that agent's
@@ -42,7 +40,7 @@ func (c *EmitContext) Send(to int, s core.Stimulus) {
 		panic(fmt.Sprintf("population: agent %d sent to out-of-range agent %d (population %d)",
 			c.ID, to, c.agents))
 	}
-	c.out.msgs = append(c.out.msgs, message{to: to, stim: s})
+	c.out.Msgs = append(c.out.Msgs, Routed{To: to, Stim: s})
 }
 
 // Config assembles an Engine. New and Agents are required.
@@ -79,19 +77,31 @@ type Config struct {
 	Observe func(id int, a *core.Agent) float64
 }
 
-// message is one routed stimulus: produced inside a shard job, delivered by
-// the coordinator at the tick barrier.
-type message struct {
-	to   int
-	stim core.Stimulus
-}
-
-// shardResult is what one shard job returns for one tick.
-type shardResult struct {
-	delivered int
-	actions   int
-	msgs      []message
-	observed  stats.Online
+// Normalized returns the config with name, shard-count and pool defaults
+// applied — the exact shape an Engine runs with. Every process of a
+// multi-process population must derive shard assignment from the same
+// normalized shape, which is why the rule is exported rather than buried
+// in New. It panics when Agents is not positive.
+func (c Config) Normalized() Config {
+	if c.Agents <= 0 {
+		panic("population: Agents must be > 0")
+	}
+	if c.Name == "" {
+		c.Name = "population"
+	}
+	if c.Shards <= 0 {
+		c.Shards = DefaultShards
+	}
+	if c.Shards > c.Agents {
+		c.Shards = c.Agents
+	}
+	if c.Pool == nil {
+		// A one-worker pool runs every job inline in Batch.Wait and spawns
+		// no goroutines; creating it once here keeps nil-pool Ticks from
+		// building a fresh dispatcher each tick.
+		c.Pool = runner.New(1)
+	}
+	return c
 }
 
 // TickStats summarises one tick of the whole population.
@@ -119,6 +129,22 @@ func (t TickStats) Work() float64 { return float64(t.Steps + t.Delivered) }
 // — is a pure function of tick count and stays deterministic.
 const WorkWindow = 4096
 
+// The mailbox free list is bounded the same way the work history is, and
+// for the same reason: engines live arbitrarily long under sawd, and one
+// bursty tick (a large external ingest, say) must not pin its peak mailbox
+// memory for the engine's whole lifetime. The bound is demand-adaptive
+// rather than a constant — after each barrier the list is trimmed to twice
+// the number of mailboxes that tick actually consumed (plus slack), so
+// steady-state ticks still recycle every slice allocation-free at any
+// population size, while burst memory is released on the first quiet tick.
+// Individual slices a burst grew past maxFreeBoxCap stimuli are never
+// recycled at all. The free list holds no live state, so both bounds are
+// memory policy only — behavior is byte-identical.
+const (
+	freeBoxSlack  = 64
+	maxFreeBoxCap = 256
+)
+
 // RunStats aggregates a multi-tick run.
 type RunStats struct {
 	Ticks, Agents, Shards               int
@@ -135,171 +161,169 @@ type RunStats struct {
 // shorter) — the deterministic stand-in for per-tick latency quantiles.
 func (r RunStats) WorkQuantile(q float64) float64 { return stats.Quantile(r.work, q) }
 
-// Engine steps a sharded population. Create one with New; Tick and Run must
-// be called from a single goroutine (the engine fans each tick out itself).
+// Engine steps a sharded population: it owns the tick barrier, the
+// double-buffered mailboxes, external ingest and every run counter, and
+// delegates the shard steps themselves to its Transport. Create one with
+// New (in-process agents) or NewWithTransport (agents hosted elsewhere,
+// e.g. internal/cluster workers); Tick and Run must be called from a single
+// goroutine (the transport fans each tick out itself).
 type Engine struct {
-	cfg    Config
-	agents []*core.Agent
-	rngs   []*rand.Rand // one persistent stream per shard
-	bounds []int        // shard s owns agents [bounds[s], bounds[s+1])
-
-	// The xrand sources behind every stream, kept so Snapshot can read
-	// (and Restore can write) each stream's exact position. shardSrcs[s]
-	// backs rngs[s]; agentSrcs[id] backs the *rand.Rand handed to
-	// Config.New for agent id.
-	shardSrcs []*xrand.Source
-	agentSrcs []*xrand.Source
+	cfg       Config
+	transport Transport
+	local     *LocalTransport // set when the transport hosts all agents in-process
 
 	// Double-buffered mailboxes, one slot per agent. cur holds stimuli
 	// routed at the previous tick's barrier (read-only during a tick);
-	// next is filled by the coordinator at the barrier, then the buffers
-	// swap. Only agents with pending mail hold a slice; consumed slices
-	// are recycled through the free list at the next barrier, so
-	// steady-state ticks reallocate no mailboxes and idle agents cost no
-	// memory.
+	// next is filled by the barrier, then the buffers swap. Only agents
+	// with pending mail hold a slice; consumed slices are recycled
+	// through the bounded free list at the next barrier, so steady-state
+	// ticks reallocate no mailboxes and idle agents cost no memory.
 	cur, next [][]core.Stimulus
-	free      [][]core.Stimulus // spare mailbox slices (coordinator-only)
-
-	// results holds one reusable shardResult per shard; stepShard resets
-	// and refills results[s], so the per-tick fan-out allocates neither
-	// results nor (steady-state) outbox slices.
-	results []*shardResult
+	free      [][]core.Stimulus // spare mailbox slices (barrier-only; bounded)
 
 	tick                                int
 	steps, messages, delivered, actions int64
 	lastObserved                        stats.Online
 	work                                []float64 // work-proxy ring (see WorkWindow)
 	workHead                            int       // oldest element once the ring is full
+	broken                              error     // first transport failure; poisons further ticks
 }
 
-// New builds the population: agents are constructed sequentially, each from
-// its own Seed- and id-derived RNG, so construction is deterministic and
-// independent of both sharding and worker count.
+// New builds the population in-process: agents are constructed
+// sequentially, each from its own Seed- and id-derived RNG, so construction
+// is deterministic and independent of both sharding and worker count.
 func New(cfg Config) *Engine {
-	if cfg.Agents <= 0 {
-		panic("population: Agents must be > 0")
-	}
-	if cfg.New == nil {
-		panic("population: Config.New is required")
-	}
-	if cfg.Name == "" {
-		cfg.Name = "population"
-	}
-	if cfg.Shards <= 0 {
-		cfg.Shards = DefaultShards
-	}
-	if cfg.Shards > cfg.Agents {
-		cfg.Shards = cfg.Agents
-	}
-	if cfg.Pool == nil {
-		// A one-worker pool runs every job inline in Batch.Wait and spawns
-		// no goroutines; creating it once here keeps nil-pool Ticks from
-		// building a fresh dispatcher each tick.
-		cfg.Pool = runner.New(1)
-	}
-	e := &Engine{
-		cfg:       cfg,
-		agents:    make([]*core.Agent, cfg.Agents),
-		rngs:      make([]*rand.Rand, cfg.Shards),
-		bounds:    make([]int, cfg.Shards+1),
-		shardSrcs: make([]*xrand.Source, cfg.Shards),
-		agentSrcs: make([]*xrand.Source, cfg.Agents),
-		cur:       make([][]core.Stimulus, cfg.Agents),
-		next:      make([][]core.Stimulus, cfg.Agents),
-		results:   make([]*shardResult, cfg.Shards),
-	}
-	for s := range e.results {
-		e.results[s] = &shardResult{}
-	}
-	for id := range e.agents {
-		e.agentSrcs[id] = xrand.NewSource(mix(cfg.Seed, 0x9E3779B97F4A7C15, int64(id)))
-		e.agents[id] = cfg.New(id, rand.New(e.agentSrcs[id]))
-		if e.agents[id] == nil {
-			panic(fmt.Sprintf("population: Config.New returned nil for agent %d", id))
-		}
-	}
-	// Knowledge stores owned by exactly one agent never see concurrent
-	// access (a shard steps its agents sequentially; barriers order the
-	// ticks), so their locking and atomic counters are pure overhead:
-	// mark them unshared. A store given to several agents — a shared
-	// collective blackboard — keeps full locking.
-	owners := make(map[*knowledge.Store]int, cfg.Agents)
-	for _, a := range e.agents {
-		owners[a.Store()]++
-	}
-	for st, n := range owners {
-		if n == 1 {
-			st.Unshared()
-		}
-	}
-	for s := range e.rngs {
-		e.shardSrcs[s] = xrand.NewSource(mix(cfg.Seed, 0xBF58476D1CE4E5B9, int64(s)))
-		e.rngs[s] = rand.New(e.shardSrcs[s])
-	}
-	// Balanced contiguous partition: the first Agents%Shards shards hold
-	// one extra agent.
-	size, extra := cfg.Agents/cfg.Shards, cfg.Agents%cfg.Shards
-	for s := 0; s < cfg.Shards; s++ {
-		e.bounds[s+1] = e.bounds[s] + size
-		if s < extra {
-			e.bounds[s+1]++
-		}
-	}
+	cfg = cfg.Normalized()
+	t := NewLocalTransport(cfg, 0, cfg.Shards)
+	e := newEngine(cfg, t)
+	e.local = t
 	return e
 }
 
-// mix derives a well-separated sub-seed from a base seed, a stream salt and
-// an index. Arithmetic is in uint64 so overflow wraps deterministically.
-func mix(seed int64, salt uint64, i int64) int64 {
-	x := uint64(seed) ^ salt*uint64(i+1)
-	x ^= x >> 31
-	return int64(x*0x94D049BB133111EB) + i
+// NewWithTransport builds a coordinator engine whose agents live behind t —
+// the multi-process entry point. cfg must carry the population shape (Name,
+// Agents, Shards, Seed); New, Emit and Observe run transport-side and are
+// ignored here.
+func NewWithTransport(cfg Config, t Transport) (*Engine, error) {
+	if cfg.Agents <= 0 {
+		return nil, fmt.Errorf("population: Agents must be > 0, got %d", cfg.Agents)
+	}
+	if t == nil {
+		return nil, fmt.Errorf("population: nil transport")
+	}
+	return newEngine(cfg.Normalized(), t), nil
+}
+
+func newEngine(cfg Config, t Transport) *Engine {
+	return &Engine{
+		cfg:       cfg,
+		transport: t,
+		cur:       make([][]core.Stimulus, cfg.Agents),
+		next:      make([][]core.Stimulus, cfg.Agents),
+	}
 }
 
 // Agents reports the population size.
-func (e *Engine) Agents() int { return len(e.agents) }
+func (e *Engine) Agents() int { return e.cfg.Agents }
 
 // Shards reports the shard count.
-func (e *Engine) Shards() int { return len(e.rngs) }
+func (e *Engine) Shards() int { return e.cfg.Shards }
 
-// Agent returns agent id, e.g. for inspection after a run. Do not step or
-// mutate it while a Tick is in flight.
-func (e *Engine) Agent(id int) *core.Agent { return e.agents[id] }
+// Agent returns agent id, e.g. for inspection after a run, when the engine
+// hosts its agents in-process; for a remote transport it returns nil (use
+// Explain, which travels the transport). Do not step or mutate the agent
+// while a Tick is in flight.
+func (e *Engine) Agent(id int) *core.Agent {
+	if e.local == nil {
+		return nil
+	}
+	return e.local.Agent(id)
+}
 
 // Ticks reports how many ticks have run.
 func (e *Engine) Ticks() int { return e.tick }
 
-// Tick advances the whole population by one step: every shard is one pool
-// job (delivering mailboxes, stepping its agents in index order, collecting
-// emissions), then the barrier routes the shards' outboxes — in shard index
-// order — into the next tick's mailboxes.
-func (e *Engine) Tick() TickStats {
-	now := float64(e.tick)
-	outs := runner.FanOut(e.cfg.Pool, runner.Key{Experiment: e.cfg.Name, System: "shard"},
-		e.Shards(), func(s int) *shardResult { return e.stepShard(s, now) })
+// Transport returns the engine's data plane.
+func (e *Engine) Transport() Transport { return e.transport }
 
-	ts := TickStats{Tick: e.tick, Steps: len(e.agents)}
+// Close releases the transport (remote registrations, connections). The
+// engine must not be ticked afterwards.
+func (e *Engine) Close() error { return e.transport.Close() }
+
+// Explain renders agent id's self-explanation at the engine's current tick,
+// wherever the agent lives: in-process directly, or across the transport
+// for cluster-hosted populations.
+func (e *Engine) Explain(id int) (string, error) {
+	if id < 0 || id >= e.cfg.Agents {
+		return "", fmt.Errorf("population: agent %d out of range (population %d)", id, e.cfg.Agents)
+	}
+	if e.broken != nil {
+		return "", fmt.Errorf("population: explain: engine poisoned by earlier transport failure: %w", e.broken)
+	}
+	return e.transport.Explain(id, float64(e.tick))
+}
+
+// Tick advances the whole population by one step. It panics when the
+// transport fails — impossible for the in-process transport, so callers of
+// New need no error path; engines over fallible transports (clusters) use
+// TickErr.
+func (e *Engine) Tick() TickStats {
+	ts, err := e.TickErr()
+	if err != nil {
+		panic(fmt.Sprintf("population: %v", err))
+	}
+	return ts
+}
+
+// TickErr is Tick with the transport's error surfaced instead of panicking:
+// the transport steps every shard (delivering mailboxes, stepping agents in
+// index order, collecting emissions), then the barrier routes the shards'
+// messages — in shard index order — into the next tick's mailboxes. After a
+// transport failure the engine is poisoned (the tick may have half-applied
+// remotely) and every further TickErr fails; recover by restoring from the
+// last checkpoint.
+func (e *Engine) TickErr() (TickStats, error) {
+	if e.broken != nil {
+		return TickStats{}, fmt.Errorf("population: engine poisoned by earlier transport failure: %w", e.broken)
+	}
+	outs, err := e.transport.Step(e.tick, e.cur)
+	if err != nil {
+		e.broken = err
+		return TickStats{}, fmt.Errorf("population: tick %d: transport: %w", e.tick, err)
+	}
+	ts := TickStats{Tick: e.tick, Steps: e.cfg.Agents}
 	for _, o := range outs {
-		ts.Delivered += o.delivered
-		ts.Actions += o.actions
-		ts.Observed.Merge(&o.observed)
-		for _, m := range o.msgs {
-			box := e.next[m.to]
+		ts.Delivered += o.Delivered
+		ts.Actions += o.Actions
+		ts.Observed.Merge(&o.Observed)
+		for _, m := range o.Msgs {
+			box := e.next[m.To]
 			if box == nil {
 				box = e.grabBox()
 			}
-			e.next[m.to] = append(box, m.stim)
+			e.next[m.To] = append(box, m.Stim)
 		}
-		ts.Messages += len(o.msgs)
+		ts.Messages += len(o.Msgs)
 	}
 	// Recycle the inboxes this tick consumed (every shard job is done, so
-	// nothing reads them any more), then swap buffers: what was routed
-	// just now becomes next tick's inbox.
+	// nothing reads them any more), then trim the free list toward this
+	// tick's actual demand and swap buffers: what was routed just now
+	// becomes next tick's inbox.
+	recycled := 0
 	for i, box := range e.cur {
 		if box != nil {
-			e.free = append(e.free, box[:0])
+			recycled++
+			if cap(box) <= maxFreeBoxCap {
+				e.free = append(e.free, box[:0])
+			}
 			e.cur[i] = nil
 		}
+	}
+	if limit := 2*recycled + freeBoxSlack; len(e.free) > limit {
+		for i := limit; i < len(e.free); i++ {
+			e.free[i] = nil // release for the GC; the trimmed header would pin them
+		}
+		e.free = e.free[:limit]
 	}
 	e.cur, e.next = e.next, e.cur
 
@@ -310,11 +334,11 @@ func (e *Engine) Tick() TickStats {
 	e.actions += int64(ts.Actions)
 	e.lastObserved = ts.Observed
 	e.pushWork(ts.Work())
-	return ts
+	return ts, nil
 }
 
 // grabBox returns a spare mailbox slice from the free list, or a fresh one.
-// Coordinator-only (tick barrier), like every mailbox mutation.
+// Barrier-only (single goroutine), like every mailbox mutation.
 func (e *Engine) grabBox() []core.Stimulus {
 	if n := len(e.free); n > 0 {
 		b := e.free[n-1]
@@ -346,35 +370,6 @@ func (e *Engine) workHistory() []float64 {
 		out = append(out, e.work[(e.workHead+i)%n])
 	}
 	return out
-}
-
-// stepShard runs shard s for one tick. It touches only shard-local state:
-// its own agents, its own RNG stream, the read-only cur mailboxes of its
-// own agents, and its own pooled result (reset here, read by the
-// coordinator at the barrier, never shared between shards).
-func (e *Engine) stepShard(s int, now float64) *shardResult {
-	res := e.results[s]
-	res.delivered, res.actions = 0, 0
-	res.msgs = res.msgs[:0]
-	res.observed = stats.Online{}
-	ctx := EmitContext{Tick: e.tick, Now: now, Rng: e.rngs[s], agents: len(e.agents), out: res}
-	for id := e.bounds[s]; id < e.bounds[s+1]; id++ {
-		a := e.agents[id]
-		if inbox := e.cur[id]; len(inbox) > 0 {
-			a.Inject(now, inbox)
-			res.delivered += len(inbox)
-		}
-		actions := a.Step(now, nil)
-		res.actions += len(actions)
-		if e.cfg.Observe != nil {
-			res.observed.Add(e.cfg.Observe(id, a))
-		}
-		if e.cfg.Emit != nil {
-			ctx.ID, ctx.Agent, ctx.Actions = id, a, actions
-			e.cfg.Emit(&ctx)
-		}
-	}
-	return res
 }
 
 // Run executes ticks ticks and returns the aggregate. It may be called

@@ -135,12 +135,13 @@ func TestShardPartitionCoversAllAgentsOnce(t *testing.T) {
 		if e.Shards() > e.Agents() {
 			t.Fatalf("%+v: shards %d exceed agents %d", tc, e.Shards(), e.Agents())
 		}
-		if e.bounds[0] != 0 || e.bounds[len(e.bounds)-1] != tc.agents {
-			t.Fatalf("%+v: bounds do not span the population: %v", tc, e.bounds)
+		bounds := e.local.bounds
+		if bounds[0] != 0 || bounds[len(bounds)-1] != tc.agents {
+			t.Fatalf("%+v: bounds do not span the population: %v", tc, bounds)
 		}
 		for s := 0; s < e.Shards(); s++ {
-			if e.bounds[s+1] <= e.bounds[s] {
-				t.Fatalf("%+v: empty shard %d in bounds %v", tc, s, e.bounds)
+			if bounds[s+1] <= bounds[s] {
+				t.Fatalf("%+v: empty shard %d in bounds %v", tc, s, bounds)
 			}
 		}
 	}

@@ -43,15 +43,54 @@ type Snapshot struct {
 	AgentStates []core.AgentState
 }
 
+// Range extracts the slice of the snapshot covering shards [lo, hi) — the
+// state-transfer payload that initialises a cluster worker hosting that
+// range. The returned RangeState shares no memory with the snapshot's
+// slices' backing arrays beyond the elements themselves (states are plain
+// data).
+func (s *Snapshot) Range(lo, hi int) (*RangeState, error) {
+	if lo < 0 || hi > s.Shards || lo >= hi {
+		return nil, fmt.Errorf("population: snapshot range [%d, %d) outside [0, %d)", lo, hi, s.Shards)
+	}
+	if len(s.ShardRNG) != s.Shards || len(s.AgentRNG) != s.Agents || len(s.AgentStates) != s.Agents {
+		return nil, fmt.Errorf("population: snapshot internally inconsistent "+
+			"(%d shard streams, %d agent streams, %d agent states for agents=%d shards=%d)",
+			len(s.ShardRNG), len(s.AgentRNG), len(s.AgentStates), s.Agents, s.Shards)
+	}
+	bounds := Partition(s.Agents, s.Shards)
+	return &RangeState{
+		LoShard: lo, HiShard: hi, LoAgent: bounds[lo], HiAgent: bounds[hi],
+		ShardRNG:    s.ShardRNG[lo:hi],
+		AgentRNG:    s.AgentRNG[bounds[lo]:bounds[hi]],
+		AgentStates: s.AgentStates[bounds[lo]:bounds[hi]],
+	}, nil
+}
+
 // Snapshot exports the engine's complete state. It must be called between
-// ticks (never while a Tick is in flight) and fails only when an agent
-// carries state the checkpoint layer cannot serialise — see
-// core.Agent.State.
+// ticks (never while a Tick is in flight) and fails when an agent carries
+// state the checkpoint layer cannot serialise (see core.Agent.State) or, on
+// a cluster transport, when a worker cannot be reached.
 func (e *Engine) Snapshot() (*Snapshot, error) {
+	if e.broken != nil {
+		// A failed tick may have half-applied on remote executors; a
+		// snapshot taken now could mix this engine's tick counter with
+		// later agent state and resume into silent divergence.
+		return nil, fmt.Errorf("population: snapshot: engine poisoned by earlier transport failure: %w", e.broken)
+	}
+	rs, err := e.transport.Export()
+	if err != nil {
+		return nil, fmt.Errorf("population: snapshot at tick %d: %w", e.tick, err)
+	}
+	if len(rs.ShardRNG) != e.cfg.Shards || len(rs.AgentRNG) != e.cfg.Agents ||
+		len(rs.AgentStates) != e.cfg.Agents {
+		return nil, fmt.Errorf("population: snapshot at tick %d: transport exported "+
+			"%d shard streams, %d agent streams, %d agent states for shards=%d agents=%d",
+			e.tick, len(rs.ShardRNG), len(rs.AgentRNG), len(rs.AgentStates), e.cfg.Shards, e.cfg.Agents)
+	}
 	s := &Snapshot{
 		Name:      e.cfg.Name,
-		Agents:    len(e.agents),
-		Shards:    len(e.rngs),
+		Agents:    e.cfg.Agents,
+		Shards:    e.cfg.Shards,
 		Seed:      e.cfg.Seed,
 		Tick:      e.tick,
 		Steps:     e.steps,
@@ -60,29 +99,16 @@ func (e *Engine) Snapshot() (*Snapshot, error) {
 		Actions:   e.actions,
 		Observed:  e.lastObserved.State(),
 		Work:      e.workHistory(),
-		ShardRNG:  make([]uint64, len(e.shardSrcs)),
-		AgentRNG:  make([]uint64, len(e.agentSrcs)),
-		Mail:      make([][]core.Stimulus, len(e.agents)),
-	}
-	for i, src := range e.shardSrcs {
-		s.ShardRNG[i] = src.State()
-	}
-	for i, src := range e.agentSrcs {
-		s.AgentRNG[i] = src.State()
+		ShardRNG:  rs.ShardRNG,
+		AgentRNG:  rs.AgentRNG,
+		Mail:      make([][]core.Stimulus, e.cfg.Agents),
 	}
 	for i, inbox := range e.cur {
 		if len(inbox) > 0 {
 			s.Mail[i] = append([]core.Stimulus(nil), inbox...)
 		}
 	}
-	s.AgentStates = make([]core.AgentState, len(e.agents))
-	for i, a := range e.agents {
-		st, err := a.State()
-		if err != nil {
-			return nil, fmt.Errorf("population: snapshot at tick %d: %w", e.tick, err)
-		}
-		s.AgentStates[i] = st
-	}
+	s.AgentStates = rs.AgentStates
 	return s, nil
 }
 
@@ -100,30 +126,50 @@ func (e *Engine) Snapshot() (*Snapshot, error) {
 // reset; DESIGN.md spells out this caller obligation.
 func Restore(cfg Config, s *Snapshot) (*Engine, error) {
 	e := New(cfg)
-	if e.cfg.Name != s.Name {
-		return nil, fmt.Errorf("population: restore: config name %q, snapshot of %q", e.cfg.Name, s.Name)
+	if err := e.install(s); err != nil {
+		return nil, err
 	}
-	if len(e.agents) != s.Agents || len(e.rngs) != s.Shards || e.cfg.Seed != s.Seed {
-		return nil, fmt.Errorf(
+	return e, nil
+}
+
+// RestoreWithTransport is Restore for an engine whose agents live behind t:
+// the transport's executors must already hold freshly constructed agents
+// (each cluster worker runs cfg.New exactly as construction does), and
+// Install pushes each range its slice of the snapshot. See
+// NewWithTransport for what cfg must carry.
+func RestoreWithTransport(cfg Config, t Transport, s *Snapshot) (*Engine, error) {
+	e, err := NewWithTransport(cfg, t)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.install(s); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// install validates the snapshot against the engine's shape and overlays it
+// onto the freshly built engine and its transport.
+func (e *Engine) install(s *Snapshot) error {
+	if e.cfg.Name != s.Name {
+		return fmt.Errorf("population: restore: config name %q, snapshot of %q", e.cfg.Name, s.Name)
+	}
+	if e.cfg.Agents != s.Agents || e.cfg.Shards != s.Shards || e.cfg.Seed != s.Seed {
+		return fmt.Errorf(
 			"population: restore: config (agents=%d shards=%d seed=%d) does not match snapshot (agents=%d shards=%d seed=%d)",
-			len(e.agents), len(e.rngs), e.cfg.Seed, s.Agents, s.Shards, s.Seed)
+			e.cfg.Agents, e.cfg.Shards, e.cfg.Seed, s.Agents, s.Shards, s.Seed)
 	}
 	if len(s.ShardRNG) != s.Shards || len(s.AgentRNG) != s.Agents ||
 		len(s.Mail) != s.Agents || len(s.AgentStates) != s.Agents {
-		return nil, fmt.Errorf("population: restore: snapshot internally inconsistent "+
+		return fmt.Errorf("population: restore: snapshot internally inconsistent "+
 			"(%d shard streams, %d agent streams, %d mailboxes, %d agent states for agents=%d shards=%d)",
 			len(s.ShardRNG), len(s.AgentRNG), len(s.Mail), len(s.AgentStates), s.Agents, s.Shards)
 	}
-	for i, st := range s.ShardRNG {
-		e.shardSrcs[i].SetState(st)
-	}
-	for i, st := range s.AgentRNG {
-		e.agentSrcs[i].SetState(st)
-	}
-	for i := range e.agents {
-		if err := e.agents[i].SetState(s.AgentStates[i]); err != nil {
-			return nil, fmt.Errorf("population: restore: %w", err)
-		}
+	if err := e.transport.Install(&RangeState{
+		LoShard: 0, HiShard: s.Shards, LoAgent: 0, HiAgent: s.Agents,
+		ShardRNG: s.ShardRNG, AgentRNG: s.AgentRNG, AgentStates: s.AgentStates,
+	}); err != nil {
+		return err
 	}
 	for i, inbox := range s.Mail {
 		if len(inbox) > 0 {
@@ -142,7 +188,7 @@ func Restore(cfg Config, s *Snapshot) (*Engine, error) {
 	}
 	e.work = append(e.work[:0], w...)
 	e.workHead = 0
-	return e, nil
+	return nil
 }
 
 // Enqueue queues an externally produced stimulus for delivery to agent `to`
@@ -152,8 +198,8 @@ func Restore(cfg Config, s *Snapshot) (*Engine, error) {
 // from the engine's goroutine (never while a Tick is in flight); pending
 // stimuli are part of the engine's Snapshot.
 func (e *Engine) Enqueue(to int, s core.Stimulus) error {
-	if to < 0 || to >= len(e.agents) {
-		return fmt.Errorf("population: enqueue to out-of-range agent %d (population %d)", to, len(e.agents))
+	if to < 0 || to >= e.cfg.Agents {
+		return fmt.Errorf("population: enqueue to out-of-range agent %d (population %d)", to, e.cfg.Agents)
 	}
 	box := e.cur[to]
 	if box == nil {

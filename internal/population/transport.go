@@ -1,0 +1,298 @@
+package population
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sacs/internal/core"
+	"sacs/internal/knowledge"
+	"sacs/internal/runner"
+	"sacs/internal/stats"
+	"sacs/internal/xrand"
+)
+
+// Routed is one cross-shard message: a stimulus addressed to agent To,
+// produced inside a shard step and delivered by the engine's barrier at the
+// start of the next tick.
+type Routed struct {
+	To   int
+	Stim core.Stimulus
+}
+
+// ShardExchange is one shard's contribution to a tick barrier: the shard's
+// work counters, its slice of the population observation, and the messages
+// its agents sent (in agent-step order). The engine merges exchanges in
+// shard index order, which is what keeps every aggregate deterministic.
+// Exchanges are pooled by their transport: the engine reads them only until
+// the next Step call and never retains them.
+type ShardExchange struct {
+	Delivered int          // mailbox stimuli injected into this shard's agents
+	Actions   int          // actions chosen by this shard's reasoners
+	Observed  stats.Online // Config.Observe over this shard's agents
+	Msgs      []Routed     // stimuli sent by this shard's agents, in step order
+}
+
+// RangeState is the executor-side state of a contiguous shard range: every
+// owned shard's RNG stream position and every owned agent's RNG position and
+// exported state, in index order. It is the unit of state transfer between
+// an engine snapshot and the transport hosting the agents — for the
+// in-process transport a plain copy, for a cluster the payload that
+// initialises or rebalances a worker (serialised with the checkpoint codec).
+type RangeState struct {
+	LoShard, HiShard int // owned shard interval [LoShard, HiShard)
+	LoAgent, HiAgent int // corresponding agent interval
+
+	ShardRNG    []uint64 // one stream position per owned shard
+	AgentRNG    []uint64 // one stream position per owned agent
+	AgentStates []core.AgentState
+}
+
+// Transport is the engine's cross-shard data plane: the engine owns the
+// tick barrier, mailbox routing, counters and external ingest; the
+// transport owns the agents and executes the shard steps. The in-process
+// default is LocalTransport (zero extra cost over the pre-transport
+// engine); internal/cluster implements the same contract over TCP so
+// shards can live in other processes.
+//
+// The determinism contract carries over unchanged: Step must return one
+// exchange per shard of the whole population, in shard index order, with
+// the same bytes a LocalTransport over the same Config would produce.
+type Transport interface {
+	// Step executes tick `tick` on every shard and returns the per-shard
+	// exchanges in shard index order. mail is indexed by global agent id
+	// and holds each agent's pending inbox; implementations read only
+	// their own agents' boxes and must not retain mail — nor the returned
+	// exchanges — past the next Step call. A non-nil error means the tick
+	// did not complete coherently and the engine is no longer consistent
+	// with its transport (resume from a checkpoint).
+	Step(tick int, mail [][]core.Stimulus) ([]*ShardExchange, error)
+	// Export returns the full population's executor state (RNG stream
+	// positions and agent states, in index order) for a snapshot.
+	Export() (*RangeState, error)
+	// Install overlays previously exported state onto freshly constructed
+	// agents — the transport half of Restore.
+	Install(*RangeState) error
+	// Explain renders agent id's self-explanation at simulation time now.
+	Explain(id int, now float64) (string, error)
+	// Close releases transport resources (connections, remote
+	// registrations). The in-process transport's Close is a no-op.
+	Close() error
+}
+
+// Partition splits n items into parts contiguous, near-equal ranges and
+// returns the bounds slice: range p owns [bounds[p], bounds[p+1]), with the
+// first n%parts ranges holding one extra item. It is the single partition
+// rule shared by agent-to-shard assignment and, in internal/cluster,
+// shard-to-worker assignment, so every process derives the identical split.
+func Partition(n, parts int) []int {
+	bounds := make([]int, parts+1)
+	size, extra := n/parts, n%parts
+	for p := 0; p < parts; p++ {
+		bounds[p+1] = bounds[p] + size
+		if p < extra {
+			bounds[p+1]++
+		}
+	}
+	return bounds
+}
+
+// LocalTransport hosts a contiguous shard range of a population in-process:
+// it constructs the range's agents and steps them through the configured
+// runner pool. NewLocalTransport(cfg, 0, shards) — what New installs — is
+// the whole-population case and reproduces the pre-transport engine
+// byte-for-byte. A worker process in internal/cluster hosts a narrower
+// range; construction is per-agent-id deterministic (each agent's stream
+// derives from Seed and id alone), so a range built remotely is identical
+// to the same range of a single-process population.
+type LocalTransport struct {
+	cfg    Config
+	lo, hi int   // owned shard interval
+	bounds []int // global shard partition: shard s owns agents [bounds[s], bounds[s+1])
+
+	// Sparse global-indexed state: only owned slots are populated.
+	agents    []*core.Agent
+	rngs      []*rand.Rand   // one persistent stream per owned shard
+	shardSrcs []*xrand.Source
+	agentSrcs []*xrand.Source
+
+	// results holds one reusable exchange per owned shard; stepShard
+	// resets and refills it, so the per-tick fan-out allocates neither
+	// exchanges nor (steady-state) outbox slices.
+	results []*ShardExchange
+}
+
+// NewLocalTransport builds the agents of shards [lo, hi) of cfg's
+// population. It panics on an invalid configuration or range, exactly as
+// New does on an invalid configuration.
+func NewLocalTransport(cfg Config, lo, hi int) *LocalTransport {
+	cfg = cfg.Normalized()
+	if cfg.New == nil {
+		panic("population: Config.New is required")
+	}
+	if lo < 0 || hi > cfg.Shards || lo >= hi {
+		panic(fmt.Sprintf("population: shard range [%d, %d) outside [0, %d)", lo, hi, cfg.Shards))
+	}
+	t := &LocalTransport{
+		cfg:       cfg,
+		lo:        lo,
+		hi:        hi,
+		bounds:    Partition(cfg.Agents, cfg.Shards),
+		agents:    make([]*core.Agent, cfg.Agents),
+		rngs:      make([]*rand.Rand, cfg.Shards),
+		shardSrcs: make([]*xrand.Source, cfg.Shards),
+		agentSrcs: make([]*xrand.Source, cfg.Agents),
+		results:   make([]*ShardExchange, hi-lo),
+	}
+	for i := range t.results {
+		t.results[i] = &ShardExchange{}
+	}
+	for id := t.bounds[lo]; id < t.bounds[hi]; id++ {
+		t.agentSrcs[id] = xrand.NewSource(mix(cfg.Seed, 0x9E3779B97F4A7C15, int64(id)))
+		t.agents[id] = cfg.New(id, rand.New(t.agentSrcs[id]))
+		if t.agents[id] == nil {
+			panic(fmt.Sprintf("population: Config.New returned nil for agent %d", id))
+		}
+	}
+	// Knowledge stores owned by exactly one agent never see concurrent
+	// access (a shard steps its agents sequentially; barriers order the
+	// ticks), so their locking and atomic counters are pure overhead:
+	// mark them unshared. A store given to several agents — a shared
+	// collective blackboard — keeps full locking.
+	owners := make(map[*knowledge.Store]int, t.bounds[hi]-t.bounds[lo])
+	for id := t.bounds[lo]; id < t.bounds[hi]; id++ {
+		owners[t.agents[id].Store()]++
+	}
+	for st, n := range owners {
+		if n == 1 {
+			st.Unshared()
+		}
+	}
+	for s := lo; s < hi; s++ {
+		t.shardSrcs[s] = xrand.NewSource(mix(cfg.Seed, 0xBF58476D1CE4E5B9, int64(s)))
+		t.rngs[s] = rand.New(t.shardSrcs[s])
+	}
+	return t
+}
+
+// mix derives a well-separated sub-seed from a base seed, a stream salt and
+// an index. Arithmetic is in uint64 so overflow wraps deterministically.
+func mix(seed int64, salt uint64, i int64) int64 {
+	x := uint64(seed) ^ salt*uint64(i+1)
+	x ^= x >> 31
+	return int64(x*0x94D049BB133111EB) + i
+}
+
+// Range reports the owned shard interval [lo, hi).
+func (t *LocalTransport) Range() (lo, hi int) { return t.lo, t.hi }
+
+// AgentRange reports the owned agent interval corresponding to Range.
+func (t *LocalTransport) AgentRange() (lo, hi int) { return t.bounds[t.lo], t.bounds[t.hi] }
+
+// Agent returns agent id when this transport owns it, nil otherwise.
+func (t *LocalTransport) Agent(id int) *core.Agent {
+	if id < t.bounds[t.lo] || id >= t.bounds[t.hi] {
+		return nil
+	}
+	return t.agents[id]
+}
+
+// Step fans the owned shards out as pool jobs and returns their exchanges
+// in shard index order. It never fails: in-process shard steps surface bugs
+// as panics through the pool's per-job recovery, not as transport errors.
+func (t *LocalTransport) Step(tick int, mail [][]core.Stimulus) ([]*ShardExchange, error) {
+	now := float64(tick)
+	outs := runner.FanOut(t.cfg.Pool, runner.Key{Experiment: t.cfg.Name, System: "shard"},
+		t.hi-t.lo, func(i int) *ShardExchange { return t.stepShard(t.lo+i, tick, now, mail) })
+	return outs, nil
+}
+
+// stepShard runs shard s for one tick. It touches only shard-local state:
+// its own agents, its own RNG stream, the read-only mailboxes of its own
+// agents, and its own pooled exchange (reset here, read by the engine at
+// the barrier, never shared between shards).
+func (t *LocalTransport) stepShard(s, tick int, now float64, mail [][]core.Stimulus) *ShardExchange {
+	res := t.results[s-t.lo]
+	res.Delivered, res.Actions = 0, 0
+	res.Msgs = res.Msgs[:0]
+	res.Observed = stats.Online{}
+	ctx := EmitContext{Tick: tick, Now: now, Rng: t.rngs[s], agents: t.cfg.Agents, out: res}
+	for id := t.bounds[s]; id < t.bounds[s+1]; id++ {
+		a := t.agents[id]
+		if inbox := mail[id]; len(inbox) > 0 {
+			a.Inject(now, inbox)
+			res.Delivered += len(inbox)
+		}
+		actions := a.Step(now, nil)
+		res.Actions += len(actions)
+		if t.cfg.Observe != nil {
+			res.Observed.Add(t.cfg.Observe(id, a))
+		}
+		if t.cfg.Emit != nil {
+			ctx.ID, ctx.Agent, ctx.Actions = id, a, actions
+			t.cfg.Emit(&ctx)
+		}
+	}
+	return res
+}
+
+// Export copies out the owned range's state in index order.
+func (t *LocalTransport) Export() (*RangeState, error) {
+	loA, hiA := t.AgentRange()
+	rs := &RangeState{
+		LoShard: t.lo, HiShard: t.hi, LoAgent: loA, HiAgent: hiA,
+		ShardRNG:    make([]uint64, 0, t.hi-t.lo),
+		AgentRNG:    make([]uint64, 0, hiA-loA),
+		AgentStates: make([]core.AgentState, 0, hiA-loA),
+	}
+	for s := t.lo; s < t.hi; s++ {
+		rs.ShardRNG = append(rs.ShardRNG, t.shardSrcs[s].State())
+	}
+	for id := loA; id < hiA; id++ {
+		rs.AgentRNG = append(rs.AgentRNG, t.agentSrcs[id].State())
+		st, err := t.agents[id].State()
+		if err != nil {
+			return nil, fmt.Errorf("agent %d state: %w", id, err)
+		}
+		rs.AgentStates = append(rs.AgentStates, st)
+	}
+	return rs, nil
+}
+
+// Install overlays rs — which must cover exactly the owned range — onto the
+// freshly constructed agents: RNG stream positions and agent states.
+func (t *LocalTransport) Install(rs *RangeState) error {
+	loA, hiA := t.AgentRange()
+	if rs.LoShard != t.lo || rs.HiShard != t.hi || rs.LoAgent != loA || rs.HiAgent != hiA {
+		return fmt.Errorf("population: install: state covers shards [%d, %d) agents [%d, %d), transport owns [%d, %d)/[%d, %d)",
+			rs.LoShard, rs.HiShard, rs.LoAgent, rs.HiAgent, t.lo, t.hi, loA, hiA)
+	}
+	if len(rs.ShardRNG) != t.hi-t.lo || len(rs.AgentRNG) != hiA-loA || len(rs.AgentStates) != hiA-loA {
+		return fmt.Errorf("population: install: state internally inconsistent "+
+			"(%d shard streams, %d agent streams, %d agent states for %d shards, %d agents)",
+			len(rs.ShardRNG), len(rs.AgentRNG), len(rs.AgentStates), t.hi-t.lo, hiA-loA)
+	}
+	for i, st := range rs.ShardRNG {
+		t.shardSrcs[t.lo+i].SetState(st)
+	}
+	for i, st := range rs.AgentRNG {
+		t.agentSrcs[loA+i].SetState(st)
+	}
+	for i := range rs.AgentStates {
+		if err := t.agents[loA+i].SetState(rs.AgentStates[i]); err != nil {
+			return fmt.Errorf("population: restore: %w", err)
+		}
+	}
+	return nil
+}
+
+// Explain renders agent id's self-explanation at simulation time now.
+func (t *LocalTransport) Explain(id int, now float64) (string, error) {
+	a := t.Agent(id)
+	if a == nil {
+		return "", fmt.Errorf("population: agent %d not hosted by shards [%d, %d)", id, t.lo, t.hi)
+	}
+	return core.ExplainAgent(a, now), nil
+}
+
+// Close is a no-op: an in-process transport holds no external resources.
+func (t *LocalTransport) Close() error { return nil }

@@ -1,0 +1,148 @@
+package population
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"sacs/internal/core"
+)
+
+// splitTransport composes LocalTransports over disjoint shard ranges into
+// one whole-population transport — the in-process model of a worker
+// cluster, with no wire in between. It exists only to pin the Transport
+// seam: an engine over split executors must be byte-identical to the
+// engine over the single default transport.
+type splitTransport struct{ parts []*LocalTransport }
+
+func newSplitTransport(cfg Config, cuts ...int) *splitTransport {
+	cfg = cfg.Normalized()
+	st := &splitTransport{}
+	lo := 0
+	for _, hi := range append(cuts, cfg.Shards) {
+		st.parts = append(st.parts, NewLocalTransport(cfg, lo, hi))
+		lo = hi
+	}
+	return st
+}
+
+func (st *splitTransport) Step(tick int, mail [][]core.Stimulus) ([]*ShardExchange, error) {
+	var outs []*ShardExchange
+	for _, p := range st.parts {
+		o, err := p.Step(tick, mail)
+		if err != nil {
+			return nil, err
+		}
+		outs = append(outs, o...)
+	}
+	return outs, nil
+}
+
+func (st *splitTransport) Export() (*RangeState, error) {
+	full := &RangeState{}
+	for _, p := range st.parts {
+		rs, err := p.Export()
+		if err != nil {
+			return nil, err
+		}
+		full.HiShard, full.HiAgent = rs.HiShard, rs.HiAgent
+		full.ShardRNG = append(full.ShardRNG, rs.ShardRNG...)
+		full.AgentRNG = append(full.AgentRNG, rs.AgentRNG...)
+		full.AgentStates = append(full.AgentStates, rs.AgentStates...)
+	}
+	return full, nil
+}
+
+func (st *splitTransport) Install(rs *RangeState) error {
+	for _, p := range st.parts {
+		lo, hi := p.Range()
+		loA, hiA := p.AgentRange()
+		if err := p.Install(&RangeState{
+			LoShard: lo, HiShard: hi, LoAgent: loA, HiAgent: hiA,
+			ShardRNG:    rs.ShardRNG[lo:hi],
+			AgentRNG:    rs.AgentRNG[loA:hiA],
+			AgentStates: rs.AgentStates[loA:hiA],
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (st *splitTransport) Explain(id int, now float64) (string, error) {
+	for _, p := range st.parts {
+		if p.Agent(id) != nil {
+			return p.Explain(id, now)
+		}
+	}
+	return "", fmt.Errorf("no part hosts agent %d", id)
+}
+
+func (st *splitTransport) Close() error { return nil }
+
+// TestSplitTransportByteIdentical: the same population stepped through one
+// LocalTransport and through three composed range transports must produce
+// identical TickStats every tick and an identical snapshot — the
+// Transport-seam half of the cluster's determinism contract, pinned
+// without any networking.
+func TestSplitTransportByteIdentical(t *testing.T) {
+	cfg := tinyConfig(64)
+	cfg.Shards = 8
+
+	ref := New(cfg)
+	split, err := NewWithTransport(cfg, newSplitTransport(cfg, 3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if i%5 == 0 {
+			st := core.Stimulus{Name: "ext", Source: "x", Value: float64(i), Time: float64(i)}
+			if err := ref.Enqueue(i%64, st); err != nil {
+				t.Fatal(err)
+			}
+			if err := split.Enqueue(i%64, st); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := ref.Tick()
+		got, err := split.TickErr()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("tick %d diverges across the transport seam:\nsingle %+v\nsplit  %+v", i, want, got)
+		}
+	}
+	a, err := ref.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := split.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("snapshots diverge across the transport seam")
+	}
+
+	// And the restore leg: RestoreWithTransport over fresh split parts
+	// continues identically to Restore over the default transport.
+	r1, err := Restore(cfg, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RestoreWithTransport(cfg, newSplitTransport(cfg, 4), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		want := r1.Tick()
+		got, err := r2.TickErr()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("restored tick %d diverges", i)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"sacs/internal/cluster"
+	"sacs/internal/population"
+)
+
+// UseCluster wires the options to host every population's shards on the
+// cluster behind cl instead of in-process: engines are built over a
+// cluster.Transport (each worker constructs its shard range from the same
+// workload registry it was started with), and resume pushes each worker its
+// shard-granular slice of the snapshot. Everything else — ticking cadence,
+// ingest, checkpoints, the HTTP surface — is unchanged, because the
+// coordinator-side engine is an ordinary population.Engine.
+//
+// A worker failure surfaces as an ErrHost-wrapped Advance error (HTTP 500)
+// and poisons the population's engine; the recovery path is the usual one,
+// restart + resume from the latest checkpoint, which re-initialises every
+// worker.
+func (o *Options) UseCluster(cl *cluster.Client) {
+	spec := func(s Spec) cluster.Spec {
+		return cluster.Spec{ID: s.ID, Workload: s.Workload, Agents: s.Agents, Shards: s.Shards, Seed: s.Seed}
+	}
+	o.NewEngine = func(s Spec, cfg population.Config) (*population.Engine, error) {
+		tr, err := cl.NewTransport(spec(s))
+		if err != nil {
+			return nil, err
+		}
+		eng, err := population.NewWithTransport(cfg, tr)
+		if err != nil {
+			tr.Close()
+			return nil, err
+		}
+		return eng, nil
+	}
+	o.RestoreEngine = func(s Spec, cfg population.Config, snap *population.Snapshot) (*population.Engine, error) {
+		tr, err := cl.NewTransport(spec(s))
+		if err != nil {
+			return nil, err
+		}
+		eng, err := population.RestoreWithTransport(cfg, tr, snap)
+		if err != nil {
+			tr.Close()
+			return nil, err
+		}
+		return eng, nil
+	}
+}

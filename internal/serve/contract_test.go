@@ -1,0 +1,360 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sacs/internal/checkpoint"
+	"sacs/internal/cluster"
+	"sacs/internal/core"
+	"sacs/internal/experiments"
+	"sacs/internal/population"
+)
+
+// extStim is a deterministic external stimulus for driving reference and
+// cluster runs identically.
+func extStim(tick int) core.Stimulus {
+	return core.Stimulus{Name: "ext", Source: "client", Scope: core.Public,
+		Value: float64(tick) * 1.5, Time: float64(tick)}
+}
+
+// postCode POSTs and returns only the status code.
+func postCode(t *testing.T, url, body string) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestCheckpointErrorContract pins the documented ErrHost contract on
+// POST .../checkpoint: caller mistakes (unknown population, no checkpoint
+// directory configured) are 400, host-side I/O failures are 500. The old
+// handler guessed by re-resolving the population id, so every
+// configuration mistake came back as a misleading 500.
+func TestCheckpointErrorContract(t *testing.T) {
+	// No checkpoint directory: a deployment/caller mistake, not a host
+	// fault — must be 400, and must not satisfy errors.Is(_, ErrHost).
+	s := newTestServer(t, "", 0)
+	if err := s.Add(demoSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Checkpoint("demo"); err == nil || errors.Is(err, ErrHost) {
+		t.Fatalf("no-dir checkpoint error should not be host-side: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if code := postCode(t, ts.URL+"/populations/demo/checkpoint", ""); code != http.StatusBadRequest {
+		t.Fatalf("checkpoint without a dir = %d, want 400", code)
+	}
+	if code := postCode(t, ts.URL+"/populations/nope/checkpoint", ""); code != http.StatusBadRequest {
+		t.Fatalf("checkpoint of unknown population = %d, want 400", code)
+	}
+
+	// Host-side I/O failure: the directory vanishes under a live server
+	// (disk unmounted, operator error). Write fails → ErrHost → 500.
+	dir := t.TempDir()
+	s2 := newTestServer(t, dir, 0)
+	if err := s2.Add(demoSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Checkpoint("demo"); err == nil || !errors.Is(err, ErrHost) {
+		t.Fatalf("I/O checkpoint failure should wrap ErrHost: %v", err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	if code := postCode(t, ts2.URL+"/populations/demo/checkpoint", ""); code != http.StatusInternalServerError {
+		t.Fatalf("checkpoint with broken I/O = %d, want 500", code)
+	}
+}
+
+// TestPruneFailureDoesNotAbortAdvance is the regression for ticking
+// stopping over housekeeping: when an old snapshot file cannot be removed
+// after a *successful* interval checkpoint, Advance must keep ticking,
+// the failure must be visible in Status, and the durable snapshots must
+// keep landing. The failure is injected through the prune seam because a
+// genuinely unremovable file needs directory permissions that also break
+// the checkpoint write (and are ignored entirely when tests run as root).
+func TestPruneFailureDoesNotAbortAdvance(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Options{Dir: dir, CheckpointEvery: 2, Keep: 1, Workloads: []Workload{gossip()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.prune = func(dir, id string, keep int) (int, error) {
+		return 0, errors.New("unlink demo-t000000000002.ckpt: operation not permitted")
+	}
+	if err := s.Add(demoSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Advance("demo", 10); err != nil {
+		t.Fatalf("Advance aborted over a prune failure: %v", err)
+	}
+	st, err := s.Status("demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tick != 10 {
+		t.Fatalf("ticked to %d, want 10", st.Tick)
+	}
+	if st.PruneErrs != 5 { // checkpoints at ticks 2, 4, 6, 8, 10
+		t.Fatalf("PruneErrs = %d, want 5", st.PruneErrs)
+	}
+	if !strings.Contains(st.LastPrune, "not permitted") {
+		t.Fatalf("LastPrune = %q, want the prune error", st.LastPrune)
+	}
+	if st.LastCkpt != 10 {
+		t.Fatalf("checkpointing stopped at tick %d", st.LastCkpt)
+	}
+	// Every interval checkpoint is durable; none were pruned.
+	files, err := filepath.Glob(filepath.Join(dir, "demo-t*.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 5 {
+		t.Fatalf("%d snapshot files on disk, want all 5 interval checkpoints", len(files))
+	}
+}
+
+// TestResumeEdgeCases covers the resume paths that do not happen on a
+// happy restart: legacy snapshots without the "ingested" metadata key,
+// snapshots written by a different workload, and a corrupt latest
+// snapshot surfacing through AddOrResume.
+func TestResumeEdgeCases(t *testing.T) {
+	mkSnapshot := func(t *testing.T, dir string, meta map[string]string, ticks int) {
+		t.Helper()
+		eng := population.New(experiments.S2Config(64, 8, 5, nil))
+		eng.Run(ticks)
+		snap, err := eng.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := checkpoint.Write(filepath.Join(dir, checkpoint.FileName("demo", ticks)), snap, meta); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	t.Run("legacy meta without ingested", func(t *testing.T) {
+		dir := t.TempDir()
+		mkSnapshot(t, dir, map[string]string{"workload": "gossip", "id": "demo"}, 6)
+		s := newTestServer(t, dir, 0)
+		if err := s.Resume(demoSpec()); err != nil {
+			t.Fatalf("resume of a legacy snapshot failed: %v", err)
+		}
+		st, err := s.Status("demo")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Tick != 6 || st.Ingested != 0 {
+			t.Fatalf("resumed at tick %d with ingested %d, want 6 and 0", st.Tick, st.Ingested)
+		}
+	})
+
+	t.Run("workload name mismatch", func(t *testing.T) {
+		dir := t.TempDir()
+		mkSnapshot(t, dir, map[string]string{"workload": "gossip", "id": "demo"}, 4)
+		s, err := New(Options{Dir: dir, Workloads: []Workload{gossip(),
+			{Name: "other", Build: experiments.S2Config}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := demoSpec()
+		spec.Workload = "other"
+		if err := s.Resume(spec); err == nil || !strings.Contains(err.Error(), "written by workload") {
+			t.Fatalf("workload mismatch: want a named refusal, got %v", err)
+		}
+		// The population must not have been registered half-resumed.
+		if ids := s.IDs(); len(ids) != 0 {
+			t.Fatalf("failed resume left populations registered: %v", ids)
+		}
+	})
+
+	t.Run("corrupt latest snapshot via AddOrResume", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, checkpoint.FileName("demo", 9)),
+			[]byte("not a snapshot"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s := newTestServer(t, dir, 0)
+		resumed, err := s.AddOrResume(demoSpec())
+		if err == nil || !errors.Is(err, checkpoint.ErrCorrupt) {
+			t.Fatalf("AddOrResume over a corrupt snapshot: want ErrCorrupt, got %v", err)
+		}
+		if !resumed {
+			t.Fatal("AddOrResume should have attempted a resume (snapshot files exist)")
+		}
+		// And a plain Add keeps refusing: the stale file still shadows.
+		if err := s.Add(demoSpec()); err == nil || !strings.Contains(err.Error(), "existing snapshots") {
+			t.Fatalf("Add over stale snapshots: want refusal, got %v", err)
+		}
+	})
+}
+
+// startClusterWorkers brings up n cluster workers with the serve test
+// workload registry and returns their addresses.
+func startClusterWorkers(t *testing.T, n int) ([]string, []*cluster.Worker) {
+	t.Helper()
+	addrs := make([]string, n)
+	workers := make([]*cluster.Worker, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := cluster.NewWorker(ln, nil, []cluster.Workload{{Name: "gossip", Build: experiments.S2Config}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go w.Serve()
+		t.Cleanup(func() { w.Close() })
+		addrs[i] = w.Addr()
+		workers[i] = w
+	}
+	return addrs, workers
+}
+
+func newClusterServer(t *testing.T, dir string, addrs []string) *Server {
+	t.Helper()
+	cl, err := cluster.Dial(addrs, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	opts := Options{Dir: dir, Workloads: []Workload{gossip()}}
+	opts.UseCluster(cl)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestClusterHostedServer runs the whole service contract over a 2-worker
+// cluster: add, tick, ingest, explain, checkpoint — then a worker dies
+// (Advance must fail with ErrHost → 500, the documented contract), and a
+// fresh server over fresh workers resumes from the checkpoint and ends in
+// exactly the state of an uninterrupted in-process server.
+func TestClusterHostedServer(t *testing.T) {
+	// In-process reference, driven identically.
+	ref := newTestServer(t, t.TempDir(), 0)
+	if err := ref.Add(demoSpec()); err != nil {
+		t.Fatal(err)
+	}
+
+	addrs, workers := startClusterWorkers(t, 2)
+	dir := t.TempDir()
+	s := newClusterServer(t, dir, addrs)
+	if err := s.Add(demoSpec()); err != nil {
+		t.Fatalf("cluster add: %v", err)
+	}
+	// A duplicate add must be rejected before a single byte reaches a
+	// worker — re-initialising the workers would destroy the live
+	// population's state. The drive below proves it still ticks.
+	if err := s.Add(demoSpec()); err == nil {
+		t.Fatal("duplicate cluster add accepted")
+	}
+
+	drive := func(srv *Server) {
+		t.Helper()
+		if _, err := srv.Advance("demo", 5); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := srv.Ingest("demo", 3, extStim(5), true); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := srv.Advance("demo", 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drive(ref)
+	drive(s)
+
+	// Explanations travel the transport and read identically.
+	want, err := ref.Explain("demo", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Explain("demo", 3)
+	if err != nil {
+		t.Fatalf("cluster explain: %v", err)
+	}
+	if want != got {
+		t.Fatal("cluster-served explanation diverges from in-process")
+	}
+
+	refPath, err := ref.Checkpoint("demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluPath, err := s.Checkpoint("demo")
+	if err != nil {
+		t.Fatalf("cluster checkpoint: %v", err)
+	}
+	refBytes, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluBytes, err := os.ReadFile(cluPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refBytes, cluBytes) {
+		t.Fatal("cluster checkpoint file differs from in-process checkpoint file")
+	}
+
+	// Worker death: Advance fails host-side, and the HTTP layer says 500.
+	workers[1].Close()
+	_, err = s.Advance("demo", 1)
+	if err == nil || !errors.Is(err, ErrHost) {
+		t.Fatalf("tick over dead worker: want ErrHost, got %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if code := postCode(t, ts.URL+"/populations/demo/ticks?n=1", ""); code != http.StatusInternalServerError {
+		t.Fatalf("tick over dead worker = %d, want 500", code)
+	}
+
+	// Recovery: fresh workers, fresh server, resume from the checkpoint —
+	// then both runs continue and must stay byte-identical.
+	addrs2, _ := startClusterWorkers(t, 2)
+	s2 := newClusterServer(t, dir, addrs2)
+	resumed, err := s2.AddOrResume(demoSpec())
+	if err != nil {
+		t.Fatalf("cluster resume: %v", err)
+	}
+	if !resumed {
+		t.Fatal("AddOrResume built fresh despite a checkpoint")
+	}
+	if _, err := ref.Advance("demo", 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Advance("demo", 5); err != nil {
+		t.Fatal(err)
+	}
+	refPath, err = ref.Checkpoint("demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluPath, err = s2.Checkpoint("demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBytes, _ = os.ReadFile(refPath)
+	cluBytes, _ = os.ReadFile(cluPath)
+	if !bytes.Equal(refBytes, cluBytes) {
+		t.Fatal("resumed cluster server diverged from uninterrupted in-process server")
+	}
+}

@@ -194,7 +194,11 @@ func (s *Server) Handler() http.Handler {
 		}
 		text, err := s.Explain(r.PathValue("id"), n)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			code := http.StatusBadRequest
+			if errors.Is(err, ErrHost) {
+				code = http.StatusInternalServerError
+			}
+			writeErr(w, code, err)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -204,9 +208,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /populations/{id}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
 		path, err := s.Checkpoint(r.PathValue("id"))
 		if err != nil {
-			code := http.StatusInternalServerError
-			if _, hostErr := s.hosted(r.PathValue("id")); hostErr != nil {
-				code = http.StatusBadRequest
+			// The documented contract: ErrHost marks the service's own
+			// failures (snapshot export, encoding, checkpoint I/O) → 500;
+			// everything else — unknown population, no checkpoint
+			// directory configured — is the caller's mistake → 400.
+			code := http.StatusBadRequest
+			if errors.Is(err, ErrHost) {
+				code = http.StatusInternalServerError
 			}
 			writeErr(w, code, err)
 			return

@@ -51,6 +51,15 @@ type Options struct {
 	// Workloads is the registry of population builders, keyed by
 	// Workload.Name.
 	Workloads []Workload
+	// NewEngine, when non-nil, overrides how a fresh population becomes an
+	// engine — the seam cmd/sawd uses to host populations on a cluster
+	// (internal/cluster) instead of in-process. cfg is the workload's
+	// built config for spec.
+	NewEngine func(spec Spec, cfg population.Config) (*population.Engine, error)
+	// RestoreEngine is NewEngine's resume counterpart: it must rebuild the
+	// engine and overlay snap (in-process default:
+	// population.Restore(cfg, snap)).
+	RestoreEngine func(spec Spec, cfg population.Config, snap *population.Snapshot) (*population.Engine, error)
 }
 
 // ErrHost marks failures on the service's side (checkpoint I/O, engine
@@ -60,12 +69,14 @@ var ErrHost = errors.New("host-side failure")
 
 // hosted is one live population and its durability bookkeeping.
 type hosted struct {
-	mu       sync.Mutex
-	spec     Spec
-	eng      *population.Engine
-	lastCkpt int    // tick of the most recent checkpoint
-	lastPath string // file it was written to
-	ingested int64  // external stimuli accepted over the population's life
+	mu        sync.Mutex
+	spec      Spec
+	eng       *population.Engine
+	lastCkpt  int    // tick of the most recent checkpoint
+	lastPath  string // file it was written to
+	ingested  int64  // external stimuli accepted over the population's life
+	pruneErrs int    // prune failures after otherwise-successful checkpoints
+	lastPrune string // most recent prune failure, for Status
 }
 
 // Server hosts populations. Create with New, add or resume populations,
@@ -75,8 +86,13 @@ type Server struct {
 	workloads map[string]Workload
 	started   time.Time
 
-	mu   sync.RWMutex
-	pops map[string]*hosted
+	mu       sync.RWMutex
+	pops     map[string]*hosted
+	reserved map[string]struct{} // ids being added/resumed right now
+
+	// prune is checkpoint.Prune behind a seam so tests can inject prune
+	// failures that file permissions cannot simulate when running as root.
+	prune func(dir, id string, keep int) (int, error)
 }
 
 // New builds a Server. Workload names must be unique.
@@ -89,6 +105,8 @@ func New(opts Options) (*Server, error) {
 		workloads: make(map[string]Workload, len(opts.Workloads)),
 		started:   time.Now(),
 		pops:      make(map[string]*hosted),
+		reserved:  make(map[string]struct{}),
+		prune:     checkpoint.Prune,
 	}
 	for _, w := range opts.Workloads {
 		if w.Name == "" || w.Build == nil {
@@ -123,16 +141,39 @@ func (s *Server) build(spec Spec) (population.Config, error) {
 	return w.Build(spec.Agents, spec.Shards, spec.Seed, s.opts.Pool), nil
 }
 
-// register publishes a fully initialised hosted population; h must not be
-// mutated by the caller afterwards except under h.mu.
-func (s *Server) register(h *hosted) error {
+// reserve claims a population id before any engine or transport is built.
+// The claim matters beyond a tidy error: building a cluster engine for an
+// id sends msgInit to every worker, which would replace a live
+// population's worker state — a duplicate must be rejected before a single
+// byte reaches a worker. Callers release the claim with unreserve; a
+// successful register consumes it.
+func (s *Server) reserve(id string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, dup := s.pops[h.spec.ID]; dup {
-		return fmt.Errorf("serve: population %q already hosted", h.spec.ID)
+	if _, dup := s.pops[id]; dup {
+		return fmt.Errorf("serve: population %q already hosted", id)
 	}
-	s.pops[h.spec.ID] = h
+	if _, dup := s.reserved[id]; dup {
+		return fmt.Errorf("serve: population %q is already being added", id)
+	}
+	s.reserved[id] = struct{}{}
 	return nil
+}
+
+func (s *Server) unreserve(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.reserved, id)
+}
+
+// register publishes a fully initialised hosted population under the
+// caller's reservation; h must not be mutated by the caller afterwards
+// except under h.mu.
+func (s *Server) register(h *hosted) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.reserved, h.spec.ID)
+	s.pops[h.spec.ID] = h
 }
 
 // Add builds a fresh population from spec and hosts it. When snapshots for
@@ -146,6 +187,15 @@ func (s *Server) Add(spec Spec) error {
 	if err != nil {
 		return err
 	}
+	if err := s.reserve(spec.ID); err != nil {
+		return err
+	}
+	registered := false
+	defer func() {
+		if !registered {
+			s.unreserve(spec.ID)
+		}
+	}()
 	if s.opts.Dir != "" {
 		if latest, err := checkpoint.Latest(s.opts.Dir, spec.ID); err == nil {
 			return fmt.Errorf("serve: population %q has existing snapshots in %s (latest %s): "+
@@ -154,8 +204,17 @@ func (s *Server) Add(spec Spec) error {
 			return err
 		}
 	}
-	eng := population.New(cfg)
-	return s.register(&hosted{spec: spec, eng: eng, lastCkpt: eng.Ticks()})
+	var eng *population.Engine
+	if s.opts.NewEngine != nil {
+		if eng, err = s.opts.NewEngine(spec, cfg); err != nil {
+			return err
+		}
+	} else {
+		eng = population.New(cfg)
+	}
+	s.register(&hosted{spec: spec, eng: eng, lastCkpt: eng.Ticks()})
+	registered = true
+	return nil
 }
 
 // Resume hosts the population whose latest checkpoint for spec.ID sits in
@@ -166,6 +225,15 @@ func (s *Server) Resume(spec Spec) error {
 	if s.opts.Dir == "" {
 		return errors.New("serve: resume requires a checkpoint directory")
 	}
+	if err := s.reserve(spec.ID); err != nil {
+		return err
+	}
+	registered := false
+	defer func() {
+		if !registered {
+			s.unreserve(spec.ID)
+		}
+	}()
 	path, err := checkpoint.Latest(s.opts.Dir, spec.ID)
 	if err != nil {
 		return err
@@ -181,7 +249,12 @@ func (s *Server) Resume(spec Spec) error {
 	if err != nil {
 		return err
 	}
-	eng, err := population.Restore(cfg, snap)
+	var eng *population.Engine
+	if s.opts.RestoreEngine != nil {
+		eng, err = s.opts.RestoreEngine(spec, cfg, snap)
+	} else {
+		eng, err = population.Restore(cfg, snap)
+	}
 	if err != nil {
 		return err
 	}
@@ -189,7 +262,9 @@ func (s *Server) Resume(spec Spec) error {
 	if n, err := strconv.ParseInt(meta["ingested"], 10, 64); err == nil {
 		h.ingested = n
 	}
-	return s.register(h)
+	s.register(h)
+	registered = true
+	return nil
 }
 
 // AddOrResume resumes spec.ID when a checkpoint exists for it, and builds
@@ -242,11 +317,16 @@ func (s *Server) Advance(id string, n int) (population.TickStats, error) {
 	defer h.mu.Unlock()
 	var last population.TickStats
 	for i := 0; i < n; i++ {
-		last = h.eng.Tick()
+		// A tick failure is always host-side (an engine or cluster-worker
+		// fault, never caller input), so it maps to 500 at the HTTP layer.
+		last, err = h.eng.TickErr()
+		if err != nil {
+			return last, fmt.Errorf("serve: tick (%w): %w", ErrHost, err)
+		}
 		if s.opts.Dir != "" && s.opts.CheckpointEvery > 0 &&
 			h.eng.Ticks()-h.lastCkpt >= s.opts.CheckpointEvery {
 			if _, err := s.checkpointLocked(h); err != nil {
-				return last, fmt.Errorf("serve: interval checkpoint (%w): %w", ErrHost, err)
+				return last, fmt.Errorf("serve: interval checkpoint: %w", err)
 			}
 		}
 	}
@@ -322,13 +402,20 @@ func (s *Server) Checkpoint(id string) (string, error) {
 	return s.checkpointLocked(h)
 }
 
+// checkpointLocked snapshots h to disk. Failures on the way to a durable
+// snapshot — exporting state, encoding, writing — are the service's fault
+// and wrap ErrHost (the documented 500 contract); a missing checkpoint
+// directory is a caller/configuration mistake and does not. A prune
+// failure after the snapshot is safely on disk is recorded, not returned:
+// durability succeeded, and aborting ticking over housekeeping would turn
+// a full disk of old snapshots into an outage.
 func (s *Server) checkpointLocked(h *hosted) (string, error) {
 	if s.opts.Dir == "" {
 		return "", errors.New("serve: no checkpoint directory configured")
 	}
 	snap, err := h.eng.Snapshot()
 	if err != nil {
-		return "", err
+		return "", fmt.Errorf("serve: checkpoint %q (%w): %w", h.spec.ID, ErrHost, err)
 	}
 	path := filepath.Join(s.opts.Dir, checkpoint.FileName(h.spec.ID, snap.Tick))
 	meta := map[string]string{
@@ -337,12 +424,15 @@ func (s *Server) checkpointLocked(h *hosted) (string, error) {
 		"ingested": strconv.FormatInt(h.ingested, 10),
 	}
 	if err := checkpoint.Write(path, snap, meta); err != nil {
-		return "", err
+		return "", fmt.Errorf("serve: checkpoint %q (%w): %w", h.spec.ID, ErrHost, err)
 	}
 	h.lastCkpt = snap.Tick
 	h.lastPath = path
-	if _, err := checkpoint.Prune(s.opts.Dir, h.spec.ID, s.opts.Keep); err != nil {
-		return path, fmt.Errorf("serve: prune after checkpoint: %w", err)
+	if _, err := s.prune(s.opts.Dir, h.spec.ID, s.opts.Keep); err != nil {
+		h.pruneErrs++
+		h.lastPrune = err.Error()
+		fmt.Fprintf(os.Stderr, "serve: prune after checkpoint of %q (snapshot %s is durable): %v\n",
+			h.spec.ID, path, err)
 	}
 	return path, nil
 }
@@ -373,21 +463,15 @@ func (s *Server) Explain(id string, agent int) (string, error) {
 	if agent < 0 || agent >= h.eng.Agents() {
 		return "", fmt.Errorf("serve: agent %d out of range (population %d)", agent, h.eng.Agents())
 	}
-	a := h.eng.Agent(agent)
-	now := float64(h.eng.Ticks())
-	out := a.Describe(now) + "\n"
-	if m := a.Meta(); m != nil {
-		out += m.Report() + "\n"
+	// The rendering lives in core.ExplainAgent and, for cluster-hosted
+	// populations, runs on the worker that owns the agent — one spelling
+	// of an explanation everywhere. The agent index was validated above,
+	// so any engine failure here is host-side (a cluster-worker fault).
+	text, err := h.eng.Explain(agent)
+	if err != nil {
+		return "", fmt.Errorf("serve: explain (%w): %w", ErrHost, err)
 	}
-	if ex := a.Explainer(); ex != nil {
-		if t := ex.Transcript(5); t != "" {
-			out += "recent decisions:\n" + t
-		} else {
-			out += "recent decisions: none recorded\n"
-		}
-	}
-	out += "models:\n" + a.Store().Inventory(now)
-	return out, nil
+	return text, nil
 }
 
 // Status is one population's live metrics, JSON-shaped.
@@ -408,6 +492,10 @@ type Status struct {
 	WorkP99   float64 `json:"work_p99"`
 	LastCkpt  int     `json:"last_checkpoint_tick"`
 	CkptPath  string  `json:"last_checkpoint_path,omitempty"`
+	// PruneErrs counts prune failures after otherwise-successful
+	// checkpoints (ticking continues; the operator should reclaim disk).
+	PruneErrs int    `json:"prune_failures,omitempty"`
+	LastPrune string `json:"last_prune_error,omitempty"`
 }
 
 // Status reports population id's live metrics.
@@ -436,6 +524,8 @@ func (s *Server) Status(id string) (Status, error) {
 		WorkP99:   rs.WorkQuantile(0.99),
 		LastCkpt:  h.lastCkpt,
 		CkptPath:  h.lastPath,
+		PruneErrs: h.pruneErrs,
+		LastPrune: h.lastPrune,
 	}, nil
 }
 

@@ -150,6 +150,28 @@ type (
 // NewPopulation builds a sharded population engine.
 var NewPopulation = population.New
 
+// Distribution: the engine's cross-shard data plane is an interface, so
+// shards can be hosted by worker processes (internal/cluster, surfaced by
+// `sawd -worker`/`-cluster`) with byte-identical results at a fixed shard
+// count. See DESIGN.md "The shard transport".
+type (
+	// PopulationTransport executes a population's shard steps on behalf
+	// of the engine's tick barrier; the in-process default is
+	// NewLocalTransport's.
+	PopulationTransport = population.Transport
+	// ShardRangeState is the executor-side state of a contiguous shard
+	// range — the unit of cluster worker initialisation and rebalance.
+	ShardRangeState = population.RangeState
+)
+
+// NewPopulationWithTransport builds a coordinator engine whose agents live
+// behind the given transport.
+var NewPopulationWithTransport = population.NewWithTransport
+
+// RestorePopulationWithTransport is NewPopulationWithTransport's resume
+// counterpart.
+var RestorePopulationWithTransport = population.RestoreWithTransport
+
 // Checkpointing: a Population can be snapshotted at any tick barrier and
 // restored — in the same process or a fresh one — continuing
 // byte-identically at any worker count, provided the workload is

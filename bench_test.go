@@ -17,6 +17,7 @@ import (
 	"sacs/internal/experiments"
 	"sacs/internal/knowledge"
 	"sacs/internal/learning"
+	"sacs/internal/obs"
 	"sacs/internal/population"
 	"sacs/internal/runner"
 )
@@ -81,8 +82,12 @@ func BenchmarkPopulationTick(b *testing.B) {
 			p := runner.New(bc.workers)
 			defer p.Close()
 			// The exact S1 workload (experiments.S1Config), at 32 shards so
-			// 4 workers still get 8 jobs each per tick.
-			eng := population.New(experiments.S1Config(bc.agents, 32, 1, p))
+			// 4 workers still get 8 jobs each per tick. Metrics stay ON:
+			// the allocs/op gate on this benchmark is the proof that the
+			// observability plane costs the hot path nothing.
+			cfg := experiments.S1Config(bc.agents, 32, 1, p)
+			cfg.Metrics = population.NewMetrics(obs.NewRegistry(), "bench")
+			eng := population.New(cfg)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

@@ -16,6 +16,7 @@
 //	sawbench -scale 0.2      # quick pass at reduced run lengths
 //	sawbench -parallel 8     # cap concurrent simulation jobs (1 = serial)
 //	sawbench -progress       # per-job progress and ETA on stderr
+//	sawbench -metrics m.txt  # dump per-experiment job-latency histograms
 //	sawbench -csv out/       # per-experiment CSVs + results.json in out/
 //	sawbench -json res.json  # suite results as one JSON artifact
 //	sawbench -list           # list experiments and claims (instant)
@@ -35,6 +36,7 @@ import (
 	"time"
 
 	"sacs/internal/experiments"
+	"sacs/internal/obs"
 	"sacs/internal/runner"
 	"sacs/internal/trace"
 )
@@ -58,6 +60,7 @@ func run() int {
 		jsonPath = flag.String("json", "", "file to write suite results as JSON (default <csvdir>/results.json when -csv is set)")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max simulation jobs in flight (1 = serial, <=0 = all cores)")
 		progress = flag.Bool("progress", false, "report per-job progress and ETA on stderr")
+		metrics  = flag.String("metrics", "", "file to write per-experiment job-latency histograms as Prometheus text exposition")
 	)
 	flag.Parse()
 
@@ -91,6 +94,17 @@ func run() int {
 
 	pool := runner.New(*parallel)
 	defer pool.Close()
+	var rec *trace.Recorder
+	if *metrics != "" {
+		// The pool's Trace hook records one point per completed job in the
+		// series "runner/<experiment>" (y = elapsed seconds); at the end the
+		// recorder is folded into an obs histogram family and dumped. Bound
+		// the recorder so a huge suite cannot grow it without limit — the
+		// histograms aggregate, so dropping the oldest raw points is fine.
+		rec = trace.NewRecorder()
+		rec.SetLimit(1 << 16) // per series: newest 65536 job latencies
+		pool.Trace = rec
+	}
 
 	// Per-experiment cost accounting. An experiment's outer job is useless
 	// for timing: while it blocks in Batch.Wait it helps run whatever is
@@ -174,8 +188,39 @@ func run() int {
 		}
 	}
 
+	if rec != nil {
+		if err := writeMetrics(*metrics, rec); err != nil {
+			fmt.Fprintf(os.Stderr, "sawbench: metrics: %v\n", err)
+			exit = 1
+		}
+	}
+
 	fmt.Printf("suite completed in %v\n", time.Since(start).Round(time.Millisecond))
 	return exit
+}
+
+// writeMetrics folds the pool's job-latency trace into an obs histogram
+// family (one series per "runner/<experiment>") and writes the Prometheus
+// text exposition to path. Import happens once, at dump time, so the hot
+// pool path stays exactly what it was: one Recorder.Record per job.
+func writeMetrics(path string, rec *trace.Recorder) error {
+	reg := obs.NewRegistry()
+	obs.ImportRecorder(reg, rec, "sacs_runner_job_seconds",
+		"per-job run time by experiment series", obs.Seconds, obs.DurationBounds())
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteExposition(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // artifact is the JSON shape of one experiment's results: everything the

@@ -13,6 +13,7 @@
 //	sawd -pop id=a,agents=1000 -pop id=b  # host several populations
 //	sawd -dir /var/lib/sawd -every 500    # checkpoint every 500 ticks into -dir
 //	sawd -resume=false                    # start fresh (refuses while old snapshots exist)
+//	sawd -pprof                           # also mount net/http/pprof under /debug/pprof/
 //
 // Multi-process topology (internal/cluster): workers host contiguous shard
 // ranges of the agents, the coordinator owns the tick barrier, mailbox
@@ -31,6 +32,7 @@
 // Drive it with curl:
 //
 //	curl localhost:8077/healthz
+//	curl localhost:8077/metrics
 //	curl localhost:8077/populations
 //	curl -X POST localhost:8077/populations/demo/ticks?n=10
 //	curl -X POST -d '{"to":3,"name":"pressure","value":42.5,"source":"sensor-9"}' \
@@ -48,8 +50,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -60,6 +64,7 @@ import (
 
 	"sacs/internal/cluster"
 	"sacs/internal/experiments"
+	"sacs/internal/obs"
 	"sacs/internal/runner"
 	"sacs/internal/serve"
 )
@@ -133,18 +138,24 @@ func run() int {
 			"(with -resume=false, starting fresh refuses while old snapshots exist)")
 		workerAddr  = flag.String("worker", "", "run as a cluster worker on this TCP address (hosts shard ranges; no HTTP API)")
 		clusterList = flag.String("cluster", "", "comma-separated worker addresses; host populations on that cluster instead of in-process")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the HTTP address (opt-in: profiling is an operator tool, not part of the public API)")
 	)
 	var specArgs []string
 	flag.Func("pop", "population spec: id=...,workload=...,agents=N,shards=N,seed=N (repeatable)",
 		func(v string) error { specArgs = append(specArgs, v); return nil })
 	flag.Parse()
 
+	// One structured logger for the whole process; serve and cluster attach
+	// their own attributes (pop, worker, shard range) to it.
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	slog.SetDefault(log)
+
 	if *workerAddr != "" && *clusterList != "" {
-		fmt.Fprintln(os.Stderr, "sawd: -worker and -cluster are mutually exclusive (a process is one role)")
+		log.Error("sawd: -worker and -cluster are mutually exclusive (a process is one role)")
 		return 2
 	}
 	if *workerAddr != "" {
-		return runWorker(*workerAddr, *parallel)
+		return runWorker(log, *workerAddr, *parallel)
 	}
 
 	specs := make([]serve.Spec, 0, len(specArgs))
@@ -154,7 +165,7 @@ func run() int {
 	for _, arg := range specArgs {
 		spec, err := parseSpec(arg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sawd: %v\n", err)
+			log.Error("sawd: bad -pop flag", "err", err)
 			return 2
 		}
 		specs = append(specs, spec)
@@ -162,26 +173,30 @@ func run() int {
 
 	pool := runner.New(*parallel)
 	defer pool.Close()
+	reg := obs.NewRegistry()
 	opts := serve.Options{
 		Pool:            pool,
 		Dir:             *dir,
 		CheckpointEvery: *every,
 		Keep:            *keep,
 		Workloads:       workloads,
+		Registry:        reg,
+		Logger:          log,
 	}
 	if *clusterList != "" {
 		cl, err := cluster.Dial(strings.Split(*clusterList, ","), 10*time.Second)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sawd: %v\n", err)
+			log.Error("sawd: cluster dial failed", "workers", *clusterList, "err", err)
 			return 1
 		}
 		defer cl.Close()
+		cl.Instrument(reg)
 		opts.UseCluster(cl)
-		fmt.Printf("sawd: coordinating %d cluster workers (%s)\n", cl.Workers(), *clusterList)
+		log.Info("sawd: coordinating cluster", "workers", cl.Workers(), "addrs", *clusterList)
 	}
 	s, err := serve.New(opts)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sawd: %v\n", err)
+		log.Error("sawd: startup failed", "err", err)
 		return 1
 	}
 
@@ -189,30 +204,40 @@ func run() int {
 		if *resume && *dir != "" {
 			resumed, err := s.AddOrResume(spec)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "sawd: %s: %v\n", spec.ID, err)
+				log.Error("sawd: hosting failed", "pop", spec.ID, "err", err)
 				return 1
 			}
 			if resumed {
-				st, _ := s.Status(spec.ID)
-				fmt.Printf("sawd: resumed %q at tick %d from %s\n", spec.ID, st.Tick, st.CkptPath)
-				continue
+				continue // serve logged the resume with tick + snapshot path
 			}
 		} else if err := s.Add(spec); err != nil {
-			fmt.Fprintf(os.Stderr, "sawd: %s: %v\n", spec.ID, err)
+			log.Error("sawd: hosting failed", "pop", spec.ID, "err", err)
 			return 1
 		}
-		fmt.Printf("sawd: hosting %q (workload=%s agents=%d shards=%d seed=%d)\n",
-			spec.ID, spec.Workload, spec.Agents, spec.Shards, spec.Seed)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	handler := s.Handler()
+	if *pprofOn {
+		// Mount the profiler on a parent mux (never DefaultServeMux, which
+		// would also pick up anything third-party init() handlers register).
+		// serve.Handler keeps /debug/vars; the profiler adds /debug/pprof/.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	httpErr := make(chan error, 1)
 	go func() { httpErr <- httpSrv.ListenAndServe() }()
-	fmt.Printf("sawd: listening on http://%s (tick=%v checkpoint-every=%d dir=%q)\n",
-		*addr, *tick, *every, *dir)
+	log.Info("sawd: listening", "addr", *addr, "tick", tick.String(),
+		"checkpoint_every", *every, "dir", *dir, "pprof", *pprofOn)
 
 	// The tick loop gets its own cancellation, separate from the signal
 	// context: on shutdown the HTTP listener must drain FIRST, so that
@@ -227,7 +252,7 @@ func run() int {
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintf(os.Stderr, "sawd: http shutdown: %v\n", err)
+			log.Error("sawd: http shutdown", "err", err)
 		}
 		<-httpErr // ListenAndServe returns ErrServerClosed after Shutdown
 	}
@@ -237,32 +262,32 @@ func run() int {
 	case err := <-httpErr:
 		// The listener failing is fatal; stop the tick loop and still take
 		// the final checkpoint.
-		fmt.Fprintf(os.Stderr, "sawd: http: %v\n", err)
+		log.Error("sawd: http listener died", "err", err)
 		exit = 1
 		stopTicking()
 		if err := <-runErr; err != nil {
-			fmt.Fprintf(os.Stderr, "sawd: shutdown checkpoint: %v\n", err)
+			log.Error("sawd: shutdown checkpoint failed", "err", err)
 		}
 	case err := <-runErr:
 		// The wall-clock tick loop died (it has already checkpointed what
 		// it could). Serving stale HTTP 200s while nothing advances would
 		// be silent rot — fail loudly instead.
-		fmt.Fprintf(os.Stderr, "sawd: tick loop: %v\n", err)
+		log.Error("sawd: tick loop died", "err", err)
 		exit = 1
 		shutdownHTTP()
 	case <-ctx.Done():
-		fmt.Println("sawd: signal received, draining HTTP, checkpointing and shutting down")
+		log.Info("sawd: signal received, draining HTTP, checkpointing and shutting down")
 		shutdownHTTP()
 		stopTicking()
 		if err := <-runErr; err != nil {
-			fmt.Fprintf(os.Stderr, "sawd: shutdown checkpoint: %v\n", err)
+			log.Error("sawd: shutdown checkpoint failed", "err", err)
 			exit = 1
 		}
 	}
 	if *dir != "" {
 		for _, id := range s.IDs() {
 			if st, err := s.Status(id); err == nil {
-				fmt.Printf("sawd: %q stopped at tick %d, last checkpoint %s\n", id, st.Tick, st.CkptPath)
+				log.Info("sawd: population stopped", "pop", id, "tick", st.Tick, "snapshot", st.CkptPath)
 			}
 		}
 	}
@@ -273,32 +298,33 @@ func run() int {
 // worker is stateless from the operator's point of view: it keeps no
 // checkpoints and serves no HTTP — the coordinator owns durability, and a
 // restarted worker is re-initialised from the coordinator's snapshot.
-func runWorker(addr string, parallel int) int {
+func runWorker(log *slog.Logger, addr string, parallel int) int {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sawd: worker listen: %v\n", err)
+		log.Error("sawd: worker listen failed", "addr", addr, "err", err)
 		return 1
 	}
 	pool := runner.New(parallel)
 	defer pool.Close()
 	w, err := cluster.NewWorker(ln, pool, clusterWorkloads())
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sawd: worker: %v\n", err)
+		log.Error("sawd: worker startup failed", "err", err)
 		return 1
 	}
+	w.SetLogger(log)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	done := make(chan error, 1)
 	go func() { done <- w.Serve() }()
-	fmt.Printf("sawd: cluster worker listening on %s (parallel=%d)\n", w.Addr(), parallel)
+	log.Info("sawd: cluster worker listening", "addr", w.Addr(), "parallel", parallel)
 	select {
 	case err := <-done:
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sawd: worker: %v\n", err)
+			log.Error("sawd: worker died", "err", err)
 			return 1
 		}
 	case <-ctx.Done():
-		fmt.Println("sawd: worker shutting down")
+		log.Info("sawd: worker shutting down")
 		w.Close()
 		<-done
 	}

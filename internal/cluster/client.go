@@ -11,6 +11,7 @@ import (
 
 	"sacs/internal/checkpoint"
 	"sacs/internal/core"
+	"sacs/internal/obs"
 	"sacs/internal/population"
 )
 
@@ -19,16 +20,24 @@ import (
 // concurrency story; distinct workers run their round trips in parallel on
 // distinct conns.
 type conn struct {
-	addr string
-	mu   sync.Mutex
-	c    net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
+	addr        string
+	dialRetries int64 // dial attempts beyond the first (see Client.Instrument)
+	m           *connMetrics
+	mu          sync.Mutex
+	c           net.Conn
+	r           *bufio.Reader
+	w           *bufio.Writer
 }
 
 func (c *conn) roundTrip(t msgType, body []byte) (msgType, []byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var start time.Time
+	if c.m != nil {
+		start = time.Now()
+		c.m.inflight.Add(1)
+		defer c.m.inflight.Add(-1)
+	}
 	if err := writeFrame(c.w, t, body); err != nil {
 		return 0, nil, fmt.Errorf("cluster: worker %s: %w", c.addr, err)
 	}
@@ -38,6 +47,14 @@ func (c *conn) roundTrip(t msgType, body []byte) (msgType, []byte, error) {
 	rt, rbody, err := readFrame(c.r)
 	if err != nil {
 		return 0, nil, fmt.Errorf("cluster: worker %s: %w", c.addr, err)
+	}
+	if c.m != nil {
+		// +5: the 4-byte length header and type byte of each frame.
+		c.m.bytesOut.Add(int64(len(body)) + 5)
+		c.m.bytesIn.Add(int64(len(rbody)) + 5)
+		if h := c.m.rpc[t]; h != nil {
+			h.ObserveDuration(time.Since(start))
+		}
 	}
 	return rt, rbody, nil
 }
@@ -64,6 +81,7 @@ func (c *conn) call(t msgType, body []byte, want msgType) ([]byte, error) {
 // always yields the same placement.
 type Client struct {
 	conns []*conn
+	reg   *obs.Registry // set by Instrument; nil = uninstrumented
 }
 
 // Dial connects to every worker, retrying each address with backoff until
@@ -78,11 +96,13 @@ func Dial(addrs []string, wait time.Duration) (*Client, error) {
 	for _, addr := range addrs {
 		var nc net.Conn
 		var err error
+		var retries int64
 		for {
 			nc, err = net.DialTimeout("tcp", addr, time.Second)
 			if err == nil || time.Now().After(deadline) {
 				break
 			}
+			retries++
 			time.Sleep(100 * time.Millisecond)
 		}
 		if err != nil {
@@ -90,7 +110,7 @@ func Dial(addrs []string, wait time.Duration) (*Client, error) {
 			return nil, fmt.Errorf("cluster: dial worker %s: %w", addr, err)
 		}
 		cl.conns = append(cl.conns, &conn{
-			addr: addr, c: nc,
+			addr: addr, dialRetries: retries, c: nc,
 			r: bufio.NewReaderSize(nc, 1<<16),
 			w: bufio.NewWriterSize(nc, 1<<16),
 		})
@@ -188,6 +208,14 @@ func (cl *Client) NewTransport(spec Spec) (*Transport, error) {
 			// failed attach does not pin agent memory for their lifetime.
 			t.drop(wi)
 			return nil, err
+		}
+		if cl.reg != nil {
+			// The epoch gauge makes a split-brain re-attach visible on a
+			// dashboard: a second coordinator bumping the epoch moves this
+			// gauge out from under the first.
+			cl.reg.Gauge("sacs_cluster_attach_epoch",
+				"attach epoch this coordinator holds on each worker",
+				obs.L("pop", spec.ID), obs.L("worker", c.addr)).Set(int64(t.epochs[wi]))
 		}
 	}
 	return t, nil

@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"sacs/internal/obs"
+)
+
+// msgName names a request type for the rpc-latency metric label. Only
+// request types appear (replies share their request's round trip).
+func msgName(t msgType) string {
+	switch t {
+	case msgInit:
+		return "init"
+	case msgInstall:
+		return "install"
+	case msgTick:
+		return "tick"
+	case msgExport:
+		return "export"
+	case msgExplain:
+		return "explain"
+	case msgDrop:
+		return "drop"
+	case msgPing:
+		return "ping"
+	}
+	return "other"
+}
+
+// requestTypes is every msgType a coordinator sends (the instrumented set).
+var requestTypes = []msgType{msgInit, msgInstall, msgTick, msgExport, msgExplain, msgDrop, msgPing}
+
+// connMetrics is one worker connection's instrument set: registered once in
+// Instrument (cold), updated lock-free per round trip (hot).
+type connMetrics struct {
+	rpc      [16]*obs.Histogram // per request msgType round-trip latency, ns
+	bytesOut *obs.Counter
+	bytesIn  *obs.Counter
+	inflight *obs.Gauge // shared across the client's conns
+}
+
+// Instrument registers the client's RPC metrics on reg, labelled per worker
+// address, and turns on round-trip instrumentation: per-request-type
+// latency histograms, request/reply byte counters, the dial-retry count the
+// client accumulated connecting, and a frames-in-flight gauge. Transports
+// created from this client afterwards also publish their attach epochs as
+// sacs_cluster_attach_epoch{pop,worker}. Safe to call once per client; the
+// observation path adds two gauge updates, two counter adds and one
+// histogram observation per RPC — no locks, no allocation.
+func (cl *Client) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	cl.reg = reg
+	inflight := reg.Gauge("sacs_cluster_frames_inflight",
+		"coordinator RPCs currently awaiting a worker reply")
+	for _, c := range cl.conns {
+		w := obs.L("worker", c.addr)
+		m := &connMetrics{
+			bytesOut: reg.Counter("sacs_cluster_rpc_bytes_total",
+				"frame bytes by direction", w, obs.L("dir", "out")),
+			bytesIn: reg.Counter("sacs_cluster_rpc_bytes_total",
+				"frame bytes by direction", w, obs.L("dir", "in")),
+			inflight: inflight,
+		}
+		for _, t := range requestTypes {
+			m.rpc[t] = reg.Histogram("sacs_cluster_rpc_seconds",
+				"round-trip latency by request type", obs.Seconds, obs.DurationBounds(),
+				w, obs.L("type", msgName(t)))
+		}
+		reg.Counter("sacs_cluster_dial_retries_total",
+			"dial attempts beyond the first while connecting", w).Add(c.dialRetries)
+		c.m = m
+	}
+}

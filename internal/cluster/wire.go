@@ -34,7 +34,11 @@ const maxFrame = 1 << 30
 
 // protocolVersion is negotiated implicitly: it is the first body byte of
 // every init message, and a worker refuses versions it does not speak.
-const protocolVersion = 1
+//
+// v2 added StepNanos to tick-reply exchanges (observability: the
+// coordinator decomposes tick wall time into compute vs. barrier wait even
+// for remote shards).
+const protocolVersion = 2
 
 type msgType byte
 
@@ -44,18 +48,18 @@ type msgType byte
 // first coordinator's next request fails loudly instead of silently
 // stepping replaced state.
 const (
-	msgErr msgType = iota // body: error string
-	msgOK                 // empty, except init's reply: attach epoch
-	msgInit               // version, population spec + owned shard range
-	msgInstall            // id, epoch, RangeState (state transfer)
-	msgTick               // id, epoch, tick, owned agents' mailboxes
-	msgTickOK             // per-owned-shard exchanges
-	msgExport             // id, epoch
-	msgRange              // RangeState
-	msgExplain            // id, epoch, agent, now
-	msgText               // rendered explanation
-	msgDrop               // id, epoch (dropped only if the epoch still owns it)
-	msgPing               // empty body (readiness probe)
+	msgErr     msgType = iota // body: error string
+	msgOK                     // empty, except init's reply: attach epoch
+	msgInit                   // version, population spec + owned shard range
+	msgInstall                // id, epoch, RangeState (state transfer)
+	msgTick                   // id, epoch, tick, owned agents' mailboxes
+	msgTickOK                 // per-owned-shard exchanges
+	msgExport                 // id, epoch
+	msgRange                  // RangeState
+	msgExplain                // id, epoch, agent, now
+	msgText                   // rendered explanation
+	msgDrop                   // id, epoch (dropped only if the epoch still owns it)
+	msgPing                   // empty body (readiness probe)
 )
 
 var errFrameTooLarge = errors.New("cluster: frame exceeds size limit")
@@ -175,6 +179,7 @@ func encodeExchanges(e *checkpoint.Encoder, outs []*population.ShardExchange) {
 	for _, o := range outs {
 		e.Int(o.Delivered)
 		e.Int(o.Actions)
+		e.Varint(o.StepNanos)
 		e.Online(o.Observed.State())
 		e.Uvarint(uint64(len(o.Msgs)))
 		for _, m := range o.Msgs {
@@ -198,6 +203,7 @@ func decodeExchangesInto(d *checkpoint.Decoder, outs []*population.ShardExchange
 		o := outs[i]
 		o.Delivered = d.Int()
 		o.Actions = d.Int()
+		o.StepNanos = d.Varint()
 		o.Observed.SetState(d.Online())
 		msgs := d.Count(2)
 		if err := d.Err(); err != nil {

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
 
@@ -30,6 +31,7 @@ type Worker struct {
 	ln        net.Listener
 	pool      *runner.Pool
 	workloads map[string]Workload
+	log       *slog.Logger
 
 	mu     sync.Mutex
 	pops   map[string]*workerPop
@@ -56,6 +58,7 @@ func NewWorker(ln net.Listener, pool *runner.Pool, workloads []Workload) (*Worke
 		ln:        ln,
 		pool:      pool,
 		workloads: make(map[string]Workload, len(workloads)),
+		log:       slog.Default(),
 		pops:      make(map[string]*workerPop),
 		conns:     make(map[net.Conn]struct{}),
 	}
@@ -73,6 +76,14 @@ func NewWorker(ln net.Listener, pool *runner.Pool, workloads []Workload) (*Worke
 
 // Addr reports the listener's address (useful with ":0").
 func (w *Worker) Addr() string { return w.ln.Addr().String() }
+
+// SetLogger replaces the worker's structured logger (default
+// slog.Default()). Call before Serve.
+func (w *Worker) SetLogger(l *slog.Logger) {
+	if l != nil {
+		w.log = l
+	}
+}
 
 // Close stops the worker: the listener and every live coordinator
 // connection are closed, so to an attached coordinator Close is
@@ -123,6 +134,11 @@ func (w *Worker) handleConn(c net.Conn) {
 			return // connection gone or garbage framing: nothing to reply to
 		}
 		rt, rbody := w.handle(t, body)
+		if rt == msgErr {
+			d := checkpoint.NewDecoder(rbody)
+			w.log.Warn("cluster: request failed",
+				"remote", c.RemoteAddr().String(), "type", msgName(t), "err", d.Str())
+		}
 		if err := writeFrame(bw, rt, rbody); err != nil {
 			return
 		}
@@ -223,7 +239,12 @@ func (w *Worker) handleInit(body []byte) (msgType, []byte) {
 	// instead of silently stepping replaced state.
 	w.epochs++
 	p.epoch = w.epochs
+	replaced := w.pops[spec.ID] != nil
 	w.pops[spec.ID] = p
+	w.log.Info("cluster: hosting range",
+		"pop", spec.ID, "workload", spec.Workload,
+		"shards_lo", lo, "shards_hi", hi, "agents_lo", loA, "agents_hi", hiA,
+		"epoch", p.epoch, "replaced", replaced)
 	e := checkpoint.NewEncoder()
 	e.Uvarint(p.epoch)
 	return msgOK, e.Bytes()
@@ -359,6 +380,7 @@ func (w *Worker) handleDrop(body []byte) (msgType, []byte) {
 	// coordinator's shutdown must not tear down its successor's state.
 	if p := w.pops[id]; p != nil && p.epoch == epoch {
 		delete(w.pops, id)
+		w.log.Info("cluster: dropped range", "pop", id, "epoch", epoch)
 	}
 	return msgOK, nil
 }

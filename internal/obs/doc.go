@@ -1,0 +1,26 @@
+// Package obs is the observability plane's instrumentation layer:
+// allocation-free counters, gauges and fixed-bucket histograms, gathered by
+// a Registry that renders one Prometheus-style text exposition and one JSON
+// snapshot.
+//
+// The package exists so instrumentation can be left on in production hot
+// paths. Every observation — Counter.Add, Gauge.Set, Histogram.Observe —
+// is a handful of atomic operations on preallocated state: no allocation,
+// no locks, no map lookups, no label formatting. All of that cost is paid
+// once, at registration time, on the cold path; DESIGN.md "Observability"
+// states the rules. Rendering (the /metrics scrape, the JSON snapshot) is
+// a cold path and may allocate freely.
+//
+// Determinism: metrics are observation-only. Nothing in this package is
+// ever an input to simulation stepping, and nothing here enters population
+// snapshots — two runs that differ only in wall-clock timing produce
+// byte-identical simulation state and checkpoint files.
+//
+// Naming scheme (see DESIGN.md for the full table): every series is
+// `sacs_<plane>_<what>[_<unit>][_total]` with the plane one of population,
+// cluster, serve or http, units spelled out (seconds, bytes), counters
+// suffixed _total, and histograms in base units (durations in seconds via
+// a nanosecond scale of 1e-9). Exposition output is sorted by family name,
+// then by label string — equal registry state renders equal bytes, the
+// same equal-state ⇒ equal-bytes rule the checkpoint codec follows.
+package obs

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name/value pair attached to a series at registration time.
+// Labels are formatted into the series key exactly once, when the
+// instrument is created, so the observation hot path never touches them.
+type Label struct{ Key, Value string }
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing count. All methods are safe for
+// concurrent use and allocation-free.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d (d must be >= 0; negative deltas would
+// silently break the monotonicity every consumer assumes, so they are
+// dropped).
+func (c *Counter) Add(d int64) {
+	if d > 0 {
+		c.v.Add(d)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down. All methods are safe for
+// concurrent use and allocation-free.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by d (d may be negative).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed, preallocated buckets. Bounds
+// are inclusive upper bounds in the instrument's raw unit (nanoseconds for
+// durations, bytes or items for sizes); one implicit +Inf bucket catches
+// the overflow. Observe is a bounded linear scan plus two atomic adds —
+// allocation-free and safe for concurrent use — and histograms with equal
+// bounds merge, so per-shard or per-worker histograms can be folded into
+// population-wide ones.
+type Histogram struct {
+	bounds []int64        // sorted ascending, immutable after construction
+	counts []atomic.Int64 // len(bounds)+1; the last is the +Inf bucket
+	sum    atomic.Int64
+}
+
+// NewHistogram builds a standalone histogram over the given bucket bounds
+// (sorted ascending, at least one). Registered histograms come from
+// Registry.Histogram; standalone ones exist for scratch aggregation and
+// merging. It panics on unsorted or empty bounds — a histogram's shape is
+// build-time configuration, not data.
+func NewHistogram(bounds []int64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not strictly ascending at %d (%d after %d)",
+				i, bounds[i], bounds[i-1]))
+		}
+	}
+	return &Histogram{
+		bounds: append([]int64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value in the instrument's raw unit.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records a duration (raw unit: nanoseconds).
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values in the raw unit.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Merge adds o's observations into h. The two histograms must share
+// identical bounds; merging histograms of different shapes is a programmer
+// error reported loudly rather than a silent mis-bucketing.
+func (h *Histogram) Merge(o *Histogram) error {
+	if len(h.bounds) != len(o.bounds) {
+		return fmt.Errorf("obs: merging histograms with %d and %d bounds", len(h.bounds), len(o.bounds))
+	}
+	for i := range h.bounds {
+		if h.bounds[i] != o.bounds[i] {
+			return fmt.Errorf("obs: merging histograms with different bounds at %d (%d vs %d)",
+				i, h.bounds[i], o.bounds[i])
+		}
+	}
+	for i := range o.counts {
+		if n := o.counts[i].Load(); n != 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	h.sum.Add(o.sum.Load())
+	return nil
+}
+
+// Bounds returns the histogram's bucket upper bounds (shared slice; do not
+// mutate).
+func (h *Histogram) Bounds() []int64 { return h.bounds }
+
+// BucketCounts copies out the per-bucket (non-cumulative) counts; the last
+// element is the +Inf bucket. Cold path.
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// DurationBounds is the default bucket layout for latency histograms, in
+// nanoseconds: 50µs up to 10s in a coarse exponential ladder. Wide enough
+// for a shard step (tens of µs) and a million-agent checkpoint (seconds)
+// alike; 16 buckets keep the per-series footprint trivial.
+func DurationBounds() []int64 {
+	return []int64{
+		50_000, 100_000, 250_000, 500_000, // 50µs .. 500µs
+		1_000_000, 2_500_000, 5_000_000, 10_000_000, // 1ms .. 10ms
+		25_000_000, 50_000_000, 100_000_000, 250_000_000, // 25ms .. 250ms
+		500_000_000, 1_000_000_000, 2_500_000_000, 10_000_000_000, // 500ms .. 10s
+	}
+}
+
+// SizeBounds is the default bucket layout for size/count histograms
+// (batch sizes, mailbox depths, frame bytes): powers of four from 1 to ~1M.
+func SizeBounds() []int64 {
+	return []int64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}
+}
+
+// Seconds is the render scale that turns nanosecond raw values into the
+// exposition's seconds, the Prometheus base unit for time.
+const Seconds = 1e-9

@@ -1,0 +1,377 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// kind discriminates the metric families a Registry can hold.
+type kind uint8
+
+const (
+	counterKind kind = iota
+	gaugeKind
+	gaugeFuncKind
+	histogramKind
+)
+
+func (k kind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind, gaugeFuncKind:
+		return "gauge"
+	case histogramKind:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// series is one labelled instrument inside a family. Exactly one of the
+// instrument fields is set, matching the family's kind.
+type series struct {
+	labels string // rendered `k="v",k2="v2"` form, "" for unlabelled
+	c      *Counter
+	g      *Gauge
+	fn     func() float64
+	h      *Histogram
+}
+
+// family is every series sharing one metric name.
+type family struct {
+	name, help string
+	kind       kind
+	scale      float64 // raw unit → exposition unit (1e-9 for ns → s)
+	bounds     []int64 // histogram families only
+	series     map[string]*series
+}
+
+// Registry holds instruments and renders them. Registration is idempotent:
+// asking for an existing (name, labels) series returns the existing
+// instrument, so a re-attached component cannot double-register. Asking
+// for an existing name with a different kind, scale, help or bucket layout
+// panics — that is a naming collision, a programmer error.
+//
+// Registration takes a lock and allocates (cold path); the returned
+// instruments are lock- and allocation-free (hot path).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter registers (or returns) the counter name{labels}.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.ScaledCounter(name, help, 1, labels...)
+}
+
+// ScaledCounter is Counter with a render scale: the raw int64 count is
+// multiplied by scale in the exposition and snapshot. Use Seconds for
+// counters accumulating nanoseconds.
+func (r *Registry) ScaledCounter(name, help string, scale float64, labels ...Label) *Counter {
+	s := r.register(name, help, counterKind, scale, nil, labels)
+	return s.c
+}
+
+// Gauge registers (or returns) the gauge name{labels}.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.ScaledGauge(name, help, 1, labels...)
+}
+
+// ScaledGauge is Gauge with a render scale (see ScaledCounter).
+func (r *Registry) ScaledGauge(name, help string, scale float64, labels ...Label) *Gauge {
+	s := r.register(name, help, gaugeKind, scale, nil, labels)
+	return s.g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at render
+// time — for values that already live somewhere else (uptime, queue
+// lengths owned by another structure). fn must be safe to call from any
+// goroutine and must not call back into this registry (renders run it
+// under the registry lock).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, gaugeFuncKind, 1, nil, labels).fn = fn
+}
+
+// Histogram registers (or returns) the histogram name{labels} over bounds
+// (raw-unit upper bounds, see NewHistogram), rendered with the given scale.
+func (r *Registry) Histogram(name, help string, scale float64, bounds []int64, labels ...Label) *Histogram {
+	s := r.register(name, help, histogramKind, scale, bounds, labels)
+	return s.h
+}
+
+func (r *Registry) register(name, help string, k kind, scale float64, bounds []int64, labels []Label) *series {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	ls := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: k, scale: scale, series: make(map[string]*series)}
+		if k == histogramKind {
+			// Validate and copy once per family; every series shares the
+			// layout so they stay mergeable.
+			f.bounds = NewHistogram(bounds).bounds
+		}
+		r.families[name] = f
+	} else {
+		if f.kind != k || f.scale != scale || f.help != help {
+			panic(fmt.Sprintf("obs: re-registering %q as %s (scale %g), registered as %s (scale %g)",
+				name, k, scale, f.kind, f.scale))
+		}
+		if k == histogramKind && !equalBounds(f.bounds, bounds) {
+			panic(fmt.Sprintf("obs: re-registering histogram %q with different bucket bounds", name))
+		}
+	}
+	s := f.series[ls]
+	if s == nil {
+		s = &series{labels: ls}
+		switch k {
+		case counterKind:
+			s.c = &Counter{}
+		case gaugeKind:
+			s.g = &Gauge{}
+		case gaugeFuncKind:
+			// fn is filled by the caller; re-registration keeps the first.
+		case histogramKind:
+			s.h = NewHistogram(f.bounds)
+		}
+		f.series[ls] = s
+	}
+	return s
+}
+
+func equalBounds(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// validName checks the Prometheus metric/label name grammar:
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// renderLabels formats labels as `k="v",k2="v2"`, sorted by key, with
+// label values escaped. Done once at registration.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if !validName(l.Key) || strings.Contains(l.Key, ":") {
+			panic(fmt.Sprintf("obs: invalid label name %q", l.Key))
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteString(`"`)
+	}
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatVal renders a float with the shortest round-tripping decimal form,
+// the same 'g' spelling the experiment CSVs use — stable across runs and
+// platforms for equal values.
+func formatVal(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// seriesName joins a family name and a rendered label string.
+func seriesName(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+// withLE appends an le label to an already-rendered label string. le sorts
+// after every lower-case label key we emit, and Prometheus does not require
+// sorted label order anyway — stability, not ordering, is the contract.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return `le="` + le + `"`
+	}
+	return labels + `,le="` + le + `"`
+}
+
+// WriteExposition renders every family in the Prometheus text format,
+// sorted by family name and then by series label string: equal registry
+// state produces equal bytes.
+func (r *Registry) WriteExposition(w io.Writer) error {
+	// The whole render runs under the registry lock: rendering and
+	// registration are both cold paths, and the lock is what keeps a
+	// scrape from racing a component registering new series. Instrument
+	// updates need no lock — the hot path stays wait-free.
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		f.render(&b)
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) sorted() []*series {
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*series, len(keys))
+	for i, k := range keys {
+		out[i] = f.series[k]
+	}
+	return out
+}
+
+func (f *family) render(b *strings.Builder) {
+	if f.help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", f.name, f.help)
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+	for _, s := range f.sorted() {
+		switch f.kind {
+		case counterKind:
+			fmt.Fprintf(b, "%s %s\n", seriesName(f.name, s.labels), formatVal(float64(s.c.Value())*f.scale))
+		case gaugeKind:
+			fmt.Fprintf(b, "%s %s\n", seriesName(f.name, s.labels), formatVal(float64(s.g.Value())*f.scale))
+		case gaugeFuncKind:
+			v := 0.0
+			if s.fn != nil {
+				v = s.fn()
+			}
+			fmt.Fprintf(b, "%s %s\n", seriesName(f.name, s.labels), formatVal(v))
+		case histogramKind:
+			counts := s.h.BucketCounts()
+			var cum int64
+			for i, bound := range s.h.Bounds() {
+				cum += counts[i]
+				le := formatVal(float64(bound) * f.scale)
+				fmt.Fprintf(b, "%s %d\n", seriesName(f.name+"_bucket", withLE(s.labels, le)), cum)
+			}
+			cum += counts[len(counts)-1]
+			fmt.Fprintf(b, "%s %d\n", seriesName(f.name+"_bucket", withLE(s.labels, "+Inf")), cum)
+			fmt.Fprintf(b, "%s %s\n", seriesName(f.name+"_sum", s.labels), formatVal(float64(s.h.Sum())*f.scale))
+			fmt.Fprintf(b, "%s %d\n", seriesName(f.name+"_count", s.labels), cum)
+		}
+	}
+}
+
+// HistogramValue is a histogram's JSON snapshot shape.
+type HistogramValue struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets map[string]int64 `json:"buckets"` // cumulative, keyed by scaled le ("+Inf" last)
+}
+
+// Value snapshots the histogram into its JSON shape, rendering sum and
+// bucket bounds through scale (the same scale the histogram was registered
+// with).
+func (h *Histogram) Value(scale float64) HistogramValue {
+	counts := h.BucketCounts()
+	hv := HistogramValue{
+		Sum:     float64(h.Sum()) * scale,
+		Buckets: make(map[string]int64, len(counts)),
+	}
+	var cum int64
+	for i, bound := range h.Bounds() {
+		cum += counts[i]
+		hv.Buckets[formatVal(float64(bound)*scale)] = cum
+	}
+	cum += counts[len(counts)-1]
+	hv.Buckets["+Inf"] = cum
+	hv.Count = cum
+	return hv
+}
+
+// Snapshot returns every series' current value as a flat map keyed by
+// `name` or `name{labels}`: counters and gauges as scaled float64s,
+// histograms as HistogramValue. This is the /debug/vars JSON shape.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+
+	out := make(map[string]any)
+	for _, f := range fams {
+		for _, s := range f.sorted() {
+			key := seriesName(f.name, s.labels)
+			switch f.kind {
+			case counterKind:
+				out[key] = float64(s.c.Value()) * f.scale
+			case gaugeKind:
+				out[key] = float64(s.g.Value()) * f.scale
+			case gaugeFuncKind:
+				if s.fn != nil {
+					out[key] = s.fn()
+				} else {
+					out[key] = 0.0
+				}
+			case histogramKind:
+				out[key] = s.h.Value(f.scale)
+			}
+		}
+	}
+	return out
+}

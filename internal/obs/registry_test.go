@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden pins the full text exposition byte-for-byte: sorted
+// family names, sorted series labels, cumulative buckets, stable float
+// formatting. Equal registry state must render equal bytes — the same
+// contract the checkpoint codec keeps for snapshots — so dashboards and
+// the CI grep can rely on the shape.
+func TestExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sacs_b_total", "second family alphabetically", L("pop", "demo")).Add(3)
+	reg.Counter("sacs_b_total", "second family alphabetically", L("pop", "alt")).Add(1)
+	reg.Gauge("sacs_c_depth", "a gauge").Set(-2)
+	reg.ScaledCounter("sacs_a_seconds_total", "scaled time counter", Seconds).Add(1_500_000_000)
+	h := reg.Histogram("sacs_d_seconds", "a histogram", Seconds, []int64{1_000_000, 1_000_000_000},
+		L("phase", "step"))
+	h.Observe(500_000)       // ≤ 1ms
+	h.Observe(2_000_000)     // ≤ 1s
+	h.Observe(5_000_000_000) // +Inf
+	reg.GaugeFunc("sacs_e_func", "computed", func() float64 { return 7.5 })
+
+	const want = `# HELP sacs_a_seconds_total scaled time counter
+# TYPE sacs_a_seconds_total counter
+sacs_a_seconds_total 1.5
+# HELP sacs_b_total second family alphabetically
+# TYPE sacs_b_total counter
+sacs_b_total{pop="alt"} 1
+sacs_b_total{pop="demo"} 3
+# HELP sacs_c_depth a gauge
+# TYPE sacs_c_depth gauge
+sacs_c_depth -2
+# HELP sacs_d_seconds a histogram
+# TYPE sacs_d_seconds histogram
+sacs_d_seconds_bucket{phase="step",le="0.001"} 1
+sacs_d_seconds_bucket{phase="step",le="1"} 2
+sacs_d_seconds_bucket{phase="step",le="+Inf"} 3
+sacs_d_seconds_sum{phase="step"} 5.0025
+sacs_d_seconds_count{phase="step"} 3
+# HELP sacs_e_func computed
+# TYPE sacs_e_func gauge
+sacs_e_func 7.5
+`
+	var b strings.Builder
+	if err := reg.WriteExposition(&b); err != nil {
+		t.Fatalf("WriteExposition: %v", err)
+	}
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// Render twice: equal state, equal bytes.
+	var b2 strings.Builder
+	if err := reg.WriteExposition(&b2); err != nil {
+		t.Fatalf("WriteExposition: %v", err)
+	}
+	if b.String() != b2.String() {
+		t.Error("two renders of unchanged state differ")
+	}
+}
+
+func TestSnapshotJSONShape(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sacs_x_total", "", L("pop", "p")).Add(4)
+	reg.Gauge("sacs_y", "").Set(9)
+	reg.Histogram("sacs_z", "", 1, []int64{10}).Observe(3)
+
+	snap := reg.Snapshot()
+	if v := snap[`sacs_x_total{pop="p"}`]; v != 4.0 {
+		t.Errorf("counter = %v, want 4", v)
+	}
+	if v := snap["sacs_y"]; v != 9.0 {
+		t.Errorf("gauge = %v, want 9", v)
+	}
+	hv, ok := snap["sacs_z"].(HistogramValue)
+	if !ok || hv.Count != 1 || hv.Buckets["10"] != 1 || hv.Buckets["+Inf"] != 1 {
+		t.Errorf("histogram = %+v", snap["sacs_z"])
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sacs_esc_total", "", L("path", `a"b\c`+"\n")).Inc()
+	var b strings.Builder
+	if err := reg.WriteExposition(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `sacs_esc_total{path="a\"b\\c\n"} 1`) {
+		t.Errorf("escaping wrong:\n%s", b.String())
+	}
+}

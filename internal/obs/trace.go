@@ -1,0 +1,25 @@
+package obs
+
+import "sacs/internal/trace"
+
+// ImportRecorder folds every series of a trace.Recorder into one labelled
+// histogram family: series name → `name{series="<name>"}`. Values are
+// converted from the recorder's unit to the histogram's raw unit by
+// dividing by scale (a recorder of seconds imported with scale Seconds
+// lands in nanosecond buckets), so the family renders in the same unit it
+// would if observed directly.
+//
+// This is the one adapter between the runner pool's existing Trace hook
+// and the obs plane: sawbench points its pool at a Recorder, runs the
+// suite, then imports the per-experiment job-latency series next to the
+// live metrics. Import once, at dump time — importing the same recorder
+// twice double-counts.
+func ImportRecorder(reg *Registry, rec *trace.Recorder, name, help string, scale float64, bounds []int64) {
+	for _, sn := range rec.Names() {
+		h := reg.Histogram(name, help, scale, bounds, L("series", sn))
+		_, vals := rec.Series(sn)
+		for _, v := range vals {
+			h.Observe(int64(v / scale))
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package population
+
+import (
+	"sacs/internal/obs"
+)
+
+// Metrics is the population engine's observability plane: per-tick phase
+// timing counters, per-shard step-duration and mailbox-depth histograms,
+// and the tick counter, all labelled with the population's name. Attach one
+// via Config.Metrics (nil disables instrumentation entirely — the engine
+// then takes no timestamps at all).
+//
+// Metrics are observation-only: no metric value is ever an input to
+// stepping, routing or snapshots, so an instrumented run is byte-identical
+// to an uninstrumented one. They are also deliberately excluded from
+// Snapshot — wall-clock timings are a property of the host, not the
+// simulation, and folding them into checkpoint bytes would break the
+// equal-state ⇒ equal-bytes contract.
+//
+// The tick's wall time decomposes at the engine's natural seams:
+//
+//	step    — Σ per-shard busy time / pool workers: the compute the tick
+//	          actually needed, normalised to the concurrency available
+//	barrier — transport Step wall time minus step: time shards spent waiting
+//	          on the slowest sibling (plus fan-out overhead). This is the
+//	          number that explains a flat workers=1→4 scaling curve.
+//	route   — the engine's single-threaded barrier work: merging exchanges,
+//	          routing messages into next-tick mailboxes, recycling
+//	snapshot — Engine.Snapshot export+copy time (counted per call, not per
+//	          tick)
+type Metrics struct {
+	ticks    *obs.Counter
+	lastTick *obs.Gauge
+
+	phaseStep    *obs.Counter // ns, rendered as seconds
+	phaseBarrier *obs.Counter
+	phaseRoute   *obs.Counter
+	phaseSnap    *obs.Counter
+
+	shardStep *obs.Histogram // per-shard busy ns per tick
+	mailDepth *obs.Histogram // stimuli delivered into one shard per tick
+}
+
+// NewMetrics registers the population metric families on reg, labelled
+// {pop="<pop>"}, and returns the instrument set. Registration is idempotent
+// (see obs.Registry), so re-hosting the same population re-attaches to the
+// same series. A nil registry returns nil, which Config.Metrics treats as
+// "not instrumented".
+func NewMetrics(reg *obs.Registry, pop string) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	p := obs.L("pop", pop)
+	m := &Metrics{
+		ticks: reg.Counter("sacs_population_ticks_total",
+			"ticks advanced", p),
+		lastTick: reg.Gauge("sacs_population_tick",
+			"current tick (next to execute)", p),
+		shardStep: reg.Histogram("sacs_population_shard_step_seconds",
+			"busy time of one shard's step, per shard per tick",
+			obs.Seconds, obs.DurationBounds(), p),
+		mailDepth: reg.Histogram("sacs_population_shard_mailbox_depth",
+			"stimuli delivered into one shard's agents, per shard per tick",
+			1, obs.SizeBounds(), p),
+	}
+	phase := func(name string) *obs.Counter {
+		return reg.ScaledCounter("sacs_population_phase_seconds_total",
+			"cumulative tick wall time by phase (step/barrier/route/snapshot)",
+			obs.Seconds, p, obs.L("phase", name))
+	}
+	m.phaseStep = phase("step")
+	m.phaseBarrier = phase("barrier")
+	m.phaseRoute = phase("route")
+	m.phaseSnap = phase("snapshot")
+	return m
+}
+
+// MetricsSnapshot is the typed, JSON-friendly view of a population's
+// metrics — what serve embeds into Status so clients get the engine's
+// timing decomposition next to its logical counters.
+type MetricsSnapshot struct {
+	Ticks int64 `json:"ticks"`
+
+	// Cumulative per-phase wall time, seconds (see Metrics for the phase
+	// decomposition).
+	StepSeconds     float64 `json:"step_seconds"`
+	BarrierSeconds  float64 `json:"barrier_seconds"`
+	RouteSeconds    float64 `json:"route_seconds"`
+	SnapshotSeconds float64 `json:"snapshot_seconds"`
+
+	ShardStepSeconds  obs.HistogramValue `json:"shard_step_seconds"`
+	ShardMailboxDepth obs.HistogramValue `json:"shard_mailbox_depth"`
+}
+
+// Snapshot captures the instruments' current values. Nil-safe: a nil
+// Metrics yields a nil snapshot (rendered as absent by encoding/json).
+func (m *Metrics) Snapshot() *MetricsSnapshot {
+	if m == nil {
+		return nil
+	}
+	return &MetricsSnapshot{
+		Ticks:             m.ticks.Value(),
+		StepSeconds:       float64(m.phaseStep.Value()) * obs.Seconds,
+		BarrierSeconds:    float64(m.phaseBarrier.Value()) * obs.Seconds,
+		RouteSeconds:      float64(m.phaseRoute.Value()) * obs.Seconds,
+		SnapshotSeconds:   float64(m.phaseSnap.Value()) * obs.Seconds,
+		ShardStepSeconds:  m.shardStep.Value(obs.Seconds),
+		ShardMailboxDepth: m.mailDepth.Value(1),
+	}
+}
+
+// Metrics returns the engine's attached instrument set (nil when the
+// engine is uninstrumented).
+func (e *Engine) Metrics() *Metrics { return e.cfg.Metrics }

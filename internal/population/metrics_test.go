@@ -1,0 +1,95 @@
+package population
+
+import (
+	"reflect"
+	"testing"
+
+	"sacs/internal/obs"
+)
+
+// TestMetricsObservationOnly is the determinism proof for the observability
+// plane: an instrumented run produces an identical Snapshot (deep-equal
+// plain data — the checkpoint codec renders equal structs to equal bytes)
+// and identical statistics to an uninstrumented run of the same config.
+func TestMetricsObservationOnly(t *testing.T) {
+	const agents, shards, ticks = 200, 8, 15
+
+	plain := New(testConfig(agents, shards, nil))
+	instr := New(func() Config {
+		c := testConfig(agents, shards, nil)
+		c.Metrics = NewMetrics(obs.NewRegistry(), "test")
+		return c
+	}())
+
+	ps, is := plain.Run(ticks), instr.Run(ticks)
+	if ps.Steps != is.Steps || ps.Messages != is.Messages ||
+		ps.Delivered != is.Delivered || ps.Actions != is.Actions ||
+		ps.Observed.Mean() != is.Observed.Mean() {
+		t.Fatalf("metrics changed the run: %+v vs %+v", ps, is)
+	}
+
+	snapOf := func(e *Engine) *Snapshot {
+		t.Helper()
+		s, err := e.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	if !reflect.DeepEqual(snapOf(plain), snapOf(instr)) {
+		t.Fatal("instrumented snapshot differs from uninstrumented")
+	}
+}
+
+// TestMetricsValues checks the instruments carry what they claim: tick
+// counter, per-shard histogram counts (one observation per shard per tick),
+// and a phase decomposition that is present and non-negative.
+func TestMetricsValues(t *testing.T) {
+	const agents, shards, ticks = 120, 6, 10
+	reg := obs.NewRegistry()
+	cfg := testConfig(agents, shards, nil)
+	cfg.Metrics = NewMetrics(reg, "test")
+	e := New(cfg)
+	e.Run(ticks)
+	if _, err := e.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+
+	ms := e.Metrics().Snapshot()
+	if ms.Ticks != ticks {
+		t.Errorf("ticks = %d, want %d", ms.Ticks, ticks)
+	}
+	if got := ms.ShardStepSeconds.Count; got != int64(ticks*shards) {
+		t.Errorf("shard-step observations = %d, want %d", got, ticks*shards)
+	}
+	if got := ms.ShardMailboxDepth.Count; got != int64(ticks*shards) {
+		t.Errorf("mailbox-depth observations = %d, want %d", got, ticks*shards)
+	}
+	if ms.StepSeconds < 0 || ms.BarrierSeconds < 0 || ms.RouteSeconds < 0 {
+		t.Errorf("negative phase time: %+v", ms)
+	}
+	if ms.StepSeconds == 0 {
+		t.Error("step phase never accumulated")
+	}
+	if ms.SnapshotSeconds <= 0 {
+		t.Error("snapshot phase never accumulated")
+	}
+
+	// The registry view agrees with the typed snapshot.
+	snap := reg.Snapshot()
+	if v := snap[`sacs_population_ticks_total{pop="test"}`]; v != float64(ticks) {
+		t.Errorf("registry ticks = %v, want %d", v, ticks)
+	}
+	if v := snap[`sacs_population_tick{pop="test"}`]; v != float64(ticks) {
+		t.Errorf("registry tick gauge = %v, want %d", v, ticks)
+	}
+
+	// Nil instruments are safe everywhere.
+	if NewMetrics(nil, "x") != nil {
+		t.Error("NewMetrics(nil) must return nil")
+	}
+	var nilM *Metrics
+	if nilM.Snapshot() != nil {
+		t.Error("nil Metrics snapshot must be nil")
+	}
+}

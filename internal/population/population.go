@@ -3,6 +3,7 @@ package population
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"sacs/internal/core"
 	"sacs/internal/runner"
@@ -75,6 +76,10 @@ type Config struct {
 	// engine aggregates it across the population (merged in shard index
 	// order, so the moments are deterministic too).
 	Observe func(id int, a *core.Agent) float64
+	// Metrics, when non-nil, attaches the engine's observability plane
+	// (see NewMetrics). Observation-only: stepping and snapshots are
+	// byte-identical with or without it, and it is never serialised.
+	Metrics *Metrics
 }
 
 // Normalized returns the config with name, shard-count and pool defaults
@@ -286,10 +291,38 @@ func (e *Engine) TickErr() (TickStats, error) {
 	if e.broken != nil {
 		return TickStats{}, fmt.Errorf("population: engine poisoned by earlier transport failure: %w", e.broken)
 	}
+	m := e.cfg.Metrics
+	var stepStart time.Time
+	if m != nil {
+		stepStart = time.Now()
+	}
 	outs, err := e.transport.Step(e.tick, e.cur)
 	if err != nil {
 		e.broken = err
 		return TickStats{}, fmt.Errorf("population: tick %d: transport: %w", e.tick, err)
+	}
+	var routeStart time.Time
+	if m != nil {
+		// Decompose the transport's wall time: "step" is the busy time the
+		// shards actually needed, normalised to the pool's concurrency;
+		// "barrier" is the rest — waiting on the slowest sibling plus
+		// fan-out overhead. Per-shard busy time and mailbox depth feed the
+		// histograms here, at the barrier, so the shard hot path itself
+		// observes nothing.
+		routeStart = time.Now()
+		var busy int64
+		for _, o := range outs {
+			busy += o.StepNanos
+			m.shardStep.Observe(o.StepNanos)
+			m.mailDepth.Observe(int64(o.Delivered))
+		}
+		wall := routeStart.Sub(stepStart).Nanoseconds()
+		per := busy / int64(e.cfg.Pool.Workers())
+		if per > wall {
+			per = wall
+		}
+		m.phaseStep.Add(per)
+		m.phaseBarrier.Add(wall - per)
 	}
 	ts := TickStats{Tick: e.tick, Steps: e.cfg.Agents}
 	for _, o := range outs {
@@ -328,6 +361,11 @@ func (e *Engine) TickErr() (TickStats, error) {
 	e.cur, e.next = e.next, e.cur
 
 	e.tick++
+	if m != nil {
+		m.phaseRoute.Add(time.Since(routeStart).Nanoseconds())
+		m.ticks.Inc()
+		m.lastTick.Set(int64(e.tick))
+	}
 	e.steps += int64(ts.Steps)
 	e.messages += int64(ts.Messages)
 	e.delivered += int64(ts.Delivered)

@@ -2,6 +2,7 @@ package population
 
 import (
 	"fmt"
+	"time"
 
 	"sacs/internal/core"
 	"sacs/internal/stats"
@@ -76,6 +77,11 @@ func (e *Engine) Snapshot() (*Snapshot, error) {
 		// snapshot taken now could mix this engine's tick counter with
 		// later agent state and resume into silent divergence.
 		return nil, fmt.Errorf("population: snapshot: engine poisoned by earlier transport failure: %w", e.broken)
+	}
+	if m := e.cfg.Metrics; m != nil {
+		defer func(start time.Time) {
+			m.phaseSnap.Add(time.Since(start).Nanoseconds())
+		}(time.Now())
 	}
 	rs, err := e.transport.Export()
 	if err != nil {

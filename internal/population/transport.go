@@ -3,6 +3,7 @@ package population
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"sacs/internal/core"
 	"sacs/internal/knowledge"
@@ -30,6 +31,13 @@ type ShardExchange struct {
 	Actions   int          // actions chosen by this shard's reasoners
 	Observed  stats.Online // Config.Observe over this shard's agents
 	Msgs      []Routed     // stimuli sent by this shard's agents, in step order
+
+	// StepNanos is the wall time the shard's step took on its executor —
+	// observability only, never an input to stepping, and excluded from the
+	// deterministic byte-equality contract (which covers the fields above).
+	// It crosses the cluster wire so a coordinator can decompose tick time
+	// into compute vs. barrier wait for remote shards too.
+	StepNanos int64
 }
 
 // RangeState is the executor-side state of a contiguous shard range: every
@@ -111,7 +119,7 @@ type LocalTransport struct {
 
 	// Sparse global-indexed state: only owned slots are populated.
 	agents    []*core.Agent
-	rngs      []*rand.Rand   // one persistent stream per owned shard
+	rngs      []*rand.Rand // one persistent stream per owned shard
 	shardSrcs []*xrand.Source
 	agentSrcs []*xrand.Source
 
@@ -211,6 +219,7 @@ func (t *LocalTransport) Step(tick int, mail [][]core.Stimulus) ([]*ShardExchang
 // agents, and its own pooled exchange (reset here, read by the engine at
 // the barrier, never shared between shards).
 func (t *LocalTransport) stepShard(s, tick int, now float64, mail [][]core.Stimulus) *ShardExchange {
+	start := time.Now()
 	res := t.results[s-t.lo]
 	res.Delivered, res.Actions = 0, 0
 	res.Msgs = res.Msgs[:0]
@@ -232,6 +241,7 @@ func (t *LocalTransport) stepShard(s, tick int, now float64, mail [][]core.Stimu
 			t.cfg.Emit(&ctx)
 		}
 	}
+	res.StepNanos = time.Since(start).Nanoseconds()
 	return res
 }
 

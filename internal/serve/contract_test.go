@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"errors"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -90,7 +91,9 @@ func TestCheckpointErrorContract(t *testing.T) {
 // the checkpoint write (and are ignored entirely when tests run as root).
 func TestPruneFailureDoesNotAbortAdvance(t *testing.T) {
 	dir := t.TempDir()
-	s, err := New(Options{Dir: dir, CheckpointEvery: 2, Keep: 1, Workloads: []Workload{gossip()}})
+	var logBuf bytes.Buffer
+	s, err := New(Options{Dir: dir, CheckpointEvery: 2, Keep: 1, Workloads: []Workload{gossip()},
+		Logger: slog.New(slog.NewTextHandler(&logBuf, nil))})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,6 +129,14 @@ func TestPruneFailureDoesNotAbortAdvance(t *testing.T) {
 	}
 	if len(files) != 5 {
 		t.Fatalf("%d snapshot files on disk, want all 5 interval checkpoints", len(files))
+	}
+	// The Status field, the metric and the structured log all record the
+	// failure from the same code path, so they must agree exactly.
+	if v := s.Registry().Snapshot()[`sacs_serve_prune_failures_total{pop="demo"}`]; v != 5.0 {
+		t.Fatalf("prune-failure metric = %v, want 5 (== Status.PruneErrs)", v)
+	}
+	if got := strings.Count(logBuf.String(), "prune after checkpoint failed"); got != 5 {
+		t.Fatalf("prune failure logged %d times, want 5:\n%s", got, logBuf.String())
 	}
 }
 

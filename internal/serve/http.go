@@ -12,6 +12,7 @@ import (
 
 	"sacs/internal/core"
 	"sacs/internal/knowledge"
+	"sacs/internal/obs"
 )
 
 // The HTTP surface of a Server. Errors are returned as JSON
@@ -60,9 +61,53 @@ func (r *StimulusRequest) item() (IngestItem, error) {
 	return IngestItem{To: r.To, Stim: stim, HasTime: r.Time != nil}, nil
 }
 
+// statusWriter captures the response code for the request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// routeMetrics is one route pattern's instrument set, registered when the
+// Handler is built; the per-request path is two atomic updates.
+type routeMetrics struct {
+	byClass [6]*obs.Counter // index status/100 (2xx..5xx populated)
+	latency *obs.Histogram
+}
+
+// handle registers pattern on mux with request counting (by status class)
+// and latency instrumentation around h.
+func (s *Server) handle(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
+	route := obs.L("route", pattern)
+	rm := &routeMetrics{
+		latency: s.reg.Histogram("sacs_http_request_seconds",
+			"request handling latency", obs.Seconds, obs.DurationBounds(), route),
+	}
+	for _, class := range []int{2, 3, 4, 5} {
+		rm.byClass[class] = s.reg.Counter("sacs_http_requests_total",
+			"requests by route and status class", route,
+			obs.L("class", fmt.Sprintf("%dxx", class)))
+	}
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		rm.latency.ObserveDuration(time.Since(start))
+		if c := sw.code / 100; c >= 2 && c <= 5 {
+			rm.byClass[c].Inc()
+		}
+	})
+}
+
 // Handler returns the Server's HTTP API:
 //
 //	GET  /healthz                              liveness + uptime + population count
+//	GET  /metrics                              Prometheus text exposition
+//	GET  /debug/vars                           the same metrics as one JSON object
 //	GET  /populations                          all populations' status
 //	GET  /populations/{id}                     one population's status
 //	POST /populations/{id}/ticks?n=K           advance K ticks (default 1)
@@ -71,10 +116,23 @@ func (r *StimulusRequest) item() (IngestItem, error) {
 //	                                           enqueued in order, one lock pass)
 //	GET  /populations/{id}/agents/{n}/explain  per-agent self-explanation (text)
 //	POST /populations/{id}/checkpoint          snapshot to disk now
+//
+// Every route is instrumented (request count by status class, latency); the
+// exposition and JSON snapshot render the server's whole registry — engine,
+// cluster and serve planes alike.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	s.handle(mux, "GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.reg.WriteExposition(w)
+	})
+
+	s.handle(mux, "GET /debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.reg.Snapshot())
+	})
+
+	s.handle(mux, "GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"ok":          true,
 			"uptime_sec":  time.Since(s.started).Seconds(),
@@ -82,7 +140,7 @@ func (s *Server) Handler() http.Handler {
 		})
 	})
 
-	mux.HandleFunc("GET /populations", func(w http.ResponseWriter, r *http.Request) {
+	s.handle(mux, "GET /populations", func(w http.ResponseWriter, r *http.Request) {
 		out := make([]Status, 0)
 		for _, id := range s.IDs() {
 			st, err := s.Status(id)
@@ -95,7 +153,7 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, out)
 	})
 
-	mux.HandleFunc("GET /populations/{id}", func(w http.ResponseWriter, r *http.Request) {
+	s.handle(mux, "GET /populations/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, err := s.Status(r.PathValue("id"))
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err)
@@ -104,7 +162,7 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, st)
 	})
 
-	mux.HandleFunc("POST /populations/{id}/ticks", func(w http.ResponseWriter, r *http.Request) {
+	s.handle(mux, "POST /populations/{id}/ticks", func(w http.ResponseWriter, r *http.Request) {
 		n := 1
 		if q := r.URL.Query().Get("n"); q != "" {
 			v, err := strconv.Atoi(q)
@@ -139,7 +197,7 @@ func (s *Server) Handler() http.Handler {
 		})
 	})
 
-	mux.HandleFunc("POST /populations/{id}/stimuli", func(w http.ResponseWriter, r *http.Request) {
+	s.handle(mux, "POST /populations/{id}/stimuli", func(w http.ResponseWriter, r *http.Request) {
 		body, err := io.ReadAll(io.LimitReader(r.Body, maxStimuliBody+1))
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("reading stimulus body: %w", err))
@@ -186,7 +244,7 @@ func (s *Server) Handler() http.Handler {
 			"queued": len(items), "deliver_at_tick": deliverAt})
 	})
 
-	mux.HandleFunc("GET /populations/{id}/agents/{n}/explain", func(w http.ResponseWriter, r *http.Request) {
+	s.handle(mux, "GET /populations/{id}/agents/{n}/explain", func(w http.ResponseWriter, r *http.Request) {
 		n, err := strconv.Atoi(r.PathValue("n"))
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad agent index %q", r.PathValue("n")))
@@ -205,7 +263,7 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprint(w, text)
 	})
 
-	mux.HandleFunc("POST /populations/{id}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+	s.handle(mux, "POST /populations/{id}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
 		path, err := s.Checkpoint(r.PathValue("id"))
 		if err != nil {
 			// The documented contract: ErrHost marks the service's own

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -13,6 +14,7 @@ import (
 
 	"sacs/internal/checkpoint"
 	"sacs/internal/core"
+	"sacs/internal/obs"
 	"sacs/internal/population"
 	"sacs/internal/runner"
 )
@@ -60,6 +62,14 @@ type Options struct {
 	// engine and overlay snap (in-process default:
 	// population.Restore(cfg, snap)).
 	RestoreEngine func(spec Spec, cfg population.Config, snap *population.Snapshot) (*population.Engine, error)
+	// Registry receives every metric the server and its populations emit
+	// (nil: the server creates its own, so GET /metrics always works).
+	// Share one registry between the server and a cluster client to get
+	// engine, serve and RPC metrics in one exposition.
+	Registry *obs.Registry
+	// Logger is the server's structured logger (nil: slog.Default()).
+	// Population and shard attributes ride on every record.
+	Logger *slog.Logger
 }
 
 // ErrHost marks failures on the service's side (checkpoint I/O, engine
@@ -72,11 +82,35 @@ type hosted struct {
 	mu        sync.Mutex
 	spec      Spec
 	eng       *population.Engine
+	pm        popMetrics
 	lastCkpt  int    // tick of the most recent checkpoint
 	lastPath  string // file it was written to
 	ingested  int64  // external stimuli accepted over the population's life
 	pruneErrs int    // prune failures after otherwise-successful checkpoints
 	lastPrune string // most recent prune failure, for Status
+}
+
+// popMetrics is one hosted population's serve-plane instruments (the
+// engine's own plane is population.Metrics, attached via Config.Metrics).
+type popMetrics struct {
+	ingestBatch *obs.Histogram // accepted batch sizes
+	queued      *obs.Gauge     // stimuli ingested but not yet delivered
+	ckptSecs    *obs.Histogram // full checkpoint durations (snapshot+encode+write)
+	pruneFails  *obs.Counter   // see checkpointLocked: the one prune-failure path
+}
+
+func newPopMetrics(reg *obs.Registry, pop string) popMetrics {
+	p := obs.L("pop", pop)
+	return popMetrics{
+		ingestBatch: reg.Histogram("sacs_serve_ingest_batch_size",
+			"stimuli per accepted ingest batch", 1, obs.SizeBounds(), p),
+		queued: reg.Gauge("sacs_serve_stimuli_queued",
+			"externally ingested stimuli awaiting delivery at the next tick", p),
+		ckptSecs: reg.Histogram("sacs_serve_checkpoint_seconds",
+			"checkpoint duration (snapshot, encode, write)", obs.Seconds, obs.DurationBounds(), p),
+		pruneFails: reg.Counter("sacs_serve_prune_failures_total",
+			"prune failures after otherwise-successful checkpoints", p),
+	}
 }
 
 // Server hosts populations. Create with New, add or resume populations,
@@ -85,6 +119,8 @@ type Server struct {
 	opts      Options
 	workloads map[string]Workload
 	started   time.Time
+	reg       *obs.Registry
+	log       *slog.Logger
 
 	mu       sync.RWMutex
 	pops     map[string]*hosted
@@ -104,10 +140,20 @@ func New(opts Options) (*Server, error) {
 		opts:      opts,
 		workloads: make(map[string]Workload, len(opts.Workloads)),
 		started:   time.Now(),
+		reg:       opts.Registry,
+		log:       opts.Logger,
 		pops:      make(map[string]*hosted),
 		reserved:  make(map[string]struct{}),
 		prune:     checkpoint.Prune,
 	}
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	if s.log == nil {
+		s.log = slog.Default()
+	}
+	s.reg.GaugeFunc("sacs_serve_uptime_seconds", "seconds since the server was built",
+		func() float64 { return time.Since(s.started).Seconds() })
 	for _, w := range opts.Workloads {
 		if w.Name == "" || w.Build == nil {
 			return nil, fmt.Errorf("serve: workload with empty name or nil builder")
@@ -130,6 +176,10 @@ func New(opts Options) (*Server, error) {
 	return s, nil
 }
 
+// Registry exposes the server's metric registry, so callers (cmd/sawd, the
+// facade) can render it or register their own series next to the server's.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
 func (s *Server) build(spec Spec) (population.Config, error) {
 	w, ok := s.workloads[spec.Workload]
 	if !ok {
@@ -138,7 +188,12 @@ func (s *Server) build(spec Spec) (population.Config, error) {
 	if spec.Agents <= 0 || spec.ID == "" {
 		return population.Config{}, fmt.Errorf("serve: spec needs an id and a positive agent count")
 	}
-	return w.Build(spec.Agents, spec.Shards, spec.Seed, s.opts.Pool), nil
+	cfg := w.Build(spec.Agents, spec.Shards, spec.Seed, s.opts.Pool)
+	// Every hosted engine gets the observability plane, labelled by
+	// population id; the config flows through NewEngine/RestoreEngine, so
+	// cluster-hosted coordinator engines are instrumented identically.
+	cfg.Metrics = population.NewMetrics(s.reg, spec.ID)
+	return cfg, nil
 }
 
 // reserve claims a population id before any engine or transport is built.
@@ -212,8 +267,10 @@ func (s *Server) Add(spec Spec) error {
 	} else {
 		eng = population.New(cfg)
 	}
-	s.register(&hosted{spec: spec, eng: eng, lastCkpt: eng.Ticks()})
+	s.register(&hosted{spec: spec, eng: eng, pm: newPopMetrics(s.reg, spec.ID), lastCkpt: eng.Ticks()})
 	registered = true
+	s.log.Info("serve: hosting population", "pop", spec.ID, "workload", spec.Workload,
+		"agents", spec.Agents, "shards", eng.Shards(), "seed", spec.Seed)
 	return nil
 }
 
@@ -258,12 +315,14 @@ func (s *Server) Resume(spec Spec) error {
 	if err != nil {
 		return err
 	}
-	h := &hosted{spec: spec, eng: eng, lastCkpt: eng.Ticks(), lastPath: path}
+	h := &hosted{spec: spec, eng: eng, pm: newPopMetrics(s.reg, spec.ID), lastCkpt: eng.Ticks(), lastPath: path}
 	if n, err := strconv.ParseInt(meta["ingested"], 10, 64); err == nil {
 		h.ingested = n
 	}
 	s.register(h)
 	registered = true
+	s.log.Info("serve: resumed population", "pop", spec.ID, "workload", spec.Workload,
+		"tick", eng.Ticks(), "snapshot", path)
 	return nil
 }
 
@@ -323,6 +382,8 @@ func (s *Server) Advance(id string, n int) (population.TickStats, error) {
 		if err != nil {
 			return last, fmt.Errorf("serve: tick (%w): %w", ErrHost, err)
 		}
+		// Whatever was queued before this tick has now been injected.
+		h.pm.queued.Set(0)
 		if s.opts.Dir != "" && s.opts.CheckpointEvery > 0 &&
 			h.eng.Ticks()-h.lastCkpt >= s.opts.CheckpointEvery {
 			if _, err := s.checkpointLocked(h); err != nil {
@@ -387,6 +448,8 @@ func (s *Server) IngestBatch(id string, items []IngestItem) (deliverAt int, err 
 		}
 	}
 	h.ingested += int64(len(items))
+	h.pm.ingestBatch.Observe(int64(len(items)))
+	h.pm.queued.Add(int64(len(items)))
 	return h.eng.Ticks(), nil
 }
 
@@ -413,6 +476,7 @@ func (s *Server) checkpointLocked(h *hosted) (string, error) {
 	if s.opts.Dir == "" {
 		return "", errors.New("serve: no checkpoint directory configured")
 	}
+	start := time.Now()
 	snap, err := h.eng.Snapshot()
 	if err != nil {
 		return "", fmt.Errorf("serve: checkpoint %q (%w): %w", h.spec.ID, ErrHost, err)
@@ -428,11 +492,16 @@ func (s *Server) checkpointLocked(h *hosted) (string, error) {
 	}
 	h.lastCkpt = snap.Tick
 	h.lastPath = path
+	h.pm.ckptSecs.ObserveDuration(time.Since(start))
+	s.log.Debug("serve: checkpoint written", "pop", h.spec.ID, "tick", snap.Tick, "path", path)
 	if _, err := s.prune(s.opts.Dir, h.spec.ID, s.opts.Keep); err != nil {
+		// One code path records the failure in all three places — Status
+		// fields, structured log, metric — so they can never disagree.
 		h.pruneErrs++
 		h.lastPrune = err.Error()
-		fmt.Fprintf(os.Stderr, "serve: prune after checkpoint of %q (snapshot %s is durable): %v\n",
-			h.spec.ID, path, err)
+		h.pm.pruneFails.Inc()
+		s.log.Warn("serve: prune after checkpoint failed (snapshot is durable)",
+			"pop", h.spec.ID, "snapshot", path, "err", err)
 	}
 	return path, nil
 }
@@ -496,6 +565,10 @@ type Status struct {
 	// checkpoints (ticking continues; the operator should reclaim disk).
 	PruneErrs int    `json:"prune_failures,omitempty"`
 	LastPrune string `json:"last_prune_error,omitempty"`
+	// Metrics is the engine's observability snapshot: phase timing
+	// decomposition and per-shard distributions (absent only for engines
+	// built outside the server's registry).
+	Metrics *population.MetricsSnapshot `json:"metrics,omitempty"`
 }
 
 // Status reports population id's live metrics.
@@ -526,6 +599,7 @@ func (s *Server) Status(id string) (Status, error) {
 		CkptPath:  h.lastPath,
 		PruneErrs: h.pruneErrs,
 		LastPrune: h.lastPrune,
+		Metrics:   h.eng.Metrics().Snapshot(),
 	}, nil
 }
 

@@ -10,22 +10,58 @@ import (
 )
 
 // Recorder accumulates named time series. It is safe for concurrent use.
+// Long-lived recorders (a daemon's pool trace) should bound their memory
+// with SetLimit; unbounded growth is otherwise linear in points recorded.
 type Recorder struct {
 	mu     sync.Mutex
 	series map[string]*points
+	limit  int // max points retained per series; 0 = unbounded
 }
 
 type points struct {
-	t []float64
-	v []float64
+	t    []float64
+	v    []float64
+	head int // oldest element once the series is a full ring (limited mode)
 }
 
-// NewRecorder returns an empty recorder.
+// NewRecorder returns an empty, unbounded recorder.
 func NewRecorder() *Recorder {
 	return &Recorder{series: make(map[string]*points)}
 }
 
-// Record appends (t, v) to the named series.
+// SetLimit bounds every series to the most recent n points, turning each
+// into a fixed-capacity ring (n <= 0 restores unbounded growth). Series
+// already over the limit are trimmed to their newest n points. The bound
+// exists for the same reason the population engine bounds its work
+// history: recorders attached to long-running daemons must not grow memory
+// with uptime.
+func (r *Recorder) SetLimit(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.limit = n
+	if n <= 0 {
+		return
+	}
+	for _, p := range r.series {
+		if len(p.t) > n {
+			t, v := linearize(p)
+			p.t = append(p.t[:0], t[len(t)-n:]...)
+			p.v = append(p.v[:0], v[len(v)-n:]...)
+		}
+		p.head = 0
+	}
+}
+
+// Reset drops every recorded point (series names included), keeping the
+// configured limit.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.series = make(map[string]*points)
+}
+
+// Record appends (t, v) to the named series, overwriting the oldest point
+// once a configured limit is reached.
 func (r *Recorder) Record(name string, t, v float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -34,8 +70,27 @@ func (r *Recorder) Record(name string, t, v float64) {
 		p = &points{}
 		r.series[name] = p
 	}
+	if r.limit > 0 && len(p.t) >= r.limit {
+		p.t[p.head] = t
+		p.v[p.head] = v
+		p.head = (p.head + 1) % r.limit
+		return
+	}
 	p.t = append(p.t, t)
 	p.v = append(p.v, v)
+}
+
+// linearize copies a series' points out oldest-first. Callers hold r.mu.
+func linearize(p *points) (t, v []float64) {
+	n := len(p.t)
+	t = make([]float64, 0, n)
+	v = make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		j := (p.head + i) % n
+		t = append(t, p.t[j])
+		v = append(v, p.v[j])
+	}
+	return t, v
 }
 
 // Names returns the recorded series names, sorted.
@@ -50,8 +105,8 @@ func (r *Recorder) Names() []string {
 	return names
 }
 
-// Series returns copies of the time and value slices for name (nil, nil if
-// absent).
+// Series returns copies of the time and value slices for name, oldest
+// first (nil, nil if absent).
 func (r *Recorder) Series(name string) (t, v []float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -59,9 +114,7 @@ func (r *Recorder) Series(name string) (t, v []float64) {
 	if !ok {
 		return nil, nil
 	}
-	t = append([]float64(nil), p.t...)
-	v = append([]float64(nil), p.v...)
-	return t, v
+	return linearize(p)
 }
 
 // Len returns the number of points in the named series.

@@ -60,6 +60,57 @@ func TestWriteCSV(t *testing.T) {
 	}
 }
 
+func TestSetLimitRing(t *testing.T) {
+	r := NewRecorder()
+	r.SetLimit(3)
+	for i := 0; i < 5; i++ {
+		r.Record("s", float64(i), float64(i*10))
+	}
+	ts, vs := r.Series("s")
+	if len(ts) != 3 || ts[0] != 2 || ts[2] != 4 || vs[0] != 20 || vs[2] != 40 {
+		t.Fatalf("ring series = %v %v, want newest 3 oldest-first", ts, vs)
+	}
+	if r.Len("s") != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len("s"))
+	}
+}
+
+func TestSetLimitTrimsExisting(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 10; i++ {
+		r.Record("s", float64(i), float64(i))
+	}
+	r.SetLimit(4)
+	ts, _ := r.Series("s")
+	if len(ts) != 4 || ts[0] != 6 || ts[3] != 9 {
+		t.Fatalf("trimmed series = %v, want [6 7 8 9]", ts)
+	}
+	// Ring continues correctly after the trim.
+	r.Record("s", 10, 10)
+	ts, _ = r.Series("s")
+	if len(ts) != 4 || ts[0] != 7 || ts[3] != 10 {
+		t.Fatalf("post-trim ring = %v, want [7 8 9 10]", ts)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRecorder()
+	r.SetLimit(2)
+	r.Record("a", 1, 1)
+	r.Record("b", 1, 1)
+	r.Reset()
+	if len(r.Names()) != 0 {
+		t.Fatalf("names after Reset = %v", r.Names())
+	}
+	// Limit survives the reset.
+	for i := 0; i < 4; i++ {
+		r.Record("a", float64(i), 0)
+	}
+	if r.Len("a") != 2 {
+		t.Fatalf("limit lost after Reset: Len = %d", r.Len("a"))
+	}
+}
+
 func TestConcurrentRecording(t *testing.T) {
 	r := NewRecorder()
 	var wg sync.WaitGroup

@@ -5,6 +5,7 @@ import (
 	"sacs/internal/core"
 	"sacs/internal/goals"
 	"sacs/internal/knowledge"
+	"sacs/internal/obs"
 	"sacs/internal/population"
 	"sacs/internal/serve"
 )
@@ -149,6 +150,31 @@ type (
 
 // NewPopulation builds a sharded population engine.
 var NewPopulation = population.New
+
+// Observability: the allocation-free metrics plane (internal/obs). Metrics
+// are observation-only — they never influence stepping and are excluded
+// from snapshots, so instrumented and uninstrumented runs are
+// byte-identical. See DESIGN.md "Observability".
+type (
+	// MetricsRegistry collects instruments and renders them as Prometheus
+	// text exposition or one JSON object.
+	MetricsRegistry = obs.Registry
+	// Metrics is a Population's tick-phase instrument set; attach one via
+	// PopulationConfig.Metrics to decompose tick time into step, barrier
+	// wait, mailbox routing and snapshot encode.
+	Metrics = population.Metrics
+	// MetricsSnapshot is a point-in-time copy of a Population's Metrics,
+	// embedded in PopulationStatus and served at /populations/{id}.
+	MetricsSnapshot = population.MetricsSnapshot
+)
+
+// NewMetricsRegistry builds an empty metrics registry.
+var NewMetricsRegistry = obs.NewRegistry
+
+// NewPopulationMetrics registers a population's tick-phase instruments on
+// reg under the given population label and returns the set to place in
+// PopulationConfig.Metrics. A nil registry returns nil (metrics off).
+var NewPopulationMetrics = population.NewMetrics
 
 // Distribution: the engine's cross-shard data plane is an interface, so
 // shards can be hosted by worker processes (internal/cluster, surfaced by

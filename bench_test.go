@@ -77,6 +77,7 @@ func BenchmarkPopulationTick(b *testing.B) {
 		{10000, 1},
 		{10000, 2},
 		{10000, 4},
+		{10000, 8},
 	} {
 		b.Run(fmt.Sprintf("agents=%d/workers=%d", bc.agents, bc.workers), func(b *testing.B) {
 			p := runner.New(bc.workers)

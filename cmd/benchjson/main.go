@@ -27,7 +27,8 @@ func main() {
 		out       = flag.String("out", "", "write parsed results to this BENCH_*.json file")
 		baseline  = flag.String("baseline", "", "committed BENCH_*.json to gate against")
 		check     = flag.String("check", "", "comma-separated benchmark name prefixes to gate on allocs/op")
-		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional allocs/op growth over the baseline")
+		floor     = flag.String("floor", "", "comma-separated name:metric specs whose custom metric must not drop >tolerance below the baseline")
+		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional allocs/op growth (and metric-floor shrink) over the baseline")
 		note      = flag.String("note", "", "free-form note recorded in -out")
 	)
 	flag.Parse()
@@ -50,21 +51,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: wrote %s\n", *out)
 	}
 
-	if *baseline != "" && *check != "" {
+	if *baseline != "" && (*check != "" || *floor != "") {
 		base, err := benchjson.Load(*baseline)
 		if err != nil {
 			fatal(err)
 		}
-		prefixes := strings.Split(*check, ",")
-		errs := benchjson.Compare(base, results, prefixes, *tolerance)
+		var errs []error
+		if *check != "" {
+			prefixes := strings.Split(*check, ",")
+			errs = append(errs, benchjson.Compare(base, results, prefixes, *tolerance)...)
+		}
+		if *floor != "" {
+			specs := strings.Split(*floor, ",")
+			errs = append(errs, benchjson.CompareFloors(base, results, specs, *tolerance)...)
+		}
 		for _, e := range errs {
 			fmt.Fprintln(os.Stderr, "FAIL:", e)
 		}
 		if len(errs) > 0 {
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "benchjson: allocs/op within %.0f%% of %s for %v\n",
-			*tolerance*100, *baseline, prefixes)
+		fmt.Fprintf(os.Stderr, "benchjson: within %.0f%% of %s (allocs: %q, floors: %q)\n",
+			*tolerance*100, *baseline, *check, *floor)
 	}
 }
 

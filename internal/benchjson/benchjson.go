@@ -177,3 +177,48 @@ func Compare(baseline *File, current map[string]Result, prefixes []string, toler
 	}
 	return errs
 }
+
+// CompareFloors gates custom metrics (b.ReportMetric units) that must not
+// shrink: each spec is "<normalized benchmark name>:<metric unit>", e.g.
+// "PopulationTick/agents=10000/workers=4:steps/sec". A regression is the
+// current value dropping below baseline·(1−tolerance). Unlike Compare's
+// prefix matching, floor specs name exact benchmarks — a throughput floor
+// on the wrong leg is a silent non-gate, so a spec that matches nothing in
+// either the baseline or the current run is itself an error.
+func CompareFloors(baseline *File, current map[string]Result, specs []string, tolerance float64) []error {
+	var errs []error
+	for _, spec := range specs {
+		name, metric, ok := strings.Cut(spec, ":")
+		if !ok {
+			errs = append(errs, fmt.Errorf("benchjson: bad floor spec %q (want name:metric)", spec))
+			continue
+		}
+		base, inBase := baseline.Benchmarks[name]
+		if !inBase {
+			errs = append(errs, fmt.Errorf("benchjson: floor %s: no such benchmark in the baseline", spec))
+			continue
+		}
+		want, ok := base.After.Metrics[metric]
+		if !ok {
+			errs = append(errs, fmt.Errorf("benchjson: floor %s: baseline has no %q metric", spec, metric))
+			continue
+		}
+		cur, inCur := current[name]
+		if !inCur {
+			errs = append(errs, fmt.Errorf("benchjson: floor %s: benchmark missing from this run", spec))
+			continue
+		}
+		got, ok := cur.Metrics[metric]
+		if !ok {
+			errs = append(errs, fmt.Errorf("benchjson: floor %s: run reported no %q metric", spec, metric))
+			continue
+		}
+		floor := want * (1 - tolerance)
+		if got < floor {
+			errs = append(errs, fmt.Errorf(
+				"benchjson: %s: %s regressed: %.0f < floor %.0f (baseline %.0f, tolerance %.0f%%)",
+				name, metric, got, floor, want, tolerance*100))
+		}
+	}
+	return errs
+}

@@ -115,6 +115,41 @@ func TestCompareCatchesRegressionAndDrift(t *testing.T) {
 	}
 }
 
+func TestCompareFloors(t *testing.T) {
+	const leg = "PopulationTick/agents=10000/workers=4"
+	base := &File{Benchmarks: map[string]Entry{
+		leg: {After: Result{AllocsOp: 100, Metrics: map[string]float64{"steps/sec": 1000}}},
+	}}
+	spec := []string{leg + ":steps/sec"}
+
+	cur := map[string]Result{leg: {Metrics: map[string]float64{"steps/sec": 920}}}
+	if errs := CompareFloors(base, cur, spec, 0.10); len(errs) != 0 {
+		t.Fatalf("920 over a 1000 baseline at 10%% must pass: %v", errs)
+	}
+	cur[leg] = Result{Metrics: map[string]float64{"steps/sec": 899}}
+	errs := CompareFloors(base, cur, spec, 0.10)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "regressed") {
+		t.Fatalf("899 under the 900 floor not caught: %v", errs)
+	}
+
+	// Every mis-specified floor is an error, never a silent pass.
+	for _, bad := range []struct {
+		name  string
+		specs []string
+		cur   map[string]Result
+	}{
+		{"malformed spec", []string{"no-colon-here"}, cur},
+		{"unknown benchmark", []string{"Nope:steps/sec"}, cur},
+		{"unknown metric", []string{leg + ":frobs/sec"}, cur},
+		{"benchmark missing from run", spec, map[string]Result{}},
+		{"metric missing from run", spec, map[string]Result{leg: {AllocsOp: 1}}},
+	} {
+		if errs := CompareFloors(base, bad.cur, bad.specs, 0.10); len(errs) != 1 {
+			t.Errorf("%s: got %v, want exactly one error", bad.name, errs)
+		}
+	}
+}
+
 func TestFileRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_test.json")
 	before := &Result{NsOp: 2439, BOp: 854, AllocsOp: 20}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -152,6 +153,13 @@ type Transport struct {
 	abounds []int    // agent partition across shards (population.Partition)
 	epochs  []uint64 // each worker's attach epoch for this population
 	outs    []*population.ShardExchange
+
+	// costs is the coordinator's view of every shard's step cost, fed
+	// from the StepNanos in tick replies. It seeds the next attach (see
+	// Spec.Costs) and backs the per-shard cost gauges when the client is
+	// instrumented. Observation-only.
+	costs     *population.CostModel
+	costGauge []*obs.Gauge // sacs_cluster_shard_cost_seconds, per shard; nil uninstrumented
 }
 
 // popHeader starts a request body with the population id and the attach
@@ -177,6 +185,10 @@ func (cl *Client) NewTransport(spec Spec) (*Transport, error) {
 		return nil, fmt.Errorf("cluster: %d workers for %d shards; every worker must own at least one shard",
 			len(cl.conns), spec.Shards)
 	}
+	if len(spec.Costs) != 0 && len(spec.Costs) != spec.Shards {
+		return nil, fmt.Errorf("cluster: cost snapshot covers %d shards, population has %d",
+			len(spec.Costs), spec.Shards)
+	}
 	t := &Transport{
 		client:  cl,
 		spec:    spec,
@@ -184,16 +196,29 @@ func (cl *Client) NewTransport(spec Spec) (*Transport, error) {
 		abounds: population.Partition(spec.Agents, spec.Shards),
 		epochs:  make([]uint64, len(cl.conns)),
 		outs:    make([]*population.ShardExchange, spec.Shards),
+		costs:   population.NewCostModel(spec.Shards),
 	}
 	for i := range t.outs {
 		t.outs[i] = &population.ShardExchange{}
 	}
+	// The attach-time snapshot is also this transport's own starting
+	// view, so a coordinator chaining attaches (restart, rebalance)
+	// carries cost history forward even before its first tick completes.
+	t.costs.Seed(0, spec.Costs)
 	for wi, c := range cl.conns {
+		loS, hiS := t.wbounds[wi], t.wbounds[wi+1]
 		e := checkpoint.NewEncoder()
 		e.Uvarint(protocolVersion)
 		encodeSpec(e, spec)
-		e.Int(t.wbounds[wi])
-		e.Int(t.wbounds[wi+1])
+		e.Int(loS)
+		e.Int(hiS)
+		// v3: the worker's slice of the coordinator's cost snapshot
+		// (empty when the coordinator has none).
+		if len(spec.Costs) == 0 {
+			e.F64s(nil)
+		} else {
+			e.F64s(spec.Costs[loS:hiS])
+		}
 		body, err := c.call(msgInit, e.Bytes(), msgOK)
 		if err == nil {
 			d := checkpoint.NewDecoder(body)
@@ -218,7 +243,30 @@ func (cl *Client) NewTransport(spec Spec) (*Transport, error) {
 				obs.L("pop", spec.ID), obs.L("worker", c.addr)).Set(int64(t.epochs[wi]))
 		}
 	}
+	if cl.reg != nil {
+		// Per-shard cost estimates, labelled with the worker owning each
+		// shard — the placement view a rebalancer reads: which worker is
+		// carrying how much estimated step cost.
+		t.costGauge = make([]*obs.Gauge, spec.Shards)
+		p := obs.L("pop", spec.ID)
+		for wi := range cl.conns {
+			w := obs.L("worker", cl.conns[wi].addr)
+			for s := t.wbounds[wi]; s < t.wbounds[wi+1]; s++ {
+				t.costGauge[s] = cl.reg.ScaledGauge("sacs_cluster_shard_cost_seconds",
+					"per-shard step-cost estimate, labelled by the worker hosting the shard",
+					obs.Seconds, p, w, obs.L("shard", strconv.Itoa(s)))
+				t.costGauge[s].Set(int64(t.costs.Estimate(s)))
+			}
+		}
+	}
 	return t, nil
+}
+
+// ShardCosts appends the coordinator's per-shard cost estimates (nanos,
+// shard index order) to dst — the snapshot to hand the next attach via
+// Spec.Costs.
+func (t *Transport) ShardCosts(dst []float64) []float64 {
+	return t.costs.EstimatesInto(dst, 0, t.spec.Shards)
 }
 
 // drop releases this attach's ranges from the first n workers,
@@ -266,6 +314,14 @@ func (t *Transport) Step(tick int, mail [][]core.Stimulus) ([]*population.ShardE
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
+		}
+	}
+	// Fold the tick's observed step times into the coordinator's cost
+	// view (single-goroutine: all worker replies are in).
+	for s, o := range t.outs {
+		t.costs.Observe(s, o.StepNanos)
+		if t.costGauge != nil {
+			t.costGauge[s].Set(int64(t.costs.Estimate(s)))
 		}
 	}
 	return t.outs, nil

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
@@ -66,6 +67,27 @@ func TestClientInstrumentation(t *testing.T) {
 		t.Error("remote shard busy time never accumulated")
 	}
 
+	// The coordinator's cost view covers every remote shard after one run,
+	// and the worker-labelled gauges agree with it.
+	costs := tr.ShardCosts(nil)
+	if len(costs) != tShards {
+		t.Fatalf("ShardCosts covers %d shards, want %d", len(costs), tShards)
+	}
+	for s, c := range costs {
+		if c <= 0 {
+			t.Errorf("shard %d cost estimate = %v after %d ticks, want > 0", s, c, ticks)
+		}
+		wi := 0
+		if s >= tShards/2 {
+			wi = 1
+		}
+		key := `sacs_cluster_shard_cost_seconds{pop="p",shard="` +
+			strconv.Itoa(s) + `",worker="` + addrs[wi] + `"}`
+		if v, _ := snap[key].(float64); v <= 0 {
+			t.Errorf("%s = %v, want > 0", key, snap[key])
+		}
+	}
+
 	// The exposition renders the cluster families.
 	var b strings.Builder
 	if err := reg.WriteExposition(&b); err != nil {
@@ -76,6 +98,7 @@ func TestClientInstrumentation(t *testing.T) {
 		"# TYPE sacs_cluster_rpc_bytes_total counter",
 		"# TYPE sacs_cluster_attach_epoch gauge",
 		"# TYPE sacs_cluster_dial_retries_total counter",
+		"# TYPE sacs_cluster_shard_cost_seconds gauge",
 	} {
 		if !strings.Contains(b.String(), family) {
 			t.Errorf("exposition missing %q", family)

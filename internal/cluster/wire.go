@@ -38,7 +38,13 @@ const maxFrame = 1 << 30
 // v2 added StepNanos to tick-reply exchanges (observability: the
 // coordinator decomposes tick wall time into compute vs. barrier wait even
 // for remote shards).
-const protocolVersion = 2
+//
+// v3 added the coordinator's per-shard cost snapshot to msgInit (so a
+// worker's first tick dispatches in the established LPT order) and the
+// Steals counter to tick-reply exchanges. Both are observation-only: like
+// StepNanos they never feed stepping, so v3 ticks are byte-identical to v2
+// ticks modulo the two new varint fields.
+const protocolVersion = 3
 
 type msgType byte
 
@@ -107,6 +113,16 @@ type Spec struct {
 	Agents   int
 	Shards   int
 	Seed     int64
+
+	// Costs optionally carries the coordinator's per-shard cost snapshot
+	// (population.Engine.ShardCosts: estimate nanos, shard index order,
+	// len Shards or empty). Each worker receives its owned slice at init
+	// and seeds its transport's cost model with it, so after a restart or
+	// rebalance the very first tick already dispatches expensive shards
+	// first. Advisory and observation-only: it is not part of the spec's
+	// shape identity and never crosses in encodeSpec — the init message
+	// carries it separately.
+	Costs []float64
 }
 
 func encodeSpec(e *checkpoint.Encoder, s Spec) {
@@ -180,6 +196,7 @@ func encodeExchanges(e *checkpoint.Encoder, outs []*population.ShardExchange) {
 		e.Int(o.Delivered)
 		e.Int(o.Actions)
 		e.Varint(o.StepNanos)
+		e.Int(o.Steals)
 		e.Online(o.Observed.State())
 		e.Uvarint(uint64(len(o.Msgs)))
 		for _, m := range o.Msgs {
@@ -204,6 +221,7 @@ func decodeExchangesInto(d *checkpoint.Decoder, outs []*population.ShardExchange
 		o.Delivered = d.Int()
 		o.Actions = d.Int()
 		o.StepNanos = d.Varint()
+		o.Steals = d.Int()
 		o.Observed.SetState(d.Online())
 		msgs := d.Count(2)
 		if err := d.Err(); err != nil {

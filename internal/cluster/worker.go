@@ -210,8 +210,15 @@ func (w *Worker) handleInit(body []byte) (msgType, []byte) {
 	}
 	spec := decodeSpec(d)
 	lo, hi := d.Int(), d.Int()
+	costs := d.F64s() // v3: the coordinator's cost snapshot for [lo, hi)
 	if err := d.Finish(); err != nil {
 		return errReply(fmt.Errorf("bad init: %w", err))
+	}
+	if err := population.ValidateShardRange(lo, hi, spec.Shards); err != nil {
+		return errReply(fmt.Errorf("bad init: %w", err))
+	}
+	if len(costs) != 0 && len(costs) != hi-lo {
+		return errReply(fmt.Errorf("bad init: %d cost priors for %d owned shards", len(costs), hi-lo))
 	}
 	wl, ok := w.workloads[spec.Workload]
 	if !ok {
@@ -223,6 +230,13 @@ func (w *Worker) handleInit(body []byte) (msgType, []byte) {
 			spec.Workload, got.Agents, got.Shards, spec.Agents, spec.Shards))
 	}
 	transport := population.NewLocalTransport(cfg, lo, hi)
+	if len(costs) > 0 {
+		// Seed the dispatch-order plane with the coordinator's view so the
+		// first tick already issues this range's expensive shards first.
+		if err := transport.SeedCosts(costs); err != nil {
+			return errReply(err)
+		}
+	}
 	loA, hiA := transport.AgentRange()
 	p := &workerPop{
 		transport: transport,

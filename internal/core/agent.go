@@ -72,15 +72,18 @@ type Agent struct {
 	explainer *Explainer
 	meta      *MetaMonitor
 
-	processes   []Process
-	active      []Process // capability-filtered processes, precomputed in New
-	stimProc    *StimulusProcess
-	interProc   *InteractionProcess
-	timeProc    *TimeProcess
-	goalProc    *GoalProcess
-	stepCount   int
+	processes []Process
+	active    []Process // capability-filtered processes, precomputed in New
+	stimProc  *StimulusProcess
+	interProc *InteractionProcess
+	timeProc  *TimeProcess
+	goalProc  *GoalProcess
+	// hot is the per-step mutable state (step counter, process counters,
+	// stimulus batch buffer). New points it at a private heap slot; an
+	// Arena.Adopt re-points it (and the processes writing through it) at a
+	// slot in a shard-contiguous block. Never nil after New.
+	hot         *StepState
 	lastMetrics map[string]float64
-	stimBuf     []Stimulus  // Step's sensed-stimulus batch, reused across ticks
 	decFree     []*Decision // recycled Decision contexts (see Step)
 }
 
@@ -106,6 +109,7 @@ func New(cfg Config) *Agent {
 		attention: cfg.Attention,
 		reasoner:  cfg.Reasoner,
 		effectors: make(map[string]Effector, len(cfg.Effectors)),
+		hot:       &StepState{},
 	}
 	for _, e := range cfg.Effectors {
 		a.effectors[e.Name()] = e
@@ -118,11 +122,13 @@ func New(cfg Config) *Agent {
 		a.explainer = NewExplainer(depth)
 	}
 
-	// Built-in processes, gated by capability level.
+	// Built-in processes, gated by capability level. The processes whose
+	// per-tick counters live in the agent's hot step state share a.hot, so
+	// an Arena.Adopt moves all of them with one rebind.
 	a.stimProc = &StimulusProcess{Store: store}
 	a.processes = append(a.processes, a.stimProc)
 	if caps.Has(LevelInteraction) {
-		a.interProc = &InteractionProcess{Self: cfg.Name, Store: store}
+		a.interProc = &InteractionProcess{Self: cfg.Name, Store: store, hot: a.hot}
 		a.processes = append(a.processes, a.interProc)
 	}
 	if caps.Has(LevelTime) {
@@ -130,7 +136,7 @@ func New(cfg Config) *Agent {
 		a.processes = append(a.processes, a.timeProc)
 	}
 	if caps.Has(LevelGoal) && cfg.Goals != nil {
-		a.goalProc = &GoalProcess{Store: store, Switcher: cfg.Goals}
+		a.goalProc = &GoalProcess{Store: store, Switcher: cfg.Goals, hot: a.hot}
 		a.processes = append(a.processes, a.goalProc)
 	}
 	if caps.Has(LevelMeta) {
@@ -170,7 +176,7 @@ func (a *Agent) Meta() *MetaMonitor { return a.meta }
 func (a *Agent) TimeProcess() *TimeProcess { return a.timeProc }
 
 // Steps returns how many Step calls have run.
-func (a *Agent) Steps() int { return a.stepCount }
+func (a *Agent) Steps() int { return a.hot.Steps }
 
 // AddSensor attaches a sensor at run time (systems are "continuously formed
 // and reformed on the fly", §II).
@@ -195,7 +201,8 @@ func (a *Agent) Inject(now float64, batch []Stimulus) {
 // across ticks must copy them (the population engine's EmitContext already
 // documents the same rule).
 func (a *Agent) Step(now float64, metrics map[string]float64) []Action {
-	a.stepCount++
+	hot := a.hot
+	hot.Steps++
 	a.lastMetrics = metrics
 
 	// Sense, optionally limited by attention. The batch buffer is owned by
@@ -206,7 +213,7 @@ func (a *Agent) Step(now float64, metrics map[string]float64) []Action {
 	if a.attention != nil {
 		sensors = a.attention.Pick(now, a.sensors, a.store)
 	}
-	batch := a.stimBuf[:0]
+	batch := hot.stimBuf[:0]
 	for _, s := range sensors {
 		if bs, ok := s.(BatchSensor); ok {
 			batch = bs.SenseInto(now, batch)
@@ -214,7 +221,7 @@ func (a *Agent) Step(now float64, metrics map[string]float64) []Action {
 			batch = append(batch, s.Sense(now)...)
 		}
 	}
-	a.stimBuf = batch
+	hot.stimBuf = batch
 
 	// Learn: feed every capability-enabled process (precomputed in New).
 	if a.goalProc != nil {
@@ -295,7 +302,7 @@ func (a *Agent) Describe(now float64) string {
 		goal = g.String()
 	}
 	return fmt.Sprintf("agent %s at t=%.4g: levels=%s goal=%s models=%d steps=%d",
-		a.name, now, a.caps, goal, a.store.Len(), a.stepCount)
+		a.name, now, a.caps, goal, a.store.Len(), a.hot.Steps)
 }
 
 // ModelNames lists the agent's current self-model names, sorted.

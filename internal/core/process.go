@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"sort"
 
 	"sacs/internal/goals"
@@ -35,6 +34,12 @@ type StimulusProcess struct {
 	Store *knowledge.Store
 
 	keys map[string]knowledge.Key // stimulus name -> interned "stim/<name>"
+	// Last-resolved cache: consecutive stimuli overwhelmingly repeat one
+	// name (an agent's own sensors fire every tick, and peers gossip the
+	// same series), and the strings share backing storage, so the equality
+	// check is a pointer compare — no hash, no bucket probe.
+	lastName string
+	lastKey  knowledge.Key
 }
 
 // Name implements Process.
@@ -47,13 +52,18 @@ func (p *StimulusProcess) Level() Level { return LevelStimulus }
 func (p *StimulusProcess) Observe(now float64, batch []Stimulus) {
 	for i := range batch {
 		s := &batch[i]
-		k, ok := p.keys[s.Name]
-		if !ok {
-			k = p.Store.Intern("stim/"+s.Name, s.Scope)
-			if p.keys == nil {
-				p.keys = make(map[string]knowledge.Key)
+		k := p.lastKey
+		if k == 0 || s.Name != p.lastName {
+			var ok bool
+			k, ok = p.keys[s.Name]
+			if !ok {
+				k = p.Store.Intern("stim/"+s.Name, s.Scope)
+				if p.keys == nil {
+					p.keys = make(map[string]knowledge.Key)
+				}
+				p.keys[s.Name] = k
 			}
-			p.keys[s.Name] = k
+			p.lastName, p.lastKey = s.Name, k
 		}
 		p.Store.ObserveKey(k, s.Value, now)
 	}
@@ -75,9 +85,14 @@ type InteractionProcess struct {
 	Self  string
 	Store *knowledge.Store
 
-	count    float64
+	hot      *StepState // running count lives in the agent's hot step state
 	keys     map[peerStim]knowledge.Key
 	countKey knowledge.Key // interned "interactions"; zero until first use
+	// Last-resolved cache: ring-style gossip delivers a message from the
+	// same peer every tick, with both strings sharing backing storage, so
+	// the repeat case is two pointer compares instead of a struct hash.
+	last    peerStim
+	lastKey knowledge.Key
 }
 
 // Name implements Process.
@@ -88,27 +103,33 @@ func (p *InteractionProcess) Level() Level { return LevelInteraction }
 
 // Observe implements Process.
 func (p *InteractionProcess) Observe(now float64, batch []Stimulus) {
+	hot := p.hot
 	for i := range batch {
 		s := &batch[i]
 		if s.Source == "" || s.Source == p.Self {
 			continue
 		}
-		p.count++
+		hot.Interactions++
 		id := peerStim{source: s.Source, name: s.Name}
-		k, ok := p.keys[id]
-		if !ok {
-			k = p.Store.Intern(fmt.Sprintf("peer/%s/%s", s.Source, s.Name), knowledge.Public)
-			if p.keys == nil {
-				p.keys = make(map[peerStim]knowledge.Key)
+		k := p.lastKey
+		if k == 0 || id != p.last {
+			var ok bool
+			k, ok = p.keys[id]
+			if !ok {
+				k = p.Store.Intern("peer/"+s.Source+"/"+s.Name, knowledge.Public)
+				if p.keys == nil {
+					p.keys = make(map[peerStim]knowledge.Key)
+				}
+				p.keys[id] = k
 			}
-			p.keys[id] = k
+			p.last, p.lastKey = id, k
 		}
 		p.Store.ObserveKey(k, s.Value, now)
 	}
 	if p.countKey == 0 {
 		p.countKey = p.Store.Intern("interactions", knowledge.Private)
 	}
-	p.Store.SetKey(p.countKey, p.count, now)
+	p.Store.SetKey(p.countKey, hot.Interactions, now)
 }
 
 // timeModel is the per-stimulus state of time-awareness: the forecaster,
@@ -261,9 +282,9 @@ type GoalProcess struct {
 	Store    *knowledge.Store
 	Switcher *goals.Switcher
 
-	metrics  map[string]float64
-	switches float64
-	scratch  map[string]float64 // reused fallback metric map (metrics == nil)
+	hot     *StepState // noticed-switch count lives in the agent's hot step state
+	metrics map[string]float64
+	scratch map[string]float64 // reused fallback metric map (metrics == nil)
 
 	utilKey, violKey, switchKey knowledge.Key // interned on first Observe
 }
@@ -290,7 +311,7 @@ func (p *GoalProcess) Observe(now float64, batch []Stimulus) {
 	}
 	active, changed := p.Switcher.Tick(now)
 	if changed {
-		p.switches++
+		p.hot.GoalSwitches++
 	}
 	m := p.metrics
 	if m == nil {
@@ -309,5 +330,5 @@ func (p *GoalProcess) Observe(now float64, batch []Stimulus) {
 	}
 	p.Store.SetKey(p.utilKey, active.Utility(m), now)
 	p.Store.SetKey(p.violKey, float64(len(active.Violations(m))), now)
-	p.Store.SetKey(p.switchKey, p.switches, now)
+	p.Store.SetKey(p.switchKey, p.hot.GoalSwitches, now)
 }

@@ -85,16 +85,16 @@ type SwitcherStateRef struct {
 // learning.Stateful (a custom strategy the checkpoint layer cannot
 // serialise).
 func (a *Agent) State() (AgentState, error) {
-	st := AgentState{Name: a.name, Steps: a.stepCount, Store: a.store.State()}
+	st := AgentState{Name: a.name, Steps: a.hot.Steps, Store: a.store.State()}
 	if a.goals != nil {
 		gs := a.goals.State()
 		st.Goals = &SwitcherStateRef{Next: gs.Next, Switches: gs.Switches}
 	}
 	if a.goalProc != nil {
-		st.GoalSwitches = a.goalProc.switches
+		st.GoalSwitches = a.hot.GoalSwitches
 	}
 	if a.interProc != nil {
-		st.Interactions = a.interProc.count
+		st.Interactions = a.hot.Interactions
 	}
 	if a.timeProc != nil && a.timeProc.live > 0 {
 		names := make([]string, 0, len(a.timeProc.models))
@@ -142,7 +142,7 @@ func (a *Agent) SetState(st AgentState) error {
 	if err := a.store.SetState(st.Store); err != nil {
 		return fmt.Errorf("agent %s: %w", a.name, err)
 	}
-	a.stepCount = st.Steps
+	a.hot.Steps = st.Steps
 	if st.Goals != nil {
 		if a.goals == nil {
 			return fmt.Errorf("core: agent %s state has goal switcher state but agent has no switcher", a.name)
@@ -152,10 +152,10 @@ func (a *Agent) SetState(st AgentState) error {
 		}
 	}
 	if a.goalProc != nil {
-		a.goalProc.switches = st.GoalSwitches
+		a.hot.GoalSwitches = st.GoalSwitches
 	}
 	if a.interProc != nil {
-		a.interProc.count = st.Interactions
+		a.hot.Interactions = st.Interactions
 	}
 	// Meta before time: the monitor's pool index determines which predictor
 	// factory the time process must rebuild forecasters with.

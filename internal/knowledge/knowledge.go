@@ -126,6 +126,7 @@ func (e *Entry) History() *Ring {
 		v:    append([]float64(nil), e.hist.v...),
 		head: e.hist.head,
 		size: e.hist.size,
+		max:  e.hist.max,
 	}
 	return &c
 }
@@ -240,6 +241,22 @@ type Store struct {
 	// counters; set only through Unshared, only while single-owner.
 	unshared bool
 
+	// Last-Get cache, used only when unshared (no lock protects it): hot
+	// loops read the same model by the same constant string every tick, so
+	// the repeat case is a pointer compare instead of a map hash.
+	lastGetName string
+	lastGet     *Entry
+
+	// Entry arena: entries and their ring seed storage are carved from
+	// per-store chunks (guarded by mu like the registry), so creating a
+	// model — the dominant allocation of a populated run — costs a
+	// fraction of an allocation instead of several. Chunks are never
+	// reclaimed while the store lives; entries are permanent by design
+	// (Delete unlinks, the Key machinery assumes slots persist).
+	boxes []entryBox
+	nbox  int
+	slab  []float64
+
 	reads  atomic.Int64 // instrumentation: model consultations (for E9 overhead)
 	writes atomic.Int64
 	// Unshared-mode instrumentation: plain counters, folded into
@@ -289,14 +306,50 @@ func (s *Store) countWrite() {
 	}
 }
 
+// entryBox bundles an entry with its history ring so both come out of one
+// arena chunk; see Store.newEntry.
+type entryBox struct {
+	e Entry
+	r Ring
+}
+
+// Arena chunk sizes: entries per box chunk, and ring seeds per float slab.
+const (
+	boxChunk  = 8
+	slabChunk = 16
+)
+
 // newEntry builds an entry with the store's parameters; callers must hold
 // the registry write lock (or own the store exclusively when unshared).
+// Model creation — every first sighting of a peer or stimulus — is the
+// dominant allocation site of a populated run, so entries, their rings and
+// the rings' seed storage are carved from per-store arena chunks: a new
+// model costs a fraction of an allocation amortized.
 func (s *Store) newEntry(name string, scope Scope) *Entry {
-	e := &Entry{Name: name, Scope: scope, alpha: s.alpha, noLock: s.unshared}
-	if s.histLen > 0 {
-		e.hist = NewRing(s.histLen)
+	if s.histLen <= 0 {
+		return &Entry{Name: name, Scope: scope, alpha: s.alpha, noLock: s.unshared}
 	}
-	return e
+	if s.nbox == len(s.boxes) {
+		s.boxes = make([]entryBox, boxChunk)
+		s.nbox = 0
+	}
+	box := &s.boxes[s.nbox]
+	s.nbox++
+	box.e = Entry{Name: name, Scope: scope, alpha: s.alpha, noLock: s.unshared}
+	if seed := ringSeed; s.histLen >= seed {
+		// Common case (window at least the seed size): take the seed
+		// arrays from the shared float slab instead of a fresh allocation.
+		if len(s.slab) < 2*seed {
+			s.slab = make([]float64, 2*seed*slabChunk)
+		}
+		b := s.slab[: 2*seed : 2*seed]
+		s.slab = s.slab[2*seed:]
+		box.r = Ring{t: b[:seed:seed], v: b[seed:], max: s.histLen}
+	} else {
+		box.r.init(s.histLen)
+	}
+	box.e.hist = &box.r
+	return &box.e
 }
 
 // Ensure returns the entry named name, creating it with the given scope on
@@ -491,7 +544,14 @@ func (s *Store) Observe(name string, scope Scope, x, now float64) {
 func (s *Store) Get(name string) *Entry {
 	s.countRead()
 	if s.unshared {
-		return s.entries[name]
+		if e := s.lastGet; e != nil && name == s.lastGetName {
+			return e
+		}
+		e := s.entries[name]
+		if e != nil {
+			s.lastGetName, s.lastGet = name, e
+		}
+		return e
 	}
 	s.mu.RLock()
 	e := s.entries[name]
@@ -525,6 +585,7 @@ func (s *Store) Delete(name string) {
 	if s.unshared {
 		delete(s.entries, name)
 		s.bindSlot(name, nil)
+		s.lastGetName, s.lastGet = "", nil
 		return
 	}
 	s.mu.Lock()
@@ -587,26 +648,56 @@ func (s *Store) Inventory(now float64) string {
 	return b.String()
 }
 
-// Ring is a fixed-capacity time-stamped history buffer: the substrate of
+// Ring is a bounded time-stamped history buffer: the substrate of
 // time-awareness. The zero value is unusable; create with NewRing.
+//
+// Storage grows geometrically from ringSeed points toward the bound rather
+// than being allocated up front: most models never fill their window (heap
+// profiles showed full-capacity rings were the single largest source of
+// object count in a populated run), and the bound only matters once enough
+// observations arrive to reach it. Capacity is an implementation detail —
+// snapshots serialize contents oldest-first (see EntryState), never the
+// backing size — so two rings with equal contents are indistinguishable.
 type Ring struct {
 	t, v []float64
 	head int
 	size int
+	max  int // the bound: len(t) grows toward it, never past it
 }
+
+// ringSeed is the initial backing size of a new ring (when the bound allows).
+const ringSeed = 8
 
 // NewRing returns a ring holding up to capacity points.
 func NewRing(capacity int) *Ring {
+	r := new(Ring)
+	r.init(capacity)
+	return r
+}
+
+// init sets up the ring in place: one backing slab serves both the time and
+// value arrays (halving the object count of entry creation, which dominates
+// populated-run heap profiles).
+func (r *Ring) init(capacity int) {
 	if capacity <= 0 {
 		panic("knowledge: ring capacity must be > 0")
 	}
-	return &Ring{t: make([]float64, capacity), v: make([]float64, capacity)}
+	n := capacity
+	if n > ringSeed {
+		n = ringSeed
+	}
+	b := make([]float64, 2*n)
+	*r = Ring{t: b[:n:n], v: b[n:], max: capacity}
 }
 
-// Push appends a point, evicting the oldest when full. The wrap is a
-// compare, not a modulo: Push runs once per observation per model and the
-// integer division dominated tick profiles.
+// Push appends a point, evicting the oldest when full at the bound. The wrap
+// is a compare, not a modulo: Push runs once per observation per model and
+// the integer division dominated tick profiles. A ring full below its bound
+// doubles first (amortized O(1); steady state never allocates).
 func (r *Ring) Push(t, v float64) {
+	if r.size == len(r.t) && r.size < r.max {
+		r.grow()
+	}
 	r.t[r.head] = t
 	r.v[r.head] = v
 	r.head++
@@ -616,6 +707,24 @@ func (r *Ring) Push(t, v float64) {
 	if r.size < len(r.t) {
 		r.size++
 	}
+}
+
+// grow doubles the backing arrays (capped at the bound), linearizing the
+// contents oldest-first so index arithmetic stays uniform. Only called when
+// the ring is full, so head is the oldest point.
+func (r *Ring) grow() {
+	n := len(r.t) * 2
+	if n > r.max {
+		n = r.max
+	}
+	b := make([]float64, 2*n)
+	nt, nv := b[:n:n], b[n:]
+	k := copy(nt, r.t[r.head:])
+	copy(nt[k:], r.t[:r.head])
+	k = copy(nv, r.v[r.head:])
+	copy(nv[k:], r.v[:r.head])
+	r.t, r.v = nt, nv
+	r.head = r.size
 }
 
 // Len reports how many points are stored.

@@ -143,6 +143,36 @@ func TestRingKeepsLastK(t *testing.T) {
 	}
 }
 
+// TestRingGrowsToBound drives rings of various bounds across their growth
+// boundaries (the backing arrays start at ringSeed and double toward the
+// bound) and checks contents against a naive last-k model at every step.
+func TestRingGrowsToBound(t *testing.T) {
+	for _, bound := range []int{1, 3, ringSeed, ringSeed + 1, 20, 64} {
+		r := NewRing(bound)
+		var naive []float64
+		for i := 0; i < 3*bound+2*ringSeed; i++ {
+			v := float64(i*i%97) - 40
+			r.Push(float64(i), v)
+			naive = append(naive, v)
+			if len(naive) > bound {
+				naive = naive[1:]
+			}
+			vals := r.Values()
+			if len(vals) != len(naive) || r.Len() != len(naive) {
+				t.Fatalf("bound %d after %d pushes: len = %d, want %d", bound, i+1, r.Len(), len(naive))
+			}
+			for j := range naive {
+				if vals[j] != naive[j] {
+					t.Fatalf("bound %d after %d pushes: values[%d] = %v, want %v", bound, i+1, j, vals[j], naive[j])
+				}
+			}
+		}
+		if got := len(r.t); got > bound {
+			t.Errorf("bound %d: backing grew to %d, past the bound", bound, got)
+		}
+	}
+}
+
 func TestRingMeanAndTrend(t *testing.T) {
 	r := NewRing(16)
 	for i := 0; i < 10; i++ {

@@ -115,6 +115,30 @@ func TestRestoreMidRingByteIdentical(t *testing.T) {
 	}
 }
 
+// TestRunWorkHistoryAllocFree: Run's work-history linearization must reuse
+// the engine-owned scratch buffer. The regression this pins down was a
+// fresh slice per Run call — per-epoch drivers (sawd, experiments) calling
+// Run in a loop paid one garbage history per epoch.
+func TestRunWorkHistoryAllocFree(t *testing.T) {
+	e := New(tinyConfig(1))
+	e.Run(WorkWindow + 10) // fill the ring and size the scratch
+	if allocs := testing.AllocsPerRun(100, func() {
+		e.workScratch = e.workInto(e.workScratch)
+	}); allocs != 0 {
+		t.Fatalf("workInto allocates %.1f per call with a warm scratch, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		_ = e.Run(0) // counters + history, no ticks
+	}); allocs != 0 {
+		t.Fatalf("Run(0) allocates %.1f per call, want 0", allocs)
+	}
+	// Snapshots must NOT share the scratch: they outlive it.
+	hist := e.workHistory()
+	if &hist[0] == &e.workScratch[0] {
+		t.Fatal("workHistory aliases the engine scratch; snapshots would be corrupted by the next Run")
+	}
+}
+
 // TestSingleOwnerStoresUnshared: the engine must mark each agent's private
 // store unshared, and must NOT mark a store two agents share.
 func TestSingleOwnerStoresUnshared(t *testing.T) {

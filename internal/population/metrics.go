@@ -1,6 +1,8 @@
 package population
 
 import (
+	"strconv"
+
 	"sacs/internal/obs"
 )
 
@@ -29,8 +31,12 @@ import (
 //	snapshot — Engine.Snapshot export+copy time (counted per call, not per
 //	          tick)
 type Metrics struct {
+	reg *obs.Registry // retained for the lazily sized per-shard gauges
+	pop string
+
 	ticks    *obs.Counter
 	lastTick *obs.Gauge
+	steals   *obs.Counter // shards claimed off their planned executor (see Scheduler)
 
 	phaseStep    *obs.Counter // ns, rendered as seconds
 	phaseBarrier *obs.Counter
@@ -39,6 +45,11 @@ type Metrics struct {
 
 	shardStep *obs.Histogram // per-shard busy ns per tick
 	mailDepth *obs.Histogram // stimuli delivered into one shard per tick
+
+	// shardCost gauges (nanos, rendered seconds) are registered on the
+	// first tick, when the engine's shard count is known — Metrics is
+	// built from a name alone, before any Config exists.
+	shardCost []*obs.Gauge
 }
 
 // NewMetrics registers the population metric families on reg, labelled
@@ -52,10 +63,14 @@ func NewMetrics(reg *obs.Registry, pop string) *Metrics {
 	}
 	p := obs.L("pop", pop)
 	m := &Metrics{
+		reg: reg,
+		pop: pop,
 		ticks: reg.Counter("sacs_population_ticks_total",
 			"ticks advanced", p),
 		lastTick: reg.Gauge("sacs_population_tick",
 			"current tick (next to execute)", p),
+		steals: reg.Counter("sacs_population_sched_steal_total",
+			"shards executed off their planned executor by intra-tick work stealing", p),
 		shardStep: reg.Histogram("sacs_population_shard_step_seconds",
 			"busy time of one shard's step, per shard per tick",
 			obs.Seconds, obs.DurationBounds(), p),
@@ -75,11 +90,33 @@ func NewMetrics(reg *obs.Registry, pop string) *Metrics {
 	return m
 }
 
+// observeCosts publishes the engine's per-shard cost estimates, registering
+// the gauge family {pop,shard} on first use (idempotently, like every obs
+// registration — re-hosting re-attaches to the same series).
+func (m *Metrics) observeCosts(c *CostModel) {
+	if m.shardCost == nil {
+		m.shardCost = make([]*obs.Gauge, c.Shards())
+		p := obs.L("pop", m.pop)
+		for s := range m.shardCost {
+			m.shardCost[s] = m.reg.ScaledGauge("sacs_population_shard_cost_seconds",
+				"per-shard step-cost estimate driving the dispatch order (EWMA of step time)",
+				obs.Seconds, p, obs.L("shard", strconv.Itoa(s)))
+		}
+	}
+	for s, g := range m.shardCost {
+		g.Set(int64(c.Estimate(s)))
+	}
+}
+
 // MetricsSnapshot is the typed, JSON-friendly view of a population's
 // metrics — what serve embeds into Status so clients get the engine's
 // timing decomposition next to its logical counters.
 type MetricsSnapshot struct {
 	Ticks int64 `json:"ticks"`
+
+	// Steals counts shards executed off their planned executor by
+	// intra-tick work stealing (cumulative; see Scheduler).
+	Steals int64 `json:"sched_steals"`
 
 	// Cumulative per-phase wall time, seconds (see Metrics for the phase
 	// decomposition).
@@ -90,6 +127,11 @@ type MetricsSnapshot struct {
 
 	ShardStepSeconds  obs.HistogramValue `json:"shard_step_seconds"`
 	ShardMailboxDepth obs.HistogramValue `json:"shard_mailbox_depth"`
+
+	// ShardCostSeconds is the per-shard dispatch cost estimate (absent
+	// until the first instrumented tick) — the scheduler's live view, and
+	// the input a future rebalancer would read over HTTP.
+	ShardCostSeconds []float64 `json:"shard_cost_seconds,omitempty"`
 }
 
 // Snapshot captures the instruments' current values. Nil-safe: a nil
@@ -98,8 +140,9 @@ func (m *Metrics) Snapshot() *MetricsSnapshot {
 	if m == nil {
 		return nil
 	}
-	return &MetricsSnapshot{
+	s := &MetricsSnapshot{
 		Ticks:             m.ticks.Value(),
+		Steals:            m.steals.Value(),
 		StepSeconds:       float64(m.phaseStep.Value()) * obs.Seconds,
 		BarrierSeconds:    float64(m.phaseBarrier.Value()) * obs.Seconds,
 		RouteSeconds:      float64(m.phaseRoute.Value()) * obs.Seconds,
@@ -107,6 +150,13 @@ func (m *Metrics) Snapshot() *MetricsSnapshot {
 		ShardStepSeconds:  m.shardStep.Value(obs.Seconds),
 		ShardMailboxDepth: m.mailDepth.Value(1),
 	}
+	if m.shardCost != nil {
+		s.ShardCostSeconds = make([]float64, len(m.shardCost))
+		for i, g := range m.shardCost {
+			s.ShardCostSeconds[i] = float64(g.Value()) * obs.Seconds
+		}
+	}
+	return s
 }
 
 // Metrics returns the engine's attached instrument set (nil when the

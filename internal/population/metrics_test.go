@@ -2,6 +2,7 @@ package population
 
 import (
 	"reflect"
+	"strconv"
 	"testing"
 
 	"sacs/internal/obs"
@@ -82,6 +83,21 @@ func TestMetricsValues(t *testing.T) {
 	}
 	if v := snap[`sacs_population_tick{pop="test"}`]; v != float64(ticks) {
 		t.Errorf("registry tick gauge = %v, want %d", v, ticks)
+	}
+	// Scheduling series: the steal counter exists (inline engine: always 0),
+	// and one cost gauge per shard carries the model's estimate.
+	if v, ok := snap[`sacs_population_sched_steal_total{pop="test"}`]; !ok || v != float64(ms.Steals) {
+		t.Errorf("registry steal counter = %v (ok=%v), want %d", v, ok, ms.Steals)
+	}
+	for s := 0; s < shards; s++ {
+		key := `sacs_population_shard_cost_seconds{pop="test",shard="` + strconv.Itoa(s) + `"}`
+		v, ok := snap[key].(float64)
+		if !ok || v <= 0 {
+			t.Errorf("registry cost gauge %s = %v (ok=%v), want > 0 after %d ticks", key, snap[key], ok, ticks)
+		}
+		if ok && v != ms.ShardCostSeconds[s] {
+			t.Errorf("%s = %v disagrees with typed snapshot %v", key, v, ms.ShardCostSeconds[s])
+		}
 	}
 
 	// Nil instruments are safe everywhere.

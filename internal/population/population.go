@@ -76,6 +76,10 @@ type Config struct {
 	// engine aggregates it across the population (merged in shard index
 	// order, so the moments are deterministic too).
 	Observe func(id int, a *core.Agent) float64
+	// Scheduler orders each tick's shard dispatch (default LPT with work
+	// stealing). Pure wall-time policy: results are byte-identical under
+	// any scheduler, which TestSchedulerSkewDeterminism pins.
+	Scheduler Scheduler
 	// Metrics, when non-nil, attaches the engine's observability plane
 	// (see NewMetrics). Observation-only: stepping and snapshots are
 	// byte-identical with or without it, and it is never serialised.
@@ -105,6 +109,9 @@ func (c Config) Normalized() Config {
 		// no goroutines; creating it once here keeps nil-pool Ticks from
 		// building a fresh dispatcher each tick.
 		c.Pool = runner.New(1)
+	}
+	if c.Scheduler == nil {
+		c.Scheduler = LPT{}
 	}
 	return c
 }
@@ -191,7 +198,14 @@ type Engine struct {
 	lastObserved                        stats.Online
 	work                                []float64 // work-proxy ring (see WorkWindow)
 	workHead                            int       // oldest element once the ring is full
+	workScratch                         []float64 // Run's linearized history, reused per call
 	broken                              error     // first transport failure; poisons further ticks
+
+	// costs mirrors the transport's per-shard cost model at the barrier —
+	// fed from the exchanges' StepNanos, it works identically for local
+	// and cluster transports and is what the cost gauges and a future
+	// rebalancer read. Observation-only, excluded from snapshots.
+	costs *CostModel
 }
 
 // New builds the population in-process: agents are constructed
@@ -225,6 +239,7 @@ func newEngine(cfg Config, t Transport) *Engine {
 		transport: t,
 		cur:       make([][]core.Stimulus, cfg.Agents),
 		next:      make([][]core.Stimulus, cfg.Agents),
+		costs:     NewCostModel(cfg.Shards),
 	}
 }
 
@@ -325,7 +340,10 @@ func (e *Engine) TickErr() (TickStats, error) {
 		m.phaseBarrier.Add(wall - per)
 	}
 	ts := TickStats{Tick: e.tick, Steps: e.cfg.Agents}
-	for _, o := range outs {
+	steals := 0
+	for s, o := range outs {
+		e.costs.Observe(s, o.StepNanos)
+		steals += o.Steals
 		ts.Delivered += o.Delivered
 		ts.Actions += o.Actions
 		ts.Observed.Merge(&o.Observed)
@@ -365,6 +383,8 @@ func (e *Engine) TickErr() (TickStats, error) {
 		m.phaseRoute.Add(time.Since(routeStart).Nanoseconds())
 		m.ticks.Inc()
 		m.lastTick.Set(int64(e.tick))
+		m.steals.Add(int64(steals))
+		m.observeCosts(e.costs)
 	}
 	e.steps += int64(ts.Steps)
 	e.messages += int64(ts.Messages)
@@ -399,28 +419,50 @@ func (e *Engine) pushWork(v float64) {
 	e.workHead = (e.workHead + 1) % WorkWindow
 }
 
-// workHistory linearizes the work ring oldest-first into a fresh slice (for
-// snapshots and RunStats, both cold paths).
-func (e *Engine) workHistory() []float64 {
+// workInto linearizes the work ring oldest-first into dst[:0] and returns
+// it.
+func (e *Engine) workInto(dst []float64) []float64 {
 	n := len(e.work)
-	out := make([]float64, 0, n)
+	dst = dst[:0]
 	for i := 0; i < n; i++ {
-		out = append(out, e.work[(e.workHead+i)%n])
+		dst = append(dst, e.work[(e.workHead+i)%n])
 	}
-	return out
+	return dst
+}
+
+// workHistory linearizes the work ring oldest-first into a fresh slice —
+// for snapshots, which outlive the engine's scratch.
+func (e *Engine) workHistory() []float64 {
+	return e.workInto(make([]float64, 0, len(e.work)))
 }
 
 // Run executes ticks ticks and returns the aggregate. It may be called
 // repeatedly; counters continue across calls and the returned stats cover
-// the whole run so far.
+// the whole run so far. The work history behind WorkQuantile is a scratch
+// buffer owned by the engine and reused by the next Run call — read the
+// quantiles (or copy) before running further ticks.
 func (e *Engine) Run(ticks int) RunStats {
 	for i := 0; i < ticks; i++ {
 		e.Tick()
 	}
+	e.workScratch = e.workInto(e.workScratch)
 	return RunStats{
 		Ticks: e.tick, Agents: e.Agents(), Shards: e.Shards(),
 		Steps: e.steps, Messages: e.messages, Delivered: e.delivered, Actions: e.actions,
 		Observed: e.lastObserved,
-		work:     e.workHistory(),
+		work:     e.workScratch,
 	}
+}
+
+// ShardCost reports the engine's current cost estimate for shard s in
+// nanoseconds (0 until observed). The estimate is fed from the per-shard
+// StepNanos crossing the barrier, so it covers remote shards identically
+// to local ones — the number a rebalancer would place ranges by.
+func (e *Engine) ShardCost(s int) float64 { return e.costs.Estimate(s) }
+
+// ShardCosts appends every shard's cost estimate (nanoseconds, shard index
+// order) to dst and returns it — the coordinator-side cost snapshot that
+// internal/cluster carries to workers at attach.
+func (e *Engine) ShardCosts(dst []float64) []float64 {
+	return e.costs.EstimatesInto(dst, 0, e.cfg.Shards)
 }

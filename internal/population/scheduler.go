@@ -1,0 +1,176 @@
+package population
+
+import "sort"
+
+// This file is the tick's dispatch-order plane: a per-shard cost model fed
+// by observed StepNanos and a Scheduler seam that turns those costs into a
+// dispatch order. Everything here is observation-driven and
+// observation-only — the order shards *execute* in never changes the order
+// their exchanges *merge* in (shard index, always), so any scheduler, any
+// cost history and any steal interleaving produce byte-identical ticks.
+// Cost state is consequently excluded from snapshots, like all metrics.
+
+// costWindow is how many recent per-shard step times the cost model
+// retains alongside its running estimate — enough for a rebalancer to see
+// variance and spikes, small enough to be free (one cache line per shard).
+const costWindow = 8
+
+// costAlpha is the EWMA smoothing factor for the per-shard cost estimate.
+// 0.25 follows the knowledge layer's trend smoothing: heavy enough that a
+// persistent skew reorders dispatch within a few ticks, light enough that
+// one noisy tick does not thrash the order.
+const costAlpha = 0.25
+
+// CostModel tracks, per shard, an EWMA estimate of the shard's step cost
+// (nanoseconds) and a ring of the most recent observations. Writers are
+// the shard executors (each shard's slot is written by exactly one
+// executor per tick) and readers run between ticks on the dispatching
+// goroutine, so the model needs no locking.
+type CostModel struct {
+	est  []float64 // EWMA of observed StepNanos; 0 = never observed
+	ring []int64   // costWindow recent observations per shard, newest overwriting oldest
+	head []uint32  // next ring slot per shard
+	seen []uint32  // observations recorded per shard, saturating at costWindow
+}
+
+// NewCostModel returns a model covering shards shards with no history.
+func NewCostModel(shards int) *CostModel {
+	return &CostModel{
+		est:  make([]float64, shards),
+		ring: make([]int64, shards*costWindow),
+		head: make([]uint32, shards),
+		seen: make([]uint32, shards),
+	}
+}
+
+// Shards reports how many shards the model covers.
+func (c *CostModel) Shards() int { return len(c.est) }
+
+// Observe folds one measured step time for shard s into the estimate and
+// the ring.
+func (c *CostModel) Observe(s int, nanos int64) {
+	if c.est[s] == 0 {
+		c.est[s] = float64(nanos)
+	} else {
+		c.est[s] += costAlpha * (float64(nanos) - c.est[s])
+	}
+	c.ring[s*costWindow+int(c.head[s])] = nanos
+	c.head[s] = (c.head[s] + 1) % costWindow
+	if c.seen[s] < costWindow {
+		c.seen[s]++
+	}
+}
+
+// Estimate returns the current cost estimate for shard s in nanoseconds
+// (0 until the shard has been observed at least once).
+func (c *CostModel) Estimate(s int) float64 { return c.est[s] }
+
+// EstimatesInto appends the estimates of shards [lo, hi) to dst and
+// returns it — the Plan input for a transport dispatching that range.
+func (c *CostModel) EstimatesInto(dst []float64, lo, hi int) []float64 {
+	return append(dst, c.est[lo:hi]...)
+}
+
+// Window appends shard s's retained observations to dst, oldest first,
+// and returns it. At most costWindow values.
+func (c *CostModel) Window(s int, dst []int64) []int64 {
+	n := int(c.seen[s])
+	for i := 0; i < n; i++ {
+		dst = append(dst, c.ring[s*costWindow+(int(c.head[s])+costWindow-n+i)%costWindow])
+	}
+	return dst
+}
+
+// Seed overwrites the estimates of shards [lo, lo+len(costs)) with a prior
+// — the cost snapshot a cluster coordinator hands a worker at attach, so
+// the worker's very first tick already dispatches in the coordinator's
+// LPT order instead of rediscovering the skew. Non-positive entries leave
+// the existing estimate alone.
+func (c *CostModel) Seed(lo int, costs []float64) {
+	for i, v := range costs {
+		if v > 0 {
+			c.est[lo+i] = v
+		}
+	}
+}
+
+// Scheduler decides the order a tick's shard dispatch set is issued in,
+// and whether idle executors steal queued work from their siblings within
+// the tick. The barrier merge is always shard-index order regardless of
+// the scheduler, so scheduling affects wall time and nothing else; see
+// DESIGN.md "Shard scheduling".
+type Scheduler interface {
+	// Name identifies the policy (metrics, Explain output, tests).
+	Name() string
+	// Plan writes a permutation of [0, len(order)) into order: the
+	// positions shards are dispatched in. cost[i] is the cost model's
+	// estimate (nanoseconds) for the i-th shard of the dispatch set, 0
+	// when that shard has never been observed. Plan runs between ticks on
+	// the dispatching goroutine and must be deterministic in cost.
+	Plan(order []int, cost []float64)
+	// Steal reports whether executors that drain their planned share keep
+	// claiming remaining shards from the shared dispatch list.
+	Steal() bool
+}
+
+// LPT is the default scheduler: longest-processing-time-first with
+// intra-tick work stealing. Shards dispatch in descending estimated cost
+// (ties break toward the lower index, keeping the plan deterministic), so
+// the tick's critical path starts first and cheap shards fill the gaps —
+// classic LPT list scheduling, bounded at 4/3 of optimal makespan. Before
+// any costs have been observed every estimate is 0 and LPT degenerates to
+// index order, i.e. exactly the pre-scheduler behaviour.
+type LPT struct {
+	// NoSteal pins each shard to its planned executor stride instead of
+	// letting idle executors claim leftovers. Only the determinism suite
+	// should want this: it exists so stealing-vs-no-stealing byte equality
+	// is a testable property rather than an assumption.
+	NoSteal bool
+}
+
+// Name implements Scheduler.
+func (l LPT) Name() string {
+	if l.NoSteal {
+		return "lpt-nosteal"
+	}
+	return "lpt"
+}
+
+// Plan implements Scheduler.
+func (l LPT) Plan(order []int, cost []float64) {
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return cost[order[a]] > cost[order[b]]
+	})
+}
+
+// Steal implements Scheduler.
+func (l LPT) Steal() bool { return !l.NoSteal }
+
+// IndexOrder dispatches shards in shard-index order — the pre-cost-model
+// behaviour, kept as an explicit policy so scheduling comparisons (and the
+// determinism suite's LPT-vs-index equality leg) have a baseline.
+type IndexOrder struct {
+	// NoSteal as in LPT.
+	NoSteal bool
+}
+
+// Name implements Scheduler.
+func (o IndexOrder) Name() string {
+	if o.NoSteal {
+		return "index-nosteal"
+	}
+	return "index"
+}
+
+// Plan implements Scheduler.
+func (o IndexOrder) Plan(order []int, cost []float64) {
+	for i := range order {
+		order[i] = i
+	}
+}
+
+// Steal implements Scheduler.
+func (o IndexOrder) Steal() bool { return !o.NoSteal }

@@ -50,8 +50,8 @@ type Snapshot struct {
 // slices' backing arrays beyond the elements themselves (states are plain
 // data).
 func (s *Snapshot) Range(lo, hi int) (*RangeState, error) {
-	if lo < 0 || hi > s.Shards || lo >= hi {
-		return nil, fmt.Errorf("population: snapshot range [%d, %d) outside [0, %d)", lo, hi, s.Shards)
+	if err := ValidateShardRange(lo, hi, s.Shards); err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
 	}
 	if len(s.ShardRNG) != s.Shards || len(s.AgentRNG) != s.Agents || len(s.AgentStates) != s.Agents {
 		return nil, fmt.Errorf("population: snapshot internally inconsistent "+

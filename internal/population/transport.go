@@ -3,6 +3,7 @@ package population
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"sacs/internal/core"
@@ -38,6 +39,12 @@ type ShardExchange struct {
 	// It crosses the cluster wire so a coordinator can decompose tick time
 	// into compute vs. barrier wait for remote shards too.
 	StepNanos int64
+
+	// Steals is 1 when this shard was claimed by an executor other than
+	// the one the dispatch plan assigned it to (see Scheduler) — the
+	// intra-tick work stealing counter's unit. Observability only, outside
+	// the byte-equality contract exactly like StepNanos.
+	Steals int
 }
 
 // RangeState is the executor-side state of a contiguous shard range: every
@@ -104,6 +111,18 @@ func Partition(n, parts int) []int {
 	return bounds
 }
 
+// ValidateShardRange checks that [lo, hi) is a non-empty shard interval of
+// a population with shards shards. It is the single range-validation
+// authority next to Partition's single partition rule: NewLocalTransport,
+// Snapshot.Range and the cluster attach path all route through it, so an
+// invalid range is reported identically wherever it is caught.
+func ValidateShardRange(lo, hi, shards int) error {
+	if lo < 0 || hi > shards || lo >= hi {
+		return fmt.Errorf("population: shard range [%d, %d) outside [0, %d)", lo, hi, shards)
+	}
+	return nil
+}
+
 // LocalTransport hosts a contiguous shard range of a population in-process:
 // it constructs the range's agents and steps them through the configured
 // runner pool. NewLocalTransport(cfg, 0, shards) — what New installs — is
@@ -127,6 +146,19 @@ type LocalTransport struct {
 	// resets and refills it, so the per-tick fan-out allocates neither
 	// exchanges nor (steady-state) outbox slices.
 	results []*ShardExchange
+
+	// arenas hold the owned agents' hot step state, one contiguous block
+	// per owned shard in agent order, so a shard step sweeps adjacent
+	// memory (see core.Arena).
+	arenas []*core.Arena
+
+	// Dispatch-order plane: the per-shard cost model the executors feed,
+	// the scheduler that turns estimates into a dispatch order, and the
+	// per-tick scratch both reuse. Observation-only (see Scheduler).
+	costs   *CostModel
+	sched   Scheduler
+	order   []int     // dispatch positions, local shard indices
+	costBuf []float64 // Plan input scratch
 }
 
 // NewLocalTransport builds the agents of shards [lo, hi) of cfg's
@@ -137,8 +169,8 @@ func NewLocalTransport(cfg Config, lo, hi int) *LocalTransport {
 	if cfg.New == nil {
 		panic("population: Config.New is required")
 	}
-	if lo < 0 || hi > cfg.Shards || lo >= hi {
-		panic(fmt.Sprintf("population: shard range [%d, %d) outside [0, %d)", lo, hi, cfg.Shards))
+	if err := ValidateShardRange(lo, hi, cfg.Shards); err != nil {
+		panic(err.Error())
 	}
 	t := &LocalTransport{
 		cfg:       cfg,
@@ -150,6 +182,11 @@ func NewLocalTransport(cfg Config, lo, hi int) *LocalTransport {
 		shardSrcs: make([]*xrand.Source, cfg.Shards),
 		agentSrcs: make([]*xrand.Source, cfg.Agents),
 		results:   make([]*ShardExchange, hi-lo),
+		arenas:    make([]*core.Arena, hi-lo),
+		costs:     NewCostModel(cfg.Shards),
+		sched:     cfg.Scheduler,
+		order:     make([]int, hi-lo),
+		costBuf:   make([]float64, 0, hi-lo),
 	}
 	for i := range t.results {
 		t.results[i] = &ShardExchange{}
@@ -160,6 +197,18 @@ func NewLocalTransport(cfg Config, lo, hi int) *LocalTransport {
 		if t.agents[id] == nil {
 			panic(fmt.Sprintf("population: Config.New returned nil for agent %d", id))
 		}
+	}
+	// Re-home each shard's agents' hot step state into one contiguous
+	// arena block, in step order: the shard step then walks adjacent
+	// memory instead of pointer-chasing per-agent heap allocations.
+	// Adoption is pure layout — no observable state changes (see
+	// core.Arena) — so construction stays deterministic.
+	for s := lo; s < hi; s++ {
+		ar := core.NewArena(t.bounds[s+1] - t.bounds[s])
+		for id := t.bounds[s]; id < t.bounds[s+1]; id++ {
+			ar.Adopt(t.agents[id])
+		}
+		t.arenas[s-lo] = ar
 	}
 	// Knowledge stores owned by exactly one agent never see concurrent
 	// access (a shard steps its agents sequentially; barriers order the
@@ -204,14 +253,53 @@ func (t *LocalTransport) Agent(id int) *core.Agent {
 	return t.agents[id]
 }
 
-// Step fans the owned shards out as pool jobs and returns their exchanges
-// in shard index order. It never fails: in-process shard steps surface bugs
-// as panics through the pool's per-job recovery, not as transport errors.
+// Step dispatches the owned shards in the scheduler's cost order and
+// returns their exchanges in shard index order — the dispatch order and
+// the merge order are deliberately decoupled, which is the whole
+// determinism story of cost-aware scheduling. It never fails: in-process
+// shard steps surface bugs as panics through the pool's per-job recovery,
+// not as transport errors.
+//
+// Two dispatch mechanics, chosen by Scheduler.Steal():
+//
+//   - stealing (default): min(workers, shards) executor jobs share an
+//     atomic claim cursor over the planned order. Executor e's planned
+//     share is positions e, e+E, e+2E, …; a claim outside that stride
+//     means the planned executor was still busy and the work moved — one
+//     steal, recorded on the stolen shard's exchange.
+//   - no stealing: every shard is its own pool job, submitted in plan
+//     order through runner.FanOutOrder (ordered submit, any-order
+//     execute), so expensive shards still start first but claims follow
+//     the pool's FIFO pickup with no intra-tick redistribution.
 func (t *LocalTransport) Step(tick int, mail [][]core.Stimulus) ([]*ShardExchange, error) {
 	now := float64(tick)
-	outs := runner.FanOut(t.cfg.Pool, runner.Key{Experiment: t.cfg.Name, System: "shard"},
-		t.hi-t.lo, func(i int) *ShardExchange { return t.stepShard(t.lo+i, tick, now, mail) })
-	return outs, nil
+	n := t.hi - t.lo
+	t.costBuf = t.costs.EstimatesInto(t.costBuf[:0], t.lo, t.hi)
+	t.sched.Plan(t.order, t.costBuf)
+	key := runner.Key{Experiment: t.cfg.Name, System: "shard"}
+	if !t.sched.Steal() {
+		runner.FanOutOrder(t.cfg.Pool, key, n, t.order,
+			func(i int) *ShardExchange { return t.stepShard(t.lo+i, tick, now, mail) })
+		return t.results, nil
+	}
+	execs := t.cfg.Pool.Workers()
+	if execs > n {
+		execs = n
+	}
+	var cursor atomic.Int64
+	runner.FanOut(t.cfg.Pool, key, execs, func(e int) int {
+		for {
+			pos := int(cursor.Add(1)) - 1
+			if pos >= n {
+				return 0
+			}
+			res := t.stepShard(t.lo+t.order[pos], tick, now, mail)
+			if pos%execs != e {
+				res.Steals = 1
+			}
+		}
+	})
+	return t.results, nil
 }
 
 // stepShard runs shard s for one tick. It touches only shard-local state:
@@ -221,7 +309,7 @@ func (t *LocalTransport) Step(tick int, mail [][]core.Stimulus) ([]*ShardExchang
 func (t *LocalTransport) stepShard(s, tick int, now float64, mail [][]core.Stimulus) *ShardExchange {
 	start := time.Now()
 	res := t.results[s-t.lo]
-	res.Delivered, res.Actions = 0, 0
+	res.Delivered, res.Actions, res.Steals = 0, 0, 0
 	res.Msgs = res.Msgs[:0]
 	res.Observed = stats.Online{}
 	ctx := EmitContext{Tick: tick, Now: now, Rng: t.rngs[s], agents: t.cfg.Agents, out: res}
@@ -242,8 +330,29 @@ func (t *LocalTransport) stepShard(s, tick int, now float64, mail [][]core.Stimu
 		}
 	}
 	res.StepNanos = time.Since(start).Nanoseconds()
+	t.costs.Observe(s, res.StepNanos)
 	return res
 }
+
+// SeedCosts installs a cost-estimate prior for the owned shards — costs
+// holds one value (nanoseconds; non-positive = no prior) per owned shard,
+// in shard order. A cluster worker calls this with the coordinator's cost
+// snapshot at attach, so its first tick dispatches in the established LPT
+// order instead of rediscovering the skew from scratch.
+func (t *LocalTransport) SeedCosts(costs []float64) error {
+	if len(costs) != t.hi-t.lo {
+		return fmt.Errorf("population: %d cost priors for %d owned shards", len(costs), t.hi-t.lo)
+	}
+	t.costs.Seed(t.lo, costs)
+	return nil
+}
+
+// Costs exposes the transport's cost model (observation-only; see
+// CostModel for its concurrency contract).
+func (t *LocalTransport) Costs() *CostModel { return t.costs }
+
+// Scheduler reports the dispatch policy the transport runs.
+func (t *LocalTransport) Scheduler() Scheduler { return t.sched }
 
 // Export copies out the owned range's state in index order.
 func (t *LocalTransport) Export() (*RangeState, error) {

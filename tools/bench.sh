@@ -5,11 +5,13 @@
 #
 # Runs the key hot-path benchmarks at fixed iteration counts (so allocs/op
 # is machine-independent and comparable across runs), converts the output
-# to JSON via cmd/benchjson, and gates allocs/op for the agent step and the
-# population tick against the committed baseline BENCH_PR4.json (±10%).
+# to JSON via cmd/benchjson, and gates against the committed baseline
+# BENCH_PR7.json (±10%): allocs/op for the agent step and the population
+# tick, plus a steps/sec floor on the 10k-agent 4-worker tick (throughput
+# must not silently erode, not just allocation count).
 # CI calls this on every PR and uploads the JSON as an artifact; to refresh
 # the committed baseline after an intentional change, merge the "after"
-# numbers from the generated file into BENCH_PR4.json (keeping "before"
+# numbers from the generated file into BENCH_PR7.json (keeping "before"
 # for the trajectory).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -31,7 +33,8 @@ go test -run '^$' -bench \
 
 go run ./cmd/benchjson \
   -out "BENCH_${tag}.json" \
-  -baseline BENCH_PR4.json \
+  -baseline BENCH_PR7.json \
   -check AgentStepFullStack,PopulationTick \
+  -floor 'PopulationTick/agents=10000/workers=4:steps/sec' \
   -tolerance 0.10 \
   -note "tools/bench.sh ${tag}" < "$raw"

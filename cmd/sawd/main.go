@@ -29,6 +29,20 @@
 // resumes from the latest checkpoint and pushes every worker its shard
 // range's slice of the snapshot.
 //
+// The cluster is elastic while it runs: admit a late worker over HTTP and
+// rebalance live — shards migrate between workers at a tick barrier with
+// no restart, and the run stays byte-identical to a single-process engine:
+//
+//	sawd -worker 127.0.0.1:9303           # a third worker, started mid-run
+//	curl -X POST -d '{"addr":"127.0.0.1:9303"}' localhost:8077/cluster/workers
+//	curl -X POST localhost:8077/cluster/rebalance
+//	curl localhost:8077/cluster           # worker list + per-population placement
+//
+// -rebalance-threshold and -rebalance-max-moves tune the rebalance policy
+// (cost smoothing kicks in past the max/min load ratio; batches are
+// capped); the carrier-count control law is the cloud simulation's
+// reactive autoscaler fed with measured per-shard step costs.
+//
 // Drive it with curl:
 //
 //	curl localhost:8077/healthz
@@ -139,6 +153,8 @@ func run() int {
 		workerAddr  = flag.String("worker", "", "run as a cluster worker on this TCP address (hosts shard ranges; no HTTP API)")
 		clusterList = flag.String("cluster", "", "comma-separated worker addresses; host populations on that cluster instead of in-process")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the HTTP address (opt-in: profiling is an operator tool, not part of the public API)")
+		rebalThresh = flag.Float64("rebalance-threshold", 1.5, "POST /cluster/rebalance: max/min per-worker load ratio tolerated before smoothing migrations")
+		rebalMoves  = flag.Int("rebalance-max-moves", 16, "POST /cluster/rebalance: migration batch cap per request")
 	)
 	var specArgs []string
 	flag.Func("pop", "population spec: id=...,workload=...,agents=N,shards=N,seed=N (repeatable)",
@@ -175,13 +191,15 @@ func run() int {
 	defer pool.Close()
 	reg := obs.NewRegistry()
 	opts := serve.Options{
-		Pool:            pool,
-		Dir:             *dir,
-		CheckpointEvery: *every,
-		Keep:            *keep,
-		Workloads:       workloads,
-		Registry:        reg,
-		Logger:          log,
+		Pool:               pool,
+		Dir:                *dir,
+		CheckpointEvery:    *every,
+		Keep:               *keep,
+		Workloads:          workloads,
+		Registry:           reg,
+		Logger:             log,
+		RebalanceThreshold: *rebalThresh,
+		RebalanceMaxMoves:  *rebalMoves,
 	}
 	if *clusterList != "" {
 		cl, err := cluster.Dial(strings.Split(*clusterList, ","), 10*time.Second)

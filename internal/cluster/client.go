@@ -25,9 +25,33 @@ type conn struct {
 	dialRetries int64 // dial attempts beyond the first (see Client.Instrument)
 	m           *connMetrics
 	mu          sync.Mutex
+	timeout     time.Duration // per-round-trip deadline; 0 = none (see Client.SetRPCTimeout)
 	c           net.Conn
 	r           *bufio.Reader
 	w           *bufio.Writer
+}
+
+func newConn(addr string, nc net.Conn, retries int64) *conn {
+	return &conn{
+		addr: addr, dialRetries: retries, c: nc,
+		r: bufio.NewReaderSize(nc, 1<<16),
+		w: bufio.NewWriterSize(nc, 1<<16),
+	}
+}
+
+// reset swaps in a freshly dialled connection (see Client.Redial). Any
+// bytes buffered from the old connection — e.g. a duplicated or late reply
+// a fault left behind — die with it, which is what makes redialling a safe
+// recovery: the protocol state machine restarts clean, and the attach
+// epoch riding in every request re-establishes identity.
+func (c *conn) reset(nc net.Conn) {
+	c.mu.Lock()
+	old := c.c
+	c.c = nc
+	c.r = bufio.NewReaderSize(nc, 1<<16)
+	c.w = bufio.NewWriterSize(nc, 1<<16)
+	c.mu.Unlock()
+	old.Close()
 }
 
 func (c *conn) roundTrip(t msgType, body []byte) (msgType, []byte, error) {
@@ -38,6 +62,10 @@ func (c *conn) roundTrip(t msgType, body []byte) (msgType, []byte, error) {
 		start = time.Now()
 		c.m.inflight.Add(1)
 		defer c.m.inflight.Add(-1)
+	}
+	if c.timeout > 0 {
+		_ = c.c.SetDeadline(time.Now().Add(c.timeout))
+		defer func() { _ = c.c.SetDeadline(time.Time{}) }()
 	}
 	if err := writeFrame(c.w, t, body); err != nil {
 		return 0, nil, fmt.Errorf("cluster: worker %s: %w", c.addr, err)
@@ -76,64 +104,120 @@ func (c *conn) call(t msgType, body []byte, want msgType) ([]byte, error) {
 	return rbody, nil
 }
 
-// Client is a coordinator's view of a fixed, ordered worker list. The
-// order is part of the deterministic contract: shard ranges are assigned
-// to workers by contiguous partition in list order, so the same list
-// always yields the same placement.
+// Client is a coordinator's view of an ordered worker list. The order is
+// part of the deterministic contract: a fresh transport assigns shard
+// ranges by contiguous partition in list order, so the same list always
+// yields the same initial placement. The list can grow — AddWorker appends
+// a dialled worker, and transports fold it into a live placement with
+// Transport.AdmitWorker — but indices never shift or disappear: a dead
+// worker keeps its slot (marked via Transport.DetachWorker) and can be
+// re-connected in place with Redial.
 type Client struct {
-	conns []*conn
-	reg   *obs.Registry // set by Instrument; nil = uninstrumented
-}
+	reg *obs.Registry // set by Instrument; nil = uninstrumented
 
-// Dial connects to every worker, retrying each address with backoff until
-// wait elapses (workers and coordinator typically start together; a few
-// seconds of patience replaces external orchestration in scripts and CI).
-func Dial(addrs []string, wait time.Duration) (*Client, error) {
-	if len(addrs) == 0 {
-		return nil, errors.New("cluster: no worker addresses")
-	}
-	deadline := time.Now().Add(wait)
-	cl := &Client{}
-	for _, addr := range addrs {
-		var nc net.Conn
-		var err error
-		var retries int64
-		for {
-			nc, err = net.DialTimeout("tcp", addr, time.Second)
-			if err == nil || time.Now().After(deadline) {
-				break
-			}
-			retries++
-			time.Sleep(100 * time.Millisecond)
-		}
-		if err != nil {
-			cl.Close()
-			return nil, fmt.Errorf("cluster: dial worker %s: %w", addr, err)
-		}
-		cl.conns = append(cl.conns, &conn{
-			addr: addr, dialRetries: retries, c: nc,
-			r: bufio.NewReaderSize(nc, 1<<16),
-			w: bufio.NewWriterSize(nc, 1<<16),
-		})
-	}
-	// One ping per worker so a half-started worker fails here, at attach
-	// time, with a clear address — not mid-tick.
-	for _, c := range cl.conns {
-		if _, err := c.call(msgPing, nil, msgOK); err != nil {
-			cl.Close()
-			return nil, err
-		}
-	}
-	return cl, nil
+	mu    sync.RWMutex
+	conns []*conn
 }
 
 // Workers reports how many workers the client is attached to.
-func (cl *Client) Workers() int { return len(cl.conns) }
+func (cl *Client) Workers() int {
+	cl.mu.RLock()
+	defer cl.mu.RUnlock()
+	return len(cl.conns)
+}
+
+// Addrs lists the workers' addresses in slot order. The index of an
+// address is the worker index every placement operation (AdmitWorker,
+// Migrate, Assign) speaks, so admin layers can translate operator-supplied
+// addresses to slots — and detect that an address is already on the list,
+// where Redial (not AddWorker) is the reconnect path.
+func (cl *Client) Addrs() []string {
+	cl.mu.RLock()
+	defer cl.mu.RUnlock()
+	out := make([]string, len(cl.conns))
+	for i, c := range cl.conns {
+		out[i] = c.addr
+	}
+	return out
+}
+
+// conn returns worker wi's connection. Slots are append-only, so the
+// returned pointer stays valid for the client's lifetime.
+func (cl *Client) conn(wi int) *conn {
+	cl.mu.RLock()
+	defer cl.mu.RUnlock()
+	return cl.conns[wi]
+}
+
+func (cl *Client) snapshotConns() []*conn {
+	cl.mu.RLock()
+	defer cl.mu.RUnlock()
+	return append([]*conn(nil), cl.conns...)
+}
+
+// AddWorker dials one more worker (retrying with the same backoff schedule
+// as Dial until wait elapses), verifies it answers a ping, and appends it
+// to the worker list, returning its index. The new worker joins no
+// placement by itself: call Transport.AdmitWorker on each population that
+// should be able to migrate shards onto it.
+func (cl *Client) AddWorker(addr string, wait time.Duration) (int, error) {
+	nc, retries, err := dialWorker(addr, wait)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: dial worker %s: %w", addr, err)
+	}
+	c := newConn(addr, nc, retries)
+	if _, err := c.call(msgPing, nil, msgOK); err != nil {
+		nc.Close()
+		return 0, err
+	}
+	if cl.reg != nil {
+		cl.instrumentConn(c)
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.conns = append(cl.conns, c)
+	return len(cl.conns) - 1, nil
+}
+
+// Redial replaces worker wi's connection with a freshly dialled one — the
+// recovery step after an RPC timeout, an injected fault, or a worker
+// process restart at the same address. Buffered bytes from the old
+// connection are discarded with it; the attach epochs riding in every
+// request keep population identity intact across the swap.
+func (cl *Client) Redial(wi int, wait time.Duration) error {
+	if wi < 0 || wi >= cl.Workers() {
+		return fmt.Errorf("cluster: redial worker %d of %d", wi, cl.Workers())
+	}
+	c := cl.conn(wi)
+	nc, retries, err := dialWorker(c.addr, wait)
+	if err != nil {
+		return fmt.Errorf("cluster: redial worker %s: %w", c.addr, err)
+	}
+	c.reset(nc)
+	if c.m != nil {
+		c.m.dialRetries.Add(retries)
+	}
+	return nil
+}
+
+// SetRPCTimeout bounds every round trip on every current connection: a
+// worker that accepts a request and never replies (hung, partitioned, or a
+// fault harness swallowing frames) turns into a deadline error instead of
+// a coordinator blocked forever. After a timeout the connection's framing
+// state is undefined — Redial before reusing the worker. 0 restores
+// blocking behaviour.
+func (cl *Client) SetRPCTimeout(d time.Duration) {
+	for _, c := range cl.snapshotConns() {
+		c.mu.Lock()
+		c.timeout = d
+		c.mu.Unlock()
+	}
+}
 
 // Close closes every worker connection.
 func (cl *Client) Close() error {
 	var first error
-	for _, c := range cl.conns {
+	for _, c := range cl.snapshotConns() {
 		if err := c.c.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -145,21 +229,38 @@ func (cl *Client) Close() error {
 // of one clustered population. Create with NewTransport (fresh agents on
 // every worker) and hand it to population.NewWithTransport or
 // population.RestoreWithTransport.
+//
+// Shard placement is dynamic: the shard→worker map starts as a contiguous
+// partition over the client's workers and changes through Migrate (live
+// barrier migration), Assign (re-homing a dead worker's shards onto a
+// re-admitted one) and Rebalance (policy-driven batches of migrations).
+// All Transport methods — Step and the placement operations alike — must
+// be called from the engine's barrier discipline: one goroutine, never
+// during a tick. That is exactly the serve layer's per-population lock.
 type Transport struct {
 	client *Client
 	spec   Spec
 
-	wbounds []int    // shard partition across workers, in client list order
 	abounds []int    // agent partition across shards (population.Partition)
-	epochs  []uint64 // each worker's attach epoch for this population
+	owner   []int    // shard → worker index
+	dead    []bool   // workers detached from this placement (index-stable)
+	epochs  []uint64 // each worker's attach epoch for this population; 0 = never admitted
 	outs    []*population.ShardExchange
 
 	// costs is the coordinator's view of every shard's step cost, fed
 	// from the StepNanos in tick replies. It seeds the next attach (see
-	// Spec.Costs) and backs the per-shard cost gauges when the client is
-	// instrumented. Observation-only.
-	costs     *population.CostModel
-	costGauge []*obs.Gauge // sacs_cluster_shard_cost_seconds, per shard; nil uninstrumented
+	// Spec.Costs), prices migrations' cost priors, and backs the gauges
+	// below when the client is instrumented. Observation-only.
+	costs *population.CostModel
+
+	// Instrumentation (nil when the client is uninstrumented):
+	// per-shard cost gauges labelled by owning worker, per-worker
+	// shard-count and load gauges, and the migration counters.
+	costGauge    []*obs.Gauge
+	workerShards []*obs.Gauge
+	workerCost   []*obs.Gauge
+	migrations   *obs.Counter
+	readmissions *obs.Counter
 }
 
 // popHeader starts a request body with the population id and the attach
@@ -181,20 +282,23 @@ func (cl *Client) NewTransport(spec Spec) (*Transport, error) {
 	}
 	norm := population.Config{Agents: spec.Agents, Shards: spec.Shards}.Normalized()
 	spec.Shards = norm.Shards
-	if spec.Shards < len(cl.conns) {
+	conns := cl.snapshotConns()
+	if spec.Shards < len(conns) {
 		return nil, fmt.Errorf("cluster: %d workers for %d shards; every worker must own at least one shard",
-			len(cl.conns), spec.Shards)
+			len(conns), spec.Shards)
 	}
 	if len(spec.Costs) != 0 && len(spec.Costs) != spec.Shards {
 		return nil, fmt.Errorf("cluster: cost snapshot covers %d shards, population has %d",
 			len(spec.Costs), spec.Shards)
 	}
+	wbounds := population.Partition(spec.Shards, len(conns))
 	t := &Transport{
 		client:  cl,
 		spec:    spec,
-		wbounds: population.Partition(spec.Shards, len(cl.conns)),
 		abounds: population.Partition(spec.Agents, spec.Shards),
-		epochs:  make([]uint64, len(cl.conns)),
+		owner:   make([]int, spec.Shards),
+		dead:    make([]bool, len(conns)),
+		epochs:  make([]uint64, len(conns)),
 		outs:    make([]*population.ShardExchange, spec.Shards),
 		costs:   population.NewCostModel(spec.Shards),
 	}
@@ -205,8 +309,11 @@ func (cl *Client) NewTransport(spec Spec) (*Transport, error) {
 	// view, so a coordinator chaining attaches (restart, rebalance)
 	// carries cost history forward even before its first tick completes.
 	t.costs.Seed(0, spec.Costs)
-	for wi, c := range cl.conns {
-		loS, hiS := t.wbounds[wi], t.wbounds[wi+1]
+	for wi, c := range conns {
+		loS, hiS := wbounds[wi], wbounds[wi+1]
+		for s := loS; s < hiS; s++ {
+			t.owner[s] = wi
+		}
 		e := checkpoint.NewEncoder()
 		e.Uvarint(protocolVersion)
 		encodeSpec(e, spec)
@@ -234,32 +341,97 @@ func (cl *Client) NewTransport(spec Spec) (*Transport, error) {
 			t.drop(wi)
 			return nil, err
 		}
-		if cl.reg != nil {
-			// The epoch gauge makes a split-brain re-attach visible on a
-			// dashboard: a second coordinator bumping the epoch moves this
-			// gauge out from under the first.
-			cl.reg.Gauge("sacs_cluster_attach_epoch",
-				"attach epoch this coordinator holds on each worker",
-				obs.L("pop", spec.ID), obs.L("worker", c.addr)).Set(int64(t.epochs[wi]))
-		}
+		t.publishEpoch(wi)
 	}
 	if cl.reg != nil {
+		p := obs.L("pop", spec.ID)
+		t.migrations = cl.reg.Counter("sacs_cluster_migrations_total",
+			"committed live shard-range migrations", p)
+		t.readmissions = cl.reg.Counter("sacs_cluster_readmissions_total",
+			"orphaned shard ranges re-homed onto re-admitted workers", p)
 		// Per-shard cost estimates, labelled with the worker owning each
 		// shard — the placement view a rebalancer reads: which worker is
 		// carrying how much estimated step cost.
 		t.costGauge = make([]*obs.Gauge, spec.Shards)
-		p := obs.L("pop", spec.ID)
-		for wi := range cl.conns {
-			w := obs.L("worker", cl.conns[wi].addr)
-			for s := t.wbounds[wi]; s < t.wbounds[wi+1]; s++ {
-				t.costGauge[s] = cl.reg.ScaledGauge("sacs_cluster_shard_cost_seconds",
-					"per-shard step-cost estimate, labelled by the worker hosting the shard",
-					obs.Seconds, p, w, obs.L("shard", strconv.Itoa(s)))
-				t.costGauge[s].Set(int64(t.costs.Estimate(s)))
-			}
+		for s := range t.costGauge {
+			t.costGauge[s] = t.registerCostGauge(s)
+			t.costGauge[s].Set(int64(t.costs.Estimate(s)))
 		}
+		for wi := range t.epochs {
+			t.registerWorkerGauges(wi)
+		}
+		t.updateWorkerGauges()
 	}
 	return t, nil
+}
+
+// publishEpoch updates the attach-epoch gauge for worker wi. The epoch
+// gauge makes a split-brain re-attach visible on a dashboard: a second
+// coordinator bumping the epoch moves this gauge out from under the first.
+func (t *Transport) publishEpoch(wi int) {
+	if t.client.reg == nil {
+		return
+	}
+	t.client.reg.Gauge("sacs_cluster_attach_epoch",
+		"attach epoch this coordinator holds on each worker",
+		obs.L("pop", t.spec.ID), obs.L("worker", t.client.conn(wi).addr)).Set(int64(t.epochs[wi]))
+}
+
+func (t *Transport) registerCostGauge(s int) *obs.Gauge {
+	return t.client.reg.ScaledGauge("sacs_cluster_shard_cost_seconds",
+		"per-shard step-cost estimate, labelled by the worker hosting the shard",
+		obs.Seconds,
+		obs.L("pop", t.spec.ID),
+		obs.L("worker", t.client.conn(t.owner[s]).addr),
+		obs.L("shard", strconv.Itoa(s)))
+}
+
+// registerWorkerGauges appends the per-worker shard-count and load gauges
+// for worker wi (call in index order only).
+func (t *Transport) registerWorkerGauges(wi int) {
+	if t.client.reg == nil {
+		return
+	}
+	p := obs.L("pop", t.spec.ID)
+	w := obs.L("worker", t.client.conn(wi).addr)
+	t.workerShards = append(t.workerShards, t.client.reg.Gauge("sacs_cluster_worker_shards",
+		"shards of this population each worker currently owns", p, w))
+	t.workerCost = append(t.workerCost, t.client.reg.ScaledGauge("sacs_cluster_worker_cost_seconds",
+		"summed per-shard step-cost estimate each worker currently carries",
+		obs.Seconds, p, w))
+}
+
+// updateWorkerGauges recomputes every worker's shard count and summed load
+// from the owner map and the cost model.
+func (t *Transport) updateWorkerGauges() {
+	if t.workerShards == nil {
+		return
+	}
+	counts := make([]int64, len(t.epochs))
+	load := make([]float64, len(t.epochs))
+	for s, wi := range t.owner {
+		counts[wi]++
+		load[wi] += t.costs.Estimate(s)
+	}
+	for wi := range counts {
+		t.workerShards[wi].Set(counts[wi])
+		t.workerCost[wi].Set(int64(load[wi]))
+	}
+}
+
+// refreshCostGauges re-labels shards [lo, hi)'s cost gauges after an
+// ownership change: the registry has no unregister, so the old worker's
+// series is zeroed (a stale flat-zero series, documented in DESIGN.md) and
+// the estimate continues under the new worker's label.
+func (t *Transport) refreshCostGauges(lo, hi int) {
+	if t.costGauge == nil {
+		return
+	}
+	for s := lo; s < hi; s++ {
+		t.costGauge[s].Set(0)
+		t.costGauge[s] = t.registerCostGauge(s)
+		t.costGauge[s].Set(int64(t.costs.Estimate(s)))
+	}
 }
 
 // ShardCosts appends the coordinator's per-shard cost estimates (nanos,
@@ -269,43 +441,121 @@ func (t *Transport) ShardCosts(dst []float64) []float64 {
 	return t.costs.EstimatesInto(dst, 0, t.spec.Shards)
 }
 
-// drop releases this attach's ranges from the first n workers,
+// Workers reports the number of worker slots in this placement (dead ones
+// included; the client may hold more that were never admitted here).
+func (t *Transport) Workers() int { return len(t.epochs) }
+
+// Owner returns a copy of the shard→worker map.
+func (t *Transport) Owner() []int { return append([]int(nil), t.owner...) }
+
+// drop releases this attach's ranges from the first n worker slots,
 // best-effort (a worker that is already gone has nothing to release).
 func (t *Transport) drop(n int) {
 	for wi := 0; wi < n; wi++ {
-		_, _ = t.client.conns[wi].call(msgDrop, t.popHeader(wi).Bytes(), msgOK)
+		if wi < len(t.epochs) && t.epochs[wi] == 0 {
+			continue // never admitted: nothing to drop
+		}
+		_, _ = t.client.conn(wi).call(msgDrop, t.popHeader(wi).Bytes(), msgOK)
 	}
 }
 
-// workerRange returns worker wi's shard and agent intervals.
-func (t *Transport) workerRange(wi int) (loS, hiS, loA, hiA int) {
-	loS, hiS = t.wbounds[wi], t.wbounds[wi+1]
-	return loS, hiS, t.abounds[loS], t.abounds[hiS]
+// ownedByWorker buckets the shard indices by owning worker, each bucket
+// sorted (the owner map is walked in shard order).
+func (t *Transport) ownedByWorker() [][]int {
+	owned := make([][]int, len(t.epochs))
+	for s, wi := range t.owner {
+		owned[wi] = append(owned[wi], s)
+	}
+	return owned
 }
 
-// Step fans the tick out to every worker in parallel and splices the
-// replies back together in worker (= shard index) order.
+// agentSpans turns a sorted shard list into its agent intervals, one per
+// contiguous shard run.
+func (t *Transport) agentSpans(shards []int) []span {
+	var spans []span
+	for i := 0; i < len(shards); {
+		j := i
+		for j+1 < len(shards) && shards[j+1] == shards[j]+1 {
+			j++
+		}
+		spans = append(spans, span{lo: t.abounds[shards[i]], hi: t.abounds[shards[j]+1]})
+		i = j + 1
+	}
+	return spans
+}
+
+// shardRuns turns a sorted shard list into its contiguous runs.
+func shardRuns(shards []int) []span {
+	var runs []span
+	for i := 0; i < len(shards); {
+		j := i
+		for j+1 < len(shards) && shards[j+1] == shards[j]+1 {
+			j++
+		}
+		runs = append(runs, span{lo: shards[i], hi: shards[j] + 1})
+		i = j + 1
+	}
+	return runs
+}
+
+// checkAlive fails when any shard is owned by a detached worker — ticking
+// or exporting would silently skip its state otherwise. The remedy is
+// Assign: re-home the orphaned ranges onto an admitted worker.
+func (t *Transport) checkAlive(owned [][]int) error {
+	for wi, shards := range owned {
+		if len(shards) > 0 && t.dead[wi] {
+			return fmt.Errorf("cluster: worker %s is detached but still owns %d shards; "+
+				"re-admit a worker and Assign them", t.client.conn(wi).addr, len(shards))
+		}
+	}
+	return nil
+}
+
+// Step fans the tick out to every shard-owning worker in parallel and
+// splices the replies back into shard index order via the owner map.
 func (t *Transport) Step(tick int, mail [][]core.Stimulus) ([]*population.ShardExchange, error) {
-	errs := make([]error, len(t.client.conns))
+	owned := t.ownedByWorker()
+	if err := t.checkAlive(owned); err != nil {
+		return nil, err
+	}
+	errs := make([]error, len(owned))
 	var wg sync.WaitGroup
-	for wi, c := range t.client.conns {
-		wi, c := wi, c
+	for wi := range owned {
+		if len(owned[wi]) == 0 {
+			continue
+		}
+		wi := wi
+		c := t.client.conn(wi)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			loS, hiS, loA, hiA := t.workerRange(wi)
+			shards := owned[wi]
 			e := t.popHeader(wi)
 			e.Int(tick)
-			encodeMail(e, mail, loA, hiA)
+			encodeMail(e, mail, t.agentSpans(shards))
 			body, err := c.call(msgTick, e.Bytes(), msgTickOK)
 			if err != nil {
 				errs[wi] = err
 				return
 			}
 			d := checkpoint.NewDecoder(body)
-			if err := decodeExchangesInto(d, t.outs[loS:hiS], hiS-loS); err != nil {
+			n := d.Count(1)
+			if err := d.Err(); err != nil {
 				errs[wi] = fmt.Errorf("cluster: worker %s: %w", c.addr, err)
 				return
+			}
+			if n != len(shards) {
+				// The one way split ownership surfaces: a worker stepping
+				// more or fewer shards than the coordinator routed to it.
+				errs[wi] = fmt.Errorf("cluster: worker %s stepped %d shards, coordinator routed %d "+
+					"(split ownership after a failed migration?)", c.addr, n, len(shards))
+				return
+			}
+			for _, s := range shards {
+				if err := decodeExchange(d, t.outs[s]); err != nil {
+					errs[wi] = fmt.Errorf("cluster: worker %s: %w", c.addr, err)
+					return
+				}
 			}
 			errs[wi] = d.Finish()
 		}()
@@ -324,67 +574,127 @@ func (t *Transport) Step(tick int, mail [][]core.Stimulus) ([]*population.ShardE
 			t.costGauge[s].Set(int64(t.costs.Estimate(s)))
 		}
 	}
+	t.updateWorkerGauges()
 	return t.outs, nil
 }
 
-// Export gathers every worker's range state in parallel and stitches the
-// full population state together in shard index order.
+// Export gathers every worker's hosted ranges in parallel and stitches the
+// full population state together in shard index order, validating that the
+// ranges tile [0, Shards) exactly as the owner map says.
 func (t *Transport) Export() (*population.RangeState, error) {
-	parts := make([]*population.RangeState, len(t.client.conns))
-	errs := make([]error, len(t.client.conns))
+	owned := t.ownedByWorker()
+	if err := t.checkAlive(owned); err != nil {
+		return nil, err
+	}
+	parts := make([][]*population.RangeState, len(owned))
+	errs := make([]error, len(owned))
 	var wg sync.WaitGroup
-	for wi, c := range t.client.conns {
-		wi, c := wi, c
+	for wi := range owned {
+		if len(owned[wi]) == 0 {
+			continue
+		}
+		wi := wi
+		c := t.client.conn(wi)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			body, err := c.call(msgExport, t.popHeader(wi).Bytes(), msgRange)
+			body, err := c.call(msgExport, t.popHeader(wi).Bytes(), msgRanges)
 			if err != nil {
 				errs[wi] = err
 				return
 			}
 			d := checkpoint.NewDecoder(body)
-			parts[wi] = d.RangeState()
-			errs[wi] = d.Finish()
+			n := d.Count(1)
+			if err := d.Err(); err != nil {
+				errs[wi] = fmt.Errorf("cluster: worker %s: %w", c.addr, err)
+				return
+			}
+			list := make([]*population.RangeState, 0, n)
+			for i := 0; i < n; i++ {
+				list = append(list, d.RangeState())
+			}
+			if err := d.Finish(); err != nil {
+				errs[wi] = fmt.Errorf("cluster: worker %s: %w", c.addr, err)
+				return
+			}
+			parts[wi] = list
 		}()
 	}
 	wg.Wait()
-	full := &population.RangeState{LoShard: 0, HiShard: t.spec.Shards, LoAgent: 0, HiAgent: t.spec.Agents}
-	for wi, part := range parts {
+	full := &population.RangeState{
+		LoShard: 0, HiShard: t.spec.Shards, LoAgent: 0, HiAgent: t.spec.Agents,
+		ShardRNG:    make([]uint64, t.spec.Shards),
+		AgentRNG:    make([]uint64, t.spec.Agents),
+		AgentStates: make([]core.AgentState, t.spec.Agents),
+	}
+	covered := make([]bool, t.spec.Shards)
+	for wi, list := range parts {
 		if errs[wi] != nil {
 			return nil, errs[wi]
 		}
-		loS, hiS, loA, hiA := t.workerRange(wi)
-		if part.LoShard != loS || part.HiShard != hiS || part.LoAgent != loA || part.HiAgent != hiA {
-			return nil, fmt.Errorf("cluster: worker %s exported shards [%d, %d) agents [%d, %d), owns [%d, %d)/[%d, %d)",
-				t.client.conns[wi].addr, part.LoShard, part.HiShard, part.LoAgent, part.HiAgent, loS, hiS, loA, hiA)
+		addr := t.client.conn(wi).addr
+		for _, rs := range list {
+			if err := population.ValidateShardRange(rs.LoShard, rs.HiShard, t.spec.Shards); err != nil {
+				return nil, fmt.Errorf("cluster: worker %s export: %w", addr, err)
+			}
+			if rs.LoAgent != t.abounds[rs.LoShard] || rs.HiAgent != t.abounds[rs.HiShard] ||
+				len(rs.ShardRNG) != rs.HiShard-rs.LoShard ||
+				len(rs.AgentRNG) != rs.HiAgent-rs.LoAgent || len(rs.AgentStates) != rs.HiAgent-rs.LoAgent {
+				return nil, fmt.Errorf("cluster: worker %s exported inconsistent range [%d, %d)/[%d, %d)",
+					addr, rs.LoShard, rs.HiShard, rs.LoAgent, rs.HiAgent)
+			}
+			for s := rs.LoShard; s < rs.HiShard; s++ {
+				if t.owner[s] != wi {
+					return nil, fmt.Errorf("cluster: worker %s exported shard %d, owner map says worker %s "+
+						"(split ownership after a failed migration?)", addr, s, t.client.conn(t.owner[s]).addr)
+				}
+				if covered[s] {
+					return nil, fmt.Errorf("cluster: worker %s exported shard %d twice", addr, s)
+				}
+				covered[s] = true
+			}
+			copy(full.ShardRNG[rs.LoShard:rs.HiShard], rs.ShardRNG)
+			copy(full.AgentRNG[rs.LoAgent:rs.HiAgent], rs.AgentRNG)
+			copy(full.AgentStates[rs.LoAgent:rs.HiAgent], rs.AgentStates)
 		}
-		full.ShardRNG = append(full.ShardRNG, part.ShardRNG...)
-		full.AgentRNG = append(full.AgentRNG, part.AgentRNG...)
-		full.AgentStates = append(full.AgentStates, part.AgentStates...)
+	}
+	for s, ok := range covered {
+		if !ok {
+			return nil, fmt.Errorf("cluster: shard %d exported by no worker", s)
+		}
 	}
 	return full, nil
 }
 
-// Install pushes each worker its shard range's slice of rs — the
+// Install pushes each worker its owned runs' slices of rs — the
 // state-transfer path behind RestoreWithTransport and worker replacement.
 func (t *Transport) Install(rs *population.RangeState) error {
 	if rs.LoShard != 0 || rs.HiShard != t.spec.Shards {
 		return fmt.Errorf("cluster: install state covers shards [%d, %d), population has %d",
 			rs.LoShard, rs.HiShard, t.spec.Shards)
 	}
-	for wi, c := range t.client.conns {
-		loS, hiS, loA, hiA := t.workerRange(wi)
-		part := &population.RangeState{
-			LoShard: loS, HiShard: hiS, LoAgent: loA, HiAgent: hiA,
-			ShardRNG:    rs.ShardRNG[loS:hiS],
-			AgentRNG:    rs.AgentRNG[loA:hiA],
-			AgentStates: rs.AgentStates[loA:hiA],
+	owned := t.ownedByWorker()
+	if err := t.checkAlive(owned); err != nil {
+		return err
+	}
+	for wi, shards := range owned {
+		if len(shards) == 0 {
+			continue
 		}
-		e := t.popHeader(wi)
-		e.RangeState(part)
-		if _, err := c.call(msgInstall, e.Bytes(), msgOK); err != nil {
-			return err
+		c := t.client.conn(wi)
+		for _, run := range shardRuns(shards) {
+			loA, hiA := t.abounds[run.lo], t.abounds[run.hi]
+			part := &population.RangeState{
+				LoShard: run.lo, HiShard: run.hi, LoAgent: loA, HiAgent: hiA,
+				ShardRNG:    rs.ShardRNG[run.lo:run.hi],
+				AgentRNG:    rs.AgentRNG[loA:hiA],
+				AgentStates: rs.AgentStates[loA:hiA],
+			}
+			e := t.popHeader(wi)
+			e.RangeState(part)
+			if _, err := c.call(msgInstall, e.Bytes(), msgOK); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -397,20 +707,300 @@ func (t *Transport) Explain(id int, now float64) (string, error) {
 	}
 	// The shard owning id, then the worker owning that shard.
 	s := sort.SearchInts(t.abounds[1:], id+1)
-	wi := sort.SearchInts(t.wbounds[1:], s+1)
+	wi := t.owner[s]
+	if t.dead[wi] {
+		return "", fmt.Errorf("cluster: agent %d lives on detached worker %s", id, t.client.conn(wi).addr)
+	}
 	e := t.popHeader(wi)
 	e.Int(id)
 	e.F64(now)
-	body, err := t.client.conns[wi].call(msgExplain, e.Bytes(), msgText)
+	body, err := t.client.conn(wi).call(msgExplain, e.Bytes(), msgText)
 	if err != nil {
 		return "", err
 	}
 	d := checkpoint.NewDecoder(body)
 	text := d.Str()
 	if err := d.Finish(); err != nil {
-		return "", fmt.Errorf("cluster: worker %s: %w", t.client.conns[wi].addr, err)
+		return "", fmt.Errorf("cluster: worker %s: %w", t.client.conn(wi).addr, err)
 	}
 	return text, nil
+}
+
+// Migrate moves shards [lo, hi) — which must currently share one owner —
+// onto worker `to`, live, at the caller's tick barrier:
+//
+//  1. drain: the source exports the subrange (read-only — it stays
+//     authoritative and keeps serving if anything later fails);
+//  2. adopt: the destination builds the range's agents fresh and installs
+//     the drained state, with the coordinator's cost priors;
+//  3. release: the source forgets the range — the commit point;
+//  4. the owner map re-routes, and the next tick fans out accordingly.
+//
+// Failure handling follows from the order: an adopt failure rolls the
+// destination back (best-effort) and leaves the map untouched, so the
+// source still owns the range and the run continues unharmed. A release
+// failure rolls the destination back too; only if that rollback also fails
+// can ownership be genuinely split — which the next tick's per-worker
+// shard-count check turns into a loud error (poisoning the engine) rather
+// than silent double-stepping.
+func (t *Transport) Migrate(lo, hi, to int) error {
+	if err := population.ValidateShardRange(lo, hi, t.spec.Shards); err != nil {
+		return fmt.Errorf("cluster: migrate: %w", err)
+	}
+	from := t.owner[lo]
+	for s := lo; s < hi; s++ {
+		if t.owner[s] != from {
+			return fmt.Errorf("cluster: migrate [%d, %d): shard %d owned by worker %d, shard %d by worker %d",
+				lo, hi, lo, from, s, t.owner[s])
+		}
+	}
+	if t.dead[from] {
+		return fmt.Errorf("cluster: migrate [%d, %d): source worker %s is detached; use Assign from a snapshot",
+			lo, hi, t.client.conn(from).addr)
+	}
+	if to < 0 || to >= len(t.epochs) {
+		return fmt.Errorf("cluster: migrate [%d, %d): destination worker %d of %d", lo, hi, to, len(t.epochs))
+	}
+	if to == from {
+		return fmt.Errorf("cluster: migrate [%d, %d): destination is the current owner", lo, hi)
+	}
+	if t.dead[to] {
+		return fmt.Errorf("cluster: migrate [%d, %d): destination worker %s is detached", lo, hi, t.client.conn(to).addr)
+	}
+	if t.epochs[to] == 0 {
+		return fmt.Errorf("cluster: migrate [%d, %d): worker %s not admitted to population %q (AdmitWorker first)",
+			lo, hi, t.client.conn(to).addr, t.spec.ID)
+	}
+	src, dst := t.client.conn(from), t.client.conn(to)
+
+	e := t.popHeader(from)
+	e.Int(lo)
+	e.Int(hi)
+	body, err := src.call(msgMigrate, e.Bytes(), msgRange)
+	if err != nil {
+		return fmt.Errorf("cluster: migrate [%d, %d) %s→%s: drain: %w", lo, hi, src.addr, dst.addr, err)
+	}
+	d := checkpoint.NewDecoder(body)
+	rs := d.RangeState()
+	if err := d.Finish(); err != nil {
+		return fmt.Errorf("cluster: migrate [%d, %d) %s→%s: drain reply: %w", lo, hi, src.addr, dst.addr, err)
+	}
+	if rs.LoShard != lo || rs.HiShard != hi || rs.LoAgent != t.abounds[lo] || rs.HiAgent != t.abounds[hi] {
+		return fmt.Errorf("cluster: migrate [%d, %d) %s→%s: drained shards [%d, %d) agents [%d, %d)",
+			lo, hi, src.addr, dst.addr, rs.LoShard, rs.HiShard, rs.LoAgent, rs.HiAgent)
+	}
+
+	e = t.popHeader(to)
+	e.RangeState(rs)
+	e.F64s(t.costs.EstimatesInto(nil, lo, hi))
+	if _, err := dst.call(msgAdopt, e.Bytes(), msgOK); err != nil {
+		// The adopt may or may not have applied before the failure; try to
+		// roll the destination back so it cannot later claim the range. The
+		// source never released, so it stays authoritative either way.
+		t.releaseQuiet(to, lo, hi)
+		return fmt.Errorf("cluster: migrate [%d, %d) %s→%s: adopt (source still authoritative): %w",
+			lo, hi, src.addr, dst.addr, err)
+	}
+
+	if err := t.release(from, lo, hi); err != nil {
+		if rbErr := t.release(to, lo, hi); rbErr != nil {
+			return fmt.Errorf("cluster: migrate [%d, %d) %s→%s: release failed AND destination rollback failed "+
+				"— ownership may be split; the next tick will fail loudly: %w (rollback: %v)",
+				lo, hi, src.addr, dst.addr, err, rbErr)
+		}
+		return fmt.Errorf("cluster: migrate [%d, %d) %s→%s: release (destination rolled back, source authoritative): %w",
+			lo, hi, src.addr, dst.addr, err)
+	}
+
+	for s := lo; s < hi; s++ {
+		t.owner[s] = to
+	}
+	if t.migrations != nil {
+		t.migrations.Inc()
+	}
+	t.refreshCostGauges(lo, hi)
+	t.updateWorkerGauges()
+	return nil
+}
+
+func (t *Transport) release(wi, lo, hi int) error {
+	e := t.popHeader(wi)
+	e.Int(lo)
+	e.Int(hi)
+	_, err := t.client.conn(wi).call(msgRelease, e.Bytes(), msgOK)
+	return err
+}
+
+// releaseQuiet is release for rollback paths: when the range was never
+// adopted the worker answers "not hosted", which is exactly the state the
+// rollback wants — not an error worth surfacing over the original one.
+func (t *Transport) releaseQuiet(wi, lo, hi int) {
+	_ = t.release(wi, lo, hi)
+}
+
+// AdmitWorker folds client worker wi into this population's placement with
+// no shards: the worker builds the workload config (so later adopts can
+// construct agents), hands back a fresh attach epoch — a restarted process
+// at the same address is indistinguishable from a new one, which is the
+// point — and becomes a valid Migrate/Assign destination. Admitting a live
+// worker that still owns shards is refused: re-initialising it would
+// destroy their state (migrate them away first).
+func (t *Transport) AdmitWorker(wi int) error {
+	if wi < 0 || wi >= t.client.Workers() {
+		return fmt.Errorf("cluster: admit worker %d of %d", wi, t.client.Workers())
+	}
+	for len(t.epochs) <= wi {
+		t.epochs = append(t.epochs, 0)
+		t.dead = append(t.dead, false)
+		t.registerWorkerGauges(len(t.epochs) - 1)
+	}
+	if !t.dead[wi] && t.epochs[wi] != 0 {
+		for s := range t.owner {
+			if t.owner[s] == wi {
+				return fmt.Errorf("cluster: worker %s still owns shard %d; migrate its shards away before re-admitting",
+					t.client.conn(wi).addr, s)
+			}
+		}
+	}
+	c := t.client.conn(wi)
+	e := checkpoint.NewEncoder()
+	e.Uvarint(protocolVersion)
+	encodeSpec(e, t.spec)
+	e.Int(0)
+	e.Int(0)
+	e.F64s(nil)
+	body, err := c.call(msgInit, e.Bytes(), msgOK)
+	if err != nil {
+		return err
+	}
+	d := checkpoint.NewDecoder(body)
+	epoch := d.Uvarint()
+	if err := d.Finish(); err != nil {
+		return fmt.Errorf("cluster: worker %s: bad init reply: %w", c.addr, err)
+	}
+	t.epochs[wi] = epoch
+	t.dead[wi] = false
+	t.publishEpoch(wi)
+	t.updateWorkerGauges()
+	return nil
+}
+
+// DetachWorker marks worker wi dead for this placement: its shards stay
+// mapped to it (ticking fails loudly until they are re-homed) and it stops
+// being a migration destination. The slot — and the TCP connection, which
+// Redial can later replace in place — survives, so indices stay stable.
+func (t *Transport) DetachWorker(wi int) error {
+	if wi < 0 || wi >= len(t.epochs) {
+		return fmt.Errorf("cluster: detach worker %d of %d", wi, len(t.epochs))
+	}
+	t.dead[wi] = true
+	t.updateWorkerGauges()
+	return nil
+}
+
+// Assign re-homes rs — a shard range whose mapped owner is dead, taken
+// from live engine state (a barrier snapshot's Snapshot.Range, never a
+// disk checkpoint) — onto admitted worker `to`. This is the re-admission
+// path: kill a worker at tick T, snapshot at the barrier, Redial +
+// AdmitWorker a replacement, Assign it the orphaned ranges, and the run
+// continues byte-identically. The coordinator's cost history rides along
+// as priors, so the replacement dispatches in LPT order from its first
+// tick.
+func (t *Transport) Assign(rs *population.RangeState, to int) error {
+	if rs == nil {
+		return errors.New("cluster: assign nil range state")
+	}
+	if err := population.ValidateShardRange(rs.LoShard, rs.HiShard, t.spec.Shards); err != nil {
+		return fmt.Errorf("cluster: assign: %w", err)
+	}
+	if rs.LoAgent != t.abounds[rs.LoShard] || rs.HiAgent != t.abounds[rs.HiShard] {
+		return fmt.Errorf("cluster: assign shards [%d, %d) carrying agents [%d, %d), partition says [%d, %d)",
+			rs.LoShard, rs.HiShard, rs.LoAgent, rs.HiAgent, t.abounds[rs.LoShard], t.abounds[rs.HiShard])
+	}
+	if to < 0 || to >= len(t.epochs) || t.dead[to] || t.epochs[to] == 0 {
+		return fmt.Errorf("cluster: assign to worker %d: not an admitted live worker", to)
+	}
+	for s := rs.LoShard; s < rs.HiShard; s++ {
+		if t.owner[s] == to {
+			continue // idempotent re-assign after a partial failure
+		}
+		if !t.dead[t.owner[s]] {
+			return fmt.Errorf("cluster: assign shard %d: owner %s is alive — use Migrate",
+				s, t.client.conn(t.owner[s]).addr)
+		}
+	}
+	e := t.popHeader(to)
+	e.RangeState(rs)
+	e.F64s(t.costs.EstimatesInto(nil, rs.LoShard, rs.HiShard))
+	if _, err := t.client.conn(to).call(msgAdopt, e.Bytes(), msgOK); err != nil {
+		return fmt.Errorf("cluster: assign [%d, %d) to %s: %w",
+			rs.LoShard, rs.HiShard, t.client.conn(to).addr, err)
+	}
+	for s := rs.LoShard; s < rs.HiShard; s++ {
+		t.owner[s] = to
+	}
+	if t.readmissions != nil {
+		t.readmissions.Inc()
+	}
+	t.refreshCostGauges(rs.LoShard, rs.HiShard)
+	t.updateWorkerGauges()
+	return nil
+}
+
+// Rebalance asks r for a batch of moves against the current placement and
+// executes them with Migrate, in order, at the caller's tick barrier. It
+// returns the moves that committed; a failed move stops the batch (the
+// failed move's own rollback semantics apply — see Migrate).
+func (t *Transport) Rebalance(r Rebalancer) ([]Move, error) {
+	if r == nil {
+		return nil, errors.New("cluster: nil rebalancer")
+	}
+	view := View{
+		Owner:   t.Owner(),
+		Costs:   t.ShardCosts(nil),
+		Dead:    append([]bool(nil), t.dead...),
+		Workers: len(t.epochs),
+	}
+	moves := r.Propose(view)
+	for i, m := range moves {
+		if m.Lo < 0 || m.Hi > t.spec.Shards || m.Lo >= m.Hi || m.From != t.owner[m.Lo] {
+			return moves[:i], fmt.Errorf("cluster: rebalancer proposed [%d, %d) from worker %d, owner map disagrees",
+				m.Lo, m.Hi, m.From)
+		}
+		if err := t.Migrate(m.Lo, m.Hi, m.To); err != nil {
+			return moves[:i], err
+		}
+	}
+	return moves, nil
+}
+
+// WorkerPlacement is one worker slot's view in Placement.
+type WorkerPlacement struct {
+	Addr      string  `json:"addr"`
+	Epoch     uint64  `json:"epoch"`
+	Dead      bool    `json:"dead,omitempty"`
+	Shards    int     `json:"shards"`
+	CostNanos float64 `json:"cost_nanos"`
+}
+
+// Placement reports the live shard→worker map and each worker slot's
+// shard count, summed cost estimate and attach epoch — the admin view
+// serve renders at GET /cluster.
+func (t *Transport) Placement() (owner []int, workers []WorkerPlacement) {
+	owner = t.Owner()
+	workers = make([]WorkerPlacement, len(t.epochs))
+	for wi := range workers {
+		workers[wi] = WorkerPlacement{
+			Addr:  t.client.conn(wi).addr,
+			Epoch: t.epochs[wi],
+			Dead:  t.dead[wi],
+		}
+	}
+	for s, wi := range t.owner {
+		workers[wi].Shards++
+		workers[wi].CostNanos += t.costs.Estimate(s)
+	}
+	return owner, workers
 }
 
 // Close drops this attach's population from every worker (best-effort; a
@@ -418,6 +1008,6 @@ func (t *Transport) Explain(id int, now float64) (string, error) {
 // re-attached by a newer coordinator is left alone — the epoch no longer
 // matches). The shared Client stays open for other populations.
 func (t *Transport) Close() error {
-	t.drop(len(t.client.conns))
+	t.drop(len(t.epochs))
 	return nil
 }

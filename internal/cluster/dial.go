@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+)
+
+// Dialing retries with bounded exponential backoff: attempt k sleeps
+// base·2^k capped at dialBackoffCap, jittered to a uniform point in the
+// upper half of that window so a fleet of coordinators restarting together
+// does not hammer a recovering worker in lock-step. The schedule is pure
+// (backoffDelay), so tests pin it exactly with an injected random source.
+const (
+	dialBackoffBase = 50 * time.Millisecond
+	dialBackoffCap  = 2 * time.Second
+)
+
+// backoffDelay returns the sleep before retry attempt (0-based). rnd must
+// return a uniform float64 in [0, 1); the result lands in [d/2, d) where d
+// is the capped exponential base·2^attempt.
+func backoffDelay(attempt int, rnd func() float64) time.Duration {
+	d := dialBackoffBase
+	for i := 0; i < attempt && d < dialBackoffCap; i++ {
+		d *= 2
+	}
+	if d > dialBackoffCap {
+		d = dialBackoffCap
+	}
+	half := d / 2
+	return half + time.Duration(rnd()*float64(half))
+}
+
+// dialRetry dials addr until it answers, wait elapses, or ctx is done,
+// sleeping the backoffDelay schedule between attempts. It returns the
+// connection and how many retries (attempts beyond the first) it took —
+// fed to the sacs_cluster_dial_retries_total counter.
+func dialRetry(ctx context.Context, addr string, wait time.Duration) (net.Conn, int64, error) {
+	deadline := time.Now().Add(wait)
+	var retries int64
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			retries++
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, retries, lastErr
+		}
+		d := net.Dialer{Timeout: remain}
+		c, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			return c, retries, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, retries, ctx.Err()
+		}
+		sleep := backoffDelay(attempt, rand.Float64)
+		if remain = time.Until(deadline); sleep > remain {
+			sleep = remain
+		}
+		timer := time.NewTimer(sleep)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, retries, ctx.Err()
+		case <-timer.C:
+		}
+	}
+}
+
+// dialWorker is dialRetry without caller-supplied cancellation — the
+// convenience the Client's own dials use.
+func dialWorker(addr string, wait time.Duration) (net.Conn, int64, error) {
+	return dialRetry(context.Background(), addr, wait)
+}
+
+// DialContext connects to every worker, retrying each with exponential
+// backoff (jittered, capped) until it answers a ping or wait elapses, and
+// aborting promptly when ctx is cancelled. Worker order is part of the
+// deterministic contract — see Client.
+func DialContext(ctx context.Context, addrs []string, wait time.Duration) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("cluster: no worker addresses")
+	}
+	cl := &Client{}
+	for _, addr := range addrs {
+		nc, retries, err := dialRetry(ctx, addr, wait)
+		if err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("cluster: dial worker %s: %w", addr, err)
+		}
+		c := newConn(addr, nc, retries)
+		if _, err := c.call(msgPing, nil, msgOK); err != nil {
+			nc.Close()
+			cl.Close()
+			return nil, err
+		}
+		cl.conns = append(cl.conns, c)
+	}
+	return cl, nil
+}
+
+// Dial is DialContext with no cancellation beyond the wait budget.
+func Dial(addrs []string, wait time.Duration) (*Client, error) {
+	return DialContext(context.Background(), addrs, wait)
+}

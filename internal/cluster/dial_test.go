@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBackoffSchedule pins the dial retry schedule: exponential doubling
+// from the base, capped, with jitter confined to the upper half of each
+// window — and deterministic given the random source.
+func TestBackoffSchedule(t *testing.T) {
+	zero := func() float64 { return 0 }
+	want := []time.Duration{
+		25 * time.Millisecond, // 50ms/2
+		50 * time.Millisecond,
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1 * time.Second, // capped at 2s/2
+		1 * time.Second,
+	}
+	for attempt, w := range want {
+		if got := backoffDelay(attempt, zero); got != w {
+			t.Fatalf("attempt %d floor = %v, want %v", attempt, got, w)
+		}
+	}
+	// Jitter stays inside [d/2, d) and moves with the random draw.
+	almostOne := func() float64 { return 0.999999 }
+	for attempt := 0; attempt < 10; attempt++ {
+		floor := backoffDelay(attempt, zero)
+		ceil := backoffDelay(attempt, almostOne)
+		if ceil < floor || ceil >= 2*floor {
+			t.Fatalf("attempt %d jitter range [%v, %v) escapes [d/2, d)", attempt, floor, ceil)
+		}
+		mid := backoffDelay(attempt, func() float64 { return 0.5 })
+		if mid != floor+time.Duration(0.5*float64(floor)) {
+			t.Fatalf("attempt %d mid-jitter = %v", attempt, mid)
+		}
+	}
+	// Determinism: the same draws give the same schedule.
+	if backoffDelay(3, func() float64 { return 0.25 }) != backoffDelay(3, func() float64 { return 0.25 }) {
+		t.Fatal("backoffDelay is not a pure function of its inputs")
+	}
+}
+
+// TestDialRetrySucceedsAfterWorkerAppears: the retry loop bridges a worker
+// that comes up late — the re-admission story's first half.
+func TestDialRetrySucceedsAfterWorkerAppears(t *testing.T) {
+	// Reserve an address, then free it so the first dial attempts fail.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		ln2, err := net.Listen("tcp", addr)
+		if err != nil {
+			return // port raced away; the test will fail on the dial below
+		}
+		w, err := NewWorker(ln2, nil, []Workload{{Name: "gossip", Build: testBuild}})
+		if err != nil {
+			return
+		}
+		go w.Serve()
+	}()
+	cl, err := Dial([]string{addr}, 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial with late worker: %v", err)
+	}
+	defer cl.Close()
+	c := cl.conn(0)
+	if c.dialRetries < 1 {
+		t.Fatalf("dialRetries = %d, want >= 1 (the worker came up late)", c.dialRetries)
+	}
+}
+
+// TestDialContextCancelsPromptly: a cancelled context aborts the backoff
+// sleep immediately instead of burning the whole wait budget.
+func TestDialContextCancelsPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := DialContext(ctx, []string{"127.0.0.1:1"}, 30*time.Second)
+	if err == nil || !strings.Contains(err.Error(), "context canceled") {
+		t.Fatalf("cancelled dial: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled dial returned after %v, want prompt", elapsed)
+	}
+}
+
+// TestDialWaitBudget: with no worker ever appearing, Dial gives up once the
+// wait budget is spent and reports the underlying dial error.
+func TestDialWaitBudget(t *testing.T) {
+	start := time.Now()
+	_, err := Dial([]string{"127.0.0.1:1"}, 300*time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "dial worker") {
+		t.Fatalf("dial dead address: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("dial gave up after %v, want around the 300ms budget", elapsed)
+	}
+}

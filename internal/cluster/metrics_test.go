@@ -105,3 +105,56 @@ func TestClientInstrumentation(t *testing.T) {
 		}
 	}
 }
+
+// TestMigrationMetrics: a live migration moves the observability plane with
+// the shards — the migration counter increments, per-worker shard-count and
+// load gauges re-settle to the new placement, and the migrated shards' cost
+// gauges continue under the new worker's label (the old label's series is
+// zeroed: the registry keeps series forever).
+func TestMigrationMetrics(t *testing.T) {
+	addrs, _ := startWorkers(t, 2)
+	cl := dialAll(t, addrs)
+	reg := obs.NewRegistry()
+	cl.Instrument(reg)
+
+	tr, err := cl.NewTransport(testSpec("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := population.NewWithTransport(testBuild(tAgents, tShards, tSeed, nil), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(5)
+
+	if err := tr.Migrate(0, 2, 1); err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+	snap := reg.Snapshot()
+	if v, _ := snap[`sacs_cluster_migrations_total{pop="p"}`].(float64); v != 1 {
+		t.Errorf("migrations_total = %v, want 1", v)
+	}
+	wantShards := map[string]float64{addrs[0]: 2, addrs[1]: 6}
+	for addr, want := range wantShards {
+		key := `sacs_cluster_worker_shards{pop="p",worker="` + addr + `"}`
+		if v, _ := snap[key].(float64); v != want {
+			t.Errorf("%s = %v, want %v", key, snap[key], want)
+		}
+		key = `sacs_cluster_worker_cost_seconds{pop="p",worker="` + addr + `"}`
+		if v, _ := snap[key].(float64); v <= 0 {
+			t.Errorf("%s = %v, want > 0", key, snap[key])
+		}
+	}
+	for s := 0; s < 2; s++ {
+		oldKey := `sacs_cluster_shard_cost_seconds{pop="p",shard="` +
+			strconv.Itoa(s) + `",worker="` + addrs[0] + `"}`
+		if v, _ := snap[oldKey].(float64); v != 0 {
+			t.Errorf("%s = %v, want 0 after migration away", oldKey, snap[oldKey])
+		}
+		newKey := `sacs_cluster_shard_cost_seconds{pop="p",shard="` +
+			strconv.Itoa(s) + `",worker="` + addrs[1] + `"}`
+		if v, _ := snap[newKey].(float64); v <= 0 {
+			t.Errorf("%s = %v, want > 0 under the new owner", newKey, snap[newKey])
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"sacs/internal/cloudsim"
+	"sacs/internal/population"
+)
+
+// applyMoves replays a proposal onto a copied owner map, failing on any
+// internally inconsistent move (the same check Transport.Rebalance makes).
+func applyMoves(t *testing.T, v View, moves []Move) []int {
+	t.Helper()
+	owner := append([]int(nil), v.Owner...)
+	for _, m := range moves {
+		if m.Lo < 0 || m.Hi > len(owner) || m.Lo >= m.Hi {
+			t.Fatalf("move %+v out of range", m)
+		}
+		if v.Dead[m.To] {
+			t.Fatalf("move %+v targets a dead worker", m)
+		}
+		for s := m.Lo; s < m.Hi; s++ {
+			if owner[s] != m.From {
+				t.Fatalf("move %+v: shard %d owned by %d", m, s, owner[s])
+			}
+			owner[s] = m.To
+		}
+	}
+	return owner
+}
+
+func loadsOf(owner []int, costs []float64, workers int) []float64 {
+	loads := make([]float64, workers)
+	for s, wi := range owner {
+		c := costs[s]
+		if c <= 0 {
+			c = 1
+		}
+		loads[wi] += c
+	}
+	return loads
+}
+
+// TestCostRebalancerSmoothsSkew: with no autoscaler, a heavily skewed
+// placement is smoothed under the threshold by single-shard moves, and the
+// proposal is deterministic.
+func TestCostRebalancerSmoothsSkew(t *testing.T) {
+	v := View{
+		// Worker 0 owns six shards, worker 1 two; uniform costs.
+		Owner:   []int{0, 0, 0, 0, 0, 0, 1, 1},
+		Costs:   []float64{100, 100, 100, 100, 100, 100, 100, 100},
+		Dead:    []bool{false, false},
+		Workers: 2,
+	}
+	r := &CostRebalancer{Threshold: 1.5}
+	moves := r.Propose(v)
+	if len(moves) == 0 {
+		t.Fatal("3x skew over threshold 1.5 proposed no moves")
+	}
+	owner := applyMoves(t, v, moves)
+	loads := loadsOf(owner, v.Costs, v.Workers)
+	if loads[0] > 1.5*loads[1] || loads[1] > 1.5*loads[0] {
+		t.Fatalf("loads %v still exceed threshold after rebalance", loads)
+	}
+	again := (&CostRebalancer{Threshold: 1.5}).Propose(v)
+	if len(again) != len(moves) {
+		t.Fatalf("proposal not deterministic: %d vs %d moves", len(moves), len(again))
+	}
+	for i := range moves {
+		if moves[i] != again[i] {
+			t.Fatalf("proposal not deterministic at move %d: %+v vs %+v", i, moves[i], again[i])
+		}
+	}
+}
+
+// TestCostRebalancerBalancedProposesNothing: a placement inside the
+// threshold is left alone — EWMA jitter must not cause migration churn.
+func TestCostRebalancerBalancedProposesNothing(t *testing.T) {
+	v := View{
+		Owner:   []int{0, 0, 0, 0, 1, 1, 1, 1},
+		Costs:   []float64{100, 110, 90, 105, 95, 100, 100, 108},
+		Dead:    []bool{false, false},
+		Workers: 2,
+	}
+	if moves := (&CostRebalancer{}).Propose(v); len(moves) != 0 {
+		t.Fatalf("balanced placement proposed %+v", moves)
+	}
+}
+
+// TestCostRebalancerGrowsViaAutoscaler: the cloudsim control law decides
+// carrier count from real load. A reactive scaler seeing 8 shards per
+// carrier against a high-water mark of 4 grows onto the admitted-but-empty
+// worker, and the evacuation moves land there.
+func TestCostRebalancerGrowsViaAutoscaler(t *testing.T) {
+	owner := make([]int, 16)
+	costs := make([]float64, 16)
+	for s := range owner {
+		owner[s] = s / 8 // workers 0 and 1 carry everything
+		costs[s] = 50
+	}
+	v := View{Owner: owner, Costs: costs, Dead: []bool{false, false, false}, Workers: 3}
+	r := &CostRebalancer{Scaler: &cloudsim.Reactive{Hi: 4, Lo: 0.5, Step: 1}}
+	moves := r.Propose(v)
+	if len(moves) == 0 {
+		t.Fatal("overloaded carriers proposed no growth moves")
+	}
+	grew := false
+	for _, m := range moves {
+		if m.To == 2 {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Fatalf("no move targets the empty worker: %+v", moves)
+	}
+	final := applyMoves(t, v, moves)
+	loads := loadsOf(final, costs, 3)
+	if loads[2] == 0 {
+		t.Fatalf("worker 2 still empty after growth: %v", loads)
+	}
+}
+
+// TestCostRebalancerShrinksViaAutoscaler: a near-idle cluster consolidates
+// — the scaler proposes fewer carriers and the lightest workers are
+// evacuated wholesale.
+func TestCostRebalancerShrinksViaAutoscaler(t *testing.T) {
+	v := View{
+		Owner:   []int{0, 0, 0, 1, 1, 1, 2, 2},
+		Costs:   []float64{1, 1, 1, 1, 1, 1, 1, 1},
+		Dead:    []bool{false, false, false},
+		Workers: 3,
+	}
+	// Lo 3: under three shards per carrier scales down.
+	r := &CostRebalancer{Scaler: &cloudsim.Reactive{Hi: 100, Lo: 3, Step: 1}}
+	moves := r.Propose(v)
+	if len(moves) == 0 {
+		t.Fatal("idle cluster proposed no consolidation")
+	}
+	final := applyMoves(t, v, moves)
+	carriers := map[int]bool{}
+	for _, wi := range final {
+		carriers[wi] = true
+	}
+	if len(carriers) != 2 {
+		t.Fatalf("want 2 carriers after shrink, got %d (%v)", len(carriers), final)
+	}
+}
+
+// TestCostRebalancerIgnoresDeadWorkers: orphaned shards (dead owner) are
+// never proposed — they need Assign, not Migrate — and dead workers are
+// never destinations.
+func TestCostRebalancerIgnoresDeadWorkers(t *testing.T) {
+	v := View{
+		Owner:   []int{0, 0, 0, 0, 0, 0, 1, 1},
+		Costs:   []float64{100, 100, 100, 100, 100, 100, 100, 100},
+		Dead:    []bool{false, true},
+		Workers: 2,
+	}
+	for _, m := range (&CostRebalancer{}).Propose(v) {
+		if m.From == 1 || m.To == 1 {
+			t.Fatalf("move %+v touches the dead worker", m)
+		}
+	}
+	// All workers dead: nothing to do, no panic.
+	v.Dead = []bool{true, true}
+	if moves := (&CostRebalancer{}).Propose(v); len(moves) != 0 {
+		t.Fatalf("all-dead view proposed %+v", moves)
+	}
+}
+
+// TestCostRebalancerRespectsMaxMoves: a pathological skew still yields a
+// bounded batch.
+func TestCostRebalancerRespectsMaxMoves(t *testing.T) {
+	owner := make([]int, 64)
+	costs := make([]float64, 64)
+	for s := range owner {
+		costs[s] = 10
+	}
+	v := View{Owner: owner, Costs: costs, Dead: []bool{false, false}, Workers: 2}
+	moves := (&CostRebalancer{MaxMoves: 3}).Propose(v)
+	if len(moves) > 3 {
+		t.Fatalf("%d moves exceed MaxMoves 3", len(moves))
+	}
+}
+
+// TestRebalanceEndToEndByteIdentical: the full loop — run, admit an empty
+// worker, Rebalance with the autoscaler-driven policy, keep running — must
+// execute real migrations and stay byte-identical to the uninterrupted
+// single-process engine.
+func TestRebalanceEndToEndByteIdentical(t *testing.T) {
+	ref := population.New(testBuild(tAgents, tShards, tSeed, nil))
+	addrs, _ := startWorkers(t, 2)
+	cl := dialAll(t, addrs)
+	tr, err := cl.NewTransport(testSpec("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := population.NewWithTransport(testBuild(tAgents, tShards, tSeed, nil), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		tickBoth(t, i, ref, eng)
+	}
+
+	lateAddrs, _ := startWorkers(t, 1)
+	wi, err := cl.AddWorker(lateAddrs[0], 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AdmitWorker(wi); err != nil {
+		t.Fatal(err)
+	}
+	// 8 shards on 2 carriers = 4 per node, over a high-water mark of 2:
+	// the reactive law grows onto the new worker.
+	moves, err := tr.Rebalance(&CostRebalancer{Scaler: &cloudsim.Reactive{Hi: 2, Lo: 0.1, Step: 1}})
+	if err != nil {
+		t.Fatalf("rebalance: %v", err)
+	}
+	if len(moves) == 0 {
+		t.Fatal("rebalance executed no moves")
+	}
+	landed := false
+	for _, wiOwner := range tr.Owner() {
+		if wiOwner == wi {
+			landed = true
+		}
+	}
+	if !landed {
+		t.Fatalf("no shard landed on the admitted worker; owner map %v after %+v", tr.Owner(), moves)
+	}
+
+	for i := 10; i < 20; i++ {
+		tickBoth(t, i, ref, eng)
+	}
+	if !bytes.Equal(encodeSnap(t, ref), encodeSnap(t, eng)) {
+		t.Fatal("run diverged across a live rebalance")
+	}
+}

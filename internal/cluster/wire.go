@@ -44,7 +44,18 @@ const maxFrame = 1 << 30
 // Steals counter to tick-reply exchanges. Both are observation-only: like
 // StepNanos they never feed stepping, so v3 ticks are byte-identical to v2
 // ticks modulo the two new varint fields.
-const protocolVersion = 3
+//
+// v4 made shard ownership elastic: a worker may host several disjoint
+// shard ranges of one population (so msgInit accepts an empty range — an
+// admitted member holding no shards yet), msgExport replies msgRanges (one
+// RangeState per hosted contiguous range), tick requests carry mail for
+// every owned agent interval and tick replies concatenate the owned
+// ranges' exchanges in shard index order, and the msgMigrate / msgAdopt /
+// msgRelease triplet moves a shard range between workers at a tick
+// barrier. Ownership changes never touch the moving state's bytes, so v4
+// runs — migrations included — stay byte-identical to v3 and to the
+// single-process engine.
+const protocolVersion = 4
 
 type msgType byte
 
@@ -66,6 +77,10 @@ const (
 	msgText                   // rendered explanation
 	msgDrop                   // id, epoch (dropped only if the epoch still owns it)
 	msgPing                   // empty body (readiness probe)
+	msgMigrate                // id, epoch, shard range → msgRange (read-only drain of a hosted subrange)
+	msgAdopt                  // id, epoch, RangeState, cost priors (install a new range next to existing ones)
+	msgRelease                // id, epoch, shard range (forget it: a migration's source-side commit, or a failed adopt's rollback)
+	msgRanges                 // count-prefixed RangeStates in shard order (export reply)
 )
 
 var errFrameTooLarge = errors.New("cluster: frame exceeds size limit")
@@ -143,32 +158,42 @@ func decodeSpec(d *checkpoint.Decoder) Spec {
 	}
 }
 
-// encodeMail appends the non-empty mailboxes of agents [lo, hi) as
-// (agent id, stimuli) pairs.
-func encodeMail(e *checkpoint.Encoder, mail [][]core.Stimulus, lo, hi int) {
+// span is one owned agent interval [lo, hi). A v4 worker may own several
+// disjoint shard ranges, so mail crosses the wire per interval list.
+type span struct{ lo, hi int }
+
+// encodeMail appends the non-empty mailboxes of the given agent intervals
+// as (agent id, stimuli) pairs. Spans must be sorted and disjoint, so the
+// pairs come out in agent id order regardless of placement.
+func encodeMail(e *checkpoint.Encoder, mail [][]core.Stimulus, spans []span) {
 	boxes := 0
-	for id := lo; id < hi; id++ {
-		if len(mail[id]) > 0 {
-			boxes++
+	for _, sp := range spans {
+		for id := sp.lo; id < sp.hi; id++ {
+			if len(mail[id]) > 0 {
+				boxes++
+			}
 		}
 	}
 	e.Uvarint(uint64(boxes))
-	for id := lo; id < hi; id++ {
-		if len(mail[id]) == 0 {
-			continue
-		}
-		e.Int(id)
-		e.Uvarint(uint64(len(mail[id])))
-		for _, st := range mail[id] {
-			e.Stimulus(st)
+	for _, sp := range spans {
+		for id := sp.lo; id < sp.hi; id++ {
+			if len(mail[id]) == 0 {
+				continue
+			}
+			e.Int(id)
+			e.Uvarint(uint64(len(mail[id])))
+			for _, st := range mail[id] {
+				e.Stimulus(st)
+			}
 		}
 	}
 }
 
 // decodeMailInto fills the non-empty boxes into mail (global-indexed,
 // len agents) and returns the ids it touched so the caller can clear them
-// cheaply after the tick.
-func decodeMailInto(d *checkpoint.Decoder, mail [][]core.Stimulus, lo, hi int, touched []int) ([]int, error) {
+// cheaply after the tick. Every id must fall inside one of the owned
+// agent intervals.
+func decodeMailInto(d *checkpoint.Decoder, mail [][]core.Stimulus, spans []span, touched []int) ([]int, error) {
 	boxes := d.Count(2)
 	for i := 0; i < boxes; i++ {
 		id := d.Int()
@@ -176,8 +201,15 @@ func decodeMailInto(d *checkpoint.Decoder, mail [][]core.Stimulus, lo, hi int, t
 		if err := d.Err(); err != nil {
 			return touched, err
 		}
-		if id < lo || id >= hi {
-			return touched, fmt.Errorf("cluster: mailbox for agent %d outside owned range [%d, %d)", id, lo, hi)
+		owned := false
+		for _, sp := range spans {
+			if id >= sp.lo && id < sp.hi {
+				owned = true
+				break
+			}
+		}
+		if !owned {
+			return touched, fmt.Errorf("cluster: mailbox for agent %d outside owned ranges", id)
 		}
 		box := mail[id][:0]
 		for j := 0; j < n; j++ {
@@ -189,49 +221,36 @@ func decodeMailInto(d *checkpoint.Decoder, mail [][]core.Stimulus, lo, hi int, t
 	return touched, d.Err()
 }
 
-// encodeExchanges appends per-shard tick results in shard index order.
-func encodeExchanges(e *checkpoint.Encoder, outs []*population.ShardExchange) {
-	e.Uvarint(uint64(len(outs)))
-	for _, o := range outs {
-		e.Int(o.Delivered)
-		e.Int(o.Actions)
-		e.Varint(o.StepNanos)
-		e.Int(o.Steals)
-		e.Online(o.Observed.State())
-		e.Uvarint(uint64(len(o.Msgs)))
-		for _, m := range o.Msgs {
-			e.Int(m.To)
-			e.Stimulus(m.Stim)
-		}
+// encodeExchange appends one shard's tick result.
+func encodeExchange(e *checkpoint.Encoder, o *population.ShardExchange) {
+	e.Int(o.Delivered)
+	e.Int(o.Actions)
+	e.Varint(o.StepNanos)
+	e.Int(o.Steals)
+	e.Online(o.Observed.State())
+	e.Uvarint(uint64(len(o.Msgs)))
+	for _, m := range o.Msgs {
+		e.Int(m.To)
+		e.Stimulus(m.Stim)
 	}
 }
 
-// decodeExchangesInto decodes exactly want per-shard exchanges into the
-// pooled outs slice (reusing Msgs capacity between ticks).
-func decodeExchangesInto(d *checkpoint.Decoder, outs []*population.ShardExchange, want int) error {
-	n := d.Count(1)
+// decodeExchange decodes one shard's tick result into the pooled o
+// (reusing Msgs capacity between ticks).
+func decodeExchange(d *checkpoint.Decoder, o *population.ShardExchange) error {
+	o.Delivered = d.Int()
+	o.Actions = d.Int()
+	o.StepNanos = d.Varint()
+	o.Steals = d.Int()
+	o.Observed.SetState(d.Online())
+	msgs := d.Count(2)
 	if err := d.Err(); err != nil {
 		return err
 	}
-	if n != want {
-		return fmt.Errorf("cluster: tick reply carries %d shard exchanges, want %d", n, want)
-	}
-	for i := 0; i < n; i++ {
-		o := outs[i]
-		o.Delivered = d.Int()
-		o.Actions = d.Int()
-		o.StepNanos = d.Varint()
-		o.Steals = d.Int()
-		o.Observed.SetState(d.Online())
-		msgs := d.Count(2)
-		if err := d.Err(); err != nil {
-			return err
-		}
-		o.Msgs = o.Msgs[:0]
-		for j := 0; j < msgs; j++ {
-			to := d.Int()
-			o.Msgs = append(o.Msgs, population.Routed{To: to, Stim: d.Stimulus()})
-		}
+	o.Msgs = o.Msgs[:0]
+	for j := 0; j < msgs; j++ {
+		to := d.Int()
+		o.Msgs = append(o.Msgs, population.Routed{To: to, Stim: d.Stimulus()})
 	}
 	return d.Err()
 }

@@ -298,15 +298,15 @@ func TestS2ResumeDeterminism(t *testing.T) {
 
 // TestS3ClusterEquivalence is the acceptance check for the multi-process
 // shard transport: every S3 row — every cluster size — must report perfect
-// per-tick, snapshot-byte and resume matches against the single-process
-// engine.
+// per-tick, snapshot-byte, resume and elastic (worker kill → re-admission
+// → live rebalance) matches against the single-process engine.
 func TestS3ClusterEquivalence(t *testing.T) {
 	r := S3ClusterEquivalence(Config{Seeds: 1, Scale: 0.25})
 	if r.Table.NumRows() != 3 {
 		t.Fatalf("rows = %d, want workers=1, 2 and 4", r.Table.NumRows())
 	}
 	for _, row := range []string{"workers=1", "workers=2", "workers=4"} {
-		for _, col := range []string{"ticks-match", "snap-match", "resume-match"} {
+		for _, col := range []string{"ticks-match", "snap-match", "resume-match", "elastic-match"} {
 			v, ok := r.Table.Lookup(row, col)
 			if !ok || v != 1 {
 				t.Fatalf("%s: %s = %v, want 1 (cluster diverged from single-process run)", row, col, v)

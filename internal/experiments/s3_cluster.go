@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"sacs/internal/checkpoint"
+	"sacs/internal/cloudsim"
 	"sacs/internal/cluster"
 	"sacs/internal/core"
 	"sacs/internal/population"
@@ -24,7 +25,14 @@ import (
 // cuts the cluster run at an interior tick, restores a *fresh* cluster
 // from the encoded snapshot (each worker re-initialised through the
 // shard-granular Install path), and requires the continuation to end in
-// the reference's exact bytes.
+// the reference's exact bytes. The elastic leg exercises the live
+// topology-change machinery mid-run: a worker is killed at a tick
+// barrier, a replacement is dialled and admitted, the dead worker's
+// shards are re-homed from live engine state (Transport.Assign — no disk
+// checkpoint involved), the autoscaler-driven rebalance policy migrates
+// load across the survivors, and the run must still end in the
+// reference's exact bytes — migration changes where shards step, never
+// what they compute.
 //
 // The workers here run in-process over real loopback TCP sockets — the
 // identical codec, framing and worker code that `sawd -worker` processes
@@ -47,7 +55,7 @@ func S3ClusterEquivalence(cfg Config) *Result {
 	table := stats.NewTable(
 		fmt.Sprintf("S3 multi-process cluster equivalence: %d agents, %d shards, %d ticks, %d seeds",
 			agents, shards, ticks, cfg.Seeds),
-		"workers", "ticks-match", "snap-match", "resume-match", "snap-KiB", "model-mean")
+		"workers", "ticks-match", "snap-match", "resume-match", "elastic-match", "snap-KiB", "model-mean")
 
 	for _, workers := range []int{1, 2, 4} {
 		workers := workers
@@ -67,23 +75,23 @@ func S3ClusterEquivalence(cfg Config) *Result {
 				}
 
 				ref := population.New(build())
-				eng, shutdown := s3Cluster(workers, build, nil)
+				rig := s3Cluster(workers, build, nil)
 
 				cut := ticks / 2
 				var midSnap *population.Snapshot
 				ticksMatch := 1.0
 				for i := 0; i < ticks; i++ {
 					if i == cut {
-						snap, err := eng.Snapshot()
+						snap, err := rig.eng.Snapshot()
 						if err != nil {
 							panic(fmt.Sprintf("S3: mid-run snapshot: %v", err))
 						}
 						midSnap = snap
 					}
 					ingest(ref, i)
-					ingest(eng, i)
+					ingest(rig.eng, i)
 					want := ref.Tick()
-					got, err := eng.TickErr()
+					got, err := rig.eng.TickErr()
 					if err != nil {
 						panic(fmt.Sprintf("S3: cluster tick %d: %v", i, err))
 					}
@@ -92,32 +100,37 @@ func S3ClusterEquivalence(cfg Config) *Result {
 					}
 				}
 				refEnc := mustEncode(ref)
-				cluEnc := mustEncode(eng)
+				cluEnc := mustEncode(rig.eng)
 				snapMatch := 0.0
 				if bytes.Equal(refEnc, cluEnc) {
 					snapMatch = 1
 				}
-				shutdown()
+				rig.shutdown()
 
 				// Resume leg: a brand-new cluster (fresh worker "processes",
 				// fresh agents) restored from the mid-run snapshot must end
 				// in the reference's exact bytes.
-				resumed, shutdown2 := s3Cluster(workers, build, midSnap)
+				rig2 := s3Cluster(workers, build, midSnap)
 				for i := cut; i < ticks; i++ {
-					ingest(resumed, i)
-					if _, err := resumed.TickErr(); err != nil {
+					ingest(rig2.eng, i)
+					if _, err := rig2.eng.TickErr(); err != nil {
 						panic(fmt.Sprintf("S3: resumed tick %d: %v", i, err))
 					}
 				}
-				resEnc := mustEncode(resumed)
+				resEnc := mustEncode(rig2.eng)
 				resumeMatch := 0.0
 				if bytes.Equal(refEnc, resEnc) {
 					resumeMatch = 1
 				}
-				shutdown2()
+				rig2.shutdown()
 
-				rs := eng.Run(0)
-				return []float64{ticksMatch, snapMatch, resumeMatch,
+				elasticMatch := 0.0
+				if s3ElasticLeg(workers, build, ingest, ticks, refEnc) {
+					elasticMatch = 1
+				}
+
+				rs := rig.eng.Run(0)
+				return []float64{ticksMatch, snapMatch, resumeMatch, elasticMatch,
 					float64(len(cluEnc)) / 1024, rs.Observed.Mean()}
 			})
 		table.AddRow(fmt.Sprintf("workers=%d", workers),
@@ -130,17 +143,134 @@ func S3ClusterEquivalence(cfg Config) *Result {
 		"with the single-process snapshot (gathered from workers through Transport.Export)")
 	table.AddNote("resume-match: 1 when a fresh cluster restored from the mid-run snapshot " +
 		"(shard-granular Install to every worker) ends in the reference's exact bytes")
+	table.AddNote("elastic-match: 1 when a run that kills a worker at the mid-run barrier, " +
+		"re-admits a replacement from live engine state (Assign, no disk checkpoint) and " +
+		"rebalances via the autoscaler policy still ends in the reference's exact bytes")
 	table.AddNote("workers run in-process over real loopback TCP — the identical wire path " +
 		"`sawd -worker` processes speak; CI's cluster-e2e job repeats this across real processes")
 	return resultFor("S3", table)
 }
 
+// s3ElasticLeg runs the live-topology-change scenario: tick to the mid-run
+// barrier, kill worker 0 and detach it, dial and admit a replacement
+// worker, re-home the orphaned shard ranges from the barrier snapshot
+// (live engine state — exactly what the workers held, because no tick has
+// run since), rebalance with the cost policy under the reactive autoscaler
+// control law, then finish the run. Returns whether the final snapshot is
+// byte-identical to the reference encoding.
+func s3ElasticLeg(workers int, build func() population.Config,
+	ingest func(*population.Engine, int), ticks int, refEnc []byte) bool {
+	rig := s3Cluster(workers, build, nil)
+	defer rig.shutdown()
+
+	cut := ticks / 2
+	for i := 0; i < cut; i++ {
+		ingest(rig.eng, i)
+		if _, err := rig.eng.TickErr(); err != nil {
+			panic(fmt.Sprintf("S3: elastic tick %d: %v", i, err))
+		}
+	}
+	// Barrier state, captured before the kill: with no tick in between,
+	// this *is* the live state of every worker, so the replacement can be
+	// seeded from it without touching a checkpoint file.
+	snap, err := rig.eng.Snapshot()
+	if err != nil {
+		panic(fmt.Sprintf("S3: elastic barrier snapshot: %v", err))
+	}
+	rig.ws[0].Close()
+	if err := rig.tr.DetachWorker(0); err != nil {
+		panic(fmt.Sprintf("S3: detach: %v", err))
+	}
+
+	// The replacement worker: a fresh process, announced to the
+	// coordinator and admitted into the placement shard-less.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(fmt.Sprintf("S3: elastic listen: %v", err))
+	}
+	w, err := cluster.NewWorker(ln, nil, []cluster.Workload{{Name: "gossip", Build: S2Config}})
+	if err != nil {
+		panic(fmt.Sprintf("S3: elastic worker: %v", err))
+	}
+	go w.Serve()
+	defer w.Close()
+	wi, err := rig.cl.AddWorker(w.Addr(), 5*time.Second)
+	if err != nil {
+		panic(fmt.Sprintf("S3: elastic add: %v", err))
+	}
+	if err := rig.tr.AdmitWorker(wi); err != nil {
+		panic(fmt.Sprintf("S3: elastic admit: %v", err))
+	}
+
+	// Re-home the dead worker's contiguous runs from the barrier snapshot.
+	owner := rig.tr.Owner()
+	for lo := 0; lo < len(owner); {
+		if owner[lo] != 0 {
+			lo++
+			continue
+		}
+		hi := lo + 1
+		for hi < len(owner) && owner[hi] == 0 {
+			hi++
+		}
+		rs, err := snap.Range(lo, hi)
+		if err != nil {
+			panic(fmt.Sprintf("S3: elastic range: %v", err))
+		}
+		if err := rig.tr.Assign(rs, wi); err != nil {
+			panic(fmt.Sprintf("S3: elastic assign: %v", err))
+		}
+		lo = hi
+	}
+
+	// One explicit live migration on top of the re-homing: move a single
+	// shard from a surviving worker onto the replacement, so the leg
+	// exercises the drain → adopt → release path against a running
+	// population (with more than one worker to move between).
+	owner = rig.tr.Owner()
+	for lo := range owner {
+		if owner[lo] != wi && owner[lo] != 0 {
+			if err := rig.tr.Migrate(lo, lo+1, wi); err != nil {
+				panic(fmt.Sprintf("S3: elastic migrate: %v", err))
+			}
+			break
+		}
+	}
+
+	// Spread load across the survivors with the autoscaler-driven policy
+	// (the same control law the serve admin endpoint defaults to).
+	policy := &cluster.CostRebalancer{Scaler: &cloudsim.Reactive{Hi: 4, Lo: 0.5, Step: 1}}
+	if _, err := rig.tr.Rebalance(policy); err != nil {
+		panic(fmt.Sprintf("S3: elastic rebalance: %v", err))
+	}
+
+	for i := cut; i < ticks; i++ {
+		ingest(rig.eng, i)
+		if _, err := rig.eng.TickErr(); err != nil {
+			panic(fmt.Sprintf("S3: elastic tick %d: %v", i, err))
+		}
+	}
+	return bytes.Equal(refEnc, mustEncode(rig.eng))
+}
+
+// s3Rig is one running cluster under test: the coordinator engine, the
+// shared client, the engine's transport (for placement operations) and
+// the in-process workers (indexed like the client's slots, so tests can
+// kill a specific one).
+type s3Rig struct {
+	eng      *population.Engine
+	cl       *cluster.Client
+	tr       *cluster.Transport
+	ws       []*cluster.Worker
+	shutdown func()
+}
+
 // s3Cluster brings up `workers` cluster workers on loopback TCP, attaches a
 // coordinator engine for the S2 workload (restored from snap when non-nil),
-// and returns the engine plus a shutdown function. Failures panic: the
-// runner pool's per-job recovery reports them as the job's failure.
+// and returns the rig. Failures panic: the runner pool's per-job recovery
+// reports them as the job's failure.
 func s3Cluster(workers int, build func() population.Config,
-	snap *population.Snapshot) (*population.Engine, func()) {
+	snap *population.Snapshot) *s3Rig {
 	cfg := build().Normalized()
 	addrs := make([]string, workers)
 	ws := make([]*cluster.Worker, workers)
@@ -186,11 +316,11 @@ func s3Cluster(workers int, build func() population.Config,
 	if err != nil {
 		panic(fmt.Sprintf("S3: engine: %v", err))
 	}
-	return eng, func() {
+	return &s3Rig{eng: eng, cl: cl, tr: tr, ws: ws, shutdown: func() {
 		eng.Close()
 		cl.Close()
 		for _, w := range ws {
 			w.Close()
 		}
-	}
+	}}
 }

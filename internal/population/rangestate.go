@@ -1,0 +1,61 @@
+package population
+
+import (
+	"fmt"
+
+	"sacs/internal/core"
+)
+
+// checkRangeState verifies rs's internal consistency: the slice lengths
+// must match the declared shard and agent intervals. It guards the
+// state-transfer seams (merge, install, cluster adopt) against a payload
+// whose header and body disagree.
+func checkRangeState(rs *RangeState) error {
+	if rs == nil {
+		return fmt.Errorf("population: nil range state")
+	}
+	shards, agents := rs.HiShard-rs.LoShard, rs.HiAgent-rs.LoAgent
+	if shards <= 0 || agents < 0 {
+		return fmt.Errorf("population: range state covers shards [%d, %d) agents [%d, %d)",
+			rs.LoShard, rs.HiShard, rs.LoAgent, rs.HiAgent)
+	}
+	if len(rs.ShardRNG) != shards || len(rs.AgentRNG) != agents || len(rs.AgentStates) != agents {
+		return fmt.Errorf("population: range state internally inconsistent "+
+			"(%d shard streams, %d agent streams, %d agent states for %d shards, %d agents)",
+			len(rs.ShardRNG), len(rs.AgentRNG), len(rs.AgentStates), shards, agents)
+	}
+	return nil
+}
+
+// MergeRanges concatenates two adjacent range states: b must begin exactly
+// where a ends, in both the shard and the agent interval — a gap or an
+// overlap is an error, never silently bridged. The result owns fresh
+// backing arrays (the element states themselves are shared, as everywhere
+// in the state-transfer layer). It is the coalescing half of live shard
+// migration: a worker that adopts a range bordering one it already hosts
+// merges the two back into a single contiguous transport.
+func MergeRanges(a, b *RangeState) (*RangeState, error) {
+	if err := checkRangeState(a); err != nil {
+		return nil, err
+	}
+	if err := checkRangeState(b); err != nil {
+		return nil, err
+	}
+	if b.LoShard != a.HiShard || b.LoAgent != a.HiAgent {
+		return nil, fmt.Errorf("population: merge of non-adjacent ranges: "+
+			"shards [%d, %d)+[%d, %d), agents [%d, %d)+[%d, %d)",
+			a.LoShard, a.HiShard, b.LoShard, b.HiShard,
+			a.LoAgent, a.HiAgent, b.LoAgent, b.HiAgent)
+	}
+	m := &RangeState{
+		LoShard: a.LoShard, HiShard: b.HiShard,
+		LoAgent: a.LoAgent, HiAgent: b.HiAgent,
+		ShardRNG:    make([]uint64, 0, len(a.ShardRNG)+len(b.ShardRNG)),
+		AgentRNG:    make([]uint64, 0, len(a.AgentRNG)+len(b.AgentRNG)),
+		AgentStates: make([]core.AgentState, 0, len(a.AgentStates)+len(b.AgentStates)),
+	}
+	m.ShardRNG = append(append(m.ShardRNG, a.ShardRNG...), b.ShardRNG...)
+	m.AgentRNG = append(append(m.AgentRNG, a.AgentRNG...), b.AgentRNG...)
+	m.AgentStates = append(append(m.AgentStates, a.AgentStates...), b.AgentStates...)
+	return m, nil
+}

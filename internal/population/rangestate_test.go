@@ -1,0 +1,198 @@
+package population
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"sacs/internal/core"
+)
+
+// rangeTestSnapshot builds a stepped engine and returns its snapshot — the
+// source material for Range / merge round-trip tests.
+func rangeTestSnapshot(t *testing.T) *Snapshot {
+	t.Helper()
+	cfg := tinyConfig(48)
+	cfg.Shards = 6
+	e := New(cfg)
+	e.Run(5)
+	snap, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestSnapshotRangeBoundaries: every boundary and degenerate shard range,
+// against both validation and the extracted slice contents.
+func TestSnapshotRangeBoundaries(t *testing.T) {
+	snap := rangeTestSnapshot(t)
+	bounds := Partition(snap.Agents, snap.Shards)
+
+	valid := []struct{ lo, hi int }{
+		{0, snap.Shards},               // the whole population
+		{0, 1},                         // first shard alone
+		{snap.Shards - 1, snap.Shards}, // last shard alone
+		{2, 4},                         // interior range
+	}
+	for _, c := range valid {
+		rs, err := snap.Range(c.lo, c.hi)
+		if err != nil {
+			t.Fatalf("Range(%d, %d): %v", c.lo, c.hi, err)
+		}
+		if rs.LoShard != c.lo || rs.HiShard != c.hi ||
+			rs.LoAgent != bounds[c.lo] || rs.HiAgent != bounds[c.hi] {
+			t.Fatalf("Range(%d, %d) covers shards [%d, %d) agents [%d, %d)",
+				c.lo, c.hi, rs.LoShard, rs.HiShard, rs.LoAgent, rs.HiAgent)
+		}
+		if !reflect.DeepEqual(rs.ShardRNG, snap.ShardRNG[c.lo:c.hi]) ||
+			!reflect.DeepEqual(rs.AgentRNG, snap.AgentRNG[bounds[c.lo]:bounds[c.hi]]) ||
+			!reflect.DeepEqual(rs.AgentStates, snap.AgentStates[bounds[c.lo]:bounds[c.hi]]) {
+			t.Fatalf("Range(%d, %d) slices disagree with the snapshot", c.lo, c.hi)
+		}
+	}
+
+	invalid := []struct{ lo, hi int }{
+		{-1, 2},                    // negative lo
+		{3, 2},                     // inverted
+		{2, 2},                     // empty
+		{0, snap.Shards + 1},       // past the end
+		{snap.Shards, snap.Shards}, // empty at the end
+	}
+	for _, c := range invalid {
+		if _, err := snap.Range(c.lo, c.hi); err == nil ||
+			!strings.Contains(err.Error(), "shard range") {
+			t.Fatalf("Range(%d, %d) = %v, want shard-range error", c.lo, c.hi, err)
+		}
+	}
+}
+
+// TestSnapshotRangeInconsistent: a snapshot whose header and slices
+// disagree is rejected before any slicing panics.
+func TestSnapshotRangeInconsistent(t *testing.T) {
+	snap := rangeTestSnapshot(t)
+	snap.ShardRNG = snap.ShardRNG[:len(snap.ShardRNG)-1]
+	if _, err := snap.Range(0, 2); err == nil ||
+		!strings.Contains(err.Error(), "inconsistent") {
+		t.Fatalf("Range on truncated snapshot: %v", err)
+	}
+}
+
+// TestMergeRangesRoundTrip: splitting a population's state at arbitrary
+// cuts and merging it back must reproduce the whole exactly, and the merge
+// must own fresh backing arrays.
+func TestMergeRangesRoundTrip(t *testing.T) {
+	snap := rangeTestSnapshot(t)
+	full, err := snap.Range(0, snap.Shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := snap.Range(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := snap.Range(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := snap.Range(5, snap.Shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := MergeRanges(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abc, err := MergeRanges(ab, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(abc, full) {
+		t.Fatal("split + merge does not reproduce the full range")
+	}
+	// The merge owns its arrays: scribbling on it leaves the parts alone.
+	abc.ShardRNG[0]++
+	if a.ShardRNG[0] == abc.ShardRNG[0] {
+		t.Fatal("merged range shares backing arrays with its inputs")
+	}
+}
+
+// TestMergeRangesRejectsMisalignment: gaps, overlaps, agent-interval
+// mismatches, internally inconsistent inputs and nils all fail loudly.
+func TestMergeRangesRejectsMisalignment(t *testing.T) {
+	snap := rangeTestSnapshot(t)
+	rng := func(lo, hi int) *RangeState {
+		rs, err := snap.Range(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+
+	cases := []struct {
+		name string
+		a, b *RangeState
+		want string
+	}{
+		{"gap", rng(0, 2), rng(3, 5), "non-adjacent"},
+		{"overlap", rng(0, 3), rng(2, 5), "non-adjacent"},
+		{"reversed", rng(3, 5), rng(0, 3), "non-adjacent"},
+		{"nil b", rng(0, 2), nil, "nil range state"},
+	}
+	for _, c := range cases {
+		if _, err := MergeRanges(c.a, c.b); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+
+	// Adjacent shard intervals whose agent intervals disagree.
+	a, b := rng(0, 2), rng(2, 5)
+	b.LoAgent++
+	if _, err := MergeRanges(a, b); err == nil || !strings.Contains(err.Error(), "inconsistent") {
+		t.Fatalf("agent-interval mismatch: %v", err)
+	}
+	// Header/body disagreement inside one input.
+	a, b = rng(0, 2), rng(2, 5)
+	b.ShardRNG = b.ShardRNG[:1]
+	if _, err := MergeRanges(a, b); err == nil || !strings.Contains(err.Error(), "inconsistent") {
+		t.Fatalf("truncated input: %v", err)
+	}
+}
+
+// TestExportRangeSubset: a transport's ExportRange must hand out exactly
+// the corresponding slice of its full export, and refuse ranges it does
+// not own.
+func TestExportRangeSubset(t *testing.T) {
+	cfg := tinyConfig(48)
+	cfg.Shards = 6
+	cfg = cfg.Normalized()
+	lt := NewLocalTransport(cfg, 0, cfg.Shards)
+	for tick := 0; tick < 3; tick++ {
+		if _, err := lt.Step(tick, make([][]core.Stimulus, cfg.Agents)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full, err := lt.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := Partition(cfg.Agents, cfg.Shards)
+	part, err := lt.ExportRange(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(part.ShardRNG, full.ShardRNG[1:4]) ||
+		!reflect.DeepEqual(part.AgentRNG, full.AgentRNG[bounds[1]:bounds[4]]) ||
+		!reflect.DeepEqual(part.AgentStates, full.AgentStates[bounds[1]:bounds[4]]) {
+		t.Fatal("ExportRange disagrees with the corresponding slice of Export")
+	}
+
+	// A transport owning an interior range refuses exports outside it.
+	sub := NewLocalTransport(cfg, 2, 5)
+	if _, err := sub.ExportRange(0, 3); err == nil || !strings.Contains(err.Error(), "outside owned") {
+		t.Fatalf("out-of-ownership export: %v", err)
+	}
+	if _, err := sub.ExportRange(4, 3); err == nil || !strings.Contains(err.Error(), "shard range") {
+		t.Fatalf("inverted export range: %v", err)
+	}
+}

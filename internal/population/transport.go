@@ -356,14 +356,28 @@ func (t *LocalTransport) Scheduler() Scheduler { return t.sched }
 
 // Export copies out the owned range's state in index order.
 func (t *LocalTransport) Export() (*RangeState, error) {
-	loA, hiA := t.AgentRange()
+	return t.ExportRange(t.lo, t.hi)
+}
+
+// ExportRange copies out the state of shards [lo, hi), which must lie
+// inside the owned range — the drain half of a live shard migration: the
+// coordinator pulls just the moving subrange, without materialising the
+// whole transport's state.
+func (t *LocalTransport) ExportRange(lo, hi int) (*RangeState, error) {
+	if err := ValidateShardRange(lo, hi, t.cfg.Shards); err != nil {
+		return nil, err
+	}
+	if lo < t.lo || hi > t.hi {
+		return nil, fmt.Errorf("population: export range [%d, %d) outside owned [%d, %d)", lo, hi, t.lo, t.hi)
+	}
+	loA, hiA := t.bounds[lo], t.bounds[hi]
 	rs := &RangeState{
-		LoShard: t.lo, HiShard: t.hi, LoAgent: loA, HiAgent: hiA,
-		ShardRNG:    make([]uint64, 0, t.hi-t.lo),
+		LoShard: lo, HiShard: hi, LoAgent: loA, HiAgent: hiA,
+		ShardRNG:    make([]uint64, 0, hi-lo),
 		AgentRNG:    make([]uint64, 0, hiA-loA),
 		AgentStates: make([]core.AgentState, 0, hiA-loA),
 	}
-	for s := t.lo; s < t.hi; s++ {
+	for s := lo; s < hi; s++ {
 		rs.ShardRNG = append(rs.ShardRNG, t.shardSrcs[s].State())
 	}
 	for id := loA; id < hiA; id++ {

@@ -1,6 +1,12 @@
 package serve
 
 import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sacs/internal/cloudsim"
 	"sacs/internal/cluster"
 	"sacs/internal/population"
 )
@@ -13,11 +19,20 @@ import (
 // ingest, checkpoints, the HTTP surface — is unchanged, because the
 // coordinator-side engine is an ordinary population.Engine.
 //
+// It also arms the elastic admin plane: the server records each
+// population's transport as its engine is built, so the /cluster HTTP
+// routes can admit late workers (ClusterAdmit) and migrate load between
+// them (ClusterRebalance) at each population's tick barrier — under the
+// same per-population lock that serialises Advance, which is exactly the
+// calling discipline cluster.Transport documents.
+//
 // A worker failure surfaces as an ErrHost-wrapped Advance error (HTTP 500)
 // and poisons the population's engine; the recovery path is the usual one,
 // restart + resume from the latest checkpoint, which re-initialises every
 // worker.
 func (o *Options) UseCluster(cl *cluster.Client) {
+	ctl := &clusterCtl{client: cl, transports: make(map[string]*cluster.Transport)}
+	o.cluster = ctl
 	spec := func(s Spec) cluster.Spec {
 		return cluster.Spec{ID: s.ID, Workload: s.Workload, Agents: s.Agents, Shards: s.Shards, Seed: s.Seed}
 	}
@@ -31,6 +46,7 @@ func (o *Options) UseCluster(cl *cluster.Client) {
 			tr.Close()
 			return nil, err
 		}
+		ctl.record(s.ID, tr)
 		return eng, nil
 	}
 	o.RestoreEngine = func(s Spec, cfg population.Config, snap *population.Snapshot) (*population.Engine, error) {
@@ -43,6 +59,184 @@ func (o *Options) UseCluster(cl *cluster.Client) {
 			tr.Close()
 			return nil, err
 		}
+		ctl.record(s.ID, tr)
 		return eng, nil
 	}
+}
+
+// clusterCtl is the serve layer's handle on an elastic cluster: the shared
+// worker list (client) and every hosted population's transport, keyed by
+// population id. Transports are recorded at engine-build time and never
+// removed — hosted populations live for the server's lifetime.
+type clusterCtl struct {
+	client *cluster.Client
+
+	mu         sync.Mutex
+	transports map[string]*cluster.Transport
+}
+
+func (c *clusterCtl) record(id string, tr *cluster.Transport) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.transports[id] = tr
+}
+
+func (c *clusterCtl) transport(id string) *cluster.Transport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.transports[id]
+}
+
+// errNotCluster answers the /cluster routes on an in-process server: a
+// caller mistake (400), not a host fault.
+var errNotCluster = errors.New("serve: not hosting on a cluster (start the daemon with a worker list)")
+
+func (s *Server) clusterCtl() (*clusterCtl, error) {
+	if s.opts.cluster == nil {
+		return nil, errNotCluster
+	}
+	return s.opts.cluster, nil
+}
+
+// ClusterPopPlacement is one population's live placement: the shard→worker
+// map and the per-worker rollup (address, attach epoch, liveness, shard
+// count, estimated load) straight from cluster.Transport.Placement.
+type ClusterPopPlacement struct {
+	ID      string                    `json:"id"`
+	Owner   []int                     `json:"owner"`
+	Workers []cluster.WorkerPlacement `json:"workers"`
+}
+
+// ClusterStatus is the GET /cluster body: the worker list (slot order —
+// the indices every placement speaks) and each population's placement.
+type ClusterStatus struct {
+	Addrs       []string              `json:"addrs"`
+	Populations []ClusterPopPlacement `json:"populations"`
+}
+
+// ClusterStatus reports the cluster's worker list and every hosted
+// population's live placement. Each placement is read at the population's
+// tick barrier (under its lock), so the owner maps are never mid-migration.
+func (s *Server) ClusterStatus() (ClusterStatus, error) {
+	ctl, err := s.clusterCtl()
+	if err != nil {
+		return ClusterStatus{}, err
+	}
+	out := ClusterStatus{Addrs: ctl.client.Addrs(), Populations: []ClusterPopPlacement{}}
+	for _, id := range s.IDs() {
+		h, err := s.hosted(id)
+		if err != nil {
+			continue // removed between IDs and here; nothing to report
+		}
+		tr := ctl.transport(id)
+		if tr == nil {
+			continue
+		}
+		h.mu.Lock()
+		owner, workers := tr.Placement()
+		h.mu.Unlock()
+		out.Populations = append(out.Populations, ClusterPopPlacement{ID: id, Owner: owner, Workers: workers})
+	}
+	return out, nil
+}
+
+// ClusterAdmit connects the worker at addr and admits it into every hosted
+// population's placement as a shard-less member, returning its worker
+// index. An address already on the worker list is re-dialled in place (the
+// restarted-worker case: the slot, and with it the owner-map identity, is
+// reused); a new address is appended. Either way the worker carries no
+// shards until a migration lands some — ClusterRebalance, or the
+// population's rebalance policy, is the follow-up step.
+//
+// Admitting an already-live worker that still owns shards fails per
+// population: its state would be silently replaced. Such a worker needs
+// its shards migrated away first (or, after a genuine state loss, the
+// restart+resume recovery path).
+func (s *Server) ClusterAdmit(addr string, wait time.Duration) (int, error) {
+	ctl, err := s.clusterCtl()
+	if err != nil {
+		return 0, err
+	}
+	if addr == "" {
+		return 0, errors.New("serve: admit needs a worker address")
+	}
+	if wait <= 0 {
+		wait = 10 * time.Second
+	}
+	wi := -1
+	for i, a := range ctl.client.Addrs() {
+		if a == addr {
+			wi = i
+			break
+		}
+	}
+	if wi >= 0 {
+		if err := ctl.client.Redial(wi, wait); err != nil {
+			return 0, err
+		}
+	} else if wi, err = ctl.client.AddWorker(addr, wait); err != nil {
+		return 0, err
+	}
+	for _, id := range s.IDs() {
+		h, err := s.hosted(id)
+		if err != nil {
+			continue
+		}
+		tr := ctl.transport(id)
+		if tr == nil {
+			continue
+		}
+		h.mu.Lock()
+		err = tr.AdmitWorker(wi)
+		h.mu.Unlock()
+		if err != nil {
+			return wi, fmt.Errorf("serve: admit worker %s into %q: %w", addr, id, err)
+		}
+		s.log.Info("serve: worker admitted", "pop", id, "worker", addr, "slot", wi)
+	}
+	return wi, nil
+}
+
+// ClusterRebalance runs the default cost-aware policy over every hosted
+// population at its tick barrier and executes the proposed migrations
+// live, returning the moves per population. The policy is
+// cluster.CostRebalancer with the cloud simulation's reactive autoscaler
+// as its carrier-count control law (grow past 4 mean-shard units of
+// estimated load per carrier, shrink under 0.5), tuned by
+// Options.RebalanceThreshold and Options.RebalanceMaxMoves.
+//
+// A failed migration is host-side (ErrHost → 500): the transport keeps
+// the source authoritative, and the committed prefix of moves stands.
+func (s *Server) ClusterRebalance() (map[string][]cluster.Move, error) {
+	ctl, err := s.clusterCtl()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]cluster.Move)
+	for _, id := range s.IDs() {
+		h, err := s.hosted(id)
+		if err != nil {
+			continue
+		}
+		tr := ctl.transport(id)
+		if tr == nil {
+			continue
+		}
+		policy := &cluster.CostRebalancer{
+			Scaler:    &cloudsim.Reactive{Hi: 4, Lo: 0.5, Step: 1},
+			Threshold: s.opts.RebalanceThreshold,
+			MaxMoves:  s.opts.RebalanceMaxMoves,
+		}
+		h.mu.Lock()
+		moves, err := tr.Rebalance(policy)
+		h.mu.Unlock()
+		out[id] = moves
+		if err != nil {
+			return out, fmt.Errorf("serve: rebalance %q (%w): %w", id, ErrHost, err)
+		}
+		if len(moves) > 0 {
+			s.log.Info("serve: rebalanced population", "pop", id, "moves", len(moves))
+		}
+	}
+	return out, nil
 }

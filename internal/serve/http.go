@@ -116,10 +116,18 @@ func (s *Server) handle(mux *http.ServeMux, pattern string, h http.HandlerFunc) 
 //	                                           enqueued in order, one lock pass)
 //	GET  /populations/{id}/agents/{n}/explain  per-agent self-explanation (text)
 //	POST /populations/{id}/checkpoint          snapshot to disk now
+//	GET  /cluster                              worker list + per-population placements
+//	POST /cluster/workers                      admit a worker: {"addr":"host:port"}
+//	                                           (new addresses join the list; a known
+//	                                           address is re-dialled into its slot)
+//	POST /cluster/rebalance                    migrate shards live via the default
+//	                                           cost policy; returns the moves
 //
-// Every route is instrumented (request count by status class, latency); the
-// exposition and JSON snapshot render the server's whole registry — engine,
-// cluster and serve planes alike.
+// The /cluster routes exist only when the server hosts populations on a
+// cluster (Options.UseCluster); in-process servers answer 400. Every route
+// is instrumented (request count by status class, latency); the exposition
+// and JSON snapshot render the server's whole registry — engine, cluster
+// and serve planes alike.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 
@@ -261,6 +269,49 @@ func (s *Server) Handler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, text)
+	})
+
+	s.handle(mux, "GET /cluster", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.ClusterStatus()
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	s.handle(mux, "POST /cluster/workers", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Addr   string `json:"addr"`
+			WaitMS int    `json:"wait_ms"`
+		}
+		if err := json.NewDecoder(io.LimitReader(r.Body, 4096)).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad admit body: %w", err))
+			return
+		}
+		wi, err := s.ClusterAdmit(req.Addr, time.Duration(req.WaitMS)*time.Millisecond)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"worker": wi, "addr": req.Addr})
+	})
+
+	s.handle(mux, "POST /cluster/rebalance", func(w http.ResponseWriter, r *http.Request) {
+		moves, err := s.ClusterRebalance()
+		if err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, ErrHost) {
+				code = http.StatusInternalServerError
+			}
+			writeErr(w, code, err)
+			return
+		}
+		total := 0
+		for _, m := range moves {
+			total += len(m)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"moves": moves, "total": total})
 	})
 
 	s.handle(mux, "POST /populations/{id}/checkpoint", func(w http.ResponseWriter, r *http.Request) {

@@ -70,6 +70,20 @@ type Options struct {
 	// Logger is the server's structured logger (nil: slog.Default()).
 	// Population and shard attributes ride on every record.
 	Logger *slog.Logger
+	// RebalanceThreshold tunes POST /cluster/rebalance's default policy:
+	// the max/min per-worker load ratio tolerated before single-shard
+	// smoothing migrations are proposed (<= 1 means the
+	// cluster.CostRebalancer default, 1.5). Ignored in-process.
+	RebalanceThreshold float64
+	// RebalanceMaxMoves caps one POST /cluster/rebalance batch
+	// (<= 0 means the cluster.CostRebalancer default, 16).
+	RebalanceMaxMoves int
+
+	// cluster is set by UseCluster: the admin-plane handle (shared client
+	// plus every hosted population's transport) behind the /cluster HTTP
+	// surface. nil means populations are hosted in-process and the
+	// /cluster routes answer 400.
+	cluster *clusterCtl
 }
 
 // ErrHost marks failures on the service's side (checkpoint I/O, engine

@@ -155,6 +155,11 @@ func run() int {
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the HTTP address (opt-in: profiling is an operator tool, not part of the public API)")
 		rebalThresh = flag.Float64("rebalance-threshold", 1.5, "POST /cluster/rebalance: max/min per-worker load ratio tolerated before smoothing migrations")
 		rebalMoves  = flag.Int("rebalance-max-moves", 16, "POST /cluster/rebalance: migration batch cap per request")
+		mailboxBudget = flag.Int("mailbox-budget", 0, "per-population cap on stimuli pending delivery; past it POST .../stimuli sheds with 429 "+
+			"(0 = adaptive from population size and work-proxy quantiles, negative disables shedding)")
+		explainBudget = flag.Int("explain-budget", 0, "byte cap per rendered explanation (0 = 64KiB default, negative = uncapped)")
+		lockedReads   = flag.Bool("locked-reads", false, "serve status/cluster/explain under the population lock instead of the published view "+
+			"(benchmark baseline for tools/loadgen; never set in production)")
 	)
 	var specArgs []string
 	flag.Func("pop", "population spec: id=...,workload=...,agents=N,shards=N,seed=N (repeatable)",
@@ -200,6 +205,9 @@ func run() int {
 		Logger:             log,
 		RebalanceThreshold: *rebalThresh,
 		RebalanceMaxMoves:  *rebalMoves,
+		MailboxBudget:      *mailboxBudget,
+		ExplainBudget:      *explainBudget,
+		LockedReads:        *lockedReads,
 	}
 	if *clusterList != "" {
 		cl, err := cluster.Dial(strings.Split(*clusterList, ","), 10*time.Second)

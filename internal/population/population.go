@@ -1,6 +1,7 @@
 package population
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
@@ -9,6 +10,12 @@ import (
 	"sacs/internal/runner"
 	"sacs/internal/stats"
 )
+
+// ErrMailboxFull is wrapped by Enqueue when Config.MailboxBudget external
+// stimuli are already pending delivery. Callers shed the stimulus (the
+// hosting service maps it to 429 + Retry-After) and retry after the next
+// tick drains the mailboxes.
+var ErrMailboxFull = errors.New("population: mailbox budget exceeded")
 
 // DefaultShards is the shard count used when Config.Shards is zero. It is a
 // fixed constant rather than a function of the pool's worker count because
@@ -84,6 +91,14 @@ type Config struct {
 	// (see NewMetrics). Observation-only: stepping and snapshots are
 	// byte-identical with or without it, and it is never serialised.
 	Metrics *Metrics
+	// MailboxBudget caps externally enqueued stimuli pending delivery
+	// (Enqueue returns ErrMailboxFull past it); 0 means unbounded. The
+	// budget is admission control on outside traffic only: agent-to-agent
+	// messages routed at tick barriers are never budgeted, accepted
+	// stimuli are never dropped, and the budget itself is not part of the
+	// snapshot — so runs fed the same accepted stimuli stay byte-identical
+	// at any budget.
+	MailboxBudget int
 }
 
 // Normalized returns the config with name, shard-count and pool defaults
@@ -194,6 +209,7 @@ type Engine struct {
 	free      [][]core.Stimulus // spare mailbox slices (barrier-only; bounded)
 
 	tick                                int
+	extPending                          int // externally enqueued stimuli awaiting the next tick (see Config.MailboxBudget)
 	steps, messages, delivered, actions int64
 	lastObserved                        stats.Online
 	work                                []float64 // work-proxy ring (see WorkWindow)
@@ -377,6 +393,7 @@ func (e *Engine) TickErr() (TickStats, error) {
 		e.free = e.free[:limit]
 	}
 	e.cur, e.next = e.next, e.cur
+	e.extPending = 0 // everything queued externally was delivered this tick
 
 	e.tick++
 	if m != nil {

@@ -115,8 +115,11 @@ type ClusterStatus struct {
 }
 
 // ClusterStatus reports the cluster's worker list and every hosted
-// population's live placement. Each placement is read at the population's
-// tick barrier (under its lock), so the owner maps are never mid-migration.
+// population's placement as captured in its published view. Views swap at
+// tick barriers and after admit/rebalance, so the owner maps are never
+// mid-migration — and the read never takes a population lock, so polling
+// /cluster cannot stall ticking. With Options.LockedReads it reads the
+// live placement under each population's lock (the benchmark baseline).
 func (s *Server) ClusterStatus() (ClusterStatus, error) {
 	ctl, err := s.clusterCtl()
 	if err != nil {
@@ -128,14 +131,20 @@ func (s *Server) ClusterStatus() (ClusterStatus, error) {
 		if err != nil {
 			continue // removed between IDs and here; nothing to report
 		}
-		tr := ctl.transport(id)
-		if tr == nil {
+		if s.opts.LockedReads {
+			tr := ctl.transport(id)
+			if tr == nil {
+				continue
+			}
+			h.mu.Lock()
+			owner, workers := tr.Placement()
+			h.mu.Unlock()
+			out.Populations = append(out.Populations, ClusterPopPlacement{ID: id, Owner: owner, Workers: workers})
 			continue
 		}
-		h.mu.Lock()
-		owner, workers := tr.Placement()
-		h.mu.Unlock()
-		out.Populations = append(out.Populations, ClusterPopPlacement{ID: id, Owner: owner, Workers: workers})
+		if p := h.vs.published().placement; p != nil {
+			out.Populations = append(out.Populations, *p)
+		}
 	}
 	return out, nil
 }
@@ -188,6 +197,9 @@ func (s *Server) ClusterAdmit(addr string, wait time.Duration) (int, error) {
 		}
 		h.mu.Lock()
 		err = tr.AdmitWorker(wi)
+		if err == nil {
+			s.publishLocked(h) // the new worker must show in /cluster reads
+		}
 		h.mu.Unlock()
 		if err != nil {
 			return wi, fmt.Errorf("serve: admit worker %s into %q: %w", addr, id, err)
@@ -229,6 +241,9 @@ func (s *Server) ClusterRebalance() (map[string][]cluster.Move, error) {
 		}
 		h.mu.Lock()
 		moves, err := tr.Rebalance(policy)
+		if len(moves) > 0 {
+			s.publishLocked(h) // committed moves must show in /cluster reads
+		}
 		h.mu.Unlock()
 		out[id] = moves
 		if err != nil {

@@ -18,5 +18,13 @@
 // All populations share one runner pool; each population's engine is
 // guarded by its own mutex, so distinct populations tick concurrently
 // while every engine still sees the single-goroutine discipline it
-// requires.
+// requires. That mutex belongs to the write side only: every tick
+// barrier publishes an immutable status/placement view through an
+// atomic pointer, and reads — Status, GET /populations/{id}, GET
+// /cluster, cached explanations — are served from the published view
+// without ever blocking (or being blocked by) Advance. Ingest is
+// backpressured by per-population mailbox budgets: a stimulus batch
+// that would exceed the budget is shed whole with HTTP 429 and a
+// Retry-After estimating the next tick barrier (DESIGN.md "Read plane
+// and backpressure").
 package serve

@@ -13,6 +13,7 @@ import (
 	"sacs/internal/core"
 	"sacs/internal/knowledge"
 	"sacs/internal/obs"
+	"sacs/internal/population"
 )
 
 // The HTTP surface of a Server. Errors are returned as JSON
@@ -140,11 +141,14 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, s.reg.Snapshot())
 	})
 
+	// The liveness probe reads only atomics (nPops mirrors the population
+	// map): it must answer even while s.mu is write-held building an
+	// engine over a slow cluster, or while every population is mid-tick.
 	s.handle(mux, "GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"ok":          true,
 			"uptime_sec":  time.Since(s.started).Seconds(),
-			"populations": len(s.IDs()),
+			"populations": s.nPops.Load(),
 		})
 	})
 
@@ -245,6 +249,15 @@ func (s *Server) Handler() http.Handler {
 		}
 		deliverAt, err := s.IngestBatch(r.PathValue("id"), items)
 		if err != nil {
+			// Budget shedding is its own contract: 429 with a Retry-After
+			// of about one tick interval, after which the barrier will
+			// have drained the mailboxes. Both the serve-level budget and
+			// the engine's own hard cap spell it the same way.
+			if errors.Is(err, ErrOverloaded) || errors.Is(err, population.ErrMailboxFull) {
+				w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfter(r.PathValue("id"))))
+				writeErr(w, http.StatusTooManyRequests, err)
+				return
+			}
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
@@ -258,16 +271,22 @@ func (s *Server) Handler() http.Handler {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad agent index %q", r.PathValue("n")))
 			return
 		}
-		text, err := s.Explain(r.PathValue("id"), n)
+		text, tick, err := s.ExplainAt(r.PathValue("id"), n)
 		if err != nil {
 			code := http.StatusBadRequest
-			if errors.Is(err, ErrHost) {
+			switch {
+			case errors.Is(err, ErrHost):
 				code = http.StatusInternalServerError
+			case errors.Is(err, ErrNotFound):
+				// Decided against the published view — for cluster-hosted
+				// populations, no worker round-trip.
+				code = http.StatusNotFound
 			}
 			writeErr(w, code, err)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("X-Sacs-View-Tick", strconv.Itoa(tick))
 		fmt.Fprint(w, text)
 	})
 
@@ -312,6 +331,14 @@ func (s *Server) Handler() http.Handler {
 			total += len(m)
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"moves": moves, "total": total})
+	})
+
+	// Catch-all: requests matching no route still flow through handle()'s
+	// accounting, so the middleware is the single point where every
+	// response — 2xx, shed 429s, oversized 413s, unknown-path 404s — is
+	// counted into sacs_http_requests_total on both metrics planes.
+	s.handle(mux, "/", func(w http.ResponseWriter, r *http.Request) {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no route for %s %s", r.Method, r.URL.Path))
 	})
 
 	s.handle(mux, "POST /populations/{id}/checkpoint", func(w http.ResponseWriter, r *http.Request) {

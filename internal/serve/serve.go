@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sacs/internal/checkpoint"
@@ -78,6 +79,27 @@ type Options struct {
 	// RebalanceMaxMoves caps one POST /cluster/rebalance batch
 	// (<= 0 means the cluster.CostRebalancer default, 16).
 	RebalanceMaxMoves int
+	// MailboxBudget caps each population's externally ingested stimuli
+	// awaiting delivery at the next tick; a batch that would exceed it is
+	// shed whole with ErrOverloaded (HTTP 429 + Retry-After). 0 means
+	// adaptive: the budget is derived per population from its size and the
+	// published work-proxy quantiles (see effectiveBudget). Negative
+	// disables shedding entirely.
+	MailboxBudget int
+	// ExplainBudget caps one rendered explanation in bytes; oversized
+	// renderings are cut at a line boundary with an explicit truncation
+	// marker. 0 means the default (64 KiB); negative disables the cap.
+	ExplainBudget int
+	// ExplainCacheSize is the per-population LRU capacity for rendered
+	// explanations, keyed (agent, tick) and invalidated by the tick-barrier
+	// view swap (0 = default 256; negative disables caching).
+	ExplainCacheSize int
+	// LockedReads restores the pre-view read path: Status, cluster status
+	// and explain take the population lock and render on every request.
+	// It exists so the serving-plane benchmark (tools/loadgen) can measure
+	// the lock-free read plane against the locked baseline in one binary;
+	// production never sets it.
+	LockedReads bool
 
 	// cluster is set by UseCluster: the admin-plane handle (shared client
 	// plus every hosted population's transport) behind the /cluster HTTP
@@ -91,7 +113,10 @@ type Options struct {
 // index). The HTTP layer maps ErrHost to 500 and everything else to 400.
 var ErrHost = errors.New("host-side failure")
 
-// hosted is one live population and its durability bookkeeping.
+// hosted is one live population and its durability bookkeeping. h.mu
+// serialises everything that drives the engine (Advance, ingest,
+// checkpoint, explain rendering); the read plane — vs, explain cache,
+// ingested — is deliberately outside it so reads never contend with ticks.
 type hosted struct {
 	mu        sync.Mutex
 	spec      Spec
@@ -99,9 +124,12 @@ type hosted struct {
 	pm        popMetrics
 	lastCkpt  int    // tick of the most recent checkpoint
 	lastPath  string // file it was written to
-	ingested  int64  // external stimuli accepted over the population's life
 	pruneErrs int    // prune failures after otherwise-successful checkpoints
 	lastPrune string // most recent prune failure, for Status
+
+	ingested atomic.Int64  // external stimuli accepted over the population's life
+	vs       viewState     // the published immutable view (see view.go)
+	explain  *explainCache // nil when Options.ExplainCacheSize < 0
 }
 
 // popMetrics is one hosted population's serve-plane instruments (the
@@ -111,6 +139,13 @@ type popMetrics struct {
 	queued      *obs.Gauge     // stimuli ingested but not yet delivered
 	ckptSecs    *obs.Histogram // full checkpoint durations (snapshot+encode+write)
 	pruneFails  *obs.Counter   // see checkpointLocked: the one prune-failure path
+
+	// The read/backpressure plane (PR 9).
+	shed            *obs.Counter // stimuli rejected by the mailbox budget
+	viewReads       *obs.Counter // status reads served from the published view
+	readsDuringTick *obs.Counter // of those, reads that landed while a tick was in flight
+	explainHits     *obs.Counter // explains served from the LRU, no lock, no render
+	explainRenders  *obs.Counter // explains that took the population lock and rendered
 }
 
 func newPopMetrics(reg *obs.Registry, pop string) popMetrics {
@@ -124,6 +159,16 @@ func newPopMetrics(reg *obs.Registry, pop string) popMetrics {
 			"checkpoint duration (snapshot, encode, write)", obs.Seconds, obs.DurationBounds(), p),
 		pruneFails: reg.Counter("sacs_serve_prune_failures_total",
 			"prune failures after otherwise-successful checkpoints", p),
+		shed: reg.Counter("sacs_serve_shed_total",
+			"stimuli shed by the mailbox budget (whole batches, 429 to the caller)", p),
+		viewReads: reg.Counter("sacs_serve_view_reads_total",
+			"status reads served lock-free from the published view", p),
+		readsDuringTick: reg.Counter("sacs_serve_view_reads_during_tick_total",
+			"view reads served while a tick was in flight (proof reads never block on Advance)", p),
+		explainHits: reg.Counter("sacs_serve_explain_cache_hits_total",
+			"explains served from the per-tick LRU without rendering", p),
+		explainRenders: reg.Counter("sacs_serve_explain_renders_total",
+			"explains rendered under the population lock (at most one per agent per tick)", p),
 	}
 }
 
@@ -139,6 +184,11 @@ type Server struct {
 	mu       sync.RWMutex
 	pops     map[string]*hosted
 	reserved map[string]struct{} // ids being added/resumed right now
+
+	// nPops mirrors len(pops) so GET /healthz never touches s.mu: a
+	// liveness probe must answer even while an Add/Resume holds the write
+	// lock building an engine over a slow cluster.
+	nPops atomic.Int64
 
 	// prune is checkpoint.Prune behind a seam so tests can inject prune
 	// failures that file permissions cannot simulate when running as root.
@@ -207,6 +257,12 @@ func (s *Server) build(spec Spec) (population.Config, error) {
 	// population id; the config flows through NewEngine/RestoreEngine, so
 	// cluster-hosted coordinator engines are instrumented identically.
 	cfg.Metrics = population.NewMetrics(s.reg, spec.ID)
+	// A fixed budget is enforced in the engine too (defense in depth for
+	// direct Engine users); the adaptive budget lives only in IngestBatch,
+	// which rejects whole batches before anything reaches a mailbox.
+	if s.opts.MailboxBudget > 0 {
+		cfg.MailboxBudget = s.opts.MailboxBudget
+	}
 	return cfg, nil
 }
 
@@ -237,12 +293,38 @@ func (s *Server) unreserve(id string) {
 
 // register publishes a fully initialised hosted population under the
 // caller's reservation; h must not be mutated by the caller afterwards
-// except under h.mu.
+// except under h.mu. h must already carry a published view (readers load
+// it unconditionally).
 func (s *Server) register(h *hosted) {
+	s.reg.GaugeFunc("sacs_serve_view_age_seconds",
+		"seconds since the population's read view was last published",
+		h.vs.ageSeconds, obs.L("pop", h.spec.ID))
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.reserved, h.spec.ID)
 	s.pops[h.spec.ID] = h
+	s.nPops.Store(int64(len(s.pops)))
+}
+
+// defaultExplainCache is the per-population LRU capacity when
+// Options.ExplainCacheSize is zero.
+const defaultExplainCache = 256
+
+// defaultExplainBudget caps one rendered explanation when
+// Options.ExplainBudget is zero.
+const defaultExplainBudget = 64 << 10
+
+// newHosted builds the hosted wrapper for a freshly built or restored
+// engine; the caller publishes a view and registers it.
+func (s *Server) newHosted(spec Spec, eng *population.Engine) *hosted {
+	h := &hosted{spec: spec, eng: eng, pm: newPopMetrics(s.reg, spec.ID), lastCkpt: eng.Ticks()}
+	if size := s.opts.ExplainCacheSize; size >= 0 {
+		if size == 0 {
+			size = defaultExplainCache
+		}
+		h.explain = newExplainCache(size)
+	}
+	return h
 }
 
 // Add builds a fresh population from spec and hosts it. When snapshots for
@@ -281,7 +363,9 @@ func (s *Server) Add(spec Spec) error {
 	} else {
 		eng = population.New(cfg)
 	}
-	s.register(&hosted{spec: spec, eng: eng, pm: newPopMetrics(s.reg, spec.ID), lastCkpt: eng.Ticks()})
+	h := s.newHosted(spec, eng)
+	s.publishLocked(h) // h is still private to this goroutine; no lock needed
+	s.register(h)
 	registered = true
 	s.log.Info("serve: hosting population", "pop", spec.ID, "workload", spec.Workload,
 		"agents", spec.Agents, "shards", eng.Shards(), "seed", spec.Seed)
@@ -329,10 +413,12 @@ func (s *Server) Resume(spec Spec) error {
 	if err != nil {
 		return err
 	}
-	h := &hosted{spec: spec, eng: eng, pm: newPopMetrics(s.reg, spec.ID), lastCkpt: eng.Ticks(), lastPath: path}
+	h := s.newHosted(spec, eng)
+	h.lastPath = path
 	if n, err := strconv.ParseInt(meta["ingested"], 10, 64); err == nil {
-		h.ingested = n
+		h.ingested.Store(n)
 	}
+	s.publishLocked(h)
 	s.register(h)
 	registered = true
 	s.log.Info("serve: resumed population", "pop", spec.ID, "workload", spec.Workload,
@@ -388,6 +474,11 @@ func (s *Server) Advance(id string, n int) (population.TickStats, error) {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	// The ticking flag is observability for the lock-free read plane: any
+	// view read that lands while it is set completed during a tick, which
+	// is exactly what the locked read path could never do.
+	h.vs.ticking.Store(true)
+	defer h.vs.ticking.Store(false)
 	var last population.TickStats
 	for i := 0; i < n; i++ {
 		// A tick failure is always host-side (an engine or cluster-worker
@@ -404,6 +495,9 @@ func (s *Server) Advance(id string, n int) (population.TickStats, error) {
 				return last, fmt.Errorf("serve: interval checkpoint: %w", err)
 			}
 		}
+		// The tick barrier: swap in the fresh immutable view. Readers see
+		// tick T's state the instant tick T ends, and never anything torn.
+		s.publishLocked(h)
 	}
 	return last, nil
 }
@@ -451,6 +545,18 @@ func (s *Server) IngestBatch(id string, items []IngestItem) (deliverAt int, err 
 				i, len(items), items[i].To, agents)
 		}
 	}
+	// Admission control, all-or-nothing per batch: a batch that would push
+	// the pending-external count past the budget is shed whole, before a
+	// single stimulus reaches a mailbox — there is no dropped-then-applied
+	// middle state. The caller gets 429 + Retry-After and the shed is
+	// counted on both metrics planes.
+	if budget := s.effectiveBudget(h); budget > 0 {
+		if pending := h.eng.PendingExternal(); pending+len(items) > budget {
+			h.pm.shed.Add(int64(len(items)))
+			return 0, fmt.Errorf("serve: population %q has %d stimuli pending delivery "+
+				"(budget %d, batch %d): %w", h.spec.ID, pending, budget, len(items), ErrOverloaded)
+		}
+	}
 	now := float64(h.eng.Ticks())
 	for i := range items {
 		stim := items[i].Stim
@@ -461,10 +567,46 @@ func (s *Server) IngestBatch(id string, items []IngestItem) (deliverAt int, err 
 			return 0, err // unreachable after validation; kept for safety
 		}
 	}
-	h.ingested += int64(len(items))
+	h.ingested.Add(int64(len(items)))
 	h.pm.ingestBatch.Observe(int64(len(items)))
 	h.pm.queued.Add(int64(len(items)))
 	return h.eng.Ticks(), nil
+}
+
+// effectiveBudget is the population's mailbox budget for this instant:
+// Options.MailboxBudget verbatim when fixed (negative disables shedding),
+// otherwise adaptive from the published view — 4× the population size,
+// tightened toward 1× as the work-proxy distribution skews (a high p99/p50
+// ratio means hot agents are already behind; queueing more on top of them
+// only grows latency, so backpressure engages earlier).
+func (s *Server) effectiveBudget(h *hosted) int {
+	if s.opts.MailboxBudget != 0 {
+		if s.opts.MailboxBudget < 0 {
+			return 0
+		}
+		return s.opts.MailboxBudget
+	}
+	v := h.vs.published()
+	budget := 4 * v.st.Agents
+	if v.st.WorkP99 > v.st.WorkP50 && v.st.WorkP50 > 0 {
+		if scaled := int(float64(budget) * v.st.WorkP50 / v.st.WorkP99); scaled > v.st.Agents {
+			budget = scaled
+		} else {
+			budget = v.st.Agents
+		}
+	}
+	return budget
+}
+
+// RetryAfter is the whole-second Retry-After a shed caller should wait
+// before re-posting to population id: about one tick interval, the time
+// until the next barrier drains the mailboxes.
+func (s *Server) RetryAfter(id string) int {
+	h, err := s.hosted(id)
+	if err != nil {
+		return 1
+	}
+	return h.vs.retryAfterSeconds()
 }
 
 // Checkpoint snapshots population id to Options.Dir now and returns the
@@ -476,7 +618,11 @@ func (s *Server) Checkpoint(id string) (string, error) {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return s.checkpointLocked(h)
+	path, err := s.checkpointLocked(h)
+	if err == nil {
+		s.publishLocked(h) // readers see the new checkpoint tick/path
+	}
+	return path, err
 }
 
 // checkpointLocked snapshots h to disk. Failures on the way to a durable
@@ -499,7 +645,7 @@ func (s *Server) checkpointLocked(h *hosted) (string, error) {
 	meta := map[string]string{
 		"workload": h.spec.Workload,
 		"id":       h.spec.ID,
-		"ingested": strconv.FormatInt(h.ingested, 10),
+		"ingested": strconv.FormatInt(h.ingested.Load(), 10),
 	}
 	if err := checkpoint.Write(path, snap, meta); err != nil {
 		return "", fmt.Errorf("serve: checkpoint %q (%w): %w", h.spec.ID, ErrHost, err)
@@ -537,14 +683,51 @@ func (s *Server) CheckpointAll() error {
 // and the knowledge-store inventory — the paper's self-explanation, served
 // over HTTP.
 func (s *Server) Explain(id string, agent int) (string, error) {
+	text, _, err := s.ExplainAt(id, agent)
+	return text, err
+}
+
+// ExplainAt is Explain plus the tick the explanation describes (echoed to
+// HTTP callers as X-Sacs-View-Tick, making staleness explicit).
+//
+// The fast path is lock-free: the agent index is validated against the
+// published view — for cluster-hosted populations that means an
+// out-of-range id is a 404 decided on the coordinator, no worker
+// round-trip — and a cached rendering for (agent, view tick) is returned
+// without touching h.mu. A miss takes the population lock, renders once
+// (bounded by Options.ExplainBudget) and caches; the barrier's tick
+// advance invalidates the cache wholesale, so repeated dashboard polls
+// cost one render per agent per tick.
+func (s *Server) ExplainAt(id string, agent int) (string, int, error) {
 	h, err := s.hosted(id)
 	if err != nil {
-		return "", err
+		return "", 0, err
+	}
+	if s.opts.LockedReads {
+		return s.explainLockedBaseline(h, agent)
+	}
+	v := h.vs.published()
+	if agent < 0 || agent >= v.st.Agents {
+		return "", v.st.ViewTick, fmt.Errorf("serve: agent %d out of range (population %d): %w",
+			agent, v.st.Agents, ErrNotFound)
+	}
+	if h.explain != nil {
+		if text, ok := h.explain.get(agent, v.st.ViewTick); ok {
+			h.pm.explainHits.Inc()
+			return text, v.st.ViewTick, nil
+		}
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if agent < 0 || agent >= h.eng.Agents() {
-		return "", fmt.Errorf("serve: agent %d out of range (population %d)", agent, h.eng.Agents())
+	// Under the lock the engine may be ahead of the view we checked; key
+	// the rendering by the engine's actual tick so it stays valid for the
+	// whole next view generation.
+	tick := h.eng.Ticks()
+	if h.explain != nil {
+		if text, ok := h.explain.get(agent, tick); ok {
+			h.pm.explainHits.Inc()
+			return text, tick, nil
+		}
 	}
 	// The rendering lives in core.ExplainAgent and, for cluster-hosted
 	// populations, runs on the worker that owns the agent — one spelling
@@ -552,9 +735,40 @@ func (s *Server) Explain(id string, agent int) (string, error) {
 	// so any engine failure here is host-side (a cluster-worker fault).
 	text, err := h.eng.Explain(agent)
 	if err != nil {
-		return "", fmt.Errorf("serve: explain (%w): %w", ErrHost, err)
+		return "", tick, fmt.Errorf("serve: explain (%w): %w", ErrHost, err)
 	}
-	return text, nil
+	h.pm.explainRenders.Inc()
+	text = truncateExplain(text, s.explainBudget())
+	if h.explain != nil {
+		h.explain.put(agent, tick, text)
+	}
+	return text, tick, nil
+}
+
+// explainLockedBaseline is the pre-view explain path, kept verbatim behind
+// Options.LockedReads for the loadgen baseline.
+func (s *Server) explainLockedBaseline(h *hosted, agent int) (string, int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if agent < 0 || agent >= h.eng.Agents() {
+		return "", h.eng.Ticks(), fmt.Errorf("serve: agent %d out of range (population %d): %w",
+			agent, h.eng.Agents(), ErrNotFound)
+	}
+	text, err := h.eng.Explain(agent)
+	if err != nil {
+		return "", h.eng.Ticks(), fmt.Errorf("serve: explain (%w): %w", ErrHost, err)
+	}
+	return truncateExplain(text, s.explainBudget()), h.eng.Ticks(), nil
+}
+
+func (s *Server) explainBudget() int {
+	if s.opts.ExplainBudget != 0 {
+		if s.opts.ExplainBudget < 0 {
+			return 0 // uncapped
+		}
+		return s.opts.ExplainBudget
+	}
+	return defaultExplainBudget
 }
 
 // Status is one population's live metrics, JSON-shaped.
@@ -565,11 +779,19 @@ type Status struct {
 	Shards    int     `json:"shards"`
 	Seed      int64   `json:"seed"`
 	Tick      int     `json:"tick"`
-	Steps     int64   `json:"steps"`
-	Messages  int64   `json:"messages"`
-	Delivered int64   `json:"delivered"`
-	Actions   int64   `json:"actions"`
-	Ingested  int64   `json:"ingested"`
+	// ViewTick is the tick of the published view this status was read
+	// from: equal to Tick on the lock-free path (views swap at barriers),
+	// it makes the read plane's staleness contract explicit and testable.
+	ViewTick  int   `json:"view_tick"`
+	Steps     int64 `json:"steps"`
+	Messages  int64 `json:"messages"`
+	Delivered int64 `json:"delivered"`
+	Actions   int64 `json:"actions"`
+	// Ingested and Queued move between barriers (they are atomics overlaid
+	// at read time), so an accepted ingest is visible to the next Status
+	// without waiting a tick.
+	Ingested int64 `json:"ingested"`
+	Queued   int64 `json:"queued"`
 	ModelMean float64 `json:"model_mean"`
 	WorkP50   float64 `json:"work_p50"`
 	WorkP99   float64 `json:"work_p99"`
@@ -585,36 +807,34 @@ type Status struct {
 	Metrics *population.MetricsSnapshot `json:"metrics,omitempty"`
 }
 
-// Status reports population id's live metrics.
+// Status reports population id's live metrics. The read is lock-free: it
+// loads the view published at the last tick barrier and overlays the two
+// between-barrier atomics (Ingested, Queued). It never takes h.mu, so a
+// status poll can neither block nor be blocked by Advance — with
+// Options.LockedReads it falls back to rendering under the lock (the
+// benchmark baseline).
 func (s *Server) Status(id string) (Status, error) {
 	h, err := s.hosted(id)
 	if err != nil {
 		return Status{}, err
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	rs := h.eng.Run(0) // zero ticks: aggregate counters only
-	return Status{
-		ID:        h.spec.ID,
-		Workload:  h.spec.Workload,
-		Agents:    h.eng.Agents(),
-		Shards:    h.eng.Shards(),
-		Seed:      h.spec.Seed,
-		Tick:      h.eng.Ticks(),
-		Steps:     rs.Steps,
-		Messages:  rs.Messages,
-		Delivered: rs.Delivered,
-		Actions:   rs.Actions,
-		Ingested:  h.ingested,
-		ModelMean: rs.Observed.Mean(),
-		WorkP50:   rs.WorkQuantile(0.50),
-		WorkP99:   rs.WorkQuantile(0.99),
-		LastCkpt:  h.lastCkpt,
-		CkptPath:  h.lastPath,
-		PruneErrs: h.pruneErrs,
-		LastPrune: h.lastPrune,
-		Metrics:   h.eng.Metrics().Snapshot(),
-	}, nil
+	if s.opts.LockedReads {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		s.publishLocked(h) // keep the view (and its age) fresh for parity
+		st := h.vs.published().st
+		st.Ingested = h.ingested.Load()
+		st.Queued = h.pm.queued.Value()
+		return st, nil
+	}
+	h.pm.viewReads.Inc()
+	if h.vs.ticking.Load() {
+		h.pm.readsDuringTick.Inc()
+	}
+	st := h.vs.published().st
+	st.Ingested = h.ingested.Load()
+	st.Queued = h.pm.queued.Value()
+	return st, nil
 }
 
 // Run advances every hosted population by one tick each interval until ctx

@@ -345,7 +345,7 @@ func TestHTTPAPI(t *testing.T) {
 
 	// Error paths.
 	get("/populations/nope", http.StatusBadRequest)
-	get("/populations/demo/agents/999/explain", http.StatusBadRequest)
+	get("/populations/demo/agents/999/explain", http.StatusNotFound) // decided on the view, no worker round-trip
 	get("/populations/demo/agents/x/explain", http.StatusBadRequest)
 	post("/populations/demo/ticks?n=0", "", http.StatusBadRequest)
 	post("/populations/demo/ticks?n=zillion", "", http.StatusBadRequest)

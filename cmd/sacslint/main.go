@@ -1,0 +1,145 @@
+// Command sacslint runs the internal/lint analyzer suite — the static
+// enforcement of this repository's determinism, snapshot and hot-path
+// contracts — over the given package patterns (default ./...).
+//
+//	go run ./cmd/sacslint ./...
+//	go run ./cmd/sacslint -sarif findings.sarif ./...
+//
+// Findings print one per line as file:line:col: analyzer: message; the
+// exit status is 1 when there are findings, 2 on driver errors and 0 on a
+// clean tree. With -sarif the same findings are additionally written as a
+// SARIF 2.1.0 log, the artifact format CI uploads for code-scanning UIs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"sacs/internal/lint"
+)
+
+func main() {
+	sarifPath := flag.String("sarif", "", "also write findings as SARIF 2.1.0 to this file")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: sacslint [-sarif file] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := lint.Load(cwd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := lint.Suite(pkgs, lint.All())
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if *sarifPath != "" {
+		if err := writeSARIF(*sarifPath, diags); err != nil {
+			fatal(err)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "sacslint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sacslint:", err)
+	os.Exit(2)
+}
+
+// writeSARIF renders the findings as a minimal SARIF 2.1.0 log: one run,
+// one rule per analyzer, one result per diagnostic.
+func writeSARIF(path string, diags []lint.Diagnostic) error {
+	type location struct {
+		PhysicalLocation struct {
+			ArtifactLocation struct {
+				URI string `json:"uri"`
+			} `json:"artifactLocation"`
+			Region struct {
+				StartLine   int `json:"startLine"`
+				StartColumn int `json:"startColumn"`
+			} `json:"region"`
+		} `json:"physicalLocation"`
+	}
+	type result struct {
+		RuleID  string `json:"ruleId"`
+		Level   string `json:"level"`
+		Message struct {
+			Text string `json:"text"`
+		} `json:"message"`
+		Locations []location `json:"locations"`
+	}
+	type rule struct {
+		ID               string `json:"id"`
+		ShortDescription struct {
+			Text string `json:"text"`
+		} `json:"shortDescription"`
+	}
+
+	seen := make(map[string]bool)
+	var rules []rule
+	results := make([]result, 0, len(diags))
+	for _, a := range lint.All() {
+		if !seen[a.Name] {
+			seen[a.Name] = true
+			var r rule
+			r.ID = a.Name
+			r.ShortDescription.Text = a.Doc
+			rules = append(rules, r)
+		}
+	}
+	for _, d := range diags {
+		var res result
+		res.RuleID = d.Analyzer
+		res.Level = "error"
+		res.Message.Text = d.Message
+		var loc location
+		loc.PhysicalLocation.ArtifactLocation.URI = d.Pos.Filename
+		loc.PhysicalLocation.Region.StartLine = d.Pos.Line
+		loc.PhysicalLocation.Region.StartColumn = d.Pos.Column
+		res.Locations = []location{loc}
+		results = append(results, res)
+	}
+
+	log := map[string]any{
+		"version": "2.1.0",
+		"$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		"runs": []map[string]any{{
+			"tool": map[string]any{
+				"driver": map[string]any{
+					"name":           "sacslint",
+					"informationUri": "internal/lint",
+					"rules":          rules,
+				},
+			},
+			"results": results,
+		}},
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(log); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

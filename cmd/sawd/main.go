@@ -150,11 +150,11 @@ func run() int {
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for shard stepping")
 		resume   = flag.Bool("resume", true, "resume populations from their latest snapshot in -dir "+
 			"(with -resume=false, starting fresh refuses while old snapshots exist)")
-		workerAddr  = flag.String("worker", "", "run as a cluster worker on this TCP address (hosts shard ranges; no HTTP API)")
-		clusterList = flag.String("cluster", "", "comma-separated worker addresses; host populations on that cluster instead of in-process")
-		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the HTTP address (opt-in: profiling is an operator tool, not part of the public API)")
-		rebalThresh = flag.Float64("rebalance-threshold", 1.5, "POST /cluster/rebalance: max/min per-worker load ratio tolerated before smoothing migrations")
-		rebalMoves  = flag.Int("rebalance-max-moves", 16, "POST /cluster/rebalance: migration batch cap per request")
+		workerAddr    = flag.String("worker", "", "run as a cluster worker on this TCP address (hosts shard ranges; no HTTP API)")
+		clusterList   = flag.String("cluster", "", "comma-separated worker addresses; host populations on that cluster instead of in-process")
+		pprofOn       = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the HTTP address (opt-in: profiling is an operator tool, not part of the public API)")
+		rebalThresh   = flag.Float64("rebalance-threshold", 1.5, "POST /cluster/rebalance: max/min per-worker load ratio tolerated before smoothing migrations")
+		rebalMoves    = flag.Int("rebalance-max-moves", 16, "POST /cluster/rebalance: migration batch cap per request")
 		mailboxBudget = flag.Int("mailbox-budget", 0, "per-population cap on stimuli pending delivery; past it POST .../stimuli sheds with 429 "+
 			"(0 = adaptive from population size and work-proxy quantiles, negative disables shedding)")
 		explainBudget = flag.Int("explain-budget", 0, "byte cap per rendered explanation (0 = 64KiB default, negative = uncapped)")

@@ -167,13 +167,18 @@ func Compare(baseline *File, current map[string]Result, prefixes []string, toler
 				name, cur.AllocsOp, limit, base.AllocsOp, tolerance*100))
 		}
 	}
+	var missing []string
 	for name := range current {
 		if matches(name) {
 			if _, ok := baseline.Benchmarks[name]; !ok {
-				errs = append(errs, fmt.Errorf(
-					"benchjson: %s: measured but missing from the committed baseline — add it", name))
+				missing = append(missing, name)
 			}
 		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		errs = append(errs, fmt.Errorf(
+			"benchjson: %s: measured but missing from the committed baseline — add it", name))
 	}
 	return errs
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"sacs/internal/knowledge"
 	"sacs/internal/learning"
@@ -110,7 +111,8 @@ func (c *Camera) Confidence(o *Object) float64 {
 }
 
 // neighbors returns the vision-graph neighbour IDs (cameras with positive
-// link strength).
+// link strength), sorted so invitation order never depends on map
+// iteration.
 func (c *Camera) neighbors() []int {
 	var out []int
 	for id, s := range c.visionGraph {
@@ -118,6 +120,7 @@ func (c *Camera) neighbors() []int {
 			out = append(out, id)
 		}
 	}
+	sort.Ints(out)
 	return out
 }
 

@@ -200,6 +200,8 @@ func (a *Agent) Inject(now float64, batch []Stimulus) {
 // stays valid only until the agent's next Step; callers that retain actions
 // across ticks must copy them (the population engine's EmitContext already
 // documents the same rule).
+//
+//sacs:hotpath
 func (a *Agent) Step(now float64, metrics map[string]float64) []Action {
 	hot := a.hot
 	hot.Steps++
@@ -252,10 +254,10 @@ func (a *Agent) Step(now float64, metrics map[string]float64) []Action {
 	for _, act := range d.chosen {
 		if eff, ok := a.effectors[act.Name]; ok {
 			if err := eff.Act(act); err != nil {
-				d.failures = append(d.failures, fmt.Sprintf("%s: %v", act, err))
+				d.failures = append(d.failures, fmt.Sprintf("%s: %v", act, err)) //sacslint:allow hotalloc effector failure is off the steady-state path; the message is the explanation payload
 			}
 		} else if len(a.effectors) > 0 {
-			d.failures = append(d.failures, fmt.Sprintf("%s: no effector", act))
+			d.failures = append(d.failures, fmt.Sprintf("%s: no effector", act)) //sacslint:allow hotalloc misrouted action is off the steady-state path; the message is the explanation payload
 		}
 	}
 	if a.explainer == nil {

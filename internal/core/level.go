@@ -160,6 +160,8 @@ func (s *scalarSensor) Sense(now float64) []Stimulus {
 }
 
 // SenseInto implements BatchSensor.
+//
+//sacs:hotpath
 func (s *scalarSensor) SenseInto(now float64, buf []Stimulus) []Stimulus {
 	return append(buf, Stimulus{Name: s.name, Scope: s.scope, Value: s.fn(now), Time: now})
 }

@@ -694,6 +694,8 @@ func (r *Ring) init(capacity int) {
 // is a compare, not a modulo: Push runs once per observation per model and
 // the integer division dominated tick profiles. A ring full below its bound
 // doubles first (amortized O(1); steady state never allocates).
+//
+//sacs:hotpath
 func (r *Ring) Push(t, v float64) {
 	if r.size == len(r.t) && r.size < r.max {
 		r.grow()
@@ -772,6 +774,8 @@ func (r *Ring) Mean() float64 {
 // window (0 with fewer than 2 points): a cheap "likely future" signal. It
 // iterates the ring in place — no allocation — because time-awareness calls
 // it once per stimulus per tick.
+//
+//sacs:hotpath
 func (r *Ring) Trend() float64 {
 	if r.size < 2 {
 		return 0

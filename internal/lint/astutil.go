@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// walkStack traverses root calling fn with each node and the stack of its
+// ancestors (outermost first, not including the node itself). Returning
+// false from fn prunes the subtree.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		keep := fn(n, stack)
+		stack = append(stack, n)
+		if !keep {
+			// Still pushed: the nil pop above pairs with every non-nil
+			// visit, even pruned ones? It does not — Inspect skips the
+			// children AND the closing nil when we return false, so undo
+			// the push here.
+			stack = stack[:len(stack)-1]
+		}
+		return keep
+	})
+}
+
+// funcHasMarker reports whether fn's doc comment carries the given marker
+// on a line of its own (e.g. //sacs:hotpath).
+func funcHasMarker(fn *ast.FuncDecl, marker string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == marker || strings.HasPrefix(text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingFuncDecl returns the function declaration in file whose body
+// spans pos, or nil.
+func enclosingFuncDecl(file *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes, or
+// nil (builtins, conversions, calls of function-typed values).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether call invokes the package-level function
+// pkgPath.name (methods never match).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath &&
+		fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// namedOf unwraps pointers and aliases to the named type of t, or nil.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := types.Unalias(t).(*types.Named)
+	return n
+}
+
+// recvTypeName returns the name of the named type the method call's
+// receiver has ("" when the callee is not a method on a named type).
+func recvTypeName(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	n := namedOf(info.TypeOf(sel.X))
+	if n == nil {
+		return ""
+	}
+	return n.Obj().Name()
+}
+
+// baseIdent returns the identifier at the base of a (possibly parenthesised)
+// expression, or nil: x, (x), but not x.f or x[i].
+func baseIdent(e ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(e).(*ast.Ident)
+	return id
+}
+
+// isFloat reports whether t's underlying type is a floating-point kind.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

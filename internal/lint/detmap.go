@@ -1,0 +1,200 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetMap flags `range` over a map whose body has an iteration-order-
+// sensitive effect — the bug class behind the PR 3 MeanForecastError
+// nondeterminism, where a float sum accumulated in map order leaked into
+// checkpointed state. Three effects are order-sensitive:
+//
+//   - writing to an encoder (a method call on a type named Encoder, or a
+//     Write*/Encode call) — bytes come out in map order;
+//   - appending to a slice declared outside the loop, unless the function
+//     sorts that slice after the loop (the internal/checkpoint sorted-keys
+//     idiom is the sanctioned pattern);
+//   - accumulating a floating-point sum or product into a variable
+//     declared outside the loop — float arithmetic is not associative.
+//
+// Order-insensitive bodies (counting, set building, per-value mutation)
+// pass untouched. A site whose order-sensitivity genuinely cannot matter
+// is silenced with `//sacslint:allow detmap <reason>`.
+var DetMap = &Analyzer{
+	Name: "detmap",
+	Doc:  "flags map iteration whose order leaks into encoded, compared or float-accumulated results",
+	Run:  runDetMap,
+}
+
+func runDetMap(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if _, isMap := info.TypeOf(rng.X).Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(pass, file, rng)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMapRange(pass *Pass, file *ast.File, rng *ast.RangeStmt) {
+	info := pass.Pkg.Info
+	fn := enclosingFuncDecl(file, rng.Pos())
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := encoderWrite(info, n); ok {
+				pass.Reportf(n.Pos(), "%s inside a map range emits bytes in map-iteration order; iterate sorted keys instead (see internal/checkpoint.encodePayload)", name)
+			}
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, info, fn, rng, n)
+		}
+		return true
+	})
+}
+
+// encoderWrite reports whether call writes to an encoder-like receiver.
+func encoderWrite(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	recv := recvTypeName(info, call)
+	if recv == "Encoder" {
+		return "Encoder." + sel.Sel.Name, true
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+		// Only when the receiver is a named type (io.Writer implementors,
+		// json/gob encoders) — not e.g. a map of funcs.
+		if recv != "" {
+			return recv + "." + sel.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+func checkMapRangeAssign(pass *Pass, info *types.Info, fn *ast.FuncDecl, rng *ast.RangeStmt, as *ast.AssignStmt) {
+	// Float accumulation: x += v, x -= v, x *= v, or x = x + v forms.
+	if len(as.Lhs) == 1 {
+		lhs := baseIdent(as.Lhs[0])
+		if lhs != nil && declaredOutside(info, lhs, rng) && isFloat(info.TypeOf(as.Lhs[0])) {
+			switch as.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN:
+				pass.Reportf(as.Pos(), "floating-point accumulation into %s in map-iteration order is nondeterministic (float addition is not associative); iterate sorted keys", lhs.Name)
+				return
+			case token.ASSIGN:
+				if bin, ok := as.Rhs[0].(*ast.BinaryExpr); ok && selfReferential(info, lhs, bin) {
+					pass.Reportf(as.Pos(), "floating-point accumulation into %s in map-iteration order is nondeterministic (float addition is not associative); iterate sorted keys", lhs.Name)
+					return
+				}
+			}
+		}
+	}
+	// Appends to a slice that outlives the loop, without a sort afterwards.
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(info, call) || len(call.Args) == 0 || i >= len(as.Lhs) {
+			continue
+		}
+		target := baseIdent(as.Lhs[i])
+		if target == nil || !declaredOutside(info, target, rng) {
+			continue
+		}
+		if fn != nil && sortedAfter(info, fn, target, rng.End()) {
+			continue // the sanctioned collect-then-sort idiom
+		}
+		pass.Reportf(call.Pos(), "append to %s inside a map range builds a slice in map-iteration order with no sort afterwards; sort it (or the keys) before the order can be observed", target.Name)
+	}
+}
+
+// selfReferential reports whether ident's object appears inside expr — the
+// `s = s + v` accumulation shape.
+func selfReferential(info *types.Info, id *ast.Ident, expr ast.Expr) bool {
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if other, ok := n.(*ast.Ident); ok && info.Uses[other] == obj && obj != nil {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// declaredOutside reports whether id's object is declared outside the
+// range statement (so writes to it survive the loop).
+func declaredOutside(info *types.Info, id *ast.Ident, rng *ast.RangeStmt) bool {
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+// sortedAfter reports whether a sort.* or slices.Sort* call mentioning
+// target's object appears after pos inside fn — evidence the map-ordered
+// slice is reordered before anyone can observe the iteration order.
+func sortedAfter(info *types.Info, fn *ast.FuncDecl, target *ast.Ident, pos token.Pos) bool {
+	obj := info.Uses[target]
+	if obj == nil {
+		obj = info.Defs[target]
+	}
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || found {
+			return !found
+		}
+		callee := calleeFunc(info, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		if p := callee.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			mentioned := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && info.Uses[id] == obj {
+					mentioned = true
+				}
+				return !mentioned
+			})
+			if mentioned {
+				found = true
+				break
+			}
+		}
+		return !found
+	})
+	return found
+}

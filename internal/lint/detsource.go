@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// detPackages are the deterministic engine packages (by final import-path
+// element): everything inside them must derive behaviour from explicit
+// inputs — seeds, tick counters, snapshot state — never from wall clocks,
+// global RNG state or goroutine scheduling. The observation-only metrics
+// plane inside these packages (StepNanos measurement and friends) is
+// outside the byte-equality contract and carries justified
+// //sacslint:allow detsource annotations.
+var detPackages = map[string]bool{
+	"core":       true,
+	"knowledge":  true,
+	"population": true,
+	"checkpoint": true,
+	"learning":   true,
+	"goals":      true,
+	"stats":      true,
+	"xrand":      true,
+}
+
+// detsourceAllowedRand are math/rand package-level functions that are pure
+// constructors: they introduce no hidden global stream.
+var detsourceAllowedRand = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// DetSource forbids nondeterminism sources in the deterministic engine
+// packages: wall-clock reads (time.Now, time.Since, timers), the global
+// math/rand stream (package-level functions other than constructors; the
+// engine threads explicit *rand.Rand streams seeded from xrand), and
+// select statements (case choice among ready channels is made by the
+// scheduler, not the program).
+var DetSource = &Analyzer{
+	Name: "detsource",
+	Doc:  "forbids wall clocks, global RNG state and select in the deterministic engine packages",
+	Run:  runDetSource,
+}
+
+// wallClockFuncs are the time package functions that read or schedule
+// against the wall clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+func runDetSource(pass *Pass) error {
+	base := pass.Pkg.Path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	if !detPackages[base] {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select in a deterministic package: case choice among ready channels is scheduler-dependent")
+			case *ast.CallExpr:
+				checkDetSourceCall(pass, info, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkDetSourceCall(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Type().(*types.Signature).Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClockFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(), "time.%s in a deterministic package: derive time from the tick counter, or justify an observation-only use with //sacslint:allow detsource <reason>", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !detsourceAllowedRand[fn.Name()] {
+			pass.Reportf(call.Pos(), "global math/rand state (rand.%s) in a deterministic package: thread an explicit *rand.Rand seeded from xrand", fn.Name())
+		}
+	}
+}

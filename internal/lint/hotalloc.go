@@ -1,0 +1,269 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAlloc enforces the zero-allocation contract on functions marked
+// //sacs:hotpath (Agent.Step, SenseInto, Ring.Push/Trend, the mailbox
+// routing barrier, the scheduler claim loop). Inside a marked function it
+// flags allocation-prone constructs:
+//
+//   - any call into fmt (Sprintf and friends allocate their result and
+//     box their operands);
+//   - function literals that capture outer variables — the closure and
+//     its captures escape to the heap;
+//   - map literals and make(map[...]...);
+//   - explicit conversions to interface types, and string<->[]byte/[]rune
+//     conversions (each copies or boxes);
+//   - append to a locally declared slice with no capacity evidence (no
+//     make with capacity, no reslice of a reused buffer, no callee-
+//     provided slice).
+//
+// Cold paths are exempt: a construct inside a block that returns or
+// panics (error construction, validation failures) is not on the
+// steady-state path the contract protects. Anything else that is
+// deliberate gets `//sacslint:allow hotalloc <reason>`.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags allocation-prone constructs in functions marked //sacs:hotpath",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !funcHasMarker(fn, HotPathMarker) {
+				continue
+			}
+			checkHotFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	walkStack(fn.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, info, fn, n, stack)
+		case *ast.FuncLit:
+			if vars := capturedVars(info, fn, n); len(vars) > 0 {
+				pass.Reportf(n.Pos(), "closure captures %s by reference in hot path: the closure and its captures escape to the heap", joinNames(vars))
+			}
+			return false // the literal's body is the closure's problem, not this function's
+		case *ast.CompositeLit:
+			if _, isMap := info.TypeOf(n).Underlying().(*types.Map); isMap && !coldPath(fn, stack) {
+				pass.Reportf(n.Pos(), "map literal allocates in hot path")
+			}
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, info *types.Info, fn *ast.FuncDecl, call *ast.CallExpr, stack []ast.Node) {
+	// Explicit conversions: T(x) where T is a type.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		checkHotConversion(pass, info, fn, call, tv.Type, stack)
+		return
+	}
+	if callee := calleeFunc(info, call); callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+		if !coldPath(fn, stack) {
+			pass.Reportf(call.Pos(), "fmt.%s allocates in hot path (formatting boxes operands and builds a string); move it off the steady-state path or justify with //sacslint:allow hotalloc <reason>", callee.Name())
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				if len(call.Args) > 0 {
+					if _, isMap := info.TypeOf(call.Args[0]).Underlying().(*types.Map); isMap && !coldPath(fn, stack) {
+						pass.Reportf(call.Pos(), "make(map) allocates in hot path")
+					}
+				}
+			case "append":
+				checkHotAppend(pass, info, fn, call, stack)
+			}
+		}
+	}
+}
+
+func checkHotConversion(pass *Pass, info *types.Info, fn *ast.FuncDecl, call *ast.CallExpr, target types.Type, stack []ast.Node) {
+	if coldPath(fn, stack) || len(call.Args) != 1 {
+		return
+	}
+	src := info.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	if types.IsInterface(target.Underlying()) && !types.IsInterface(src.Underlying()) {
+		if _, isPtr := src.Underlying().(*types.Pointer); !isPtr {
+			pass.Reportf(call.Pos(), "conversion to interface %s boxes the value in hot path", types.TypeString(target, types.RelativeTo(pass.Pkg.Types)))
+		}
+		return
+	}
+	if stringBytesConversion(target, src) {
+		pass.Reportf(call.Pos(), "%s(...) conversion copies in hot path", types.TypeString(target, types.RelativeTo(pass.Pkg.Types)))
+	}
+}
+
+// stringBytesConversion reports string <-> []byte/[]rune shapes.
+func stringBytesConversion(dst, src types.Type) bool {
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteish := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isStr(dst) && isByteish(src)) || (isByteish(dst) && isStr(src))
+}
+
+// checkHotAppend flags appends whose base slice shows no capacity
+// evidence. Fields, parameters, index/selector expressions and slices
+// built by make-with-cap, reslicing or a callee are all evidence of a
+// reused or pre-sized buffer — the repo's pooling idiom; a bare local
+// `var x []T` is not.
+func checkHotAppend(pass *Pass, info *types.Info, fn *ast.FuncDecl, call *ast.CallExpr, stack []ast.Node) {
+	if len(call.Args) == 0 || coldPath(fn, stack) {
+		return
+	}
+	base := baseIdent(call.Args[0])
+	if base == nil {
+		return // x.f, x[i]: reused storage owned elsewhere
+	}
+	obj := info.Uses[base]
+	if obj == nil {
+		return
+	}
+	if obj.Pos() < fn.Body.Pos() || obj.Pos() > fn.Body.End() {
+		return // parameter or outer variable: the caller owns its capacity
+	}
+	if decl := findLocalDecl(info, fn, obj); decl != nil && hasCapacityEvidence(decl) {
+		return
+	}
+	pass.Reportf(call.Pos(), "append to %s without capacity evidence in hot path: pre-size it with make(, , cap) or reuse a pooled buffer", base.Name)
+}
+
+// findLocalDecl returns the expression obj is initialised from inside fn,
+// or nil (var declarations without a value).
+func findLocalDecl(info *types.Info, fn *ast.FuncDecl, obj types.Object) ast.Expr {
+	var init ast.Expr
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id := baseIdent(lhs)
+			if id == nil || info.Defs[id] != obj {
+				continue
+			}
+			if len(as.Rhs) == len(as.Lhs) {
+				init = as.Rhs[i]
+			} else if len(as.Rhs) == 1 {
+				init = as.Rhs[0]
+			}
+		}
+		return init == nil
+	})
+	return init
+}
+
+// hasCapacityEvidence reports whether an initialiser plausibly carries
+// pre-sized or reused backing storage.
+func hasCapacityEvidence(init ast.Expr) bool {
+	switch e := ast.Unparen(init).(type) {
+	case *ast.SliceExpr:
+		return true // buf[:0] reslice of a reused buffer
+	case *ast.IndexExpr, *ast.SelectorExpr:
+		return true // x[i], x.f: reused storage owned elsewhere
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "make" {
+			return len(e.Args) >= 3 // make([]T, n, cap)
+		}
+		return true // a callee handed back a slice: its capacity policy, not ours
+	}
+	return false
+}
+
+// coldPath reports whether the node whose ancestor stack is given sits in
+// a block that terminates (returns or panics): error-construction and
+// validation branches, not the steady-state path.
+func coldPath(fn *ast.FuncDecl, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		case *ast.ReturnStmt:
+			return true
+		case *ast.BlockStmt:
+			if n == fn.Body {
+				return false
+			}
+			for _, stmt := range n.List {
+				switch s := stmt.(type) {
+				case *ast.ReturnStmt:
+					return true
+				case *ast.ExprStmt:
+					if c, ok := s.X.(*ast.CallExpr); ok {
+						if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok && id.Name == "panic" {
+							return true
+						}
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// capturedVars lists variables referenced inside lit but declared outside
+// it (and inside the enclosing function — package-level state is not a
+// per-call capture).
+func capturedVars(info *types.Info, fn *ast.FuncDecl, lit *ast.FuncLit) []string {
+	seen := make(map[types.Object]bool)
+	var names []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true // declared inside the literal (incl. its params)
+		}
+		if v.Pos() < fn.Pos() || v.Pos() > fn.End() {
+			return true // package-level or other-function state
+		}
+		seen[v] = true
+		names = append(names, v.Name())
+		return true
+	})
+	return names
+}
+
+func joinNames(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}

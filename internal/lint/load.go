@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load enumerates, parses and type-checks the packages matched by patterns,
+// resolved relative to dir (any directory inside the target module).
+//
+// The loader is deliberately toolchain-only: `go list -export -json -deps`
+// supplies package metadata plus compiled export data for every
+// dependency, and the stdlib gc importer consumes that export data — the
+// same pipeline golang.org/x/tools/go/packages drives, without the
+// dependency. Every non-stdlib package in the dependency closure is
+// type-checked from source in dependency order and reused by pointer, so
+// type and object identity holds across the whole returned set (which the
+// cross-package snapstate analyzer relies on). Export data is consumed for
+// the standard library alone: stdlib export data never references module
+// packages, so the gc importer can never materialize a shadow copy of a
+// package we also checked from source. Only the matched packages are
+// returned for analysis; dep-only packages are checked for identity but
+// not linted.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-export", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	exports := make(map[string]string)
+	var targets []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	checked := make(map[string]*types.Package)
+	base := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	imp := &reuseImporter{base: base.(types.ImporterFrom), checked: checked}
+
+	var pkgs []*Package
+	for _, p := range targets {
+		files := make([]*ast.File, 0, len(p.GoFiles))
+		for _, g := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, g), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %w", p.ImportPath, err)
+		}
+		checked[p.ImportPath] = tpkg
+		if p.DepOnly {
+			continue // checked for identity, but not itself under analysis
+		}
+		pkgs = append(pkgs, &Package{
+			Path:  p.ImportPath,
+			Name:  p.Name,
+			Fset:  fset,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	return pkgs, nil
+}
+
+// reuseImporter hands back packages we already type-checked from source
+// (preserving object identity across the analyzed set) and falls through
+// to gc export data for everything else — the standard library and any
+// dependency outside the match set.
+type reuseImporter struct {
+	base    types.ImporterFrom
+	checked map[string]*types.Package
+}
+
+func (r *reuseImporter) Import(path string) (*types.Package, error) {
+	return r.ImportFrom(path, "", 0)
+}
+
+func (r *reuseImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := r.checked[path]; ok {
+		return p, nil
+	}
+	return r.base.ImportFrom(path, srcDir, mode)
+}

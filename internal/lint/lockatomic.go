@@ -1,0 +1,261 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockAtomic guards the two concurrency seams dynamic tests keep missing:
+//
+//   - mixed access: a struct field that is touched through sync/atomic in
+//     one place and by a plain read or write in another is a data race the
+//     race detector only sees when both paths happen to run concurrently
+//     under -race. Every access to an atomically-used field must go
+//     through sync/atomic (or the field should be an atomic.Int64-style
+//     typed atomic, which makes plain access impossible).
+//   - mutex-held seam calls: calling into a Transport (the population
+//     engine's data plane, possibly a remote cluster worker) or blocking
+//     on a channel while holding a mutex couples lock hold time to I/O
+//     and peers — the split-brain and poisoning failure seams. Sites that
+//     are by design (the serve admin plane deliberately runs cluster
+//     control under the tick-barrier lock) carry
+//     `//sacslint:allow lockatomic <reason>`.
+//
+// The seam check is scoped to the packages owning the seams (population,
+// cluster, serve); mixed-access detection runs everywhere.
+var LockAtomic = &Analyzer{
+	Name: "lockatomic",
+	Doc:  "flags mixed atomic/plain field access and mutex-held Transport/channel operations",
+	Run:  runLockAtomic,
+}
+
+// seamPackages are the package names whose mutex regions are checked for
+// Transport calls and channel operations.
+var seamPackages = map[string]bool{
+	"population": true,
+	"cluster":    true,
+	"serve":      true,
+}
+
+func runLockAtomic(pass *Pass) error {
+	checkMixedAtomic(pass)
+	if seamPackages[pass.Pkg.Name] {
+		for _, file := range pass.Pkg.Files {
+			for _, decl := range file.Decls {
+				if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+					checkLockedRegions(pass, fn)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ---- mixed atomic / plain access ----
+
+func checkMixedAtomic(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// Fields accessed through sync/atomic calls (&x.f arguments).
+	atomicFields := make(map[types.Object]token.Pos)
+	// Identifier positions that are the &x.f argument of an atomic call,
+	// so the collection pass below can skip them.
+	atomicSites := make(map[*ast.Ident]bool)
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(info, call)
+			if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+					if _, seen := atomicFields[v]; !seen {
+						atomicFields[v] = call.Pos()
+					}
+					atomicSites[sel.Sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			v, ok := info.Uses[sel.Sel].(*types.Var)
+			if !ok || !v.IsField() || atomicSites[sel.Sel] {
+				return true
+			}
+			if first, isAtomic := atomicFields[v]; isAtomic {
+				pass.Reportf(sel.Sel.Pos(), "plain access to field %s, which is accessed atomically at %s: every access must go through sync/atomic (or make the field a typed atomic)",
+					v.Name(), pass.Pkg.Fset.Position(first))
+			}
+			return true
+		})
+	}
+}
+
+// ---- mutex-held seam calls ----
+
+// lockRegion is one [Lock, Unlock) span (or [Lock, func-end) for deferred
+// unlocks) for a rendered mutex expression.
+type lockRegion struct {
+	expr     string // the rendered mutex receiver, e.g. "h.mu"
+	from, to token.Pos
+	writer   bool // Lock, not RLock
+}
+
+func checkLockedRegions(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	var regions []lockRegion
+
+	// First pass: find Lock()/RLock() calls on sync mutexes and pair them
+	// with the matching Unlock on the same rendered expression; a deferred
+	// unlock extends the region to the function end.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if !isSyncMutex(info.TypeOf(sel.X)) {
+			return true
+		}
+		expr := renderExpr(pass.Pkg.Fset, sel.X)
+		unlock := "Unlock"
+		if sel.Sel.Name == "RLock" {
+			unlock = "RUnlock"
+		}
+		end := findUnlock(pass, fn, expr, unlock, call.End())
+		regions = append(regions, lockRegion{expr: expr, from: call.End(), to: end, writer: sel.Sel.Name == "Lock"})
+		return true
+	})
+	if len(regions) == 0 {
+		return
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		var pos token.Pos
+		var kind, detail string
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pos, kind = n.Pos(), "channel send"
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW {
+				return true
+			}
+			pos, kind = n.Pos(), "channel receive"
+		case *ast.CallExpr:
+			name := transportCallee(info, n)
+			if name == "" {
+				return true
+			}
+			pos, kind, detail = n.Pos(), "call into Transport", name
+		default:
+			return true
+		}
+		for _, r := range regions {
+			if pos < r.from || pos >= r.to {
+				continue
+			}
+			held := r.expr
+			if !r.writer {
+				held += " (read lock)"
+			}
+			if detail != "" {
+				pass.Reportf(pos, "%s (%s) while holding %s: lock hold time is coupled to the transport seam (remote workers, poisoning); hoist the call out of the critical section or justify with //sacslint:allow lockatomic <reason>", kind, detail, held)
+			} else {
+				pass.Reportf(pos, "%s while holding %s: a blocked channel operation keeps the mutex held for every other goroutine; hoist it out of the critical section or justify with //sacslint:allow lockatomic <reason>", kind, held)
+			}
+			break
+		}
+		return true
+	})
+}
+
+// transportCallee returns "Type.Method" when call is a method call on a
+// value whose named type is exactly "Transport" (the population data-plane
+// interface and the cluster coordinator transport), else "".
+func transportCallee(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	n := namedOf(info.TypeOf(sel.X))
+	if n == nil || n.Obj().Name() != "Transport" {
+		return ""
+	}
+	return "Transport." + sel.Sel.Name
+}
+
+// isSyncMutex reports whether t (possibly a pointer) is sync.Mutex or
+// sync.RWMutex.
+func isSyncMutex(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	if n.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex"
+}
+
+// findUnlock locates the end of the critical section opened at `after`: a
+// plain `expr.unlock()` statement bounds it there; a deferred unlock (or
+// none found — unusual shapes) extends it to the function end.
+func findUnlock(pass *Pass, fn *ast.FuncDecl, expr, unlock string, after token.Pos) token.Pos {
+	end := fn.Body.End()
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || call.Pos() < after || call.Pos() >= end {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != unlock {
+			return true
+		}
+		if renderExpr(pass.Pkg.Fset, sel.X) == expr {
+			end = call.Pos()
+		}
+		return true
+	})
+	return end
+}
+
+func renderExpr(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "<expr>"
+	}
+	return strings.TrimSpace(buf.String())
+}

@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SnapState cross-checks the snapshot layer against the checkpoint codec:
+// for every struct participating in checkpointing (any struct whose type
+// or fields the codec package references — AgentState, StoreState,
+// Snapshot, RangeState, …), each exported field must be written by the
+// encoder side AND read by the decoder side of the codec, or be explicitly
+// marked `//sacslint:snapshot-excluded <why>`. This catches the "added a
+// field, forgot the codec, restore silently diverges" failure mode at
+// compile time instead of at the first divergent resume.
+//
+// Mechanics: the codec package is any analyzed package named "checkpoint".
+// Each of its functions is classified encoder-side (methods on Encoder,
+// functions whose name contains "encode") or decoder-side (methods on
+// Decoder, names containing "decode"); unclassified helpers count for both
+// sides, erring toward silence. Field references are collected from the
+// type checker's use map, which covers both selector expressions
+// (encoding) and keyed composite literals (decoding). goals.SwitcherState
+// is covered through its mirror: checkpoint encodes it via
+// core.SwitcherStateRef, so its fields must be referenced by package core.
+var SnapState = &Analyzer{
+	Name:   "snapstate",
+	Doc:    "verifies every exported field of snapshot-layer structs is covered by the checkpoint codec",
+	Global: true,
+	Run:    runSnapState,
+}
+
+// snapMirrors maps a struct (by qualified name) whose codec coverage is
+// indirect to the package (by name) that mirrors it into the wire format.
+var snapMirrors = map[string]string{
+	"goals.SwitcherState": "core",
+}
+
+func runSnapState(pass *Pass) error {
+	var codecs []*Package
+	for _, pkg := range pass.All {
+		if pkg.Name == "checkpoint" {
+			codecs = append(codecs, pkg)
+		}
+	}
+	if len(codecs) == 0 {
+		return nil
+	}
+
+	usedEnc := make(map[types.Object]bool)
+	usedDec := make(map[types.Object]bool)
+	usedTypes := make(map[types.Object]bool)
+	for _, codec := range codecs {
+		collectCodecUses(codec, usedEnc, usedDec, usedTypes)
+	}
+
+	// References per non-codec package, for the mirror rule.
+	pkgUses := make(map[string]map[types.Object]bool)
+	for _, pkg := range pass.All {
+		uses := make(map[types.Object]bool, len(pkg.Info.Uses))
+		for _, obj := range pkg.Info.Uses {
+			uses[obj] = true
+		}
+		pkgUses[pkg.Name] = uses
+	}
+
+	for _, pkg := range pass.All {
+		if pkg.Name == "checkpoint" {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					checkSnapshotStruct(pass, pkg, ts, st, usedEnc, usedDec, usedTypes, pkgUses)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// collectCodecUses classifies every object use in a codec package as
+// encoder-side, decoder-side or both, by the function it occurs in.
+func collectCodecUses(codec *Package, usedEnc, usedDec, usedTypes map[types.Object]bool) {
+	for _, file := range codec.Files {
+		for _, decl := range file.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			enc, dec := true, true
+			if isFunc {
+				enc, dec = codecSide(codec, fd)
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				switch obj := codec.Info.Uses[id].(type) {
+				case *types.Var:
+					if obj.IsField() {
+						if enc {
+							usedEnc[obj] = true
+						}
+						if dec {
+							usedDec[obj] = true
+						}
+					}
+				case *types.TypeName:
+					usedTypes[obj] = true
+				}
+				return true
+			})
+		}
+	}
+}
+
+// codecSide reports which half of the codec a function belongs to.
+func codecSide(codec *Package, fd *ast.FuncDecl) (enc, dec bool) {
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		if n := namedOf(codec.Info.TypeOf(fd.Recv.List[0].Type)); n != nil {
+			switch n.Obj().Name() {
+			case "Encoder":
+				return true, false
+			case "Decoder":
+				return false, true
+			}
+		}
+	}
+	name := strings.ToLower(fd.Name.Name)
+	switch {
+	case strings.Contains(name, "encode"):
+		return true, false
+	case strings.Contains(name, "decode"):
+		return false, true
+	}
+	return true, true // shared helper: count for both sides
+}
+
+func checkSnapshotStruct(pass *Pass, pkg *Package, ts *ast.TypeSpec, st *ast.StructType,
+	usedEnc, usedDec, usedTypes map[types.Object]bool, pkgUses map[string]map[types.Object]bool) {
+
+	tn, _ := pkg.Info.Defs[ts.Name].(*types.TypeName)
+	if tn == nil {
+		return
+	}
+	qualified := pkg.Name + "." + ts.Name.Name
+	mirror, mirrored := snapMirrors[qualified]
+
+	// Participation: the codec references the type or any of its fields.
+	participates := usedTypes[tn]
+	if !participates {
+		for _, f := range st.Fields.List {
+			for _, name := range f.Names {
+				obj := pkg.Info.Defs[name]
+				if usedEnc[obj] || usedDec[obj] {
+					participates = true
+				}
+			}
+		}
+	}
+	if !participates && !mirrored {
+		return
+	}
+
+	for _, f := range st.Fields.List {
+		if len(f.Names) == 0 {
+			continue // embedded fields are outside this check's model
+		}
+		for _, name := range f.Names {
+			if !name.IsExported() {
+				continue
+			}
+			if _, present := snapshotExcluded(pass, f, name.Name, qualified); present {
+				continue // justified, or already reported as unjustified
+			}
+			obj := pkg.Info.Defs[name]
+			if mirrored {
+				if !pkgUses[mirror][obj] {
+					pass.Reportf(name.Pos(), "exported snapshot field %s.%s is not referenced by its codec mirror package %q: restored state will silently diverge (or mark it //sacslint:snapshot-excluded <why>)",
+						qualified, name.Name, mirror)
+				}
+				continue
+			}
+			switch {
+			case !usedEnc[obj] && !usedDec[obj]:
+				pass.Reportf(name.Pos(), "exported snapshot field %s.%s is not referenced by the checkpoint codec: it will be silently dropped across snapshot/restore (encode+decode it, or mark it //sacslint:snapshot-excluded <why>)",
+					qualified, name.Name)
+			case !usedEnc[obj]:
+				pass.Reportf(name.Pos(), "exported snapshot field %s.%s is read by the checkpoint decoder but never written by the encoder", qualified, name.Name)
+			case !usedDec[obj]:
+				pass.Reportf(name.Pos(), "exported snapshot field %s.%s is written by the checkpoint encoder but never read by the decoder: restore will silently zero it", qualified, name.Name)
+			}
+		}
+	}
+}
+
+// snapshotExcluded looks for a //sacslint:snapshot-excluded annotation on
+// the field (doc comment or trailing comment). The second return reports
+// whether an annotation is present at all; the first whether it carries
+// the required justification (an unjustified one is reported here).
+func snapshotExcluded(pass *Pass, f *ast.Field, fieldName, qualified string) (justified, present bool) {
+	for _, cg := range [2]*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ExcludedPrefix) {
+				continue
+			}
+			reason := strings.TrimSpace(strings.TrimPrefix(c.Text, ExcludedPrefix))
+			if reason == "" {
+				pass.Reportf(c.Pos(), "//sacslint:snapshot-excluded on %s.%s needs a justification: state why restore does not need this field", qualified, fieldName)
+				return false, true
+			}
+			return true, true
+		}
+	}
+	return false, false
+}

@@ -1,0 +1,78 @@
+// Package detmapfix is the detmap fixture: map ranges whose iteration
+// order leaks (positive), the sanctioned collect-then-sort idiom and
+// order-insensitive bodies (negative), and a justified allow.
+package detmapfix
+
+import "sort"
+
+// Encoder stands in for the checkpoint codec's encoder.
+type Encoder struct{ buf []byte }
+
+// Str appends a string record.
+func (e *Encoder) Str(s string) { e.buf = append(e.buf, s...) }
+
+// MeanForecastError re-introduces the PR 3 TimeProcess bug: a float sum
+// accumulated in map-iteration order fed checkpointed state, so two runs
+// of the same simulation could diverge after a restore.
+func MeanForecastError(errs map[string]float64) float64 {
+	var sum float64
+	for _, e := range errs {
+		sum += e // want detmap "floating-point accumulation into sum"
+	}
+	return sum / float64(len(errs))
+}
+
+// ScaledError is the disguised form of the same bug.
+func ScaledError(errs map[string]float64) float64 {
+	var sum float64
+	for _, e := range errs {
+		sum = sum + e*0.5 // want detmap "floating-point accumulation into sum"
+	}
+	return sum
+}
+
+// EncodeMeta writes map entries straight to the encoder.
+func EncodeMeta(e *Encoder, meta map[string]string) {
+	for k, v := range meta {
+		e.Str(k) // want detmap "Encoder.Str inside a map range"
+		e.Str(v) // want detmap "Encoder.Str inside a map range"
+	}
+}
+
+// UnsortedKeys builds a key slice and never sorts it.
+func UnsortedKeys(meta map[string]string) []string {
+	var keys []string
+	for k := range meta {
+		keys = append(keys, k) // want detmap "append to keys"
+	}
+	return keys
+}
+
+// SortedKeys is the sanctioned idiom (internal/checkpoint.encodePayload):
+// collect, then sort before the order can be observed.
+func SortedKeys(meta map[string]string) []string {
+	keys := make([]string, 0, len(meta))
+	for k := range meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Count is order-insensitive: integer counting passes untouched.
+func Count(meta map[string]string) int {
+	n := 0
+	for range meta {
+		n++
+	}
+	return n
+}
+
+// AllowedSum keeps a map-ordered float sum with a justification.
+func AllowedSum(errs map[string]float64) float64 {
+	var sum float64
+	for _, e := range errs {
+		sum += e //sacslint:allow detmap fixture: the sum is diagnostic-only and never compared or encoded
+	}
+	return sum
+}

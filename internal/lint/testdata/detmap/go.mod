@@ -1,0 +1,3 @@
+module detmapfix
+
+go 1.24

@@ -1,0 +1,46 @@
+// Package core sits in the deterministic set (matched by import-path
+// element), so wall clocks, global rand and select are all findings.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Tick is nondeterministic three ways.
+func Tick(ch chan int) (int, float64) {
+	t := time.Now()     // want detsource "time.Now in a deterministic package"
+	v := rand.Float64() // want detsource "global math/rand state"
+	select {            // want detsource "select in a deterministic package"
+	case n := <-ch:
+		return n, v
+	default:
+	}
+	return t.Nanosecond(), v
+}
+
+// Seeded uses the sanctioned constructor path: rand.New and rand.NewSource
+// introduce no hidden global stream.
+func Seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Observed is the annotated metrics-plane shape: justified allows pass.
+func Observed() int64 {
+	start := time.Now()                    //sacslint:allow detsource fixture: observation-only timing
+	return time.Since(start).Nanoseconds() //sacslint:allow detsource fixture: observation-only timing
+}
+
+// Unjustified has an allow with no reason: the allow is a finding and
+// suppresses nothing, so the wall-clock finding surfaces too.
+func Unjustified() time.Time {
+	return time.Now() //sacslint:allow detsource
+	// want:up detsource "needs a justification" detsource "time.Now in a deterministic package"
+}
+
+// Stale carries an allow on a line with nothing to suppress.
+func Stale() int {
+	x := 1 //sacslint:allow detsource fixture: nothing here to suppress
+	// want:up detsource "stale //sacslint:allow"
+	return x
+}

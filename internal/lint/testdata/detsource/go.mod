@@ -1,0 +1,3 @@
+module detsourcefix
+
+go 1.24

@@ -1,0 +1,7 @@
+// Package webui is outside the deterministic set: wall clocks are fine.
+package webui
+
+import "time"
+
+// Uptime reads the wall clock freely.
+func Uptime(start time.Time) time.Duration { return time.Since(start) }

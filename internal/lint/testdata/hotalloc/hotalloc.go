@@ -1,0 +1,61 @@
+// Package hotfix is the hotalloc fixture: allocation-prone constructs in a
+// marked function (positive), pooled/pre-sized/cold shapes and unmarked
+// functions (negative), and a justified allow.
+package hotfix
+
+import "fmt"
+
+type item struct{ name string }
+
+// Hot trips every hotalloc rule.
+//
+//sacs:hotpath
+func Hot(items []item, buf []byte) string {
+	var names []string
+	for _, it := range items {
+		names = append(names, it.name) // want hotalloc "append to names without capacity evidence"
+	}
+	m := map[string]int{} // want hotalloc "map literal allocates"
+	_ = m
+	s := fmt.Sprintf("%d", len(items))     // want hotalloc "fmt.Sprintf allocates"
+	b := string(buf)                       // want hotalloc "conversion copies"
+	v := any(len(items))                   // want hotalloc "conversion to interface any boxes"
+	fn := func() int { return len(names) } // want hotalloc "closure captures names"
+	_ = fn()
+	_, _ = b, v
+	return s
+}
+
+// HotClean shows the sanctioned shapes: pre-sized make, reslice of a
+// reused buffer, and error construction on a returning (cold) branch.
+//
+//sacs:hotpath
+func HotClean(items []item, buf []item) ([]item, error) {
+	out := make([]item, 0, len(items))
+	for _, it := range items {
+		out = append(out, it)
+	}
+	scratch := buf[:0]
+	scratch = append(scratch, items...)
+	if len(scratch) == 0 {
+		return nil, fmt.Errorf("hotfix: empty batch")
+	}
+	return out, nil
+}
+
+// HotAllowed keeps a deliberate allocation with a justification.
+//
+//sacs:hotpath
+func HotAllowed(n int) string {
+	s := fmt.Sprintf("agent-%d", n) //sacslint:allow hotalloc fixture: runs once per agent lifetime, not per tick
+	return s
+}
+
+// NotHot is unmarked: the same constructs pass untouched.
+func NotHot(items []item) string {
+	var names []string
+	for _, it := range items {
+		names = append(names, it.name)
+	}
+	return fmt.Sprintf("%v", names)
+}

@@ -1,0 +1,60 @@
+// Package population is in the seam set (matched by package name), so
+// mutex regions are checked for Transport calls and channel operations;
+// mixed atomic/plain field access is checked everywhere.
+package population
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Transport is the seam interface the analyzer matches by name.
+type Transport interface {
+	Step(tick int) error
+	Placement() int
+}
+
+// Engine exercises both halves of the analyzer.
+type Engine struct {
+	mu   sync.Mutex
+	tr   Transport
+	done chan int
+
+	ticks int64
+}
+
+// Mixed touches ticks atomically in one place and plainly in another: the
+// race only -race plus a lucky schedule would catch dynamically.
+func (e *Engine) Mixed() int64 {
+	atomic.AddInt64(&e.ticks, 1)
+	return e.ticks // want lockatomic "plain access to field ticks"
+}
+
+// Held calls the transport and blocks on a channel inside the critical
+// section.
+func (e *Engine) Held(tick int) error {
+	e.mu.Lock()
+	err := e.tr.Step(tick) // want lockatomic "call into Transport"
+	e.done <- tick         // want lockatomic "channel send"
+	<-e.done               // want lockatomic "channel receive"
+	e.mu.Unlock()
+	return err
+}
+
+// Hoisted reads the seam reference under the lock but calls it after
+// releasing: clean.
+func (e *Engine) Hoisted(tick int) error {
+	e.mu.Lock()
+	t := e.tr
+	e.mu.Unlock()
+	return t.Step(tick)
+}
+
+// Allowed is the barrier-by-design shape: the placement read must happen
+// under the tick barrier and says so.
+func (e *Engine) Allowed() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p := e.tr.Placement() //sacslint:allow lockatomic fixture: placement must be read at the tick barrier
+	return p
+}

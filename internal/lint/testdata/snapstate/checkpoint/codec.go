@@ -1,0 +1,37 @@
+// Package checkpoint is the fixture codec: methods on Encoder count as the
+// encode side, methods on Decoder as the decode side.
+package checkpoint
+
+import "snapfix/core"
+
+// Encoder is the write half.
+type Encoder struct{ buf []byte }
+
+// Decoder is the read half.
+type Decoder struct{ buf []byte }
+
+// Int writes v.
+func (e *Encoder) Int(v int) { e.buf = append(e.buf, byte(v)) }
+
+// Str writes s.
+func (e *Encoder) Str(s string) { e.buf = append(e.buf, s...) }
+
+// Int reads one int.
+func (d *Decoder) Int() int { return len(d.buf) }
+
+// Str reads one string.
+func (d *Decoder) Str() string { return string(d.buf) }
+
+// AgentState encodes s. Dropped and DecOnly are deliberately missing.
+func (e *Encoder) AgentState(s *core.AgentState) {
+	e.Str(s.Name)
+	e.Int(s.Steps)
+	e.Int(s.EncOnly)
+}
+
+// AgentState decodes into s. Dropped and EncOnly are deliberately missing.
+func (d *Decoder) AgentState(s *core.AgentState) {
+	s.Name = d.Str()
+	s.Steps = d.Int()
+	s.DecOnly = d.Int()
+}

@@ -1,0 +1,24 @@
+// Package core holds the fixture's snapshot-layer structs.
+package core
+
+// AgentState participates in checkpointing (the codec references it), so
+// every exported field must be covered on both codec sides or be
+// explicitly excluded.
+type AgentState struct {
+	Name    string
+	Steps   int
+	Dropped float64 // want snapstate "not referenced by the checkpoint codec"
+	EncOnly int     // want snapstate "never read by the decoder"
+	DecOnly int     // want snapstate "never written by the encoder"
+	Scratch int     //sacslint:snapshot-excluded fixture: rebuilt from Name on restore
+	Bad     int     //sacslint:snapshot-excluded
+	// want:up snapstate "needs a justification"
+
+	cache int // unexported: outside the snapshot contract
+}
+
+// Runtime never appears in the codec: not a snapshot struct, no findings.
+type Runtime struct {
+	Workers int
+	Queue   []int
+}

@@ -1,0 +1,3 @@
+module snapfix
+
+go 1.24

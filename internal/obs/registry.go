@@ -352,6 +352,7 @@ func (r *Registry) Snapshot() map[string]any {
 	for _, f := range r.families {
 		fams = append(fams, f)
 	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 
 	out := make(map[string]any)
 	for _, f := range fams {

@@ -271,6 +271,8 @@ func (t *LocalTransport) Agent(id int) *core.Agent {
 //     order through runner.FanOutOrder (ordered submit, any-order
 //     execute), so expensive shards still start first but claims follow
 //     the pool's FIFO pickup with no intra-tick redistribution.
+//
+//sacs:hotpath
 func (t *LocalTransport) Step(tick int, mail [][]core.Stimulus) ([]*ShardExchange, error) {
 	now := float64(tick)
 	n := t.hi - t.lo
@@ -279,6 +281,7 @@ func (t *LocalTransport) Step(tick int, mail [][]core.Stimulus) ([]*ShardExchang
 	key := runner.Key{Experiment: t.cfg.Name, System: "shard"}
 	if !t.sched.Steal() {
 		runner.FanOutOrder(t.cfg.Pool, key, n, t.order,
+			//sacslint:allow hotalloc one dispatch closure per tick, not per agent; fan-out needs the tick context
 			func(i int) *ShardExchange { return t.stepShard(t.lo+i, tick, now, mail) })
 		return t.results, nil
 	}
@@ -287,6 +290,7 @@ func (t *LocalTransport) Step(tick int, mail [][]core.Stimulus) ([]*ShardExchang
 		execs = n
 	}
 	var cursor atomic.Int64
+	//sacslint:allow hotalloc one executor closure per tick, not per agent; the claim loop needs the shared cursor
 	runner.FanOut(t.cfg.Pool, key, execs, func(e int) int {
 		for {
 			pos := int(cursor.Add(1)) - 1
@@ -306,8 +310,10 @@ func (t *LocalTransport) Step(tick int, mail [][]core.Stimulus) ([]*ShardExchang
 // its own agents, its own RNG stream, the read-only mailboxes of its own
 // agents, and its own pooled exchange (reset here, read by the engine at
 // the barrier, never shared between shards).
+//
+//sacs:hotpath
 func (t *LocalTransport) stepShard(s, tick int, now float64, mail [][]core.Stimulus) *ShardExchange {
-	start := time.Now()
+	start := time.Now() //sacslint:allow detsource observation-only: per-shard busy-time estimate feeds the cost model, not agent state
 	res := t.results[s-t.lo]
 	res.Delivered, res.Actions, res.Steals = 0, 0, 0
 	res.Msgs = res.Msgs[:0]
@@ -329,7 +335,7 @@ func (t *LocalTransport) stepShard(s, tick int, now float64, mail [][]core.Stimu
 			t.cfg.Emit(&ctx)
 		}
 	}
-	res.StepNanos = time.Since(start).Nanoseconds()
+	res.StepNanos = time.Since(start).Nanoseconds() //sacslint:allow detsource observation-only: per-shard busy-time estimate feeds the cost model, not agent state
 	t.costs.Observe(s, res.StepNanos)
 	return res
 }

@@ -137,7 +137,7 @@ func (s *Server) ClusterStatus() (ClusterStatus, error) {
 				continue
 			}
 			h.mu.Lock()
-			owner, workers := tr.Placement()
+			owner, workers := tr.Placement() //sacslint:allow lockatomic LockedReads mode reads live placement at the tick barrier by design; the lock-free path is the default
 			h.mu.Unlock()
 			out.Populations = append(out.Populations, ClusterPopPlacement{ID: id, Owner: owner, Workers: workers})
 			continue
@@ -196,7 +196,7 @@ func (s *Server) ClusterAdmit(addr string, wait time.Duration) (int, error) {
 			continue
 		}
 		h.mu.Lock()
-		err = tr.AdmitWorker(wi)
+		err = tr.AdmitWorker(wi) //sacslint:allow lockatomic admission must land at the tick barrier: the placement may not change while a tick is in flight
 		if err == nil {
 			s.publishLocked(h) // the new worker must show in /cluster reads
 		}
@@ -240,7 +240,7 @@ func (s *Server) ClusterRebalance() (map[string][]cluster.Move, error) {
 			MaxMoves:  s.opts.RebalanceMaxMoves,
 		}
 		h.mu.Lock()
-		moves, err := tr.Rebalance(policy)
+		moves, err := tr.Rebalance(policy) //sacslint:allow lockatomic live migration must run at the tick barrier: shard state may not move while a tick is in flight
 		if len(moves) > 0 {
 			s.publishLocked(h) // committed moves must show in /cluster reads
 		}

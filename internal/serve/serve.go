@@ -773,12 +773,12 @@ func (s *Server) explainBudget() int {
 
 // Status is one population's live metrics, JSON-shaped.
 type Status struct {
-	ID        string  `json:"id"`
-	Workload  string  `json:"workload"`
-	Agents    int     `json:"agents"`
-	Shards    int     `json:"shards"`
-	Seed      int64   `json:"seed"`
-	Tick      int     `json:"tick"`
+	ID       string `json:"id"`
+	Workload string `json:"workload"`
+	Agents   int    `json:"agents"`
+	Shards   int    `json:"shards"`
+	Seed     int64  `json:"seed"`
+	Tick     int    `json:"tick"`
 	// ViewTick is the tick of the published view this status was read
 	// from: equal to Tick on the lock-free path (views swap at barriers),
 	// it makes the read plane's staleness contract explicit and testable.
@@ -790,8 +790,8 @@ type Status struct {
 	// Ingested and Queued move between barriers (they are atomics overlaid
 	// at read time), so an accepted ingest is visible to the next Status
 	// without waiting a tick.
-	Ingested int64 `json:"ingested"`
-	Queued   int64 `json:"queued"`
+	Ingested  int64   `json:"ingested"`
+	Queued    int64   `json:"queued"`
 	ModelMean float64 `json:"model_mean"`
 	WorkP50   float64 `json:"work_p50"`
 	WorkP99   float64 `json:"work_p99"`

@@ -17,6 +17,15 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 tag="${1:-local}"
+baseline="BENCH_PR7.json"
+if [ ! -f "$baseline" ]; then
+  # Fail before the (minutes-long) benchmark run, not after: without the
+  # committed baseline, cmd/benchjson would emit a BENCH_${tag}.json with
+  # empty "before" columns that gates nothing and pollutes the trajectory.
+  echo "bench.sh: committed baseline $baseline is missing — refusing to run." >&2
+  echo "bench.sh: restore it from git (git checkout -- $baseline) or point this script at the new baseline file." >&2
+  exit 1
+fi
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -33,7 +42,7 @@ go test -run '^$' -bench \
 
 go run ./cmd/benchjson \
   -out "BENCH_${tag}.json" \
-  -baseline BENCH_PR7.json \
+  -baseline "$baseline" \
   -check AgentStepFullStack,PopulationTick \
   -floor 'PopulationTick/agents=10000/workers=4:steps/sec' \
   -tolerance 0.10 \
